@@ -1,0 +1,57 @@
+"""EXT-SAMPLES bench: monitor stability vs the number of MC passes.
+
+The paper computes prediction statistics on 10 samples.  This ablation
+measures how the monitor's verdict and the sigma estimate stabilise as
+the sample count grows.
+
+Expectation (shape): verdict disagreement between independent runs
+shrinks as T grows; T = 10 (the paper's choice) is substantially more
+stable than T = 2.
+"""
+
+import numpy as np
+
+from repro.core.monitor import MonitorConfig, RuntimeMonitor
+from repro.eval.reporting import format_table, format_title
+from repro.segmentation.bayesian import BayesianSegmenter
+from repro.utils.geometry import Box
+
+SAMPLE_COUNTS = [2, 5, 10, 20]
+
+
+def _verdict_disagreement(system, t: int, pairs: int = 4) -> float:
+    """Mean |unsafe-fraction difference| between independent runs."""
+    image = system.ood_samples()[0].image
+    box = Box(24, 40, 24, 24)
+    gaps = []
+    for seed in range(pairs):
+        fractions = []
+        for offset in (0, 100):
+            segmenter = BayesianSegmenter(system.model, num_samples=t,
+                                          rng=seed + offset)
+            monitor = RuntimeMonitor(segmenter,
+                                     MonitorConfig(num_samples=t))
+            fractions.append(
+                monitor.check_zone(image, box).unsafe_fraction)
+        gaps.append(abs(fractions[0] - fractions[1]))
+    return float(np.mean(gaps))
+
+
+def test_sample_count_ablation(benchmark, system, emit):
+    def sweep():
+        return {t: _verdict_disagreement(system, t)
+                for t in SAMPLE_COUNTS}
+
+    gaps = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    emit("\n" + format_title(
+        "EXT-SAMPLES: verdict stability vs MC sample count"))
+    rows = [[t, f"{gaps[t]:.4f}",
+             "  <- paper (10)" if t == 10 else ""]
+            for t in SAMPLE_COUNTS]
+    emit(format_table(["MC samples", "mean verdict disagreement",
+                       ""], rows))
+
+    # More samples -> more stable verdicts (allowing small noise).
+    assert gaps[20] <= gaps[2] + 0.02
+    assert gaps[10] <= gaps[2] + 0.02

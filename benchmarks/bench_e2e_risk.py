@@ -1,0 +1,64 @@
+"""EXT-E2E bench: end-to-end ground risk with and without EL.
+
+Extension quantifying the paper's integrity argument: Monte-Carlo MEDI
+DELIVERY missions with navigation+communication loss, comparing
+
+* **FT only** — blind parachute descent (no EL capability),
+* **EL + monitor** — the full Fig. 2 pipeline as the landing policy.
+
+Expectation (shape): EL reduces the probability of severe outcomes
+(severity >= 4, i.e. potential fatalities) relative to blind flight
+termination — the risk reduction that justifies EL as an active-M1
+mitigation in Table III.
+"""
+
+from repro.dataset.scene import UrbanScene
+from repro.eval.reporting import format_table, format_title
+from repro.sora import Severity
+from repro.uav import FailureEvent, FailureType, MissionConfig, run_campaign
+
+NUM_MISSIONS = 24
+
+
+def test_e2e_ground_risk(benchmark, system, emit):
+    scenes = [UrbanScene.generate(seed=5000 + i)
+              for i in range(NUM_MISSIONS)]
+    failures = [FailureEvent(FailureType.NAVIGATION_AND_COMM_LOSS,
+                             time_s=3.0 + (i % 9))
+                for i in range(NUM_MISSIONS)]
+    config = MissionConfig(camera_shape_px=(96, 128), camera_gsd_m=1.0)
+    policy = system.make_pipeline(monitor_enabled=True,
+                                  rng=0).as_mission_policy()
+
+    def campaigns():
+        blind = run_campaign(scenes, failures, config=config,
+                             el_policy=None, seed=9)
+        monitored = run_campaign(scenes, failures, config=config,
+                                 el_policy=policy, seed=9)
+        return blind, monitored
+
+    blind, monitored = benchmark.pedantic(campaigns, rounds=1,
+                                          iterations=1)
+
+    emit("\n" + format_title(
+        f"EXT-E2E: ground risk over {NUM_MISSIONS} missions with "
+        "nav+comm loss"))
+    rows = []
+    for name, stats in (("FT only (no EL)", blind),
+                        ("EL + monitor (Fig. 2)", monitored)):
+        sev = [stats.severity_counts.get(s, 0) for s in Severity]
+        rows.append([name, *sev, f"{stats.severe_fraction():.2f}",
+                     f"{stats.mean_severity():.2f}"])
+    emit(format_table(
+        ["strategy", "sev1", "sev2", "sev3", "sev4", "sev5",
+         "P(severe)", "mean severity"], rows))
+    emit(f"\nEL attempts: {monitored.el_attempts}, aborts (-> FT): "
+         f"{monitored.el_aborts}")
+
+    assert blind.num_missions == monitored.num_missions == NUM_MISSIONS
+    # EL must not increase severe-outcome probability, and should
+    # reduce (or at least not worsen) the mean severity.
+    assert monitored.severe_fraction() <= blind.severe_fraction()
+    assert monitored.mean_severity() <= blind.mean_severity() + 1e-9
+    # EL was actually exercised.
+    assert monitored.el_attempts > 0

@@ -1,0 +1,82 @@
+"""EXT-HYBRID bench: learned + database fusion (the paper's future work).
+
+"Hybrid methods combining learning-based techniques with using public
+databases could be envisioned to improve emergency landing."
+
+This bench runs the learned selector, the database-only selector and
+the hybrid on the *sunset OOD* frames — where the learned model's road
+detection collapses — and scores the best viable zone of each against
+ground truth.
+
+Expectation (shape): on OOD frames the hybrid's busy-road acceptance is
+no worse than the learned selector's (the database recovers missed
+roads) while it still sees dynamic hazards the database cannot.
+"""
+
+from repro.core import (
+    HybridConfig,
+    HybridLandingZoneSelector,
+    LandingZoneSelector,
+)
+from repro.dataset import BUSY_ROAD_CLASSES, SUNSET, UavidClass
+from repro.eval.monitor_metrics import zone_truly_unsafe
+from repro.eval.reporting import format_table, format_title
+
+
+def test_hybrid_fusion_ood(benchmark, system, emit):
+    samples = system.ood_samples(SUNSET)
+    selector_cfg = system.selector_config()
+    learned = LandingZoneSelector(selector_cfg)
+    hybrid = HybridLandingZoneSelector(HybridConfig(selector=selector_cfg))
+
+    # Reconstruct each frame's static database window from its scene.
+    from repro.dataset.scene import UrbanScene
+    static_windows = {}
+    scene_cache = {}
+    for i, sample in enumerate(samples):
+        scene = scene_cache.setdefault(
+            sample.scene_seed, UrbanScene.generate(seed=sample.scene_seed))
+        static_windows[i] = scene.static_label_window(
+            sample.center, sample.labels.shape, sample.gsd)
+
+    def run_all():
+        scores = {"learned only": [0, 0],
+                  "hybrid (learned + database)": [0, 0]}
+        for i, sample in enumerate(samples):
+            predicted = system.model.predict_labels(sample.image)
+            static = static_windows[i]
+            for name, candidates in (
+                    ("learned only",
+                     learned.viable_candidates(predicted)),
+                    ("hybrid (learned + database)",
+                     hybrid.viable_candidates(predicted, static))):
+                if not candidates:
+                    continue
+                scores[name][0] += 1
+                if zone_truly_unsafe(sample.labels, candidates[0].box,
+                                     BUSY_ROAD_CLASSES):
+                    scores[name][1] += 1
+        return scores
+
+    scores = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    emit("\n" + format_title(
+        "EXT-HYBRID: learned vs hybrid zone selection on sunset OOD "
+        f"frames ({len(samples)})"))
+    rows = []
+    for name, (landed, unsafe) in scores.items():
+        rate = unsafe / landed if landed else float("nan")
+        rows.append([name, landed, unsafe,
+                     f"{rate:.2f}" if landed else "n/a"])
+    emit(format_table(["selector", "zones accepted", "busy-road unsafe",
+                       "unsafe rate"], rows))
+
+    learned_landed, learned_unsafe = scores["learned only"]
+    hybrid_landed, hybrid_unsafe = scores["hybrid (learned + database)"]
+    learned_rate = learned_unsafe / max(learned_landed, 1)
+    hybrid_rate = hybrid_unsafe / max(hybrid_landed, 1)
+    # The database recovers the OOD-missed roads: the hybrid never does
+    # worse, and when the learned selector errs, strictly better.
+    assert hybrid_rate <= learned_rate
+    if learned_unsafe > 0:
+        assert hybrid_unsafe < learned_unsafe

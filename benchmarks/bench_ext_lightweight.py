@@ -1,0 +1,72 @@
+"""EXT-LIGHT bench: lightweight model trade-off (the paper's future work).
+
+"...it will be worth investigating other segmentation models, including
+lightweight ones in order to be able to run on on-board GPUs."
+
+Trains the slim LightSegNet on the same corpus as the bench MSDnet and
+compares parameters, inference latency and segmentation quality.
+
+Expectation (shape): LightSegNet is several times smaller and faster;
+MSDnet is at least as accurate (the multi-scale dilation branches buy
+quality); the Bayesian monitor wraps both unchanged.
+"""
+
+import time
+
+import numpy as np
+
+from repro.eval.reporting import format_table, format_title
+from repro.segmentation import (
+    BayesianSegmenter,
+    TrainConfig,
+    build_lightsegnet,
+    evaluate_model,
+    train_model,
+)
+
+
+def test_lightweight_tradeoff(benchmark, system, emit):
+    light = build_lightsegnet(base_channels=8, seed=4)
+    train_model(light, system.train_samples,
+                TrainConfig(epochs=20, batch_size=4,
+                            learning_rate=3e-3, seed=6))
+
+    def timed_inference(model, image, repeats=5):
+        model.eval()
+        start = time.perf_counter()
+        for _ in range(repeats):
+            model.predict_labels(image)
+        return (time.perf_counter() - start) / repeats
+
+    image = system.test_samples[0].image
+
+    light_time = benchmark.pedantic(
+        lambda: timed_inference(light, image), rounds=1, iterations=1)
+    msd_time = timed_inference(system.model, image)
+
+    light_report = evaluate_model(light, system.test_samples)
+    msd_report = evaluate_model(system.model, system.test_samples)
+
+    emit("\n" + format_title(
+        "EXT-LIGHT: lightweight model vs scaled MSDnet"))
+    rows = [
+        ["MSDnet (paper architecture)", system.model.num_parameters(),
+         f"{msd_time * 1000:.1f}", f"{msd_report.miou:.3f}",
+         f"{msd_report.accuracy:.3f}"],
+        ["LightSegNet (no dilation branches)", light.num_parameters(),
+         f"{light_time * 1000:.1f}", f"{light_report.miou:.3f}",
+         f"{light_report.accuracy:.3f}"],
+    ]
+    emit(format_table(["model", "params", "latency (ms)", "mIoU",
+                       "accuracy"], rows))
+
+    # The monitor wraps the lightweight model unchanged.
+    segmenter = BayesianSegmenter(light, num_samples=5, rng=0)
+    dist = segmenter.predict_distribution(image)
+    emit(f"\nMC-dropout on LightSegNet: mean sigma "
+         f"{float(dist.std.mean()):.5f} (monitor-compatible)")
+
+    assert light.num_parameters() < system.model.num_parameters() / 2
+    assert light_time < msd_time
+    assert msd_report.miou >= light_report.miou - 0.02
+    assert dist.std.max() > 0.0

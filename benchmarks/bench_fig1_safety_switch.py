@@ -1,0 +1,88 @@
+"""FIG-1 bench: the safety-switch architecture under failure injection.
+
+Paper artefact: Fig. 1 — the four emergency procedures (H / RB / EL /
+FT) and the rules mapping anomalies to them.  Expectation: exact
+maneuver per the paper's four textual rules for every failure mode in
+the catalogue, and the priority ordering FT > EL > RB > H over a random
+capability sweep.
+"""
+
+import numpy as np
+
+from repro.eval.reporting import format_table, format_title
+from repro.uav import (
+    BELCASTRO_CATEGORY,
+    FailureType,
+    Maneuver,
+    NOMINAL_CAPABILITIES,
+    apply_failure,
+    select_maneuver,
+)
+
+EXPECTED = {
+    FailureType.GPS_LOSS: Maneuver.EMERGENCY_LANDING,
+    FailureType.GPS_DEGRADED: Maneuver.HOVER,
+    FailureType.COMM_LOSS_TEMPORARY: Maneuver.HOVER,
+    FailureType.COMM_LOSS_PERMANENT: Maneuver.RETURN_TO_BASE,
+    FailureType.NAVIGATION_AND_COMM_LOSS: Maneuver.EMERGENCY_LANDING,
+    FailureType.MOTOR_FAILURE: Maneuver.FLIGHT_TERMINATION,
+    FailureType.FLIGHT_CONTROL_LOSS: Maneuver.FLIGHT_TERMINATION,
+    FailureType.BATTERY_CRITICAL: Maneuver.RETURN_TO_BASE,
+    FailureType.CAMERA_FAILURE: Maneuver.NOMINAL,
+    FailureType.AVIONICS_DEGRADED: Maneuver.RETURN_TO_BASE,
+}
+
+
+def test_fig1_failure_to_maneuver_mapping(benchmark, emit):
+    def evaluate_catalogue():
+        return {f: select_maneuver(apply_failure(NOMINAL_CAPABILITIES, f))
+                for f in FailureType}
+
+    mapping = benchmark(evaluate_catalogue)
+
+    emit("\n" + format_title(
+        "FIG-1: Safety switch — failure to maneuver mapping"))
+    rows = [[f.value, BELCASTRO_CATEGORY[f], mapping[f].name,
+             EXPECTED[f].name]
+            for f in FailureType]
+    emit(format_table(
+        ["failure", "Belcastro category", "maneuver", "expected"], rows))
+
+    assert mapping == EXPECTED
+
+
+def test_fig1_compound_failures_priority(benchmark, emit):
+    """Random multi-failure scenarios: the strongest rule always wins."""
+    rng = np.random.default_rng(0)
+    failures = list(FailureType)
+
+    def sweep():
+        maneuvers = []
+        for _ in range(300):
+            cap = NOMINAL_CAPABILITIES
+            count = int(rng.integers(1, 4))
+            chosen = rng.choice(len(failures), size=count, replace=False)
+            for idx in chosen:
+                cap = apply_failure(cap, failures[int(idx)])
+            maneuvers.append((cap, select_maneuver(cap)))
+        return maneuvers
+
+    maneuvers = benchmark(sweep)
+
+    counts = {}
+    for _, maneuver in maneuvers:
+        counts[maneuver.name] = counts.get(maneuver.name, 0) + 1
+    emit(format_table(["maneuver", "count"],
+                      sorted(counts.items()),
+                      title="\nmaneuver distribution over 300 random "
+                            "compound failures:"))
+
+    for cap, maneuver in maneuvers:
+        # FT whenever trajectory control is gone or no safe EL exists
+        # while navigation is lost — the paper's fourth rule.
+        if not cap.trajectory_controllable():
+            assert maneuver is Maneuver.FLIGHT_TERMINATION
+        elif not cap.navigable() and not cap.safe_el_possible():
+            assert maneuver is Maneuver.FLIGHT_TERMINATION
+        elif not cap.navigable():
+            assert maneuver is Maneuver.EMERGENCY_LANDING

@@ -1,0 +1,65 @@
+"""SEC3-SORA bench: the Section III-D certification numbers, computed.
+
+Paper artefacts (Sections III-A and III-D):
+
+* ballistic vertical speed 48.5 m/s, kinetic energy 8.23 kJ,
+* intrinsic GRC 6 (1 m span pushed to the 3 m column by energy),
+* ARC-c (below 500 ft, urban, uncontrolled),
+* final GRC 6 with medium-robustness M3, 7 without,
+* SAIL V (VI without M3), all OSOs requested, most at High.
+
+Expectation: exact match on every number.
+"""
+
+import pytest
+
+from repro.eval.reporting import format_table, format_title
+from repro.sora import (
+    ARC,
+    SAIL,
+    OsoLevel,
+    UasDimensionClass,
+    assess_medi_delivery,
+)
+
+
+def test_sec3_sora_application(benchmark, emit):
+    with_m3 = benchmark(lambda: assess_medi_delivery(with_m3=True))
+    without_m3 = assess_medi_delivery(with_m3=False)
+
+    emit("\n" + format_title(
+        "SEC3-SORA: SORA application to MEDI DELIVERY (Sec. III-D)"))
+    rows = [
+        ["ballistic speed (m/s)", 48.5,
+         round(with_m3.ballistic_speed_ms, 1)],
+        ["kinetic energy (kJ)", 8.23,
+         round(with_m3.ballistic_energy_j / 1000, 2)],
+        ["dimension column", "3 m", with_m3.dimension.name],
+        ["intrinsic GRC", 6, with_m3.intrinsic_grc],
+        ["final GRC (M3 medium)", 6, with_m3.final_grc],
+        ["final GRC (no M3)", 7, without_m3.final_grc],
+        ["ARC", "ARC-c", str(with_m3.residual_arc)],
+        ["SAIL (M3 medium)", "SAIL V", str(with_m3.sail)],
+        ["SAIL (no M3)", "SAIL VI", str(without_m3.sail)],
+    ]
+    emit(format_table(["quantity", "paper", "computed"], rows))
+
+    counts = with_m3.oso_counts()
+    emit(f"\nOSO profile at {with_m3.sail}: "
+         f"{counts[OsoLevel.HIGH]} high, {counts[OsoLevel.MEDIUM]} "
+         f"medium, {counts[OsoLevel.LOW]} low, "
+         f"{counts[OsoLevel.OPTIONAL]} optional")
+
+    # --- exact assertions --------------------------------------------
+    assert with_m3.ballistic_speed_ms == pytest.approx(48.5, abs=0.05)
+    assert with_m3.ballistic_energy_j == pytest.approx(8240, rel=2e-3)
+    assert with_m3.dimension is UasDimensionClass.D3M
+    assert with_m3.intrinsic_grc == 6
+    assert with_m3.final_grc == 6
+    assert without_m3.final_grc == 7
+    assert with_m3.residual_arc is ARC.C
+    assert with_m3.sail is SAIL.V
+    assert without_m3.sail is SAIL.VI
+    # "all the OSOs are requested and most of them at a high level".
+    assert counts[OsoLevel.OPTIONAL] == 0
+    assert counts[OsoLevel.HIGH] > 12

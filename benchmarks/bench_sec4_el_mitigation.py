@@ -1,0 +1,51 @@
+"""SEC4-ELSORA bench: EL as an active-M1 mitigation (Section IV).
+
+Paper artefact: the Section IV proposal — EL claimed as an M1-schedule
+mitigation whose robustness is min(integrity, assurance).  Expectation
+(shape): each EL robustness level lowers the final GRC per the M1
+schedule; at medium, GRC 6 -> 4 and SAIL V -> IV; below GRC 5 the
+ARC-c air risk pins the SAIL at IV (ground-risk mitigation saturates).
+"""
+
+from repro.eval.reporting import format_table, format_title
+from repro.sora import SAIL, RobustnessLevel, assess_medi_delivery
+
+
+def test_sec4_el_as_mitigation(benchmark, emit):
+    def sweep():
+        results = {}
+        for level in (RobustnessLevel.LOW, RobustnessLevel.MEDIUM,
+                      RobustnessLevel.HIGH):
+            results[level] = assess_medi_delivery(
+                with_m3=True, el_integrity=level, el_assurance=level)
+        return results
+
+    results = benchmark(sweep)
+    base = assess_medi_delivery(with_m3=True)
+
+    emit("\n" + format_title(
+        "SEC4-ELSORA: EL as active-M1 mitigation (Sec. IV)"))
+    rows = [["(none)", base.final_grc, str(base.sail)]]
+    for level, assessment in results.items():
+        rows.append([level.name, assessment.final_grc,
+                     str(assessment.sail)])
+    emit(format_table(["EL robustness", "final GRC", "SAIL"], rows))
+
+    # Mixed integrity/assurance: robustness is the min.
+    mixed = assess_medi_delivery(with_m3=True,
+                                 el_integrity=RobustnessLevel.HIGH,
+                                 el_assurance=RobustnessLevel.LOW)
+    emit(f"\nintegrity HIGH + assurance LOW -> GRC {mixed.final_grc} "
+         "(credited as LOW: robustness = min of the two)")
+
+    assert results[RobustnessLevel.LOW].final_grc == 5
+    assert results[RobustnessLevel.MEDIUM].final_grc == 4
+    assert results[RobustnessLevel.HIGH].final_grc == 2  # floored
+    assert results[RobustnessLevel.MEDIUM].sail is SAIL.IV
+    assert results[RobustnessLevel.HIGH].sail is SAIL.IV  # ARC-c pins
+    assert mixed.final_grc == results[RobustnessLevel.LOW].final_grc
+    # Monotone: better EL never worsens the outcome.
+    grcs = [results[lvl].final_grc
+            for lvl in (RobustnessLevel.LOW, RobustnessLevel.MEDIUM,
+                        RobustnessLevel.HIGH)]
+    assert grcs == sorted(grcs, reverse=True)

@@ -1,0 +1,32 @@
+"""TABLE-I bench: regenerate the paper's severity scale.
+
+Paper artefact: Table I — severity ratings 1..5 with their
+descriptions.  Expectation: exact rows.
+"""
+
+from repro.eval.reporting import format_table, format_title
+from repro.sora import SEVERITY_DESCRIPTIONS, Severity
+
+EXPECTED = {
+    1: "Negligible",
+    2: "Minor",
+    3: "Serious",
+    4: "Major",
+    5: "Catastrophic",
+}
+
+
+def test_table1_severity_scale(benchmark, emit):
+    def build_rows():
+        return [[int(s), SEVERITY_DESCRIPTIONS[s]] for s in Severity]
+
+    rows = benchmark(build_rows)
+
+    emit("\n" + format_title("TABLE-I: Severity table (paper Table I)"))
+    emit(format_table(["rating", "description"], rows))
+
+    assert len(rows) == 5
+    for rating, description in rows:
+        assert description.startswith(EXPECTED[rating])
+    # The scale is strictly ordered.
+    assert [r for r, _ in rows] == [1, 2, 3, 4, 5]

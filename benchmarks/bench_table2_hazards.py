@@ -1,0 +1,54 @@
+"""TABLE-II bench: the ground-risk outcome table, plus measured frequencies.
+
+Paper artefact: Table II — outcomes R1..R5 with severities 5,4,3,3,2.
+Expectation: exact rows; additionally, a Monte-Carlo mission campaign
+(with blind flight termination, i.e. no EL) must actually *realise*
+outcomes from this table, with R1 present — the hazard the paper's EL
+exists to mitigate.
+"""
+
+from repro.dataset.scene import UrbanScene
+from repro.eval.reporting import format_table, format_title
+from repro.sora import OUTCOME_TABLE, Severity
+from repro.uav import FailureEvent, FailureType, run_campaign
+
+EXPECTED_SEVERITIES = {"R1": 5, "R2": 4, "R3": 3, "R4": 3, "R5": 2}
+
+
+def test_table2_rows_exact(benchmark, emit):
+    rows = benchmark(lambda: [
+        [spec.outcome.value, spec.description, int(spec.severity)]
+        for spec in OUTCOME_TABLE])
+
+    emit("\n" + format_title("TABLE-II: Main ground risks (paper Table II)"))
+    emit(format_table(["id", "hazardous outcome", "severity"], rows))
+
+    assert {row[0]: row[2] for row in rows} == EXPECTED_SEVERITIES
+
+
+def test_table2_outcomes_realised_in_simulation(benchmark, emit):
+    """Outcome frequencies measured over blind-FT missions."""
+    scenes = [UrbanScene.generate(seed=3000 + i) for i in range(24)]
+    failures = [FailureEvent(FailureType.NAVIGATION_AND_COMM_LOSS,
+                             time_s=3.0 + (i % 8)) for i in range(24)]
+
+    def campaign():
+        return run_campaign(scenes, failures, el_policy=None, seed=11)
+
+    stats = benchmark.pedantic(campaign, rounds=1, iterations=1)
+
+    rows = [[outcome, count]
+            for outcome, count in sorted(stats.outcome_counts.items())]
+    rows.append(["none (severity 1)",
+                 stats.severity_counts.get(Severity.NEGLIGIBLE, 0)])
+    emit(format_table(
+        ["outcome", "missions"],
+        rows, title="\nmeasured outcome frequencies "
+                    "(24 blind-FT missions, no EL):"))
+
+    assert stats.num_missions == 24
+    # Blind termination over a city must produce at least one Table-II
+    # outcome; every realised outcome must come from the table.
+    table_ids = {spec.outcome.value for spec in OUTCOME_TABLE}
+    assert stats.outcome_counts, "no hazardous outcome realised"
+    assert set(stats.outcome_counts) <= table_ids

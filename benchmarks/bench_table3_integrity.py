@@ -1,0 +1,61 @@
+"""TABLE-III bench: EL integrity criteria, evaluated on the real system.
+
+Paper artefact: Table III — Level of Integrity Assessment Criteria for
+Emergency Landing (active-M1), side by side with the original SORA M1
+criteria.  Expectation: exact criteria set; the implemented pipeline's
+measured zone-acceptance evidence must reach MEDIUM integrity (buffers
+applied + no busy-road zone accepted).
+"""
+
+from repro.core import (
+    EL_INTEGRITY_CRITERIA,
+    EvidenceBundle,
+    M1_INTEGRITY_CRITERIA_TEXT,
+    evaluate_integrity,
+)
+from repro.eval.harness import zone_acceptance_experiment
+from repro.eval.reporting import format_table, format_title
+from repro.sora import RobustnessLevel
+
+
+def test_table3_criteria_and_compliance(benchmark, system, emit):
+    held_out = zone_acceptance_experiment(system, system.test_samples,
+                                          monitor_enabled=True)
+    evidence = EvidenceBundle(
+        declared_integrity=True,
+        unsafe_zone_rate=held_out["road_accept_rate"],
+        in_context_unsafe_rate=held_out["road_accept_rate"],
+        drift_buffer_applied=True,
+        failure_allowance_applied=True,
+    )
+
+    report = benchmark(lambda: evaluate_integrity(evidence))
+
+    emit("\n" + format_title(
+        "TABLE-III: Integrity criteria for EL (paper Table III)"))
+    rows = []
+    for level in (RobustnessLevel.LOW, RobustnessLevel.MEDIUM,
+                  RobustnessLevel.HIGH):
+        m1 = " / ".join(M1_INTEGRITY_CRITERIA_TEXT[level])
+        els = [c for c in EL_INTEGRITY_CRITERIA if c.level is level]
+        for i, criterion in enumerate(els):
+            rows.append([level.name if i == 0 else "",
+                         criterion.id,
+                         criterion.text[:64] + "...",
+                         (m1[:40] + "...") if i == 0 else ""])
+    emit(format_table(["level", "id", "proposed EL criterion",
+                       "original M1 criterion"], rows))
+
+    emit("\nmeasured evidence: road-unsafe zone rate "
+         f"{held_out['road_accept_rate']:.4f} over "
+         f"{held_out['landed']} accepted zones")
+    emit("\n".join(report.summary_lines()))
+
+    # Exact criteria set (ids fixed by the paper's table structure).
+    assert [c.id for c in EL_INTEGRITY_CRITERIA] == \
+        ["EL-I-L1", "EL-I-L2", "EL-I-M1", "EL-I-H1"]
+    # High reuses Medium ("Same as Medium" in the paper).
+    assert EL_INTEGRITY_CRITERIA[-1].text == "Same as Medium."
+    # The implemented system achieves at least MEDIUM integrity.
+    assert held_out["road_accept_rate"] == 0.0
+    assert report.achieved >= RobustnessLevel.MEDIUM

@@ -1,0 +1,51 @@
+"""TABLE-IV bench: EL assurance criteria, evaluated on real evidence.
+
+Paper artefact: Table IV — Level of Assurance Assessment Criteria for
+EL.  Expectation: exact criteria set; evidence with runtime monitoring
+plus in-context testing reaches MEDIUM; removing the monitor (the
+paper's Medium-3 criterion) drops assurance to LOW — monitoring is the
+load-bearing requirement.
+"""
+
+from repro.core import (
+    EL_ASSURANCE_CRITERIA,
+    EvidenceBundle,
+    evaluate_assurance,
+)
+from repro.eval.reporting import format_table, format_title
+from repro.sora import RobustnessLevel
+
+
+def _medium_evidence(monitor: bool) -> EvidenceBundle:
+    return EvidenceBundle(
+        declared_integrity=True,
+        tested_on_heldout_dataset=True,
+        tested_in_context=True,
+        video_data_verified=True,
+        runtime_monitor_in_place=monitor,
+    )
+
+
+def test_table4_criteria_and_compliance(benchmark, emit):
+    report = benchmark(
+        lambda: evaluate_assurance(_medium_evidence(monitor=True)))
+
+    emit("\n" + format_title(
+        "TABLE-IV: Assurance criteria for EL (paper Table IV)"))
+    rows = [[c.level.name, c.id, c.text[:70] + "..."]
+            for c in EL_ASSURANCE_CRITERIA]
+    emit(format_table(["level", "id", "proposed EL criterion"], rows))
+    emit("\nwith runtime monitor:    achieved "
+         f"{report.achieved.name}")
+
+    without = evaluate_assurance(_medium_evidence(monitor=False))
+    emit(f"without runtime monitor: achieved {without.achieved.name} "
+         "(Medium-3 fails)")
+
+    assert [c.id for c in EL_ASSURANCE_CRITERIA] == \
+        ["EL-A-L1", "EL-A-M1", "EL-A-M2", "EL-A-M3", "EL-A-H1",
+         "EL-A-H2"]
+    assert report.achieved is RobustnessLevel.MEDIUM
+    assert without.achieved is RobustnessLevel.LOW
+    failed = {r.criterion.id for r in without.failing()}
+    assert "EL-A-M3" in failed

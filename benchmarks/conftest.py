@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark suite.
+
+Every bench reproduces one table or figure of the paper (see the
+per-experiment index in DESIGN.md), prints the reproduced rows/series,
+and *asserts* the expected result — exact values for the certification
+artefacts, shape inequalities for the learning-based experiments.
+
+The trained system is built once per session and cached on disk, so the
+first benchmark run pays the training cost (~1 minute) and later runs
+load weights.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.harness import (
+    HarnessConfig,
+    TrainedSystem,
+    build_trained_system,
+    fig4_experiment,
+)
+
+
+@pytest.fixture(scope="session")
+def system() -> TrainedSystem:
+    """The bench-scale trained system (cached across runs)."""
+    return build_trained_system(HarnessConfig(), cache=True)
+
+
+@pytest.fixture(scope="session")
+def fig4_results(system):
+    """Fig. 4 statistics, shared by the monitoring bench and ablations."""
+    return fig4_experiment(system)
+
+
+@pytest.fixture()
+def emit(capsys):
+    """Print straight to the terminal, bypassing pytest capture.
+
+    Benches use this so the reproduced tables land in
+    ``bench_output.txt`` when running
+    ``pytest benchmarks/ --benchmark-only | tee ...``.
+    """
+    def _emit(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _emit

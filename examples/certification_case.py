@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Build a complete certification case for the EL system (Tables III & IV).
+
+This is the paper's programme executed end to end: validate the
+implemented EL system experimentally, collect the results into an
+evidence bundle, evaluate the Table III integrity and Table IV assurance
+criteria, derive the mitigation robustness, and feed it back into the
+SORA to see the certification effect.
+
+Run:  python examples/certification_case.py
+"""
+
+from repro.core import (
+    EvidenceBundle,
+    achieved_robustness,
+    evaluate_assurance,
+    evaluate_integrity,
+)
+from repro.dataset import FOG, NIGHT, OVERCAST, SUNSET
+from repro.eval import (
+    build_trained_system,
+    format_kv,
+    format_title,
+    zone_acceptance_experiment,
+)
+from repro.sora import RobustnessLevel, assess_medi_delivery
+
+
+def collect_evidence(system) -> EvidenceBundle:
+    """Run the validation campaign and populate the evidence bundle."""
+    print("\n[validation 1] held-out in-distribution zone acceptance ...")
+    held_out = zone_acceptance_experiment(system, system.test_samples,
+                                          monitor_enabled=True)
+
+    print("[validation 2] in-context (operational conditions) "
+          "acceptance ...")
+    in_context = zone_acceptance_experiment(
+        system, system.ood_samples(OVERCAST), monitor_enabled=True)
+
+    print("[validation 3] condition sweep (Table IV High-2) ...")
+    conditions_ok = []
+    for condition in (OVERCAST, SUNSET, NIGHT, FOG):
+        za = zone_acceptance_experiment(
+            system, system.ood_samples(condition), monitor_enabled=True)
+        # A condition counts as validated when no busy-road zone was
+        # ever accepted under it (abstaining is safe behaviour).
+        if za["road_unsafe_accepted"] == 0:
+            conditions_ok.append(condition.name)
+        print(f"    {condition.name:10s} landed {za['landed']:2d} "
+              f"road-unsafe {za['road_unsafe_accepted']}")
+
+    return EvidenceBundle(
+        declared_integrity=True,
+        unsafe_zone_rate=held_out["road_accept_rate"],
+        in_context_unsafe_rate=in_context["road_accept_rate"],
+        drift_buffer_applied=True,       # LandingZoneConfig buffers
+        failure_allowance_applied=True,  # DriftModel gust/latency terms
+        tested_on_heldout_dataset=True,
+        tested_in_context=True,
+        video_data_verified=True,        # synthetic stand-in: recorded seeds
+        runtime_monitor_in_place=True,
+        third_party_validated=False,     # nobody external signed off
+        conditions_validated=frozenset(["day", *conditions_ok]),
+    )
+
+
+def main() -> None:
+    print(format_title("Certification case for the implemented EL system"))
+    system = build_trained_system(verbose=True)
+    evidence = collect_evidence(system)
+
+    print("\nevidence bundle:")
+    for line in evidence.summary_lines():
+        print("  " + line)
+
+    integrity = evaluate_integrity(evidence)
+    assurance = evaluate_assurance(evidence)
+    print("\nTable III (integrity):")
+    for line in integrity.summary_lines():
+        print("  " + line)
+    print("\nTable IV (assurance):")
+    for line in assurance.summary_lines():
+        print("  " + line)
+
+    robustness = achieved_robustness(evidence)
+    print(f"\ncombined EL mitigation robustness: {robustness.name} "
+          "(min of integrity and assurance)")
+
+    print("\nSORA impact:")
+    base = assess_medi_delivery(with_m3=True)
+    print(format_kv({"without EL": f"final GRC {base.final_grc}, "
+                                   f"{base.sail}"}))
+    if robustness > RobustnessLevel.NONE:
+        with_el = assess_medi_delivery(with_m3=True,
+                                       el_integrity=integrity.achieved,
+                                       el_assurance=assurance.achieved)
+        print(format_kv({"with EL": f"final GRC {with_el.final_grc}, "
+                                    f"{with_el.sail}"}))
+    else:
+        print("EL earns no GRC credit yet - integrity or assurance "
+              "criteria unmet.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""End-to-end MEDI DELIVERY mission campaign with failure injection.
+
+Monte-Carlo missions over procedural city districts: a navigation+
+communication failure strikes mid-flight, the Fig. 1 safety switch
+reacts, and the resulting Table II ground-risk outcome is recorded.
+Three vehicle configurations are compared:
+
+* **FT only** — no EL capability; loss of navigation means parachute
+  descent wherever the vehicle happens to be (the status quo the paper
+  argues against);
+* **EL unmonitored** — the segmentation core function alone;
+* **EL + monitor** — the paper's full Fig. 2 architecture.
+
+Run:  python examples/medi_delivery_mission.py
+"""
+
+from repro.dataset import UrbanScene
+from repro.eval import build_trained_system, format_table, format_title
+from repro.sora import Severity
+from repro.uav import (
+    FailureEvent,
+    FailureType,
+    MissionConfig,
+    run_campaign,
+)
+
+NUM_MISSIONS = 20
+
+
+def main() -> None:
+    print(format_title("MEDI DELIVERY mission campaign (Fig. 1 + Fig. 2)"))
+    system = build_trained_system(verbose=True)
+
+    print(f"\ngenerating {NUM_MISSIONS} city districts ...")
+    scenes = [UrbanScene.generate(seed=1000 + i)
+              for i in range(NUM_MISSIONS)]
+    failures = [FailureEvent(FailureType.NAVIGATION_AND_COMM_LOSS,
+                             time_s=4.0 + (i % 10))
+                for i in range(NUM_MISSIONS)]
+    config = MissionConfig(camera_shape_px=(96, 128), camera_gsd_m=1.0)
+
+    policies = {
+        "FT only (no EL)": None,
+        "EL unmonitored": system.make_pipeline(
+            monitor_enabled=False).as_mission_policy(),
+        "EL + monitor": system.make_pipeline(
+            monitor_enabled=True).as_mission_policy(),
+    }
+
+    rows = []
+    for name, policy in policies.items():
+        stats = run_campaign(scenes, failures, config=config,
+                             el_policy=policy, seed=42)
+        severity_cells = [stats.severity_counts.get(s, 0)
+                          for s in Severity]
+        rows.append([name, *severity_cells,
+                     f"{stats.severe_fraction():.2f}",
+                     f"{stats.mean_severity():.2f}",
+                     stats.el_aborts])
+        print(f"  campaign '{name}' done "
+              f"({stats.num_missions} missions)")
+
+    print("\n" + format_table(
+        ["strategy", "sev1", "sev2", "sev3", "sev4", "sev5",
+         "P(severe)", "mean sev", "EL aborts"],
+        rows,
+        title="touchdown severity distribution "
+              "(sev4/5 involve fatalities):"))
+
+    print("\nreading: EL moves probability mass from severe outcomes "
+          "to negligible ones;\nthe monitor additionally converts "
+          "'confidently wrong' landings into aborts (-> FT),\nwhich is "
+          "the integrity argument of Table III made measurable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Train the scaled MSDnet from scratch and inspect what it learned.
+
+A fully manual version of what the harness automates: dataset
+generation, scene-level splits, class-weighted training, per-class IoU
+evaluation, and a condition sweep (Table IV High-2: validation "under a
+wide range of external conditions").
+
+Run:  python examples/train_segmentation.py
+"""
+
+import numpy as np
+
+from repro.dataset import (
+    ALL_CONDITIONS,
+    CLASS_NAMES,
+    DatasetConfig,
+    UavidClass,
+    class_frequencies,
+    generate_dataset,
+    reshoot_under_condition,
+    split_by_scene,
+)
+from repro.eval import format_table, format_title
+from repro.segmentation import (
+    MSDNet,
+    MSDNetConfig,
+    TrainConfig,
+    evaluate_model,
+    train_model,
+)
+
+
+def main() -> None:
+    print(format_title("Training the scaled MSDnet"))
+
+    config = DatasetConfig(num_scenes=6, windows_per_scene=8,
+                           image_shape=(64, 96), seed=21)
+    samples = generate_dataset(config)
+    train_set, val_set, test_set = split_by_scene(samples, 0.2, 0.25)
+    print(f"dataset: {len(train_set)} train / {len(val_set)} val / "
+          f"{len(test_set)} test frames of {config.image_shape} px")
+
+    freq = class_frequencies(samples)
+    print(format_table(
+        ["class", "pixel fraction"],
+        [[CLASS_NAMES[c], f"{freq[int(c)]:.4f}"] for c in UavidClass],
+        title="\nclass distribution (cars and humans are rare, as in "
+              "UAVid):"))
+
+    model = MSDNet(MSDNetConfig(base_channels=16, num_blocks=2), rng=7)
+    print(f"\nmodel: {model.num_parameters()} parameters, "
+          f"dilations {model.config.dilations}")
+
+    history = train_model(model, train_set,
+                          TrainConfig(epochs=25, batch_size=4,
+                                      learning_rate=3e-3, seed=5,
+                                      log_every=5))
+    print(f"loss: {history.epoch_losses[0]:.3f} -> "
+          f"{history.final_loss:.3f} in {history.wall_time_s:.1f}s")
+
+    report = evaluate_model(model, test_set)
+    rows = [[CLASS_NAMES[c],
+             "n/a" if np.isnan(report.iou[int(c)])
+             else f"{report.iou[int(c)]:.3f}"] for c in UavidClass]
+    print(format_table(["class", "IoU"], rows,
+                       title=f"\nheld-out evaluation "
+                             f"(mIoU {report.miou:.3f}, accuracy "
+                             f"{report.accuracy:.3f}):"))
+
+    print("\ncondition sweep (same districts, different imaging):")
+    rows = []
+    for condition in ALL_CONDITIONS:
+        shifted = reshoot_under_condition(config, condition)
+        _, _, shifted_test = split_by_scene(shifted, 0.2, 0.25)
+        rep = evaluate_model(model, shifted_test)
+        road = rep.class_iou(UavidClass.ROAD)
+        rows.append([condition.name, f"{rep.miou:.3f}",
+                     "n/a" if np.isnan(road) else f"{road:.3f}"])
+    print(format_table(["condition", "mIoU", "road IoU"], rows))
+    print("\nreading: the model holds up under its training conditions "
+          "(day/bright/overcast)\nand degrades sharply under sunset/"
+          "night/fog — the domain gap the runtime monitor\nexists to "
+          "catch (Fig. 4b).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — reproduction of "Certifying Emergency Landing for Safe Urban UAV"
+(Guerin, Delmas, Guiochet; DSN 2021).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: landing-zone selection, the MC-dropout
+    runtime monitor (Eq. 2), the decision module, the full Fig. 2
+    pipeline, and Tables III/IV as executable requirements.
+``repro.segmentation``
+    Scaled MSDnet, training loop, Bayesian (MC-dropout) inference.
+``repro.nn``
+    Pure-numpy deep-learning substrate (dilated convs, BN, dropout...).
+``repro.dataset``
+    Procedural urban scenes with the 8 UAVid classes; renderer and
+    imaging-condition model (day / sunset / fog...).
+``repro.uav``
+    MEDI DELIVERY vehicle, ballistics, failure injection, the Fig. 1
+    safety switch, Monte-Carlo mission simulation.
+``repro.sora``
+    Executable SORA v2.0 (GRC/ARC/SAIL/OSO) plus the paper's active-M1
+    EL mitigation and Tables I/II hazard artefacts.
+``repro.baselines``
+    Edge-density, tile-SVM and static-map landing-zone baselines.
+``repro.eval``
+    Experiment harness, monitor metrics and text reporting.
+
+Quickstart
+----------
+>>> from repro.eval import build_trained_system
+>>> system = build_trained_system()          # trains or loads cached
+>>> pipeline = system.make_pipeline()        # the Fig. 2 architecture
+>>> result = pipeline.run(system.test_samples[0].image)
+>>> result.landed, result.decision.log      # doctest: +SKIP
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

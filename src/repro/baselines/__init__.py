@@ -1,0 +1,37 @@
+"""Baseline landing-zone-selection methods from the paper's related work.
+
+One representative per implementable family: edge density ([11]),
+tile classification with an SVM ([12]-[14]) and static public-database
+planning ([6], [10]).  The benchmark harness compares their unsafe-zone
+acceptance with the paper's monitored segmentation pipeline.
+"""
+
+from repro.baselines.base import ZoneProposal, top_zones_from_score_map
+from repro.baselines.edge_density import EdgeDensityConfig, EdgeDensityLZS
+from repro.baselines.map_based import (
+    DEFAULT_RISK_WEIGHTS,
+    StaticMapConfig,
+    StaticMapLZS,
+)
+from repro.baselines.svm import LinearSVM
+from repro.baselines.tile_classifier import (
+    SAFE_SURFACES,
+    TileClassifierConfig,
+    TileClassifierLZS,
+    dominant_tile_labels,
+)
+
+__all__ = [
+    "ZoneProposal",
+    "top_zones_from_score_map",
+    "EdgeDensityConfig",
+    "EdgeDensityLZS",
+    "StaticMapConfig",
+    "StaticMapLZS",
+    "DEFAULT_RISK_WEIGHTS",
+    "LinearSVM",
+    "TileClassifierConfig",
+    "TileClassifierLZS",
+    "SAFE_SURFACES",
+    "dominant_tile_labels",
+]

@@ -1,0 +1,48 @@
+"""Common interface and helpers for baseline landing-zone selectors.
+
+The paper's related-work section groups prior landing-zone-selection
+(LZS) methods into three families: public-database methods, high-
+altitude camera methods (edge density, tile classification) and
+low-altitude methods.  The baselines in this package implement one
+representative per implementable family so the benchmark harness can
+compare their unsafe-zone acceptance against the paper's monitored
+segmentation approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.geometry import Box
+from repro.utils.selection import greedy_peak_boxes
+
+__all__ = ["ZoneProposal", "top_zones_from_score_map"]
+
+
+@dataclass(frozen=True)
+class ZoneProposal:
+    """A candidate landing zone proposed by some LZS method.
+
+    ``score`` is method-specific but always "higher is better".
+    """
+
+    box: Box
+    score: float
+    method: str
+
+
+def top_zones_from_score_map(score_map: np.ndarray, zone_size: int,
+                             num_candidates: int, method: str,
+                             border_margin: int = 0
+                             ) -> list[ZoneProposal]:
+    """Greedy non-maximum suppression over a dense score map.
+
+    Thin wrapper over :func:`repro.utils.selection.greedy_peak_boxes`
+    that tags each selected box with the proposing method's name.
+    """
+    pairs = greedy_peak_boxes(score_map, zone_size, num_candidates,
+                              border_margin=border_margin)
+    return [ZoneProposal(box=box, score=score, method=method)
+            for box, score in pairs]

@@ -1,0 +1,66 @@
+"""Edge-density landing-zone selection (Mejias & Fitzgerald, 2013).
+
+Reference [11] of the paper: run a Canny edge detector on the aerial
+frame and prefer areas with *low edge concentration* for landing — the
+geometric intuition being that man-made hazards (roads with markings,
+cars, buildings) are edge-rich while grass fields are edge-poor.
+
+Implemented exactly in that spirit: the score of a pixel is the negated
+local edge density.  The known failure mode (also the reason the paper
+moves to semantic segmentation) is that a smooth empty asphalt surface
+is edge-poor yet lethal to land on; the baseline benchmark quantifies
+this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.base import ZoneProposal, top_zones_from_score_map
+from repro.utils.validation import check_positive
+from repro.vision.canny import canny
+from repro.vision.filters import box_filter, to_grayscale
+
+__all__ = ["EdgeDensityConfig", "EdgeDensityLZS"]
+
+
+@dataclass(frozen=True)
+class EdgeDensityConfig:
+    """Parameters of the edge-density selector."""
+
+    zone_size_px: int = 16
+    canny_sigma: float = 1.4
+    low_threshold: float = 0.05
+    high_threshold: float = 0.15
+    border_margin_px: int = 2
+
+    def __post_init__(self):
+        check_positive("zone_size_px", self.zone_size_px)
+
+
+class EdgeDensityLZS:
+    """Landing-zone selector scoring zones by (low) edge density."""
+
+    method_name = "edge_density"
+
+    def __init__(self, config: EdgeDensityConfig | None = None):
+        self.config = config or EdgeDensityConfig()
+
+    def edge_density_map(self, image_chw: np.ndarray) -> np.ndarray:
+        """Local edge density in ``[0, 1]`` per pixel."""
+        gray = to_grayscale(image_chw)
+        edges = canny(gray, sigma=self.config.canny_sigma,
+                      low_threshold=self.config.low_threshold,
+                      high_threshold=self.config.high_threshold)
+        return box_filter(edges.astype(np.float64),
+                          self.config.zone_size_px)
+
+    def propose(self, image_chw: np.ndarray,
+                num_candidates: int = 5) -> list[ZoneProposal]:
+        """Rank zone candidates by increasing edge density."""
+        density = self.edge_density_map(image_chw)
+        return top_zones_from_score_map(
+            -density, self.config.zone_size_px, num_candidates,
+            self.method_name, border_margin=self.config.border_margin_px)

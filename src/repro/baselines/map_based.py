@@ -1,0 +1,96 @@
+"""Static-map landing-zone selection (refs [6], [10]).
+
+Database-driven emergency-landing planners (Bleier et al., 2015;
+Di Donato & Atkins, 2017) pick landing sites from *pre-existing maps*:
+far from buildings, transportation ways and power lines.  Their
+structural limitation — central to the paper's motivation for *active*
+landing-zone selection — is that a static database cannot see dynamic
+hazards: moving traffic, parked cars that arrived after the survey,
+pedestrians.
+
+This baseline is given the scene's true *static* map (roads, buildings,
+trees as surveyed), i.e. a best-case public database with zero mapping
+error, but no knowledge of cars or humans.  Any residual unsafe
+acceptance is therefore purely the dynamic-hazard blind spot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.baselines.base import ZoneProposal, top_zones_from_score_map
+from repro.dataset.classes import UavidClass
+from repro.dataset.scene import UrbanScene
+from repro.utils.validation import check_positive
+
+__all__ = ["StaticMapConfig", "StaticMapLZS"]
+
+#: Per-class risk weights used to build the database risk map.  Roads
+#: carry traffic (the paper's R1 outcome), buildings are collision
+#: hazards (R4), trees damage the vehicle; open ground is preferred.
+DEFAULT_RISK_WEIGHTS = {
+    UavidClass.ROAD: 1.0,
+    UavidClass.BUILDING: 0.8,
+    UavidClass.TREE: 0.35,
+    UavidClass.BACKGROUND_CLUTTER: 0.05,
+    UavidClass.LOW_VEGETATION: 0.0,
+}
+
+
+@dataclass(frozen=True)
+class StaticMapConfig:
+    """Parameters of the static-map selector."""
+
+    zone_size_px: int = 16
+    border_margin_px: int = 2
+    hazard_threshold: float = 0.5  # classes at/above count as hazards
+
+    def __post_init__(self):
+        check_positive("zone_size_px", self.zone_size_px)
+
+
+class StaticMapLZS:
+    """Landing-zone selector planning on a (perfect) static database."""
+
+    method_name = "static_map"
+
+    def __init__(self, config: StaticMapConfig | None = None,
+                 risk_weights: dict | None = None):
+        self.config = config or StaticMapConfig()
+        self.risk_weights = dict(risk_weights or DEFAULT_RISK_WEIGHTS)
+
+    def risk_map(self, static_labels: np.ndarray) -> np.ndarray:
+        """Dense risk field from the database label map."""
+        risk = np.zeros(static_labels.shape, dtype=np.float64)
+        for cls, weight in self.risk_weights.items():
+            risk[static_labels == int(cls)] = weight
+        return risk
+
+    def propose_from_window(self, static_labels: np.ndarray,
+                            num_candidates: int = 5) -> list[ZoneProposal]:
+        """Zones ranked by clearance from database hazards."""
+        risk = self.risk_map(static_labels)
+        hazard = risk >= self.config.hazard_threshold
+        if hazard.all():
+            return []
+        clearance = ndimage.distance_transform_edt(~hazard)
+        # Penalise moderately risky ground (trees/clutter) within zones.
+        score = clearance - 4.0 * risk
+        return top_zones_from_score_map(
+            score, self.config.zone_size_px, num_candidates,
+            self.method_name, border_margin=self.config.border_margin_px)
+
+    def propose(self, scene: UrbanScene, center_rc: tuple[float, float],
+                shape_px: tuple[int, int], gsd: float,
+                num_candidates: int = 5) -> list[ZoneProposal]:
+        """Propose zones for the camera window over ``scene``.
+
+        The selector queries the *static* database layer of the scene —
+        the dynamic objects present in ``scene.labels`` are invisible to
+        it, reproducing the staleness of public map data.
+        """
+        static_window = scene.static_label_window(center_rc, shape_px, gsd)
+        return self.propose_from_window(static_window, num_candidates)

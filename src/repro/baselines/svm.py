@@ -1,0 +1,98 @@
+"""Multiclass linear SVM trained with subgradient descent.
+
+Supports the tile-classification LZS baseline (papers [12], [13] use
+SVMs on texture features).  One-vs-rest hinge loss with L2
+regularisation, full-batch subgradient descent, and built-in feature
+standardisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["LinearSVM"]
+
+
+class LinearSVM:
+    """One-vs-rest L2-regularised linear SVM."""
+
+    def __init__(self, num_classes: int, learning_rate: float = 0.05,
+                 regularization: float = 1e-3, epochs: int = 300,
+                 seed=0):
+        check_positive("num_classes", num_classes)
+        check_positive("learning_rate", learning_rate)
+        check_positive("epochs", epochs)
+        if regularization < 0:
+            raise ValueError("regularization must be non-negative")
+        self.num_classes = int(num_classes)
+        self.learning_rate = learning_rate
+        self.regularization = regularization
+        self.epochs = int(epochs)
+        self.rng = ensure_rng(seed)
+        self.weights: np.ndarray | None = None   # (C, F)
+        self.biases: np.ndarray | None = None    # (C,)
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    def _standardize(self, features: np.ndarray) -> np.ndarray:
+        return (features - self._mean) / self._std
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "LinearSVM":
+        """Train on ``(N, F)`` features and ``(N,)`` integer labels."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        if features.ndim != 2:
+            raise ValueError(f"features must be 2-D, got {features.shape}")
+        if labels.shape != (features.shape[0],):
+            raise ValueError("labels must be 1-D, matching features rows")
+        if labels.size and (labels.min() < 0
+                            or labels.max() >= self.num_classes):
+            raise ValueError(
+                f"labels outside [0, {self.num_classes})")
+
+        self._mean = features.mean(axis=0)
+        self._std = np.maximum(features.std(axis=0), 1e-9)
+        x = self._standardize(features)
+        n, f = x.shape
+
+        # Targets in {-1, +1} per class (one-vs-rest).
+        targets = -np.ones((n, self.num_classes))
+        targets[np.arange(n), labels] = 1.0
+
+        w = self.rng.normal(0.0, 0.01, size=(self.num_classes, f))
+        b = np.zeros(self.num_classes)
+        lr = self.learning_rate
+        for epoch in range(self.epochs):
+            scores = x @ w.T + b  # (N, C)
+            margins = targets * scores
+            active = margins < 1.0  # hinge subgradient support
+            # dL/ds = -t where margin violated, else 0 (averaged over N).
+            grad_scores = np.where(active, -targets, 0.0) / n
+            grad_w = grad_scores.T @ x + self.regularization * w
+            grad_b = grad_scores.sum(axis=0)
+            step = lr / (1.0 + 0.01 * epoch)  # mild decay
+            w -= step * grad_w
+            b -= step * grad_b
+        self.weights = w
+        self.biases = b
+        return self
+
+    # ------------------------------------------------------------------
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Raw one-vs-rest scores ``(N, C)``."""
+        if self.weights is None:
+            raise RuntimeError("SVM is not fitted")
+        x = self._standardize(np.asarray(features, dtype=np.float64))
+        return x @ self.weights.T + self.biases
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predicted class ids ``(N,)``."""
+        return self.decision_function(features).argmax(axis=1)
+
+    def accuracy(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Top-1 accuracy on a labelled set."""
+        return float(np.mean(self.predict(features) == np.asarray(labels)))

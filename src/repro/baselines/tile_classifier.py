@@ -1,0 +1,133 @@
+"""Tile-classification landing-zone selection (refs [12]-[14]).
+
+Splits the frame into small tiles, classifies each tile's dominant
+surface type with a linear SVM on hand-crafted features, and selects
+landing zones far from tiles classified as hazardous.  This reproduces
+the family of methods the paper's related work describes ("split the
+entire image into small tiles, which are classified into different
+categories").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from repro.baselines.base import ZoneProposal, top_zones_from_score_map
+from repro.baselines.svm import LinearSVM
+from repro.dataset.classes import NUM_CLASSES, UavidClass
+from repro.dataset.generator import SegmentationSample
+from repro.utils.validation import check_positive
+from repro.vision.features import tile_features
+
+__all__ = ["TileClassifierConfig", "TileClassifierLZS", "dominant_tile_labels"]
+
+#: Surface classes a tile classifier treats as acceptable to land on.
+SAFE_SURFACES = (UavidClass.LOW_VEGETATION, UavidClass.BACKGROUND_CLUTTER)
+
+
+@dataclass(frozen=True)
+class TileClassifierConfig:
+    """Parameters of the tile-classification selector."""
+
+    tile_px: int = 8
+    zone_size_px: int = 16
+    border_margin_px: int = 2
+    svm_epochs: int = 300
+    svm_learning_rate: float = 0.05
+    svm_regularization: float = 1e-3
+    seed: int = 0
+
+    def __post_init__(self):
+        check_positive("tile_px", self.tile_px)
+        check_positive("zone_size_px", self.zone_size_px)
+
+
+def dominant_tile_labels(labels: np.ndarray, tile: int,
+                         boxes: list[tuple[int, int, int, int]]
+                         ) -> np.ndarray:
+    """Dominant ground-truth class of each tile."""
+    out = np.empty(len(boxes), dtype=np.int64)
+    for i, (row, col, height, width) in enumerate(boxes):
+        patch = labels[row:row + height, col:col + width]
+        counts = np.bincount(patch.reshape(-1).astype(np.int64),
+                             minlength=NUM_CLASSES)
+        out[i] = int(counts.argmax())
+    return out
+
+
+class TileClassifierLZS:
+    """Landing-zone selector based on per-tile SVM surface classification."""
+
+    method_name = "tile_svm"
+
+    def __init__(self, config: TileClassifierConfig | None = None):
+        self.config = config or TileClassifierConfig()
+        self.svm: LinearSVM | None = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, samples: list[SegmentationSample]) -> "TileClassifierLZS":
+        """Train the tile SVM from labelled frames."""
+        if not samples:
+            raise ValueError("no training samples provided")
+        cfg = self.config
+        all_features = []
+        all_labels = []
+        for sample in samples:
+            feats, boxes = tile_features(sample.image, cfg.tile_px)
+            labels = dominant_tile_labels(sample.labels, cfg.tile_px, boxes)
+            all_features.append(feats)
+            all_labels.append(labels)
+        x = np.concatenate(all_features)
+        y = np.concatenate(all_labels)
+        self.svm = LinearSVM(NUM_CLASSES, learning_rate=cfg.svm_learning_rate,
+                             regularization=cfg.svm_regularization,
+                             epochs=cfg.svm_epochs, seed=cfg.seed)
+        self.svm.fit(x, y)
+        return self
+
+    def tile_accuracy(self, samples: list[SegmentationSample]) -> float:
+        """Dominant-class tile accuracy over a labelled set."""
+        if self.svm is None:
+            raise RuntimeError("tile classifier is not fitted")
+        cfg = self.config
+        correct = 0
+        total = 0
+        for sample in samples:
+            feats, boxes = tile_features(sample.image, cfg.tile_px)
+            labels = dominant_tile_labels(sample.labels, cfg.tile_px, boxes)
+            preds = self.svm.predict(feats)
+            correct += int((preds == labels).sum())
+            total += len(labels)
+        return correct / max(total, 1)
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def predicted_tile_map(self, image_chw: np.ndarray) -> np.ndarray:
+        """Per-pixel class map obtained by painting tile predictions."""
+        if self.svm is None:
+            raise RuntimeError("tile classifier is not fitted")
+        cfg = self.config
+        feats, boxes = tile_features(image_chw, cfg.tile_px)
+        preds = self.svm.predict(feats)
+        out = np.empty(image_chw.shape[1:], dtype=np.int64)
+        for pred, (row, col, height, width) in zip(preds, boxes):
+            out[row:row + height, col:col + width] = pred
+        return out
+
+    def propose(self, image_chw: np.ndarray,
+                num_candidates: int = 5) -> list[ZoneProposal]:
+        """Zones ranked by distance from predicted-hazard tiles."""
+        tile_map = self.predicted_tile_map(image_chw)
+        unsafe = ~np.isin(tile_map, [int(c) for c in SAFE_SURFACES])
+        if unsafe.all():
+            return []
+        clearance = ndimage.distance_transform_edt(~unsafe)
+        return top_zones_from_score_map(
+            clearance, self.config.zone_size_px, num_candidates,
+            self.method_name, border_margin=self.config.border_margin_px)

@@ -1,0 +1,77 @@
+"""The paper's primary contribution, assembled.
+
+* :class:`LandingZoneSelector` — step 1 of the two-step EL: select an
+  area far from busy roads, with Table III drift buffers.
+* :class:`RuntimeMonitor` — the Bayesian MC-dropout monitor applying
+  Eq. (2): ``mu + 3*sigma <= tau`` per busy-road class, ``tau = 1/8``.
+* :class:`DecisionModule` — confirm / try another candidate / abort.
+* :class:`LandingPipeline` — the complete Fig. 2 safety architecture.
+* :mod:`repro.core.requirements` — Tables III & IV as executable
+  criteria evaluated against :class:`EvidenceBundle` records.
+"""
+
+from repro.core.decision import (
+    Decision,
+    DecisionAction,
+    DecisionConfig,
+    DecisionModule,
+)
+from repro.core.evidence import EvidenceBundle
+from repro.core.hybrid import (
+    DATABASE_HAZARD_CLASSES,
+    HybridConfig,
+    HybridLandingZoneSelector,
+)
+from repro.core.landing_zone import (
+    LandingZoneConfig,
+    LandingZoneSelector,
+    ZoneCandidate,
+)
+from repro.core.monitor import MonitorConfig, RuntimeMonitor, ZoneVerdict
+from repro.core.pipeline import LandingPipeline, PipelineConfig, PipelineResult
+from repro.core.requirements import (
+    EL_ASSURANCE_CRITERIA,
+    EL_INTEGRITY_CRITERIA,
+    M1_ASSURANCE_CRITERIA_TEXT,
+    M1_INTEGRITY_CRITERIA_TEXT,
+    UNSAFE_ZONE_TOLERANCE,
+    ComplianceReport,
+    Criterion,
+    CriterionResult,
+    achieved_robustness,
+    evaluate_assurance,
+    evaluate_integrity,
+    evaluate_level,
+)
+
+__all__ = [
+    "HybridConfig",
+    "HybridLandingZoneSelector",
+    "DATABASE_HAZARD_CLASSES",
+    "LandingZoneConfig",
+    "LandingZoneSelector",
+    "ZoneCandidate",
+    "MonitorConfig",
+    "RuntimeMonitor",
+    "ZoneVerdict",
+    "DecisionAction",
+    "DecisionConfig",
+    "Decision",
+    "DecisionModule",
+    "PipelineConfig",
+    "PipelineResult",
+    "LandingPipeline",
+    "EvidenceBundle",
+    "Criterion",
+    "CriterionResult",
+    "ComplianceReport",
+    "EL_INTEGRITY_CRITERIA",
+    "EL_ASSURANCE_CRITERIA",
+    "M1_INTEGRITY_CRITERIA_TEXT",
+    "M1_ASSURANCE_CRITERIA_TEXT",
+    "UNSAFE_ZONE_TOLERANCE",
+    "evaluate_level",
+    "evaluate_integrity",
+    "evaluate_assurance",
+    "achieved_robustness",
+]

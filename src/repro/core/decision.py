@@ -1,0 +1,137 @@
+"""The Decision Module (DM) of the Fig. 2 safety architecture.
+
+"If the monitor confirms the proposed zone, then the DM will trigger
+landing execution.  If the zone is rejected by the monitor, the DM will
+either request a new trial or abort the flight if an additional trial
+cannot be safely performed."
+
+Aborting hands control back to the safety switch, which engages Flight
+Termination.  Whether "an additional trial can be safely performed" is
+governed by an attempt budget and a time budget (each Bayesian pass
+costs seconds — the Sec. V-B latency constraint — while the vehicle is
+falling back on degraded control).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.core.landing_zone import ZoneCandidate
+from repro.core.monitor import ZoneVerdict
+from repro.utils.validation import check_positive
+
+__all__ = ["DecisionAction", "DecisionConfig", "Decision", "DecisionModule"]
+
+
+class DecisionAction(Enum):
+    """Terminal actions of the decision module."""
+
+    LAND = "go to landing zone"
+    ABORT = "abort flight"
+
+
+@dataclass(frozen=True)
+class DecisionConfig:
+    """Budgets bounding the retry loop."""
+
+    max_attempts: int = 3
+    time_budget_s: float = 20.0
+    seconds_per_attempt: float = 5.0  # Sec. V-B: ~5 s per 1024x1024 crop
+
+    def __post_init__(self):
+        check_positive("max_attempts", self.max_attempts)
+        check_positive("time_budget_s", self.time_budget_s)
+        check_positive("seconds_per_attempt", self.seconds_per_attempt)
+
+
+@dataclass
+class Decision:
+    """Outcome of one decision episode."""
+
+    action: DecisionAction
+    zone: ZoneCandidate | None
+    verdicts: list[ZoneVerdict] = field(default_factory=list)
+    attempts: int = 0
+    elapsed_s: float = 0.0
+    log: list[str] = field(default_factory=list)
+
+    @property
+    def landed(self) -> bool:
+        return self.action is DecisionAction.LAND
+
+
+class DecisionModule:
+    """Iterates candidates through the monitor under budget constraints."""
+
+    def __init__(self, config: DecisionConfig | None = None):
+        self.config = config or DecisionConfig()
+
+    def decide(self, candidates: list[ZoneCandidate],
+               check_zone) -> Decision:
+        """Run the confirm/retry/abort loop.
+
+        Parameters
+        ----------
+        candidates:
+            Ranked zone candidates from the core function.  Candidates
+            that fail the drift buffer are skipped outright (they are
+            unsafe by construction, no need to spend a Bayesian pass).
+        check_zone:
+            Callable ``ZoneCandidate -> ZoneVerdict`` (the monitor);
+            pass ``None`` to accept the best buffered candidate without
+            monitoring (the unmonitored ablation).
+        """
+        cfg = self.config
+        decision = Decision(action=DecisionAction.ABORT, zone=None)
+
+        viable = [c for c in candidates if c.meets_buffer()]
+        skipped = len(candidates) - len(viable)
+        if skipped:
+            decision.log.append(
+                f"skipped {skipped} candidate(s) failing the drift buffer")
+        if not viable:
+            decision.log.append("no viable candidate -> abort flight")
+            return decision
+
+        if check_zone is None:
+            decision.action = DecisionAction.LAND
+            decision.zone = viable[0]
+            decision.attempts = 1
+            decision.log.append(
+                "monitor disabled: accepting best candidate unchecked")
+            return decision
+
+        for candidate in viable:
+            if decision.attempts >= cfg.max_attempts:
+                decision.log.append(
+                    f"attempt budget ({cfg.max_attempts}) exhausted "
+                    "-> abort flight")
+                break
+            if decision.elapsed_s + cfg.seconds_per_attempt > \
+                    cfg.time_budget_s:
+                decision.log.append(
+                    f"time budget ({cfg.time_budget_s:.0f}s) exhausted "
+                    "-> abort flight")
+                break
+            verdict = check_zone(candidate)
+            decision.attempts += 1
+            decision.elapsed_s += cfg.seconds_per_attempt
+            decision.verdicts.append(verdict)
+            if verdict.accepted:
+                decision.action = DecisionAction.LAND
+                decision.zone = candidate
+                decision.log.append(
+                    f"zone #{candidate.rank} confirmed "
+                    f"(unsafe fraction {verdict.unsafe_fraction:.3f}) "
+                    "-> go to landing zone")
+                return decision
+            decision.log.append(
+                f"zone #{candidate.rank} rejected "
+                f"(unsafe fraction {verdict.unsafe_fraction:.3f}) "
+                "-> try another candidate")
+
+        if decision.action is DecisionAction.ABORT and \
+                not any("abort" in line for line in decision.log):
+            decision.log.append("all candidates rejected -> abort flight")
+        return decision

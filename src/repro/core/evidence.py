@@ -1,0 +1,80 @@
+"""Evidence bundles for the compliance engine.
+
+Tables III and IV of the paper define *criteria*; an applicant claims a
+level by presenting *evidence*.  This module is the typed record of that
+evidence, populated either by hand (declarations, third-party sign-off)
+or programmatically from validation campaigns run with the evaluation
+harness — which is the point of the reproduction: integrity/assurance
+levels become computable from measured system behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["EvidenceBundle"]
+
+
+@dataclass(frozen=True)
+class EvidenceBundle:
+    """Everything an applicant can put on the table.
+
+    ``None`` for a float field means "not measured" — criteria needing
+    that measurement then fail (no benefit of the doubt for a safety
+    case).
+    """
+
+    # --- declarations -------------------------------------------------
+    declared_integrity: bool = False
+
+    # --- integrity measurements (Table III) ----------------------------
+    #: Fraction of accepted zones whose ground truth contained a
+    #: high-risk area (Low-1: must be ~0).
+    unsafe_zone_rate: float | None = None
+    #: Zone-acceptance safety measured under the operation's own
+    #: conditions (Low-2: "effective under the conditions of the
+    #: operation" — city, altitude, time of day).
+    in_context_unsafe_rate: float | None = None
+    #: Medium-1: selection accounts for failures / meteorology /
+    #: latency / behaviour / performance — realised by the drift-buffer
+    #: clearance model.
+    drift_buffer_applied: bool = False
+    failure_allowance_applied: bool = False
+
+    # --- assurance measurements (Table IV) -----------------------------
+    #: Medium-1: supporting evidence from testing on (public) datasets
+    #: and in-context testing.
+    tested_on_heldout_dataset: bool = False
+    tested_in_context: bool = False
+    #: Medium-2: in-context video data recorded and verified by the
+    #: applicable authority.
+    video_data_verified: bool = False
+    #: Medium-3: safety monitoring of complex CV/ML functions in place.
+    runtime_monitor_in_place: bool = False
+    #: Measured monitor quality (extension beyond the paper's
+    #: qualitative result; not required by Table IV but reported).
+    monitor_error_coverage: float | None = None
+    #: High-1: competent third party validated the claims.
+    third_party_validated: bool = False
+    #: High-2: names of external conditions the method was validated
+    #: under (lighting, weather).
+    conditions_validated: frozenset[str] = field(default_factory=frozenset)
+
+    # ------------------------------------------------------------------
+    def with_updates(self, **changes) -> "EvidenceBundle":
+        """Functional update (bundles are immutable)."""
+        return replace(self, **changes)
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable dump used by examples and benches."""
+        def fmt(value):
+            if isinstance(value, frozenset):
+                return "{" + ", ".join(sorted(value)) + "}"
+            if isinstance(value, float):
+                return f"{value:.4f}"
+            return str(value)
+
+        lines = []
+        for name in self.__dataclass_fields__:
+            lines.append(f"{name:28s} {fmt(getattr(self, name))}")
+        return lines

@@ -1,0 +1,120 @@
+"""Hybrid landing-zone selection: learned segmentation x public database.
+
+The paper's conclusion names this as future work: "hybrid methods
+combining learning-based techniques with using public databases could
+be envisioned to improve emergency landing."  This module implements
+that combination:
+
+* the **database layer** contributes the static hazards it is good at
+  (roads, buildings — surveyed once, always available, unaffected by
+  lighting), and
+* the **learned layer** contributes what only live perception can see
+  (cars, pedestrians, changes since the survey).
+
+The fused hazard mask is the union of both, so the hybrid selector is
+conservative with respect to either source alone.  When the database is
+georeferenced correctly this removes the learned model's worst OOD
+failure mode (missing a road at sunset) without giving up dynamic-
+hazard awareness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import ndimage
+
+from repro.core.landing_zone import (
+    LandingZoneConfig,
+    LandingZoneSelector,
+    ZoneCandidate,
+)
+from repro.dataset.classes import UavidClass, class_mask
+from repro.utils.selection import greedy_peak_boxes
+from repro.utils.validation import check_label_map
+
+__all__ = ["HybridConfig", "HybridLandingZoneSelector"]
+
+#: Static classes a survey database knows about.
+DATABASE_HAZARD_CLASSES = (UavidClass.ROAD, UavidClass.BUILDING)
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """Configuration of the hybrid selector.
+
+    ``registration_error_px`` dilates the database hazards to absorb
+    georeferencing error between the database map and the camera frame
+    (a real-world concern the paper's database-driven related work
+    shares).
+    """
+
+    selector: LandingZoneConfig = field(default_factory=LandingZoneConfig)
+    registration_error_px: int = 1
+    database_classes: tuple = DATABASE_HAZARD_CLASSES
+
+    def __post_init__(self):
+        if self.registration_error_px < 0:
+            raise ValueError("registration_error_px must be >= 0")
+        if not self.database_classes:
+            raise ValueError("database_classes must not be empty")
+
+
+class HybridLandingZoneSelector:
+    """Zone selection from the union of learned and database hazards."""
+
+    def __init__(self, config: HybridConfig | None = None):
+        self.config = config or HybridConfig()
+        self._learned = LandingZoneSelector(self.config.selector)
+
+    # ------------------------------------------------------------------
+    def database_hazard_mask(self, static_labels: np.ndarray) -> np.ndarray:
+        """Hazards contributed by the (dilated) database layer."""
+        check_label_map("static_labels", static_labels)
+        mask = class_mask(static_labels, self.config.database_classes)
+        if self.config.registration_error_px > 0 and mask.any():
+            structure = ndimage.generate_binary_structure(2, 2)
+            mask = ndimage.binary_dilation(
+                mask, structure=structure,
+                iterations=self.config.registration_error_px)
+        return mask
+
+    def fused_hazard_mask(self, predicted_labels: np.ndarray,
+                          static_labels: np.ndarray) -> np.ndarray:
+        """Union of learned hazards and database hazards."""
+        learned = self._learned.unsafe_mask(predicted_labels)
+        database = self.database_hazard_mask(static_labels)
+        if learned.shape != database.shape:
+            raise ValueError(
+                f"prediction {learned.shape} and database "
+                f"{database.shape} windows must align")
+        return learned | database
+
+    def propose(self, predicted_labels: np.ndarray,
+                static_labels: np.ndarray) -> list[ZoneCandidate]:
+        """Clearance-ranked candidates from the fused hazard mask."""
+        cfg = self.config.selector
+        fused = self.fused_hazard_mask(predicted_labels, static_labels)
+        if fused.all():
+            return []
+        if fused.any():
+            clearance = ndimage.distance_transform_edt(~fused) * cfg.gsd_m
+        else:
+            bound = max(fused.shape) * cfg.gsd_m
+            clearance = np.full(fused.shape, bound)
+        pairs = greedy_peak_boxes(clearance, cfg.zone_size_px,
+                                  cfg.max_candidates,
+                                  border_margin=cfg.border_margin_px)
+        half_diag_m = (cfg.zone_size_px / 2.0) * np.sqrt(2.0) * cfg.gsd_m
+        required = max(cfg.required_clearance_m(), half_diag_m)
+        return [ZoneCandidate(box=box, clearance_m=score,
+                              required_clearance_m=required, rank=i)
+                for i, (box, score) in enumerate(pairs)]
+
+    def viable_candidates(self, predicted_labels: np.ndarray,
+                          static_labels: np.ndarray
+                          ) -> list[ZoneCandidate]:
+        """Only candidates whose clearance covers the drift buffer."""
+        return [c for c in self.propose(predicted_labels, static_labels)
+                if c.meets_buffer()]

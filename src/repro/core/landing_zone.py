@@ -1,0 +1,136 @@
+"""Landing-zone selection from semantic segmentation (the core function).
+
+Implements step 1 of the paper's two-step EL (Sec. V): "Select an area
+far from busy roads".  Given the predicted class map, the selector
+treats all Table-I high-risk classes as hazards (busy roads *and*
+humans/buildings — Table III Low-1 requires zones free of any high-risk
+area), ranks zone candidates by their clearance — the distance from the
+zone centre to the nearest predicted hazard — and requires this
+clearance to cover the parachute-drift buffer mandated by Table III:
+
+* **Low integrity**: clearance >= nominal drift.
+* **Medium/High integrity**: clearance >= adverse drift + localisation
+  error + activation-latency allowance (``DriftModel`` with
+  ``conservative=True``), which is "far enough from hazardous areas to
+  guarantee that adverse conditions will not lead the UAV to hazardous
+  situations" (Table III, note b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import ndimage
+
+from repro.dataset.classes import HIGH_RISK_CLASSES, class_mask
+from repro.uav.ballistics import DriftModel
+from repro.utils.geometry import Box
+from repro.utils.selection import greedy_peak_boxes
+from repro.utils.validation import check_positive
+
+__all__ = ["LandingZoneConfig", "ZoneCandidate", "LandingZoneSelector"]
+
+
+@dataclass(frozen=True)
+class LandingZoneConfig:
+    """Parameters of the landing-zone selector."""
+
+    zone_size_m: float = 16.0
+    gsd_m: float = 1.0
+    #: Classes the *selector* avoids.  Table III Low-1 requires zones
+    #: free of all Table-I high-risk areas, so this defaults to the
+    #: full high-risk set (roads, cars, humans, buildings); the paper's
+    #: *monitor* then over-approximates specifically the busy-road
+    #: super-category (see MonitorConfig.road_classes).
+    unsafe_classes: tuple = HIGH_RISK_CLASSES
+    drift_model: DriftModel = field(default_factory=DriftModel)
+    conservative_buffer: bool = True
+    max_candidates: int = 5
+    border_margin_px: int = 2
+
+    def __post_init__(self):
+        check_positive("zone_size_m", self.zone_size_m)
+        check_positive("gsd_m", self.gsd_m)
+        check_positive("max_candidates", self.max_candidates)
+        if not self.unsafe_classes:
+            raise ValueError("unsafe_classes must not be empty")
+
+    @property
+    def zone_size_px(self) -> int:
+        return max(1, int(round(self.zone_size_m / self.gsd_m)))
+
+    def required_clearance_m(self) -> float:
+        """Clearance the Table III buffer demands (zone edge to hazard)."""
+        return self.drift_model.required_clearance_m(
+            conservative=self.conservative_buffer)
+
+
+@dataclass(frozen=True)
+class ZoneCandidate:
+    """One ranked landing-zone candidate."""
+
+    box: Box
+    clearance_m: float            # centre-to-nearest-hazard, metres
+    required_clearance_m: float   # Table III buffer + zone half-size
+    rank: int
+
+    @property
+    def center_px(self) -> tuple[float, float]:
+        return self.box.center
+
+    def meets_buffer(self) -> bool:
+        """True when the clearance covers the drift buffer."""
+        return self.clearance_m >= self.required_clearance_m
+
+
+class LandingZoneSelector:
+    """Selects candidate landing zones from a predicted class map."""
+
+    def __init__(self, config: LandingZoneConfig | None = None):
+        self.config = config or LandingZoneConfig()
+
+    # ------------------------------------------------------------------
+    def unsafe_mask(self, class_map: np.ndarray) -> np.ndarray:
+        """Boolean hazard mask from a (predicted) class map."""
+        return class_mask(class_map, self.config.unsafe_classes)
+
+    def clearance_map_m(self, class_map: np.ndarray) -> np.ndarray:
+        """Distance (metres) from each pixel to the nearest hazard."""
+        unsafe = self.unsafe_mask(class_map)
+        if unsafe.all():
+            return np.zeros(class_map.shape, dtype=np.float64)
+        if not unsafe.any():
+            # No hazard visible: clearance is bounded by the frame size.
+            bound = max(class_map.shape) * self.config.gsd_m
+            return np.full(class_map.shape, bound, dtype=np.float64)
+        return ndimage.distance_transform_edt(~unsafe) * self.config.gsd_m
+
+    def propose(self, class_map: np.ndarray) -> list[ZoneCandidate]:
+        """Ranked zone candidates (best clearance first).
+
+        Candidates are returned even when they fail the drift buffer —
+        the decision module needs to know *why* no zone was accepted —
+        but :meth:`ZoneCandidate.meets_buffer` tells them apart.
+        """
+        cfg = self.config
+        clearance = self.clearance_map_m(class_map)
+        pairs = greedy_peak_boxes(clearance, cfg.zone_size_px,
+                                  cfg.max_candidates,
+                                  border_margin=cfg.border_margin_px)
+        # The centre clearance must cover the larger of (a) the drift
+        # buffer around the aim point — the touchdown-dispersion
+        # guarantee of Table III — and (b) the zone half-diagonal, so
+        # the zone box itself is hazard-free.
+        half_diag_m = (cfg.zone_size_px / 2.0) * np.sqrt(2.0) * cfg.gsd_m
+        required = max(cfg.required_clearance_m(), half_diag_m)
+        return [
+            ZoneCandidate(box=box, clearance_m=score,
+                          required_clearance_m=required, rank=i)
+            for i, (box, score) in enumerate(pairs)
+        ]
+
+    def viable_candidates(self, class_map: np.ndarray
+                          ) -> list[ZoneCandidate]:
+        """Only the candidates whose clearance covers the buffer."""
+        return [c for c in self.propose(class_map) if c.meets_buffer()]

@@ -1,0 +1,163 @@
+"""The runtime monitor: Eq. (2), ``mu + 3*sigma <= tau`` per road class.
+
+Sec. V-B of the paper: EL is safety-critical, so misclassifying a busy
+road as something else can be catastrophic.  The monitor therefore
+*over-approximates* the road category: a pixel is accepted as safe only
+when the upper edge of its 99.7% confidence interval — posterior mean
+plus three posterior standard deviations, estimated by Monte-Carlo
+dropout — stays below the threshold ``tau`` for **each of the three
+UAVid classes that make up the busy-road category**.  With 8 classes
+the paper picks ``tau = 0.125``, "to make sure that the road score is
+lower than a random guess".
+
+Following Fig. 2, the monitor runs on *sub-images* (the candidate zone
+plus its drift buffer), not on the full frame — the full-frame Bayesian
+pass would be prohibitively slow in an emergency (Sec. V-B timing,
+reproduced in ``benchmarks/bench_sec5_timing.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dataset.classes import BUSY_ROAD_CLASSES, NUM_CLASSES
+from repro.segmentation.bayesian import BayesianSegmenter, PixelDistribution
+from repro.utils.geometry import Box
+from repro.utils.validation import check_image_chw, check_probability
+
+__all__ = ["MonitorConfig", "ZoneVerdict", "RuntimeMonitor"]
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Parameters of the conservative monitor rule."""
+
+    tau: float = 1.0 / NUM_CLASSES  # 0.125, the paper's choice
+    sigma_multiplier: float = 3.0   # the "3 sigma" of Eq. (2)
+    num_samples: int = 10           # MC-dropout passes (paper: 10)
+    road_classes: tuple = BUSY_ROAD_CLASSES
+    max_unsafe_fraction: float = 0.0  # zone accepted iff <= this
+    context_margin_px: int = 2      # extra context around the crop
+
+    def __post_init__(self):
+        check_probability("tau", self.tau)
+        check_probability("max_unsafe_fraction", self.max_unsafe_fraction)
+        if self.sigma_multiplier < 0:
+            raise ValueError("sigma_multiplier must be non-negative")
+        if self.num_samples < 1:
+            raise ValueError("num_samples must be >= 1")
+        if not self.road_classes:
+            raise ValueError("road_classes must not be empty")
+
+
+@dataclass(frozen=True)
+class ZoneVerdict:
+    """The monitor's verdict on one candidate zone."""
+
+    accepted: bool
+    unsafe_fraction: float
+    unsafe_mask: np.ndarray = field(repr=False)
+    box: Box
+    num_samples: int
+    distribution: PixelDistribution = field(repr=False)
+
+    @property
+    def num_unsafe_pixels(self) -> int:
+        return int(self.unsafe_mask.sum())
+
+
+class RuntimeMonitor:
+    """Checks candidate landing zones with the Bayesian model."""
+
+    def __init__(self, segmenter: BayesianSegmenter,
+                 config: MonitorConfig | None = None):
+        self.segmenter = segmenter
+        self.config = config or MonitorConfig()
+
+    # ------------------------------------------------------------------
+    def unsafe_pixels(self, distribution: PixelDistribution) -> np.ndarray:
+        """Apply Eq. (2) to a pixel distribution.
+
+        A pixel is *unsafe* when ``mu_k + s * sigma_k > tau`` for any
+        busy-road class ``k`` — the complement of the paper's safety
+        condition, which requires the inequality to hold "for the three
+        UAVid categories that make up the busy road category".
+        """
+        cfg = self.config
+        upper = distribution.upper_confidence(cfg.sigma_multiplier)
+        unsafe = np.zeros(upper.shape[1:], dtype=bool)
+        for cls in cfg.road_classes:
+            unsafe |= upper[int(cls)] > cfg.tau
+        return unsafe
+
+    def _stride_padded_crop(self, image: np.ndarray,
+                            box: Box) -> tuple[np.ndarray, Box]:
+        """Crop ``box`` (with context margin) padded to the model stride.
+
+        The segmentation model needs spatial sizes divisible by its
+        output stride; the crop is grown symmetrically (within frame
+        bounds) until that holds.  Returns the crop and the region of
+        interest *within the crop* corresponding to the original box.
+        """
+        cfg = self.config
+        h, w = image.shape[1:]
+        grown = box.expand(cfg.context_margin_px).clip_to(h, w)
+        stride = getattr(
+            getattr(self.segmenter.model, "config", None),
+            "output_stride", 1)
+
+        def pad_span(start: int, extent: int, limit: int) -> tuple[int, int]:
+            need = (-extent) % stride
+            lo = max(0, start - need // 2)
+            hi = min(limit, lo + extent + need)
+            lo = max(0, hi - (extent + need))
+            # If the frame itself is not large enough, fall back to the
+            # largest stride-aligned span that fits.
+            span = hi - lo
+            span -= span % stride
+            return lo, span
+
+        r0, rh = pad_span(grown.row, grown.height, h)
+        c0, cw = pad_span(grown.col, grown.width, w)
+        crop_box = Box(r0, c0, rh, cw)
+        crop = crop_box.extract(image)
+        roi = Box(box.row - r0, box.col - c0, box.height, box.width)
+        roi = roi.clip_to(rh, cw)
+        return crop, roi
+
+    def check_zone(self, image: np.ndarray, box: Box) -> ZoneVerdict:
+        """Run the Bayesian pass on the zone crop and return a verdict.
+
+        This is the "Monitor" box of Fig. 2: image cropping -> Bayesian
+        SS model -> mean and std segmentations -> zone confirmation.
+        """
+        check_image_chw("image", image)
+        if box.is_empty():
+            raise ValueError("cannot check an empty zone box")
+        crop, roi = self._stride_padded_crop(image, box)
+        distribution = self.segmenter.predict_distribution(
+            crop, num_samples=self.config.num_samples)
+        unsafe_crop = self.unsafe_pixels(distribution)
+        unsafe_zone = roi.extract(unsafe_crop)
+        fraction = float(unsafe_zone.mean()) if unsafe_zone.size else 1.0
+        accepted = fraction <= self.config.max_unsafe_fraction
+        return ZoneVerdict(accepted=accepted, unsafe_fraction=fraction,
+                           unsafe_mask=unsafe_zone, box=box,
+                           num_samples=distribution.num_samples,
+                           distribution=distribution)
+
+    def full_frame_unsafe(self, image: np.ndarray) -> np.ndarray:
+        """Eq. (2) evaluated over the whole frame.
+
+        Used by the Fig. 4 evaluation (how much of the road area the
+        monitor flags) and by the timing benchmark — *not* by the
+        pipeline, which only monitors candidate crops.
+        """
+        check_image_chw("image", image)
+        h, w = image.shape[1:]
+        crop, roi = self._stride_padded_crop(image, Box(0, 0, h, w))
+        distribution = self.segmenter.predict_distribution(
+            crop, num_samples=self.config.num_samples)
+        return roi.extract(self.unsafe_pixels(distribution))

@@ -1,0 +1,126 @@
+"""The complete Fig. 2 safety architecture, assembled.
+
+``LandingPipeline`` wires together the four boxes of the paper's
+landing-zone-selection architecture:
+
+1. **Core function** — the standard (deterministic) MSDnet segments the
+   full frame and the selector proposes clearance-ranked zones.
+2. **Monitor** — the Bayesian MSDnet re-examines each proposed zone crop
+   with the conservative Eq. (2) rule.
+3. **Decision module** — confirm -> land; reject -> retry; budgets
+   exhausted -> abort (flight termination).
+
+``run`` executes one full episode on a camera frame and reports every
+intermediate artefact (segmentation, candidates, verdicts, timings) so
+benches and the mission simulator can introspect the behaviour.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.decision import Decision, DecisionConfig, DecisionModule
+from repro.core.landing_zone import (
+    LandingZoneConfig,
+    LandingZoneSelector,
+    ZoneCandidate,
+)
+from repro.core.monitor import MonitorConfig, RuntimeMonitor, ZoneVerdict
+from repro.segmentation.bayesian import BayesianSegmenter
+from repro.utils.validation import check_image_chw
+
+__all__ = ["PipelineConfig", "PipelineResult", "LandingPipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Configuration of the full landing pipeline."""
+
+    selector: LandingZoneConfig = field(default_factory=LandingZoneConfig)
+    monitor: MonitorConfig = field(default_factory=MonitorConfig)
+    decision: DecisionConfig = field(default_factory=DecisionConfig)
+    monitor_enabled: bool = True
+
+
+@dataclass
+class PipelineResult:
+    """Everything one pipeline episode produced."""
+
+    decision: Decision
+    predicted_labels: np.ndarray = field(repr=False)
+    candidates: list[ZoneCandidate] = field(default_factory=list)
+    verdicts: list[ZoneVerdict] = field(default_factory=list)
+    timings_s: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def landed(self) -> bool:
+        return self.decision.landed
+
+    @property
+    def selected_zone(self) -> ZoneCandidate | None:
+        return self.decision.zone
+
+
+class LandingPipeline:
+    """End-to-end landing-zone selection with runtime monitoring."""
+
+    def __init__(self, model, config: PipelineConfig | None = None,
+                 rng=None):
+        """``model`` is a trained segmentation network (MSDNet)."""
+        self.config = config or PipelineConfig()
+        self.model = model
+        self.segmenter = BayesianSegmenter(
+            model, num_samples=self.config.monitor.num_samples, rng=rng)
+        self.selector = LandingZoneSelector(self.config.selector)
+        self.monitor = RuntimeMonitor(self.segmenter, self.config.monitor)
+        self.decision_module = DecisionModule(self.config.decision)
+
+    # ------------------------------------------------------------------
+    def run(self, image: np.ndarray) -> PipelineResult:
+        """One full episode: segment -> propose -> verify -> decide."""
+        check_image_chw("image", image)
+        timings: dict[str, float] = {}
+
+        t0 = time.perf_counter()
+        scores = self.segmenter.predict_deterministic(image)
+        labels = scores.argmax(axis=0)
+        timings["segmentation_s"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        candidates = self.selector.propose(labels)
+        timings["selection_s"] = time.perf_counter() - t0
+
+        verdicts: list[ZoneVerdict] = []
+
+        def check(candidate: ZoneCandidate) -> ZoneVerdict:
+            verdict = self.monitor.check_zone(image, candidate.box)
+            verdicts.append(verdict)
+            return verdict
+
+        t0 = time.perf_counter()
+        decision = self.decision_module.decide(
+            candidates, check if self.config.monitor_enabled else None)
+        timings["monitoring_s"] = time.perf_counter() - t0
+
+        return PipelineResult(decision=decision, predicted_labels=labels,
+                              candidates=candidates, verdicts=verdicts,
+                              timings_s=timings)
+
+    # ------------------------------------------------------------------
+    def as_mission_policy(self):
+        """Adapter for :func:`repro.uav.mission.simulate_mission`.
+
+        Returns a callable mapping a camera frame to the confirmed zone
+        centre in window pixels, or ``None`` when the pipeline aborts —
+        which the mission simulator escalates to Flight Termination.
+        """
+        def policy(image: np.ndarray):
+            result = self.run(image)
+            if result.landed and result.selected_zone is not None:
+                return result.selected_zone.center_px
+            return None
+
+        return policy

@@ -1,0 +1,272 @@
+"""Tables III & IV as executable criteria — the paper's second contribution.
+
+Table III defines *integrity* criteria for EL as an active-M1 SORA
+mitigation (how much risk reduction the mechanism provides); Table IV
+defines *assurance* criteria (how much confidence the evidence gives).
+Both are encoded here verbatim, each paired with a programmatic check
+against an :class:`EvidenceBundle`, so a claimed level can be *computed*
+from validation results rather than asserted.
+
+The SORA combines the two into the mitigation robustness as
+``min(integrity, assurance)`` (see :func:`repro.sora.el_mitigation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.evidence import EvidenceBundle
+from repro.sora.mitigations import RobustnessLevel
+
+__all__ = [
+    "Criterion",
+    "EL_INTEGRITY_CRITERIA",
+    "EL_ASSURANCE_CRITERIA",
+    "M1_INTEGRITY_CRITERIA_TEXT",
+    "M1_ASSURANCE_CRITERIA_TEXT",
+    "CriterionResult",
+    "ComplianceReport",
+    "evaluate_level",
+    "evaluate_integrity",
+    "evaluate_assurance",
+    "achieved_robustness",
+    "UNSAFE_ZONE_TOLERANCE",
+]
+
+#: Tolerated fraction of accepted zones containing high-risk areas.
+#: Zero would be unachievable on finite validation runs; one in a
+#: thousand keeps the criterion meaningfully strict.
+UNSAFE_ZONE_TOLERANCE = 1e-3
+
+
+@dataclass(frozen=True)
+class Criterion:
+    """One assessable criterion of Table III or IV."""
+
+    id: str
+    level: RobustnessLevel
+    text: str
+    check: Callable[[EvidenceBundle], bool]
+
+
+# ----------------------------------------------------------------------
+# Table III — integrity (proposed new criteria for EL / active-M1)
+# ----------------------------------------------------------------------
+def _check_no_high_risk_zones(e: EvidenceBundle) -> bool:
+    return (e.unsafe_zone_rate is not None
+            and e.unsafe_zone_rate <= UNSAFE_ZONE_TOLERANCE)
+
+
+def _check_effective_in_context(e: EvidenceBundle) -> bool:
+    return (e.in_context_unsafe_rate is not None
+            and e.in_context_unsafe_rate <= UNSAFE_ZONE_TOLERANCE)
+
+
+def _check_adverse_allowances(e: EvidenceBundle) -> bool:
+    return e.drift_buffer_applied and e.failure_allowance_applied
+
+
+EL_INTEGRITY_CRITERIA: tuple[Criterion, ...] = (
+    Criterion(
+        id="EL-I-L1", level=RobustnessLevel.LOW,
+        text=("The selected landing zones do not contain high risk "
+              "areas (as defined in Table I)."),
+        check=_check_no_high_risk_zones),
+    Criterion(
+        id="EL-I-L2", level=RobustnessLevel.LOW,
+        text=("The method is effective under the conditions of the "
+              "operation (specific city, flight altitude, time of the "
+              "day, season, etc.)."),
+        check=_check_effective_in_context),
+    Criterion(
+        id="EL-I-M1", level=RobustnessLevel.MEDIUM,
+        text=("Landing zone selection takes into account: improbable "
+              "single malfunctions or failures; meteorological "
+              "conditions (e.g., wind); UAV latencies, behavior and "
+              "performance; UAV behavior when activating measure; UAV "
+              "performance.  The selected zone is far enough from "
+              "hazardous areas to guarantee that adverse conditions "
+              "will not lead the UAV to hazardous situations."),
+        check=_check_adverse_allowances),
+    # High integrity reuses the Medium criteria ("Same as Medium").
+    Criterion(
+        id="EL-I-H1", level=RobustnessLevel.HIGH,
+        text="Same as Medium.",
+        check=_check_adverse_allowances),
+)
+
+
+# ----------------------------------------------------------------------
+# Table IV — assurance (proposed new criteria for EL / active-M1)
+# ----------------------------------------------------------------------
+def _check_declaration(e: EvidenceBundle) -> bool:
+    return e.declared_integrity
+
+
+def _check_supporting_evidence(e: EvidenceBundle) -> bool:
+    return e.tested_on_heldout_dataset and e.tested_in_context
+
+
+def _check_video_verified(e: EvidenceBundle) -> bool:
+    return e.video_data_verified
+
+
+def _check_monitoring(e: EvidenceBundle) -> bool:
+    return e.runtime_monitor_in_place
+
+
+def _check_third_party(e: EvidenceBundle) -> bool:
+    return e.third_party_validated
+
+
+def _check_condition_sweep(e: EvidenceBundle) -> bool:
+    # "a wide range of external conditions (lighting, weather)": at
+    # least three distinct conditions beyond the nominal one.
+    return len(e.conditions_validated) >= 4
+
+
+EL_ASSURANCE_CRITERIA: tuple[Criterion, ...] = (
+    Criterion(
+        id="EL-A-L1", level=RobustnessLevel.LOW,
+        text=("The applicant declares that the required level of "
+              "integrity is achieved."),
+        check=_check_declaration),
+    Criterion(
+        id="EL-A-M1", level=RobustnessLevel.MEDIUM,
+        text=("Supporting evidence to claim the required level of "
+              "integrity has been achieved (testing on public "
+              "datasets, testing in context)."),
+        check=_check_supporting_evidence),
+    Criterion(
+        id="EL-A-M2", level=RobustnessLevel.MEDIUM,
+        text=("The video data used for in-context testing are recorded "
+              "and verified by applicable authority."),
+        check=_check_video_verified),
+    Criterion(
+        id="EL-A-M3", level=RobustnessLevel.MEDIUM,
+        text=("Safety monitoring techniques are in place to ensure "
+              "proper behavior of any function relying on complex "
+              "computer vision or machine learning."),
+        check=_check_monitoring),
+    Criterion(
+        id="EL-A-H1", level=RobustnessLevel.HIGH,
+        text=("The claimed level of integrity is validated by a "
+              "competent third party."),
+        check=_check_third_party),
+    Criterion(
+        id="EL-A-H2", level=RobustnessLevel.HIGH,
+        text=("The method was extensively validated under a wide range "
+              "of external conditions (lighting, weather)."),
+        check=_check_condition_sweep),
+)
+
+
+#: The original SORA M1 criteria columns of Tables III/IV, kept for the
+#: side-by-side comparison the paper prints (not machine-checkable here
+#: since they concern route buffers and density data, not EL).
+M1_INTEGRITY_CRITERIA_TEXT: dict[RobustnessLevel, tuple[str, ...]] = {
+    RobustnessLevel.LOW: (
+        "A ground risk buffer with at least a 1 to 1 rule.",
+        "The applicant evaluates the area of operations by means of "
+        "on-site inspections/appraisals to justify lowering the "
+        "density of people at risk.",
+    ),
+    RobustnessLevel.MEDIUM: (
+        "Ground risk buffer takes into account: improbable single "
+        "malfunctions or failures; meteorological conditions; UAV "
+        "latencies, behavior and performance; UAV behavior when "
+        "activating measure; UAV performance.",
+        "The applicant uses authoritative density data relevant for "
+        "the area and time of operation.",
+    ),
+    RobustnessLevel.HIGH: ("Same as Medium.",),
+}
+
+M1_ASSURANCE_CRITERIA_TEXT: dict[RobustnessLevel, tuple[str, ...]] = {
+    RobustnessLevel.LOW: (
+        "The applicant declares that the required level of integrity "
+        "is achieved.",
+    ),
+    RobustnessLevel.MEDIUM: (
+        "Supporting evidence to claim the required level of integrity "
+        "has been achieved (testing, analysis, simulation, inspection, "
+        "design review, experience).",
+        "The density data used is an average density map for the "
+        "date/time of the operation from a static sourcing.",
+    ),
+    RobustnessLevel.HIGH: (
+        "The claimed level of integrity is validated by a competent "
+        "third party.",
+        "The density data used is a near-real time density map from a "
+        "dynamic sourcing and applicable for the date/time of the "
+        "operation.",
+    ),
+}
+
+
+# ----------------------------------------------------------------------
+# Evaluation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CriterionResult:
+    """Pass/fail of one criterion against an evidence bundle."""
+
+    criterion: Criterion
+    passed: bool
+
+
+@dataclass(frozen=True)
+class ComplianceReport:
+    """Outcome of evaluating one criteria table."""
+
+    achieved: RobustnessLevel
+    results: tuple[CriterionResult, ...]
+
+    def failing(self) -> list[CriterionResult]:
+        return [r for r in self.results if not r.passed]
+
+    def summary_lines(self) -> list[str]:
+        lines = [f"achieved level: {self.achieved.name}"]
+        for r in self.results:
+            status = "PASS" if r.passed else "FAIL"
+            lines.append(f"  [{status}] {r.criterion.id} "
+                         f"({r.criterion.level.name})")
+        return lines
+
+
+def evaluate_level(criteria: tuple[Criterion, ...],
+                   evidence: EvidenceBundle) -> ComplianceReport:
+    """Highest level whose criteria (and all lower levels') all pass.
+
+    SORA levels are cumulative: claiming Medium requires the Low
+    criteria too; claiming High requires Low and Medium.
+    """
+    results = tuple(CriterionResult(c, bool(c.check(evidence)))
+                    for c in criteria)
+    achieved = RobustnessLevel.NONE
+    for level in (RobustnessLevel.LOW, RobustnessLevel.MEDIUM,
+                  RobustnessLevel.HIGH):
+        required = [r for r in results if r.criterion.level <= level]
+        if required and all(r.passed for r in required):
+            achieved = level
+        else:
+            break
+    return ComplianceReport(achieved=achieved, results=results)
+
+
+def evaluate_integrity(evidence: EvidenceBundle) -> ComplianceReport:
+    """Evaluate the Table III integrity criteria."""
+    return evaluate_level(EL_INTEGRITY_CRITERIA, evidence)
+
+
+def evaluate_assurance(evidence: EvidenceBundle) -> ComplianceReport:
+    """Evaluate the Table IV assurance criteria."""
+    return evaluate_level(EL_ASSURANCE_CRITERIA, evidence)
+
+
+def achieved_robustness(evidence: EvidenceBundle) -> RobustnessLevel:
+    """Combined EL-mitigation robustness: min(integrity, assurance)."""
+    integrity = evaluate_integrity(evidence).achieved
+    assurance = evaluate_assurance(evidence).achieved
+    return RobustnessLevel(min(int(integrity), int(assurance)))

@@ -1,0 +1,82 @@
+"""Synthetic aerial-imagery substrate (the offline UAVid substitute).
+
+Procedural urban scenes with the eight UAVid classes, a physically
+plausible renderer (shadows, textures, per-instance car colours) and a
+parametric imaging-condition model that reproduces the paper's
+in-distribution vs out-of-distribution (sunset) evaluation protocol.
+"""
+
+from repro.dataset.classes import (
+    BUSY_ROAD_CLASSES,
+    CLASS_NAMES,
+    HIGH_RISK_CLASSES,
+    NUM_CLASSES,
+    PALETTE,
+    UavidClass,
+    busy_road_mask,
+    class_mask,
+)
+from repro.dataset.conditions import (
+    ALL_CONDITIONS,
+    BRIGHT_DAY,
+    DAY,
+    FOG,
+    NIGHT,
+    OOD_CONDITIONS,
+    OVERCAST,
+    SUNSET,
+    TRAINING_CONDITIONS,
+    ImagingConditions,
+    by_name,
+)
+from repro.dataset.generator import (
+    DatasetConfig,
+    SegmentationSample,
+    class_frequencies,
+    generate_dataset,
+    generate_scene_samples,
+    iterate_minibatches,
+    reshoot_under_condition,
+    split_by_scene,
+    stack_batch,
+)
+from repro.dataset.render import BASE_COLORS, render_labels, render_scene_window
+from repro.dataset.scene import Building, Car, SceneConfig, UrbanScene
+
+__all__ = [
+    "UavidClass",
+    "NUM_CLASSES",
+    "BUSY_ROAD_CLASSES",
+    "HIGH_RISK_CLASSES",
+    "PALETTE",
+    "CLASS_NAMES",
+    "busy_road_mask",
+    "class_mask",
+    "ImagingConditions",
+    "DAY",
+    "BRIGHT_DAY",
+    "OVERCAST",
+    "SUNSET",
+    "NIGHT",
+    "FOG",
+    "TRAINING_CONDITIONS",
+    "OOD_CONDITIONS",
+    "ALL_CONDITIONS",
+    "by_name",
+    "SceneConfig",
+    "UrbanScene",
+    "Car",
+    "Building",
+    "render_labels",
+    "render_scene_window",
+    "BASE_COLORS",
+    "SegmentationSample",
+    "DatasetConfig",
+    "generate_dataset",
+    "generate_scene_samples",
+    "reshoot_under_condition",
+    "split_by_scene",
+    "stack_batch",
+    "iterate_minibatches",
+    "class_frequencies",
+]

@@ -1,0 +1,100 @@
+"""The UAVid label set used throughout the reproduction.
+
+The paper trains MSDnet on UAVid (Lyu et al., 2020), which labels every
+pixel with one of eight classes.  The *busy road* super-category that the
+emergency-landing monitor must avoid "at all costs" (Sec. V-B) is the
+union of ``ROAD``, ``STATIC_CAR`` and ``MOVING_CAR`` — "the three UAVid
+categories that make up the busy road category".
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+import numpy as np
+
+__all__ = [
+    "UavidClass",
+    "NUM_CLASSES",
+    "BUSY_ROAD_CLASSES",
+    "HIGH_RISK_CLASSES",
+    "PALETTE",
+    "CLASS_NAMES",
+    "busy_road_mask",
+    "class_mask",
+]
+
+
+class UavidClass(IntEnum):
+    """The eight UAVid semantic classes."""
+
+    BACKGROUND_CLUTTER = 0
+    BUILDING = 1
+    ROAD = 2
+    TREE = 3
+    LOW_VEGETATION = 4
+    MOVING_CAR = 5
+    STATIC_CAR = 6
+    HUMAN = 7
+
+
+NUM_CLASSES = len(UavidClass)
+
+#: Classes forming the paper's "busy road" category (Sec. V-B): pixels
+#: the landing-zone monitor over-approximates and must reject.
+BUSY_ROAD_CLASSES: tuple[UavidClass, ...] = (
+    UavidClass.ROAD,
+    UavidClass.MOVING_CAR,
+    UavidClass.STATIC_CAR,
+)
+
+#: Classes whose presence in a landing footprint realises one of the
+#: hazardous outcomes of Table II (roads/cars -> R1/R5, humans -> R2,
+#: buildings -> R4).  Used by the integrity requirements (Table III,
+#: Low-1: "selected landing zones do not contain high risk areas").
+HIGH_RISK_CLASSES: tuple[UavidClass, ...] = (
+    UavidClass.ROAD,
+    UavidClass.MOVING_CAR,
+    UavidClass.STATIC_CAR,
+    UavidClass.HUMAN,
+    UavidClass.BUILDING,
+)
+
+#: Official UAVid visualisation palette (RGB, uint8), indexed by class id.
+PALETTE = np.array(
+    [
+        (0, 0, 0),        # background clutter
+        (128, 0, 0),      # building
+        (128, 64, 128),   # road
+        (0, 128, 0),      # tree
+        (128, 128, 0),    # low vegetation
+        (64, 0, 128),     # moving car
+        (192, 0, 192),    # static car
+        (64, 64, 0),      # human
+    ],
+    dtype=np.uint8,
+)
+
+CLASS_NAMES = {
+    UavidClass.BACKGROUND_CLUTTER: "background clutter",
+    UavidClass.BUILDING: "building",
+    UavidClass.ROAD: "road",
+    UavidClass.TREE: "tree",
+    UavidClass.LOW_VEGETATION: "low vegetation",
+    UavidClass.MOVING_CAR: "moving car",
+    UavidClass.STATIC_CAR: "static car",
+    UavidClass.HUMAN: "human",
+}
+
+
+def class_mask(labels: np.ndarray, classes) -> np.ndarray:
+    """Boolean mask of pixels whose label is in ``classes``."""
+    mask = np.zeros(np.shape(labels), dtype=bool)
+    for cls in classes:
+        mask |= labels == int(cls)
+    return mask
+
+
+def busy_road_mask(labels: np.ndarray) -> np.ndarray:
+    """Boolean mask of the paper's busy-road super-category."""
+    return class_mask(labels, BUSY_ROAD_CLASSES)

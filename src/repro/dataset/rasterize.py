@@ -1,0 +1,140 @@
+"""Rasterisation primitives for the procedural scene generator.
+
+All functions draw *in place* into an integer label grid (row, col
+indexing).  They are deliberately simple — bounding-box restricted
+numpy index arithmetic — because scene generation must stay fast enough
+to synthesise hundreds of scenes inside the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "draw_disk",
+    "draw_rect",
+    "draw_oriented_rect",
+    "draw_thick_line",
+    "oriented_rect_mask",
+]
+
+
+def _clip_bbox(shape: tuple[int, int], r0: float, c0: float, r1: float,
+               c1: float) -> tuple[int, int, int, int] | None:
+    """Integer bbox clipped to the grid; None when fully outside."""
+    ri0 = max(0, int(math.floor(r0)))
+    ci0 = max(0, int(math.floor(c0)))
+    ri1 = min(shape[0], int(math.ceil(r1)) + 1)
+    ci1 = min(shape[1], int(math.ceil(c1)) + 1)
+    if ri0 >= ri1 or ci0 >= ci1:
+        return None
+    return ri0, ci0, ri1, ci1
+
+
+def draw_disk(grid: np.ndarray, center: tuple[float, float], radius: float,
+              value: int) -> int:
+    """Fill a disk; returns the number of cells painted."""
+    if radius <= 0:
+        return 0
+    r, c = center
+    bbox = _clip_bbox(grid.shape, r - radius, c - radius,
+                      r + radius, c + radius)
+    if bbox is None:
+        return 0
+    ri0, ci0, ri1, ci1 = bbox
+    rows = np.arange(ri0, ri1)[:, None]
+    cols = np.arange(ci0, ci1)[None, :]
+    mask = (rows - r) ** 2 + (cols - c) ** 2 <= radius ** 2
+    grid[ri0:ri1, ci0:ci1][mask] = value
+    return int(mask.sum())
+
+
+def draw_rect(grid: np.ndarray, top: float, left: float, height: float,
+              width: float, value: int) -> int:
+    """Fill an axis-aligned rectangle; returns cells painted."""
+    if height <= 0 or width <= 0:
+        return 0
+    bbox = _clip_bbox(grid.shape, top, left, top + height - 1,
+                      left + width - 1)
+    if bbox is None:
+        return 0
+    ri0, ci0, ri1, ci1 = bbox
+    grid[ri0:ri1, ci0:ci1] = value
+    return (ri1 - ri0) * (ci1 - ci0)
+
+
+def oriented_rect_mask(shape: tuple[int, int], center: tuple[float, float],
+                       length: float, width: float, heading_rad: float
+                       ) -> tuple[np.ndarray, tuple[int, int]] | None:
+    """Boolean mask of a rotated rectangle within its clipped bbox.
+
+    Returns ``(mask, (row_offset, col_offset))`` or ``None`` when the
+    rectangle lies fully outside the grid.  ``heading_rad`` is measured
+    from the +col axis toward +row (standard image convention).
+    """
+    if length <= 0 or width <= 0:
+        return None
+    r, c = center
+    half_diag = 0.5 * math.hypot(length, width)
+    bbox = _clip_bbox(shape, r - half_diag, c - half_diag,
+                      r + half_diag, c + half_diag)
+    if bbox is None:
+        return None
+    ri0, ci0, ri1, ci1 = bbox
+    rows = np.arange(ri0, ri1)[:, None] - r
+    cols = np.arange(ci0, ci1)[None, :] - c
+    cos_h, sin_h = math.cos(heading_rad), math.sin(heading_rad)
+    # Coordinates in the rectangle frame (u along heading, v across).
+    u = cols * cos_h + rows * sin_h
+    v = -cols * sin_h + rows * cos_h
+    mask = (np.abs(u) <= length / 2.0) & (np.abs(v) <= width / 2.0)
+    return mask, (ri0, ci0)
+
+
+def draw_oriented_rect(grid: np.ndarray, center: tuple[float, float],
+                       length: float, width: float, heading_rad: float,
+                       value: int) -> int:
+    """Fill a rotated rectangle (e.g. a car footprint along a road)."""
+    result = oriented_rect_mask(grid.shape, center, length, width,
+                                heading_rad)
+    if result is None:
+        return 0
+    mask, (ri0, ci0) = result
+    region = grid[ri0:ri0 + mask.shape[0], ci0:ci0 + mask.shape[1]]
+    region[mask] = value
+    return int(mask.sum())
+
+
+def draw_thick_line(grid: np.ndarray, start: tuple[float, float],
+                    end: tuple[float, float], width: float,
+                    value: int) -> int:
+    """Fill all cells within ``width / 2`` of the segment start-end.
+
+    Used to rasterise road edges.  Returns the number of cells painted.
+    """
+    if width <= 0:
+        return 0
+    (r0, c0), (r1, c1) = start, end
+    half = width / 2.0
+    bbox = _clip_bbox(grid.shape, min(r0, r1) - half, min(c0, c1) - half,
+                      max(r0, r1) + half, max(c0, c1) + half)
+    if bbox is None:
+        return 0
+    ri0, ci0, ri1, ci1 = bbox
+    rows = np.arange(ri0, ri1, dtype=np.float64)[:, None]
+    cols = np.arange(ci0, ci1, dtype=np.float64)[None, :]
+
+    dr, dc = r1 - r0, c1 - c0
+    seg_len_sq = dr * dr + dc * dc
+    if seg_len_sq == 0:
+        dist_sq = (rows - r0) ** 2 + (cols - c0) ** 2
+    else:
+        # Project each cell onto the segment, clamped to its extent.
+        t = ((rows - r0) * dr + (cols - c0) * dc) / seg_len_sq
+        t = np.clip(t, 0.0, 1.0)
+        dist_sq = (rows - (r0 + t * dr)) ** 2 + (cols - (c0 + t * dc)) ** 2
+    mask = dist_sq <= half * half
+    grid[ri0:ri1, ci0:ci1][mask] = value
+    return int(mask.sum())

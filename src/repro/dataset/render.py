@@ -1,0 +1,201 @@
+"""Raster renderer: label windows -> realistic-enough RGB imagery.
+
+The renderer turns ground-truth label windows into the on-board camera
+frames the landing pipeline consumes.  It is intentionally *not* a flat
+colour-per-class mapping: per-region tint fields, per-class speckle
+texture, per-instance car colours, lane markings, cast shadows, and the
+imaging-condition model make the segmentation problem non-trivial while
+remaining learnable — mirroring what matters about UAVid for the paper's
+experiments.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import ndimage
+
+from repro.dataset.classes import NUM_CLASSES, UavidClass
+from repro.dataset.conditions import DAY, ImagingConditions
+from repro.utils.imageops import clip01, smooth_noise
+from repro.utils.rng import ensure_rng
+
+__all__ = ["render_labels", "render_scene_window", "BASE_COLORS"]
+
+#: Natural (not palette) base reflectance per class, RGB in [0, 1].
+BASE_COLORS = np.array(
+    [
+        (0.46, 0.43, 0.38),   # background clutter: packed soil/pavement
+        (0.48, 0.36, 0.32),   # building: roofing
+        (0.33, 0.33, 0.35),   # road: asphalt
+        (0.10, 0.27, 0.11),   # tree: dark canopy
+        (0.35, 0.50, 0.22),   # low vegetation: grass
+        (0.55, 0.20, 0.20),   # moving car (re-tinted per instance)
+        (0.25, 0.30, 0.55),   # static car (re-tinted per instance)
+        (0.70, 0.55, 0.45),   # human
+    ],
+    dtype=np.float64,
+)
+
+#: Per-class speckle noise amplitude (texture strength).
+_SPECKLE = np.array(
+    [0.050, 0.035, 0.018, 0.075, 0.055, 0.020, 0.020, 0.030])
+
+#: Per-class tint-field amplitude (low-frequency colour variation).
+_TINT_AMPLITUDE = np.array(
+    [0.06, 0.12, 0.03, 0.06, 0.09, 0.0, 0.0, 0.0])
+
+
+def _per_instance_car_colors(labels: np.ndarray, image: np.ndarray,
+                             rng: np.random.Generator) -> None:
+    """Give each connected car blob its own paint colour (in place)."""
+    for cls in (UavidClass.MOVING_CAR, UavidClass.STATIC_CAR):
+        mask = labels == int(cls)
+        if not mask.any():
+            continue
+        blobs, n_blobs = ndimage.label(mask)
+        # A small palette of plausible car paints.
+        paints = rng.uniform(0.08, 0.9, size=(n_blobs + 1, 3))
+        whiteish = rng.random(n_blobs + 1) < 0.35
+        paints[whiteish] = rng.uniform(0.75, 0.95, size=(whiteish.sum(), 3))
+        image[mask] = paints[blobs[mask]]
+
+
+def _lane_markings(labels: np.ndarray, image: np.ndarray) -> None:
+    """Paint dashed centre-line markings on roads (in place)."""
+    road = labels == int(UavidClass.ROAD)
+    if not road.any():
+        return
+    depth = ndimage.distance_transform_edt(road)
+    max_depth = depth.max()
+    if max_depth < 2.0:
+        return
+    center = depth >= max_depth - 1.2
+    rows = np.arange(labels.shape[0])[:, None]
+    cols = np.arange(labels.shape[1])[None, :]
+    dashed = ((rows + cols) % 10) < 5
+    marking = center & dashed
+    image[marking] = (0.85, 0.85, 0.80)
+
+
+def _cast_shadows(height_m: np.ndarray, gsd: float,
+                  conditions: ImagingConditions) -> np.ndarray:
+    """Boolean mask of ground cells shadowed by buildings/trees.
+
+    A cell is shadowed when, stepping toward the sun, some earlier cell's
+    object top is above the sun ray.  Discretised ray-marching with a
+    capped shadow length keeps this cheap.
+    """
+    if conditions.shadow_strength <= 0.0 or not (height_m > 0).any():
+        return np.zeros_like(height_m, dtype=bool)
+    az = math.radians(conditions.sun_azimuth_deg)
+    # Shadows fall opposite the sun direction.
+    step_r = -math.cos(az)
+    step_c = -math.sin(az)
+    tan_elev = math.tan(math.radians(conditions.sun_elevation_deg))
+    max_len_m = min(60.0, height_m.max() / max(tan_elev, 1e-3))
+    max_steps = max(1, min(40, int(max_len_m / gsd)))
+
+    shadow = np.zeros_like(height_m, dtype=bool)
+    h, w = height_m.shape
+    for k in range(1, max_steps + 1):
+        dr = int(round(step_r * k))
+        dc = int(round(step_c * k))
+        # Height an occluder at distance k*gsd must exceed.
+        required = tan_elev * k * gsd
+        src_r0, src_r1 = max(0, -dr), min(h, h - dr)
+        dst_r0, dst_r1 = max(0, dr), min(h, h + dr)
+        src_c0, src_c1 = max(0, -dc), min(w, w - dc)
+        dst_c0, dst_c1 = max(0, dc), min(w, w + dc)
+        if src_r0 >= src_r1 or src_c0 >= src_c1:
+            break
+        occluder = height_m[src_r0:src_r1, src_c0:src_c1] > required
+        shadow[dst_r0:dst_r1, dst_c0:dst_c1] |= occluder
+    # Objects do not shadow their own tops.
+    shadow &= height_m <= 0
+    return shadow
+
+
+def render_labels(labels: np.ndarray, height_m: np.ndarray | None = None,
+                  conditions: ImagingConditions = DAY,
+                  gsd: float = 1.0, rng=None) -> np.ndarray:
+    """Render a label window into a CHW float32 RGB image in [0, 1].
+
+    Parameters
+    ----------
+    labels:
+        ``(H, W)`` integer class map.
+    height_m:
+        Optional above-ground height map for cast shadows.
+    conditions:
+        Imaging conditions (lighting, weather, sensor model).
+    gsd:
+        Ground sample distance in metres per pixel (shadow geometry).
+    rng:
+        Seed or generator for texture and noise.
+    """
+    rng = ensure_rng(rng)
+    labels = np.asarray(labels)
+    if labels.ndim != 2:
+        raise ValueError(f"labels must be 2-D, got shape {labels.shape}")
+    if labels.min() < 0 or labels.max() >= NUM_CLASSES:
+        raise ValueError("labels contain ids outside the UAVid class set")
+    h, w = labels.shape
+
+    image = BASE_COLORS[labels].copy()  # (H, W, 3)
+
+    # Low-frequency per-class tint (roof colours, grass patchiness).
+    tint = np.stack([smooth_noise((h, w), rng, scale=12) for _ in range(3)],
+                    axis=-1)
+    image += tint * _TINT_AMPLITUDE[labels][..., None]
+
+    _per_instance_car_colors(labels, image, rng)
+    _lane_markings(labels, image)
+
+    # Per-pixel speckle texture.
+    speckle = rng.normal(0.0, 1.0, size=(h, w, 3))
+    image += speckle * _SPECKLE[labels][..., None]
+
+    # Cast shadows.
+    if height_m is not None:
+        shadow = _cast_shadows(np.asarray(height_m, dtype=np.float64),
+                               gsd, conditions)
+        image[shadow] *= (1.0 - conditions.shadow_strength)
+
+    # Illumination model.
+    cast = np.asarray(conditions.color_cast, dtype=np.float64)
+    image = (image - 0.5) * conditions.contrast + 0.5
+    image = clip01(image) ** conditions.gamma
+    image *= conditions.brightness * cast[None, None, :]
+
+    if conditions.fog > 0:
+        fog_color = np.array([0.72, 0.74, 0.78])
+        image = image * (1.0 - conditions.fog) + fog_color * conditions.fog
+
+    if conditions.blur_sigma > 0:
+        for ch in range(3):
+            image[..., ch] = ndimage.gaussian_filter(
+                image[..., ch], conditions.blur_sigma)
+
+    if conditions.noise_sigma > 0:
+        image += rng.normal(0.0, conditions.noise_sigma, size=image.shape)
+
+    chw = np.moveaxis(clip01(image), -1, 0)
+    return np.ascontiguousarray(chw, dtype=np.float32)
+
+
+def render_scene_window(scene, center_rc: tuple[float, float],
+                        shape_px: tuple[int, int], gsd: float,
+                        conditions: ImagingConditions = DAY,
+                        rng=None) -> tuple[np.ndarray, np.ndarray]:
+    """Render the camera view of a scene window.
+
+    Returns ``(image_chw, labels)`` — the frame the landing pipeline
+    sees and the aligned ground truth used for training/evaluation.
+    """
+    labels = scene.label_window(center_rc, shape_px, gsd)
+    height = scene.height_window(center_rc, shape_px, gsd)
+    image = render_labels(labels, height_m=height, conditions=conditions,
+                          gsd=gsd, rng=rng)
+    return image, labels

@@ -1,0 +1,474 @@
+"""Procedural urban scene model — the offline substitute for UAVid.
+
+The paper's landing-zone selector is trained on UAVid, 300 high-resolution
+oblique urban UAV images with dense 8-class labels.  That imagery cannot
+be shipped offline, so this module synthesises urban worlds with the same
+label set and the same spatial statistics that matter to emergency
+landing: a connected road network, buildings along blocks, parked and
+moving cars *on the roads*, pedestrians near buildings and parks, and
+open grass areas that constitute legitimate landing zones.
+
+A scene is simultaneously:
+
+* the ground truth for segmentation training/evaluation (via
+  :meth:`UrbanScene.label_window`),
+* the world model for the mission simulator (touchdown footprints are
+  classified against the same grid), and
+* the "public database" for the map-based baseline (via
+  :attr:`UrbanScene.static_labels`, which lacks dynamic objects — exactly
+  the limitation of database-driven landing-site selection the paper's
+  related work discusses).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+from scipy import ndimage
+
+from repro.dataset import rasterize
+from repro.dataset.classes import NUM_CLASSES, UavidClass
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["SceneConfig", "UrbanScene", "Car", "Building"]
+
+
+@dataclass(frozen=True)
+class SceneConfig:
+    """Parameters of the procedural city.
+
+    Distances are metres.  The defaults give a 256 m x 256 m district at
+    0.5 m ground resolution — big enough for a MEDI DELIVERY leg, small
+    enough to generate hundreds of scenes in tests.
+    """
+
+    size_m: tuple[float, float] = (256.0, 256.0)
+    gsd: float = 0.5  # metres per grid cell
+    road_spacing_m: float = 64.0
+    road_width_m: float = 7.0
+    road_jitter_m: float = 8.0
+    road_keep_prob: float = 0.9
+    sidewalk_width_m: float = 2.5
+    building_coverage: float = 0.25
+    building_size_m: tuple[float, float] = (10.0, 28.0)
+    building_height_m: tuple[float, float] = (6.0, 30.0)
+    building_setback_m: float = 3.0
+    park_count: int = 2
+    park_radius_m: tuple[float, float] = (25.0, 45.0)
+    tree_density_per_ha: float = 18.0
+    tree_radius_m: tuple[float, float] = (1.5, 4.0)
+    tree_height_m: tuple[float, float] = (5.0, 12.0)
+    clutter_patch_density: float = 0.08
+    static_cars_per_road_km: float = 28.0
+    moving_cars_per_road_km: float = 9.0
+    car_length_m: float = 4.5
+    car_width_m: float = 1.9
+    humans_per_ha: float = 4.0
+
+    def __post_init__(self):
+        check_positive("gsd", self.gsd)
+        check_positive("road_spacing_m", self.road_spacing_m)
+        check_positive("road_width_m", self.road_width_m)
+        if self.size_m[0] < 2 * self.road_spacing_m or \
+                self.size_m[1] < 2 * self.road_spacing_m:
+            raise ValueError(
+                "scene must span at least two road spacings per axis")
+
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        return (int(round(self.size_m[0] / self.gsd)),
+                int(round(self.size_m[1] / self.gsd)))
+
+    def m_to_cells(self, metres: float) -> float:
+        return metres / self.gsd
+
+
+@dataclass(frozen=True)
+class Car:
+    """A car instance (grid coordinates, heading in radians)."""
+
+    row: float
+    col: float
+    heading: float
+    moving: bool
+
+
+@dataclass(frozen=True)
+class Building:
+    """A building instance (grid coordinates and height in metres)."""
+
+    top: int
+    left: int
+    height_cells: int
+    width_cells: int
+    roof_height_m: float
+
+
+@dataclass
+class UrbanScene:
+    """A generated urban world: labels, heights and object inventory."""
+
+    config: SceneConfig
+    labels: np.ndarray            # (H, W) int16, final semantic map
+    static_labels: np.ndarray     # (H, W) int16, without cars/humans
+    height_m: np.ndarray          # (H, W) float32, above-ground height
+    cars: list[Car] = field(default_factory=list)
+    humans: list[tuple[float, float]] = field(default_factory=list)
+    buildings: list[Building] = field(default_factory=list)
+    trees: list[tuple[float, float, float]] = field(default_factory=list)
+    road_graph: nx.Graph | None = None
+    seed: int | None = None
+
+    # ------------------------------------------------------------------
+    # Generation
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(cls, config: SceneConfig | None = None,
+                 seed=None) -> "UrbanScene":
+        """Procedurally generate a scene (deterministic given ``seed``)."""
+        config = config or SceneConfig()
+        rng = ensure_rng(seed)
+        shape = config.grid_shape
+        labels = np.full(shape, int(UavidClass.LOW_VEGETATION),
+                         dtype=np.int16)
+        height = np.zeros(shape, dtype=np.float32)
+
+        cls._paint_clutter_patches(labels, config, rng)
+        graph, road_mask = cls._build_road_network(labels, config, rng)
+        buildings = cls._place_buildings(labels, height, road_mask,
+                                         config, rng)
+        trees = cls._place_trees(labels, height, road_mask, config, rng)
+
+        static_labels = labels.copy()
+
+        cars = cls._place_cars(labels, graph, config, rng)
+        humans = cls._place_humans(labels, road_mask, config, rng)
+
+        scene = cls(config=config, labels=labels,
+                    static_labels=static_labels, height_m=height,
+                    cars=cars, humans=humans, buildings=buildings,
+                    trees=trees, road_graph=graph,
+                    seed=None if seed is None or
+                    isinstance(seed, np.random.Generator) else int(seed))
+        return scene
+
+    # -- generation stages ---------------------------------------------
+    @staticmethod
+    def _paint_clutter_patches(labels: np.ndarray, config: SceneConfig,
+                               rng: np.random.Generator) -> None:
+        """Scatter bare-soil/clutter patches over the vegetation base."""
+        h, w = labels.shape
+        area_ha = (h * w * config.gsd ** 2) / 1e4
+        n_patches = rng.poisson(config.clutter_patch_density * 100 * area_ha)
+        for _ in range(int(n_patches)):
+            center = (rng.uniform(0, h), rng.uniform(0, w))
+            radius = config.m_to_cells(rng.uniform(2.0, 9.0))
+            rasterize.draw_disk(labels, center, radius,
+                                int(UavidClass.BACKGROUND_CLUTTER))
+
+    @staticmethod
+    def _build_road_network(labels: np.ndarray, config: SceneConfig,
+                            rng: np.random.Generator
+                            ) -> tuple[nx.Graph, np.ndarray]:
+        """Create a jittered grid road graph and rasterise it.
+
+        Returns the graph (node attribute ``pos`` in grid coordinates,
+        edge attribute ``heading``) and the boolean road mask.
+        """
+        h, w = labels.shape
+        spacing = config.m_to_cells(config.road_spacing_m)
+        jitter = config.m_to_cells(config.road_jitter_m)
+        n_rows = max(2, int(round(h / spacing)) + 1)
+        n_cols = max(2, int(round(w / spacing)) + 1)
+
+        graph = nx.Graph()
+        positions: dict[tuple[int, int], tuple[float, float]] = {}
+        for i in range(n_rows):
+            for j in range(n_cols):
+                base_r = i * (h - 1) / (n_rows - 1)
+                base_c = j * (w - 1) / (n_cols - 1)
+                r = float(np.clip(base_r + rng.uniform(-jitter, jitter),
+                                  0, h - 1))
+                c = float(np.clip(base_c + rng.uniform(-jitter, jitter),
+                                  0, w - 1))
+                positions[(i, j)] = (r, c)
+                graph.add_node((i, j), pos=(r, c))
+
+        candidate_edges = []
+        for i in range(n_rows):
+            for j in range(n_cols):
+                if i + 1 < n_rows:
+                    candidate_edges.append(((i, j), (i + 1, j)))
+                if j + 1 < n_cols:
+                    candidate_edges.append(((i, j), (i, j + 1)))
+        rng.shuffle(candidate_edges)
+
+        # Independently keep each candidate street...
+        for u, v in candidate_edges:
+            if rng.random() < config.road_keep_prob:
+                graph.add_edge(u, v)
+        # ...then re-connect any disconnected components through their
+        # nearest node pair, so every district has a reachable network.
+        components = [list(c) for c in nx.connected_components(graph)]
+        while len(components) > 1:
+            comp_a = components[0]
+            comp_b = components[1]
+            best = None
+            for a in comp_a:
+                for b in comp_b:
+                    d = math.dist(positions[a], positions[b])
+                    if best is None or d < best[0]:
+                        best = (d, a, b)
+            graph.add_edge(best[1], best[2])
+            components = [list(c) for c in nx.connected_components(graph)]
+
+        width_cells = config.m_to_cells(config.road_width_m)
+        sidewalk_cells = config.m_to_cells(config.sidewalk_width_m)
+        # Sidewalks first (wider strip), then roads on top.
+        for u, v in graph.edges:
+            rasterize.draw_thick_line(
+                labels, positions[u], positions[v],
+                width_cells + 2 * sidewalk_cells,
+                int(UavidClass.BACKGROUND_CLUTTER))
+        for u, v in graph.edges:
+            rasterize.draw_thick_line(labels, positions[u], positions[v],
+                                      width_cells, int(UavidClass.ROAD))
+            dr = positions[v][0] - positions[u][0]
+            dc = positions[v][1] - positions[u][1]
+            graph.edges[u, v]["heading"] = math.atan2(dr, dc)
+            graph.edges[u, v]["length_cells"] = math.hypot(dr, dc)
+
+        road_mask = labels == int(UavidClass.ROAD)
+        return graph, road_mask
+
+    @staticmethod
+    def _place_buildings(labels: np.ndarray, height: np.ndarray,
+                         road_mask: np.ndarray, config: SceneConfig,
+                         rng: np.random.Generator) -> list[Building]:
+        """Fill city blocks with axis-aligned buildings."""
+        h, w = labels.shape
+        setback_cells = config.m_to_cells(config.building_setback_m
+                                          + config.sidewalk_width_m
+                                          + config.road_width_m / 2.0)
+        clearance = ndimage.distance_transform_edt(~road_mask)
+        allowed = clearance > setback_cells
+
+        # Reserve park areas: open blocks with no buildings (cities have
+        # them, and they are exactly the legitimate landing zones an EL
+        # system should find).
+        for _ in range(config.park_count):
+            pr = rng.uniform(0, h - 1)
+            pc = rng.uniform(0, w - 1)
+            radius = config.m_to_cells(rng.uniform(*config.park_radius_m))
+            park = np.zeros((h, w), dtype=np.int8)
+            rasterize.draw_disk(park, (pr, pc), radius, 1)
+            allowed &= park == 0
+
+        target_cells = config.building_coverage * allowed.sum()
+        placed_cells = 0
+        buildings: list[Building] = []
+        occupied = np.zeros_like(road_mask)
+        attempts = 0
+        max_attempts = 4000
+        lo, hi = config.building_size_m
+        while placed_cells < target_cells and attempts < max_attempts:
+            attempts += 1
+            bh = int(config.m_to_cells(rng.uniform(lo, hi)))
+            bw = int(config.m_to_cells(rng.uniform(lo, hi)))
+            top = rng.integers(0, max(1, h - bh))
+            left = rng.integers(0, max(1, w - bw))
+            patch_allowed = allowed[top:top + bh, left:left + bw]
+            patch_occupied = occupied[top:top + bh, left:left + bw]
+            if patch_allowed.all() and not patch_occupied.any():
+                roof = float(rng.uniform(*config.building_height_m))
+                labels[top:top + bh, left:left + bw] = int(
+                    UavidClass.BUILDING)
+                height[top:top + bh, left:left + bw] = roof
+                occupied[top:top + bh, left:left + bw] = True
+                buildings.append(Building(int(top), int(left), bh, bw, roof))
+                placed_cells += bh * bw
+        return buildings
+
+    @staticmethod
+    def _place_trees(labels: np.ndarray, height: np.ndarray,
+                     road_mask: np.ndarray, config: SceneConfig,
+                     rng: np.random.Generator
+                     ) -> list[tuple[float, float, float]]:
+        """Scatter trees on open ground (never on roads or buildings)."""
+        h, w = labels.shape
+        area_ha = (h * w * config.gsd ** 2) / 1e4
+        n_trees = rng.poisson(config.tree_density_per_ha * area_ha)
+        blocked = road_mask | (labels == int(UavidClass.BUILDING))
+        trees: list[tuple[float, float, float]] = []
+        for _ in range(int(n_trees)):
+            r = rng.uniform(0, h - 1)
+            c = rng.uniform(0, w - 1)
+            if blocked[int(r), int(c)]:
+                continue
+            radius = config.m_to_cells(rng.uniform(*config.tree_radius_m))
+            tree_h = float(rng.uniform(*config.tree_height_m))
+            painted = rasterize.draw_disk(labels, (r, c), radius,
+                                          int(UavidClass.TREE))
+            if painted:
+                canopy = np.zeros_like(labels, dtype=bool)
+                # Height only where this tree actually painted: redraw on
+                # a boolean canvas restricted to the same disk.
+                rasterize.draw_disk(canopy.view(np.int8), (r, c), radius, 1)
+                height[canopy & (labels == int(UavidClass.TREE))] = tree_h
+                trees.append((float(r), float(c), float(radius)))
+        return trees
+
+    @staticmethod
+    def _place_cars(labels: np.ndarray, graph: nx.Graph,
+                    config: SceneConfig,
+                    rng: np.random.Generator) -> list[Car]:
+        """Park static cars near road edges; put moving cars mid-lane."""
+        positions = nx.get_node_attributes(graph, "pos")
+        total_len_cells = sum(d["length_cells"]
+                              for _, _, d in graph.edges(data=True))
+        total_len_km = total_len_cells * config.gsd / 1000.0
+        n_static = rng.poisson(config.static_cars_per_road_km * total_len_km)
+        n_moving = rng.poisson(config.moving_cars_per_road_km * total_len_km)
+
+        edges = list(graph.edges(data=True))
+        weights = np.array([d["length_cells"] for _, _, d in edges])
+        if not edges or weights.sum() == 0:
+            return []
+        probs = weights / weights.sum()
+
+        length_cells = config.m_to_cells(config.car_length_m)
+        width_cells = config.m_to_cells(config.car_width_m)
+        half_road = config.m_to_cells(config.road_width_m) / 2.0
+
+        cars: list[Car] = []
+        for moving in (False, True):
+            count = n_moving if moving else n_static
+            for _ in range(int(count)):
+                idx = rng.choice(len(edges), p=probs)
+                u, v, data = edges[idx]
+                t = rng.uniform(0.15, 0.85)
+                (r0, c0), (r1, c1) = positions[u], positions[v]
+                r = r0 + t * (r1 - r0)
+                c = c0 + t * (c1 - c0)
+                heading = data["heading"]
+                if moving:
+                    offset = rng.uniform(-0.25, 0.25) * half_road
+                else:
+                    # Parked close to the kerb on either side.
+                    side = rng.choice((-1.0, 1.0))
+                    offset = side * (half_road - width_cells * 0.8)
+                r += -math.sin(heading - math.pi / 2) * offset
+                c += math.cos(heading - math.pi / 2) * offset
+                value = int(UavidClass.MOVING_CAR if moving
+                            else UavidClass.STATIC_CAR)
+                painted = rasterize.draw_oriented_rect(
+                    labels, (r, c), length_cells, width_cells, heading,
+                    value)
+                if painted:
+                    cars.append(Car(float(r), float(c), float(heading),
+                                    bool(moving)))
+        return cars
+
+    @staticmethod
+    def _place_humans(labels: np.ndarray, road_mask: np.ndarray,
+                      config: SceneConfig,
+                      rng: np.random.Generator
+                      ) -> list[tuple[float, float]]:
+        """Place pedestrians on sidewalks and open ground near roads."""
+        h, w = labels.shape
+        area_ha = (h * w * config.gsd ** 2) / 1e4
+        n_humans = rng.poisson(config.humans_per_ha * area_ha)
+        near_road = ndimage.distance_transform_edt(~road_mask) \
+            < config.m_to_cells(25.0)
+        walkable = ((labels == int(UavidClass.BACKGROUND_CLUTTER))
+                    | (labels == int(UavidClass.LOW_VEGETATION)))
+        candidates = np.argwhere(walkable & near_road)
+        humans: list[tuple[float, float]] = []
+        if candidates.size == 0:
+            return humans
+        radius = max(1.0, config.m_to_cells(0.4))
+        for _ in range(int(n_humans)):
+            r, c = candidates[rng.integers(0, len(candidates))]
+            rasterize.draw_disk(labels, (float(r), float(c)), radius,
+                                int(UavidClass.HUMAN))
+            humans.append((float(r), float(c)))
+        return humans
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def grid_shape(self) -> tuple[int, int]:
+        return self.labels.shape
+
+    def _window_indices(self, center_rc: tuple[float, float],
+                        shape_px: tuple[int, int], gsd_out: float
+                        ) -> tuple[np.ndarray, np.ndarray]:
+        """Base-grid sample indices of an output window (nearest)."""
+        scale = gsd_out / self.config.gsd
+        out_h, out_w = shape_px
+        rows = (center_rc[0]
+                + (np.arange(out_h) - (out_h - 1) / 2.0) * scale)
+        cols = (center_rc[1]
+                + (np.arange(out_w) - (out_w - 1) / 2.0) * scale)
+        rows = np.clip(np.round(rows).astype(int), 0, self.labels.shape[0] - 1)
+        cols = np.clip(np.round(cols).astype(int), 0, self.labels.shape[1] - 1)
+        return rows, cols
+
+    def label_window(self, center_rc: tuple[float, float],
+                     shape_px: tuple[int, int],
+                     gsd_out: float) -> np.ndarray:
+        """Ground-truth labels of a camera window at a given GSD."""
+        rows, cols = self._window_indices(center_rc, shape_px, gsd_out)
+        return self.labels[rows[:, None], cols[None, :]].copy()
+
+    def static_label_window(self, center_rc: tuple[float, float],
+                            shape_px: tuple[int, int],
+                            gsd_out: float) -> np.ndarray:
+        """Like :meth:`label_window` but from the dynamic-free static map."""
+        rows, cols = self._window_indices(center_rc, shape_px, gsd_out)
+        return self.static_labels[rows[:, None], cols[None, :]].copy()
+
+    def height_window(self, center_rc: tuple[float, float],
+                      shape_px: tuple[int, int],
+                      gsd_out: float) -> np.ndarray:
+        """Above-ground height map of a camera window (for shadows)."""
+        rows, cols = self._window_indices(center_rc, shape_px, gsd_out)
+        return self.height_m[rows[:, None], cols[None, :]].copy()
+
+    def window_center_bounds(self, shape_px: tuple[int, int],
+                             gsd_out: float
+                             ) -> tuple[float, float, float, float]:
+        """Valid (min_row, max_row, min_col, max_col) window centres."""
+        scale = gsd_out / self.config.gsd
+        half_h = shape_px[0] * scale / 2.0
+        half_w = shape_px[1] * scale / 2.0
+        h, w = self.labels.shape
+        if 2 * half_h > h or 2 * half_w > w:
+            raise ValueError(
+                f"window {shape_px}@{gsd_out} m/px does not fit in scene "
+                f"{h}x{w}@{self.config.gsd} m/cell")
+        return (half_h, h - half_h, half_w, w - half_w)
+
+    def random_window_center(self, shape_px: tuple[int, int],
+                             gsd_out: float,
+                             rng) -> tuple[float, float]:
+        """Uniformly random valid window centre."""
+        rng = ensure_rng(rng)
+        rmin, rmax, cmin, cmax = self.window_center_bounds(shape_px, gsd_out)
+        return (float(rng.uniform(rmin, rmax)),
+                float(rng.uniform(cmin, cmax)))
+
+    def class_fractions(self) -> np.ndarray:
+        """Per-class pixel fractions of the full scene."""
+        counts = np.bincount(self.labels.reshape(-1),
+                             minlength=NUM_CLASSES).astype(np.float64)
+        return counts / counts.sum()
+
+    def meters_to_cells(self, metres: float) -> float:
+        """Convert metres to base-grid cells."""
+        return self.config.m_to_cells(metres)

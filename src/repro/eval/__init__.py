@@ -1,0 +1,40 @@
+"""Evaluation harness: trained-system cache, experiment drivers, metrics,
+and plain-text reporting used by the benchmark suite and examples."""
+
+from repro.eval.harness import (
+    HarnessConfig,
+    TrainedSystem,
+    build_trained_system,
+    default_cache_dir,
+    fig4_experiment,
+    scaled_drift_model,
+    timing_experiment,
+    zone_acceptance_experiment,
+)
+from repro.eval.monitor_metrics import (
+    MonitorPixelStats,
+    accumulate_stats,
+    pixel_monitor_stats,
+    tau_sweep,
+    zone_truly_unsafe,
+)
+from repro.eval.reporting import format_kv, format_table, format_title
+
+__all__ = [
+    "HarnessConfig",
+    "TrainedSystem",
+    "build_trained_system",
+    "default_cache_dir",
+    "scaled_drift_model",
+    "fig4_experiment",
+    "zone_acceptance_experiment",
+    "timing_experiment",
+    "MonitorPixelStats",
+    "pixel_monitor_stats",
+    "accumulate_stats",
+    "tau_sweep",
+    "zone_truly_unsafe",
+    "format_table",
+    "format_kv",
+    "format_title",
+]

@@ -1,0 +1,63 @@
+"""Plain-text table/series formatting for benches and examples.
+
+Every benchmark prints the rows/series of the paper artefact it
+reproduces; these helpers keep that output consistent and legible
+without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_kv", "format_title"]
+
+
+def format_title(title: str, width: int = 72) -> str:
+    """A boxed section title."""
+    bar = "=" * width
+    return f"{bar}\n{title}\n{bar}"
+
+
+def format_table(headers: list[str], rows: list[list],
+                 title: str | None = None) -> str:
+    """Fixed-width ASCII table.
+
+    Cells are stringified; floats are rendered with 4 significant
+    digits.  Column widths adapt to content.
+    """
+    def render(cell) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(cells, widths)).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(headers))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    for row in str_rows:
+        lines.append(fmt_row(row))
+    return "\n".join(lines)
+
+
+def format_kv(pairs: dict, title: str | None = None) -> str:
+    """Aligned key/value listing."""
+    if not pairs:
+        return title or ""
+    width = max(len(str(k)) for k in pairs)
+    lines = [title] if title else []
+    for key, value in pairs.items():
+        if isinstance(value, float):
+            value = f"{value:.4g}"
+        lines.append(f"{str(key).ljust(width)}  {value}")
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Pure-numpy deep-learning substrate.
+
+Implements everything the paper's MSDnet segmentation model and its
+Monte-Carlo-dropout Bayesian variant need: dilated convolutions, batch
+normalisation, dropout with an MC-inference switch, pooling, bilinear
+upsampling, losses, optimisers and checkpointing — with analytic
+gradients verified against finite differences in the test suite.
+"""
+
+from repro.nn.gradcheck import (
+    gradient_mismatch,
+    check_module_gradients,
+    max_relative_error,
+    numeric_gradient,
+)
+from repro.nn.io import load_state_dict, load_weights, save_weights, state_dict
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Dropout,
+    Identity,
+    LeakyReLU,
+    MaxPool2d,
+    ReLU,
+    SpatialDropout2d,
+    Upsample,
+    mc_dropout_enabled,
+    set_mc_dropout,
+)
+from repro.nn.losses import (
+    class_weights_from_frequencies,
+    dice_loss,
+    softmax_cross_entropy,
+)
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.optim import SGD, Adam, CosineLR, Optimizer, StepLR
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Conv2d",
+    "BatchNorm2d",
+    "ReLU",
+    "LeakyReLU",
+    "Dropout",
+    "SpatialDropout2d",
+    "MaxPool2d",
+    "Upsample",
+    "Identity",
+    "set_mc_dropout",
+    "mc_dropout_enabled",
+    "softmax_cross_entropy",
+    "dice_loss",
+    "class_weights_from_frequencies",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "StepLR",
+    "CosineLR",
+    "save_weights",
+    "load_weights",
+    "state_dict",
+    "load_state_dict",
+    "check_module_gradients",
+    "numeric_gradient",
+    "max_relative_error",
+    "gradient_mismatch",
+]

@@ -1,0 +1,283 @@
+"""Low-level differentiable operations for the numpy deep-learning substrate.
+
+The paper's landing-zone selector is a dilated convolutional segmentation
+network (MSDnet).  Since no deep-learning framework is available offline,
+this module implements the required primitives from scratch:
+
+* dilated / strided 2-D convolution via ``im2col``/``col2im``,
+* non-overlapping max pooling,
+* bilinear and nearest-neighbour resizing with exact adjoints,
+* numerically-stable softmax / log-softmax.
+
+All forward functions return ``(output, cache)`` where ``cache`` carries
+whatever the matching backward function needs.  Arrays are NCHW.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "conv_output_size",
+    "im2col",
+    "col2im",
+    "conv2d_forward",
+    "conv2d_backward",
+    "maxpool2d_forward",
+    "maxpool2d_backward",
+    "linear_resize_weights",
+    "resize_bilinear_forward",
+    "resize_bilinear_backward",
+    "resize_nearest_forward",
+    "resize_nearest_backward",
+    "softmax",
+    "log_softmax",
+]
+
+
+# ----------------------------------------------------------------------
+# Convolution
+# ----------------------------------------------------------------------
+def conv_output_size(in_size: int, kernel: int, stride: int, padding: int,
+                     dilation: int) -> int:
+    """Spatial output size of a convolution along one axis."""
+    effective = (kernel - 1) * dilation + 1
+    out = (in_size + 2 * padding - effective) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"convolution output size {out} <= 0 "
+            f"(in={in_size}, kernel={kernel}, stride={stride}, "
+            f"padding={padding}, dilation={dilation})")
+    return out
+
+
+def im2col(x: np.ndarray, kernel: tuple[int, int], stride: int,
+           padding: int, dilation: int) -> tuple[np.ndarray, tuple]:
+    """Unfold image patches into columns.
+
+    Parameters
+    ----------
+    x:
+        Input of shape ``(N, C, H, W)``.
+    kernel:
+        ``(kh, kw)`` kernel extents.
+
+    Returns
+    -------
+    cols:
+        Array of shape ``(N, C * kh * kw, out_h * out_w)``.
+    geom:
+        Geometry tuple consumed by :func:`col2im`.
+    """
+    n, c, h, w = x.shape
+    kh, kw = kernel
+    out_h = conv_output_size(h, kh, stride, padding, dilation)
+    out_w = conv_output_size(w, kw, stride, padding, dilation)
+
+    if padding > 0:
+        xp = np.pad(x, ((0, 0), (0, 0), (padding, padding),
+                        (padding, padding)))
+    else:
+        xp = x
+
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        row0 = i * dilation
+        row1 = row0 + stride * out_h
+        for j in range(kw):
+            col0 = j * dilation
+            col1 = col0 + stride * out_w
+            cols[:, :, i, j] = xp[:, :, row0:row1:stride, col0:col1:stride]
+
+    geom = (x.shape, kernel, stride, padding, dilation, out_h, out_w)
+    return cols.reshape(n, c * kh * kw, out_h * out_w), geom
+
+
+def col2im(cols: np.ndarray, geom: tuple) -> np.ndarray:
+    """Adjoint of :func:`im2col` (scatter-add columns back to an image)."""
+    (x_shape, kernel, stride, padding, dilation, out_h, out_w) = geom
+    n, c, h, w = x_shape
+    kh, kw = kernel
+    cols6 = cols.reshape(n, c, kh, kw, out_h, out_w)
+
+    hp, wp = h + 2 * padding, w + 2 * padding
+    xp = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    for i in range(kh):
+        row0 = i * dilation
+        row1 = row0 + stride * out_h
+        for j in range(kw):
+            col0 = j * dilation
+            col1 = col0 + stride * out_w
+            xp[:, :, row0:row1:stride, col0:col1:stride] += cols6[:, :, i, j]
+
+    if padding > 0:
+        return xp[:, :, padding:padding + h, padding:padding + w]
+    return xp
+
+
+def conv2d_forward(x: np.ndarray, weight: np.ndarray,
+                   bias: np.ndarray | None, stride: int = 1,
+                   padding: int = 0,
+                   dilation: int = 1) -> tuple[np.ndarray, tuple]:
+    """2-D convolution forward pass.
+
+    ``x`` is ``(N, C_in, H, W)``; ``weight`` is ``(C_out, C_in, kh, kw)``;
+    ``bias`` is ``(C_out,)`` or ``None``.
+    """
+    c_out, c_in, kh, kw = weight.shape
+    if x.shape[1] != c_in:
+        raise ValueError(
+            f"input has {x.shape[1]} channels, weight expects {c_in}")
+    cols, geom = im2col(x, (kh, kw), stride, padding, dilation)
+    w2 = weight.reshape(c_out, c_in * kh * kw)
+    # (N, C_out, L) = (C_out, K) @ (N, K, L)
+    out = np.einsum("ok,nkl->nol", w2, cols, optimize=True)
+    if bias is not None:
+        out = out + bias[None, :, None]
+    n = x.shape[0]
+    out_h, out_w = geom[5], geom[6]
+    y = out.reshape(n, c_out, out_h, out_w)
+    cache = (cols, geom, weight, bias is not None)
+    return y, cache
+
+
+def conv2d_backward(dy: np.ndarray, cache: tuple
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Backward pass of :func:`conv2d_forward`.
+
+    Returns ``(dx, dweight, dbias)``; ``dbias`` is ``None`` when the
+    forward pass had no bias.
+    """
+    cols, geom, weight, has_bias = cache
+    c_out, c_in, kh, kw = weight.shape
+    n = dy.shape[0]
+    dy2 = dy.reshape(n, c_out, -1)  # (N, C_out, L)
+
+    dbias = dy2.sum(axis=(0, 2)) if has_bias else None
+    # dW = sum_n dy2 @ cols^T
+    dw2 = np.einsum("nol,nkl->ok", dy2, cols, optimize=True)
+    dweight = dw2.reshape(weight.shape)
+    # dcols = W^T @ dy2
+    w2 = weight.reshape(c_out, c_in * kh * kw)
+    dcols = np.einsum("ok,nol->nkl", w2, dy2, optimize=True)
+    dx = col2im(dcols, geom)
+    return dx, dweight, dbias
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+def maxpool2d_forward(x: np.ndarray,
+                      kernel: int) -> tuple[np.ndarray, tuple]:
+    """Non-overlapping max pooling with ``stride == kernel``.
+
+    The segmentation networks in this library only need non-overlapping
+    pooling; restricting to that case permits an exact reshape-based
+    implementation.
+    """
+    n, c, h, w = x.shape
+    if h % kernel or w % kernel:
+        raise ValueError(
+            f"input spatial size ({h}, {w}) not divisible by pool "
+            f"kernel {kernel}")
+    oh, ow = h // kernel, w // kernel
+    xr = x.reshape(n, c, oh, kernel, ow, kernel)
+    y = xr.max(axis=(3, 5))
+    # Mask of (first) argmax positions for the backward scatter.
+    mask = (xr == y[:, :, :, None, :, None])
+    # Break ties: keep only the first max in each window.
+    flat = mask.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, oh, ow, -1)
+    first = np.cumsum(flat, axis=-1) == 1
+    flat &= first
+    mask = flat.reshape(n, c, oh, ow, kernel, kernel).transpose(
+        0, 1, 2, 4, 3, 5)
+    return y, (mask, x.shape, kernel)
+
+
+def maxpool2d_backward(dy: np.ndarray, cache: tuple) -> np.ndarray:
+    """Backward pass of :func:`maxpool2d_forward`."""
+    mask, x_shape, kernel = cache
+    n, c, h, w = x_shape
+    oh, ow = h // kernel, w // kernel
+    dxr = mask * dy[:, :, :, None, :, None]
+    return dxr.reshape(n, c, h, w)
+
+
+# ----------------------------------------------------------------------
+# Resizing
+# ----------------------------------------------------------------------
+def linear_resize_weights(in_len: int, out_len: int,
+                          dtype=np.float64) -> np.ndarray:
+    """Dense 1-D linear-interpolation matrix ``W`` with ``y = W @ x``.
+
+    Uses the half-pixel-centre convention (``align_corners=False``).  The
+    matrix form makes the adjoint exact (``dx = W.T @ dy``), which keeps
+    the bilinear-upsampling layer gradient-checkable.
+    """
+    if in_len <= 0 or out_len <= 0:
+        raise ValueError("lengths must be positive")
+    w = np.zeros((out_len, in_len), dtype=dtype)
+    coords = np.clip((np.arange(out_len) + 0.5) * in_len / out_len - 0.5,
+                     0, in_len - 1)
+    i0 = np.floor(coords).astype(int)
+    i1 = np.minimum(i0 + 1, in_len - 1)
+    frac = coords - i0
+    rows = np.arange(out_len)
+    np.add.at(w, (rows, i0), 1.0 - frac)
+    np.add.at(w, (rows, i1), frac)
+    return w
+
+
+def resize_bilinear_forward(x: np.ndarray, out_h: int, out_w: int
+                            ) -> tuple[np.ndarray, tuple]:
+    """Bilinear resize of NCHW input to ``(out_h, out_w)``."""
+    in_h, in_w = x.shape[-2], x.shape[-1]
+    wr = linear_resize_weights(in_h, out_h, dtype=x.dtype)
+    wc = linear_resize_weights(in_w, out_w, dtype=x.dtype)
+    # y[n,c,i,j] = sum_{h,w} wr[i,h] x[n,c,h,w] wc[j,w]
+    y = np.einsum("ih,nchw,jw->ncij", wr, x, wc, optimize=True)
+    return y, (wr, wc)
+
+
+def resize_bilinear_backward(dy: np.ndarray, cache: tuple) -> np.ndarray:
+    """Adjoint of :func:`resize_bilinear_forward`."""
+    wr, wc = cache
+    return np.einsum("ih,ncij,jw->nchw", wr, dy, wc, optimize=True)
+
+
+def resize_nearest_forward(x: np.ndarray, out_h: int, out_w: int
+                           ) -> tuple[np.ndarray, tuple]:
+    """Nearest-neighbour resize of NCHW input."""
+    in_h, in_w = x.shape[-2], x.shape[-1]
+    coords_r = np.clip(np.round((np.arange(out_h) + 0.5) * in_h / out_h
+                                - 0.5).astype(int), 0, in_h - 1)
+    coords_c = np.clip(np.round((np.arange(out_w) + 0.5) * in_w / out_w
+                                - 0.5).astype(int), 0, in_w - 1)
+    y = x[..., coords_r[:, None], coords_c[None, :]]
+    return np.ascontiguousarray(y), (x.shape, coords_r, coords_c)
+
+
+def resize_nearest_backward(dy: np.ndarray, cache: tuple) -> np.ndarray:
+    """Adjoint of :func:`resize_nearest_forward` (scatter-add)."""
+    x_shape, coords_r, coords_c = cache
+    dx = np.zeros(x_shape, dtype=dy.dtype)
+    rr = coords_r[:, None]
+    cc = coords_c[None, :]
+    np.add.at(dx, (..., rr, cc), dy)
+    return dx
+
+
+# ----------------------------------------------------------------------
+# Softmax
+# ----------------------------------------------------------------------
+def softmax(x: np.ndarray, axis: int = 1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    ex = np.exp(shifted)
+    return ex / ex.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = 1) -> np.ndarray:
+    """Numerically stable log-softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True)
+    return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))

@@ -1,0 +1,58 @@
+"""Weight-initialisation schemes for the numpy deep-learning substrate."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = ["he_normal", "he_uniform", "xavier_uniform", "zeros", "constant"]
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Compute fan-in/fan-out for dense or convolutional weight shapes."""
+    if len(shape) == 2:  # (out, in)
+        fan_out, fan_in = shape
+    elif len(shape) == 4:  # (out, in, kh, kw)
+        receptive = shape[2] * shape[3]
+        fan_in = shape[1] * receptive
+        fan_out = shape[0] * receptive
+    else:
+        raise ValueError(f"unsupported weight shape {shape}")
+    return fan_in, fan_out
+
+
+def he_normal(shape, rng=None, dtype=np.float32) -> np.ndarray:
+    """Kaiming-He normal init (suits ReLU networks)."""
+    rng = ensure_rng(rng)
+    fan_in, _ = _fan_in_out(tuple(shape))
+    std = math.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape).astype(dtype)
+
+
+def he_uniform(shape, rng=None, dtype=np.float32) -> np.ndarray:
+    """Kaiming-He uniform init."""
+    rng = ensure_rng(rng)
+    fan_in, _ = _fan_in_out(tuple(shape))
+    bound = math.sqrt(6.0 / fan_in)
+    return rng.uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def xavier_uniform(shape, rng=None, dtype=np.float32) -> np.ndarray:
+    """Glorot/Xavier uniform init (suits linear/sigmoid layers)."""
+    rng = ensure_rng(rng)
+    fan_in, fan_out = _fan_in_out(tuple(shape))
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-bound, bound, size=shape).astype(dtype)
+
+
+def zeros(shape, dtype=np.float32) -> np.ndarray:
+    """All-zero init (biases)."""
+    return np.zeros(shape, dtype=dtype)
+
+
+def constant(shape, value: float, dtype=np.float32) -> np.ndarray:
+    """Constant init (e.g. batch-norm scale)."""
+    return np.full(shape, value, dtype=dtype)

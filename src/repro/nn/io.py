@@ -1,0 +1,64 @@
+"""Checkpoint save/load for numpy-substrate models.
+
+Checkpoints are plain ``.npz`` archives keyed by qualified parameter
+names, plus batch-norm running statistics.  The format is deliberately
+framework-free so trained monitors can be cached between benchmark runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import BatchNorm2d
+from repro.nn.module import Module
+
+__all__ = ["save_weights", "load_weights", "state_dict", "load_state_dict"]
+
+_RUNNING_PREFIX = "__running__"
+
+
+def state_dict(model: Module) -> dict[str, np.ndarray]:
+    """Collect all parameters and running statistics into a flat dict."""
+    state = {name: p.data.copy() for name, p in model.named_parameters()}
+    for i, module in enumerate(model.modules()):
+        if isinstance(module, BatchNorm2d):
+            state[f"{_RUNNING_PREFIX}{i}.mean"] = module.running_mean.copy()
+            state[f"{_RUNNING_PREFIX}{i}.var"] = module.running_var.copy()
+    return state
+
+
+def load_state_dict(model: Module, state: dict[str, np.ndarray]) -> None:
+    """Load a dict produced by :func:`state_dict` into ``model``.
+
+    Raises ``KeyError`` on missing parameters and ``ValueError`` on shape
+    mismatch — silent partial loads would be a safety hazard for a
+    certified component.
+    """
+    for name, p in model.named_parameters():
+        if name not in state:
+            raise KeyError(f"checkpoint missing parameter {name!r}")
+        value = np.asarray(state[name])
+        if value.shape != p.data.shape:
+            raise ValueError(
+                f"shape mismatch for {name!r}: checkpoint "
+                f"{value.shape}, model {p.data.shape}")
+        p.data[...] = value.astype(p.data.dtype)
+    for i, module in enumerate(model.modules()):
+        if isinstance(module, BatchNorm2d):
+            mean_key = f"{_RUNNING_PREFIX}{i}.mean"
+            var_key = f"{_RUNNING_PREFIX}{i}.var"
+            if mean_key in state:
+                module.running_mean[...] = state[mean_key]
+            if var_key in state:
+                module.running_var[...] = state[var_key]
+
+
+def save_weights(model: Module, path) -> None:
+    """Serialise ``model`` weights (and BN statistics) to ``path``."""
+    np.savez_compressed(path, **state_dict(model))
+
+
+def load_weights(model: Module, path) -> None:
+    """Restore weights saved by :func:`save_weights` into ``model``."""
+    with np.load(path) as archive:
+        load_state_dict(model, dict(archive))

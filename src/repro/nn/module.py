@@ -1,0 +1,159 @@
+"""Module/parameter abstractions for the numpy deep-learning substrate.
+
+The design follows the familiar layer-object pattern: each module owns
+its parameters, caches whatever its backward pass needs during
+``forward``, and exposes an explicit ``backward(grad)``.  There is no
+autograd tape — the networks in this library are feed-forward chains and
+simple DAGs (parallel dilation branches), which composite modules handle
+explicitly.  This keeps the substrate small, debuggable, and exactly
+gradient-checkable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter", "Module", "Sequential"]
+
+
+class Parameter:
+    """A trainable array with its gradient accumulator."""
+
+    def __init__(self, data: np.ndarray, name: str = ""):
+        self.data = np.asarray(data)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        self.grad[...] = 0.0
+
+    @property
+    def shape(self):
+        return self.data.shape
+
+    def __repr__(self):
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for all layers and networks.
+
+    Sub-classes implement ``forward`` (storing caches on ``self``) and
+    ``backward`` (returning the gradient w.r.t. their input and
+    accumulating parameter gradients).  Sub-modules and parameters are
+    discovered by attribute scan, so composition is plain attribute
+    assignment.
+    """
+
+    def __init__(self):
+        self.training = True
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def children(self):
+        """Yield direct sub-modules (attribute order)."""
+        for value in self.__dict__.values():
+            if isinstance(value, Module):
+                yield value
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        yield item
+
+    def modules(self):
+        """Yield this module and all descendants, depth-first."""
+        yield self
+        for child in self.children():
+            yield from child.modules()
+
+    def parameters(self) -> list[Parameter]:
+        """All parameters of this module and its descendants."""
+        return [p for _, p in self.named_parameters()]
+
+    def named_parameters(self, prefix: str = "") -> list[tuple[str, Parameter]]:
+        """``(qualified_name, Parameter)`` pairs, depth-first.
+
+        Names are stable across runs (attribute order), which is what the
+        npz checkpoint format relies on.
+        """
+        out: list[tuple[str, Parameter]] = []
+        for attr, value in self.__dict__.items():
+            qual = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                out.append((qual, value))
+            elif isinstance(value, Module):
+                out.extend(value.named_parameters(prefix=f"{qual}."))
+            elif isinstance(value, (list, tuple)):
+                for i, item in enumerate(value):
+                    if isinstance(item, Parameter):
+                        out.append((f"{qual}.{i}", item))
+                    elif isinstance(item, Module):
+                        out.extend(
+                            item.named_parameters(prefix=f"{qual}.{i}."))
+        return out
+
+    def num_parameters(self) -> int:
+        """Total number of scalar parameters."""
+        return sum(p.data.size for p in self.parameters())
+
+    # ------------------------------------------------------------------
+    # Mode switches
+    # ------------------------------------------------------------------
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects dropout, batch-norm)."""
+        for module in self.modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Set inference mode recursively."""
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+
+class Sequential(Module):
+    """Chain of modules executed in order; backward runs in reverse."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        for layer in layers:
+            if not isinstance(layer, Module):
+                raise TypeError(f"expected Module, got {type(layer).__name__}")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.layers[index]
+
+    def append(self, layer: Module) -> None:
+        if not isinstance(layer, Module):
+            raise TypeError(f"expected Module, got {type(layer).__name__}")
+        self.layers.append(layer)

@@ -1,0 +1,150 @@
+"""Optimisers and learning-rate schedules for the numpy substrate."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "StepLR", "CosineLR"]
+
+
+class Optimizer:
+    """Base optimiser over a list of :class:`Parameter`."""
+
+    def __init__(self, params: list[Parameter], lr: float):
+        params = list(params)
+        if not params:
+            raise ValueError("optimizer received no parameters")
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.params = params
+        self.lr = lr
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0, nesterov: bool = False):
+        super().__init__(params, lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        if nesterov and momentum == 0.0:
+            raise ValueError("nesterov momentum requires momentum > 0")
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self.nesterov = nesterov
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += grad
+                update = grad + self.momentum * v if self.nesterov else v
+            else:
+                update = grad
+            p.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimiser (Kingma & Ba) with decoupled weight decay option."""
+
+    def __init__(self, params, lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params, lr)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {betas}")
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.betas = (b1, b2)
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.betas
+        bias1 = 1.0 - b1 ** self._t
+        bias2 = 1.0 - b2 ** self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            grad = p.grad
+            m *= b1
+            m += (1 - b1) * grad
+            v *= b2
+            v += (1 - b2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            if self.weight_decay:
+                # AdamW-style decoupled decay.
+                p.data -= self.lr * self.weight_decay * p.data
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class StepLR:
+    """Multiply the optimiser's learning rate by ``gamma`` every N steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int,
+                 gamma: float = 0.1):
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        if gamma <= 0:
+            raise ValueError("gamma must be positive")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self.base_lr = optimizer.lr
+        self._count = 0
+
+    def step(self) -> float:
+        """Advance one step; returns the (possibly updated) lr."""
+        self._count += 1
+        decays = self._count // self.step_size
+        self.optimizer.lr = self.base_lr * (self.gamma ** decays)
+        return self.optimizer.lr
+
+
+class CosineLR:
+    """Cosine-annealed learning rate over a fixed horizon."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int,
+                 min_lr: float = 0.0):
+        if total_steps < 1:
+            raise ValueError("total_steps must be >= 1")
+        if min_lr < 0:
+            raise ValueError("min_lr must be non-negative")
+        self.optimizer = optimizer
+        self.total_steps = total_steps
+        self.min_lr = min_lr
+        self.base_lr = optimizer.lr
+        self._count = 0
+
+    def step(self) -> float:
+        """Advance one step; returns the (possibly updated) lr."""
+        self._count = min(self._count + 1, self.total_steps)
+        frac = self._count / self.total_steps
+        lr = (self.min_lr + (self.base_lr - self.min_lr)
+              * 0.5 * (1.0 + math.cos(math.pi * frac)))
+        self.optimizer.lr = lr
+        return lr

@@ -1,0 +1,50 @@
+"""Semantic segmentation: scaled MSDnet, training, Bayesian inference.
+
+The paper's core landing-zone-selection function (a UAVid-trained
+MSDnet) and its Monte-Carlo-dropout Bayesian variant used by the runtime
+monitor, plus the metrics used to quantify the Fig. 4 result.
+"""
+
+from repro.segmentation.bayesian import BayesianSegmenter, PixelDistribution
+from repro.segmentation.lightweight import (
+    LightSegNet,
+    LightSegNetConfig,
+    build_lightsegnet,
+)
+from repro.segmentation.metrics import (
+    SegmentationReport,
+    confusion_matrix,
+    evaluate_predictions,
+    iou_per_class,
+    mean_iou,
+    pixel_accuracy,
+)
+from repro.segmentation.msdnet import MSDBlock, MSDNet, MSDNetConfig, build_msdnet
+from repro.segmentation.train import (
+    TrainConfig,
+    TrainHistory,
+    evaluate_model,
+    train_model,
+)
+
+__all__ = [
+    "LightSegNet",
+    "LightSegNetConfig",
+    "build_lightsegnet",
+    "MSDNet",
+    "MSDNetConfig",
+    "MSDBlock",
+    "build_msdnet",
+    "BayesianSegmenter",
+    "PixelDistribution",
+    "TrainConfig",
+    "TrainHistory",
+    "train_model",
+    "evaluate_model",
+    "SegmentationReport",
+    "confusion_matrix",
+    "evaluate_predictions",
+    "iou_per_class",
+    "mean_iou",
+    "pixel_accuracy",
+]

@@ -1,0 +1,139 @@
+"""Monte-Carlo-dropout Bayesian inference (the monitor's uncertainty source).
+
+Sec. V-B of the paper: the standard MSDnet emits point estimates whose
+softmax scores are not confidences, so the monitor runs a *Bayesian
+version* of the same model obtained by keeping dropout active at
+inference (Gal & Ghahramani, 2016).  ``T`` stochastic passes give, per
+pixel and class, an empirical mean ``mu`` and standard deviation
+``sigma``; ``sigma`` is the uncertainty proxy the monitor thresholds
+with the conservative rule ``mu + 3*sigma <= tau``.
+
+The paper computes statistics on 10 samples; that is the default here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.functional import softmax
+from repro.nn.layers import set_mc_dropout
+from repro.nn.module import Module
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_image_chw, check_positive
+
+__all__ = ["PixelDistribution", "BayesianSegmenter"]
+
+
+@dataclass(frozen=True)
+class PixelDistribution:
+    """Per-pixel, per-class empirical softmax distribution.
+
+    ``mean`` and ``std`` have shape ``(num_classes, H, W)``.
+    """
+
+    mean: np.ndarray
+    std: np.ndarray
+    num_samples: int
+
+    def upper_confidence(self, multiplier: float = 3.0) -> np.ndarray:
+        """``mu + multiplier * sigma`` — Eq. (2)'s left-hand side.
+
+        With ``multiplier=3`` this is the upper edge of the 99.7%
+        confidence interval the paper tests against ``tau``.
+        """
+        return self.mean + multiplier * self.std
+
+    @property
+    def predicted_labels(self) -> np.ndarray:
+        """Arg-max of the posterior-mean scores, ``(H, W)``."""
+        return self.mean.argmax(axis=0)
+
+
+class BayesianSegmenter:
+    """Wraps a segmentation model for MC-dropout inference.
+
+    Parameters
+    ----------
+    model:
+        Any :class:`repro.nn.Module` mapping NCHW images to NCHW logits
+        and containing dropout layers (e.g. :class:`MSDNet`).
+    num_samples:
+        Number of stochastic forward passes ``T`` (paper: 10).
+    rng:
+        Seed or generator controlling the dropout masks, so monitor
+        verdicts are reproducible.
+    """
+
+    def __init__(self, model: Module, num_samples: int = 10, rng=None):
+        check_positive("num_samples", num_samples)
+        self.model = model
+        self.num_samples = int(num_samples)
+        self.rng = ensure_rng(rng)
+
+    # ------------------------------------------------------------------
+    def predict_deterministic(self, image: np.ndarray) -> np.ndarray:
+        """Standard-version softmax scores ``(C, H, W)`` (dropout off)."""
+        check_image_chw("image", image)
+        self.model.eval()
+        set_mc_dropout(self.model, False)
+        logits = self.model.forward(image[None].astype(np.float32))
+        return softmax(logits, axis=1)[0]
+
+    def predict_distribution(self, image: np.ndarray,
+                             num_samples: int | None = None
+                             ) -> PixelDistribution:
+        """Run ``T`` MC-dropout passes and return per-pixel statistics.
+
+        The model is left in deterministic eval mode afterwards, so a
+        shared model instance can serve both the core function and the
+        monitor (the Fig. 2 architecture).
+        """
+        check_image_chw("image", image)
+        t = int(num_samples) if num_samples is not None else \
+            self.num_samples
+        check_positive("num_samples", t)
+
+        self.model.eval()
+        set_mc_dropout(self.model, True, rng=self.rng)
+        x = image[None].astype(np.float32)
+        try:
+            # Accumulate running sums to avoid holding T score volumes.
+            first = softmax(self.model.forward(x), axis=1)[0]
+            acc = first.astype(np.float64)
+            acc_sq = first.astype(np.float64) ** 2
+            for _ in range(t - 1):
+                scores = softmax(self.model.forward(x), axis=1)[0]
+                acc += scores
+                acc_sq += scores.astype(np.float64) ** 2
+        finally:
+            set_mc_dropout(self.model, False)
+
+        mean = acc / t
+        var = np.maximum(acc_sq / t - mean ** 2, 0.0)
+        return PixelDistribution(mean=mean, std=np.sqrt(var),
+                                 num_samples=t)
+
+    def predict_samples(self, image: np.ndarray,
+                        num_samples: int | None = None) -> np.ndarray:
+        """Return the raw stack of MC softmax scores ``(T, C, H, W)``.
+
+        Used by ablation benches that study estimator convergence; the
+        monitor itself uses :meth:`predict_distribution`.
+        """
+        check_image_chw("image", image)
+        t = int(num_samples) if num_samples is not None else \
+            self.num_samples
+        check_positive("num_samples", t)
+        self.model.eval()
+        set_mc_dropout(self.model, True, rng=self.rng)
+        x = image[None].astype(np.float32)
+        try:
+            stack = np.stack([
+                softmax(self.model.forward(x), axis=1)[0]
+                for _ in range(t)
+            ])
+        finally:
+            set_mc_dropout(self.model, False)
+        return stack

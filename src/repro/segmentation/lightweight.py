@@ -1,0 +1,115 @@
+"""Lightweight segmentation model — the paper's embedded-GPU future work.
+
+The conclusion of the paper: "it will be worth investigating other
+segmentation models, including lightweight ones in order to be able to
+run on on-board GPUs."  This module provides such a model: a slim
+encoder-decoder with **no** parallel dilation branches and narrow
+trunks, several times cheaper than the scaled MSDnet at some accuracy
+cost.  It keeps dropout layers, so the same Monte-Carlo monitor wraps
+it unchanged — which is the architectural point: the monitor is
+model-agnostic as long as the model exposes stochastic dropout.
+
+``benchmarks/bench_ext_lightweight.py`` measures the latency/quality
+trade-off against MSDnet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import nn
+from repro.utils.rng import ensure_rng
+
+__all__ = ["LightSegNetConfig", "LightSegNet", "build_lightsegnet"]
+
+
+@dataclass(frozen=True)
+class LightSegNetConfig:
+    """Hyper-parameters of the lightweight model."""
+
+    num_classes: int = 8
+    in_channels: int = 3
+    base_channels: int = 8
+    dropout: float = 0.5
+    downsample_stages: int = 2
+
+    def __post_init__(self):
+        if self.base_channels < 1:
+            raise ValueError("base_channels must be >= 1")
+        if self.downsample_stages < 0:
+            raise ValueError("downsample_stages must be >= 0")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+
+    @property
+    def output_stride(self) -> int:
+        return 2 ** self.downsample_stages
+
+
+class LightSegNet(nn.Module):
+    """Slim encoder-decoder: stem -> strided convs -> head -> upsample."""
+
+    def __init__(self, config: LightSegNetConfig | None = None, rng=None):
+        super().__init__()
+        config = config or LightSegNetConfig()
+        rng = ensure_rng(rng)
+        self.config = config
+        ch = config.base_channels
+
+        layers: list[nn.Module] = [
+            nn.Conv2d(config.in_channels, ch, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(ch),
+            nn.ReLU(),
+        ]
+        for _ in range(config.downsample_stages):
+            layers += [
+                nn.Conv2d(ch, ch, 3, stride=2, padding=1, rng=rng),
+                nn.BatchNorm2d(ch),
+                nn.ReLU(),
+            ]
+        layers += [
+            nn.Conv2d(ch, ch, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(ch),
+            nn.ReLU(),
+            nn.SpatialDropout2d(config.dropout, rng=rng),
+            nn.Conv2d(ch, config.num_classes, 1, rng=rng),
+        ]
+        if config.output_stride > 1:
+            layers.append(nn.Upsample(config.output_stride,
+                                      mode="bilinear"))
+        self.body = nn.Sequential(*layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        stride = self.config.output_stride
+        if x.ndim != 4:
+            raise ValueError(f"expected NCHW input, got shape {x.shape}")
+        if x.shape[2] % stride or x.shape[3] % stride:
+            raise ValueError(
+                f"input spatial size {x.shape[2:]} must be divisible by "
+                f"the output stride {stride}")
+        return self.body(x)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self.body.backward(grad)
+
+    def predict_probabilities(self, image: np.ndarray) -> np.ndarray:
+        """Softmax class scores ``(num_classes, H, W)`` for one image."""
+        if image.ndim != 3:
+            raise ValueError(f"expected CHW image, got {image.shape}")
+        from repro.nn.functional import softmax
+        logits = self.forward(image[None].astype(np.float32))
+        return softmax(logits, axis=1)[0]
+
+    def predict_labels(self, image: np.ndarray) -> np.ndarray:
+        """Arg-max class map ``(H, W)`` for one CHW image."""
+        return self.predict_probabilities(image).argmax(axis=0)
+
+
+def build_lightsegnet(num_classes: int = 8, base_channels: int = 8,
+                      dropout: float = 0.5, seed: int = 0) -> LightSegNet:
+    """Convenience constructor for the lightweight model."""
+    return LightSegNet(LightSegNetConfig(num_classes=num_classes,
+                                         base_channels=base_channels,
+                                         dropout=dropout), rng=seed)

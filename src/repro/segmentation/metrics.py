@@ -1,0 +1,96 @@
+"""Segmentation quality metrics (confusion matrix, IoU, accuracy).
+
+Used for the Fig. 4 reproduction: quantifying that the core model is
+good on in-distribution imagery and degrades under the sunset shift,
+which is the premise the runtime monitor exists to handle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "confusion_matrix",
+    "iou_per_class",
+    "mean_iou",
+    "pixel_accuracy",
+    "SegmentationReport",
+    "evaluate_predictions",
+]
+
+
+def confusion_matrix(predictions: np.ndarray, targets: np.ndarray,
+                     num_classes: int) -> np.ndarray:
+    """``(num_classes, num_classes)`` matrix; rows = target, cols = pred."""
+    predictions = np.asarray(predictions).reshape(-1)
+    targets = np.asarray(targets).reshape(-1)
+    if predictions.shape != targets.shape:
+        raise ValueError(
+            f"shape mismatch: predictions {predictions.shape}, "
+            f"targets {targets.shape}")
+    valid = (targets >= 0) & (targets < num_classes) & \
+        (predictions >= 0) & (predictions < num_classes)
+    index = targets[valid].astype(np.int64) * num_classes \
+        + predictions[valid].astype(np.int64)
+    counts = np.bincount(index, minlength=num_classes * num_classes)
+    return counts.reshape(num_classes, num_classes)
+
+
+def iou_per_class(confusion: np.ndarray) -> np.ndarray:
+    """Per-class intersection-over-union; NaN for absent classes."""
+    confusion = np.asarray(confusion, dtype=np.float64)
+    inter = np.diag(confusion)
+    union = confusion.sum(axis=0) + confusion.sum(axis=1) - inter
+    with np.errstate(invalid="ignore", divide="ignore"):
+        iou = inter / union
+    iou[union == 0] = np.nan
+    return iou
+
+
+def mean_iou(confusion: np.ndarray) -> float:
+    """Mean IoU over classes present in targets or predictions."""
+    iou = iou_per_class(confusion)
+    if np.isnan(iou).all():
+        return float("nan")
+    return float(np.nanmean(iou))
+
+
+def pixel_accuracy(confusion: np.ndarray) -> float:
+    """Fraction of correctly classified pixels."""
+    confusion = np.asarray(confusion, dtype=np.float64)
+    total = confusion.sum()
+    if total == 0:
+        return float("nan")
+    return float(np.diag(confusion).sum() / total)
+
+
+@dataclass(frozen=True)
+class SegmentationReport:
+    """Aggregated evaluation result over a sample set."""
+
+    confusion: np.ndarray
+    iou: np.ndarray
+    miou: float
+    accuracy: float
+    num_pixels: int
+
+    def class_iou(self, class_id: int) -> float:
+        return float(self.iou[int(class_id)])
+
+
+def evaluate_predictions(pairs, num_classes: int) -> SegmentationReport:
+    """Evaluate an iterable of ``(predicted_labels, target_labels)``."""
+    total = np.zeros((num_classes, num_classes), dtype=np.int64)
+    n_pixels = 0
+    for pred, target in pairs:
+        total += confusion_matrix(pred, target, num_classes)
+        n_pixels += int(np.asarray(target).size)
+    return SegmentationReport(
+        confusion=total,
+        iou=iou_per_class(total),
+        miou=mean_iou(total),
+        accuracy=pixel_accuracy(total),
+        num_pixels=n_pixels,
+    )

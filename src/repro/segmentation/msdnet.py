@@ -1,0 +1,189 @@
+"""Scaled-down Multi-Scale-Dilation network (MSDnet).
+
+The paper's core function is MSDnet (Lyu et al., 2020), a semantic
+segmentation CNN whose defining feature is *parallel dilated-convolution
+branches* that observe multiple receptive-field scales at once.  This
+module reproduces that architecture faithfully at a size a numpy
+substrate can train:
+
+``stem -> [strided downsampling] x D -> [MSD block] x B -> 1x1 head ->
+bilinear upsample to input resolution``
+
+where each MSD block runs parallel 3x3 convolutions with dilations
+(1, 2, 4, 8), concatenates the branch outputs, normalises, activates,
+applies dropout (the hook for Monte-Carlo inference) and adds a residual
+connection.
+
+The dropout layers use rate 0.5 as in the paper ("a dropout rate of 0.5
+for all relevant MSDnet layers").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro import nn
+from repro.utils.rng import ensure_rng, spawn
+
+__all__ = ["MSDNetConfig", "MSDBlock", "MSDNet", "build_msdnet"]
+
+
+@dataclass(frozen=True)
+class MSDNetConfig:
+    """Architecture hyper-parameters.
+
+    ``base_channels`` must be divisible by ``len(dilations)`` so the
+    parallel branches concatenate back to the trunk width.
+    """
+
+    num_classes: int = 8
+    in_channels: int = 3
+    base_channels: int = 16
+    num_blocks: int = 2
+    dilations: tuple[int, ...] = (1, 2, 4, 8)
+    dropout: float = 0.5
+    downsample_stages: int = 2
+
+    def __post_init__(self):
+        if self.base_channels % len(self.dilations) != 0:
+            raise ValueError(
+                f"base_channels ({self.base_channels}) must be divisible "
+                f"by the number of dilation branches ({len(self.dilations)})")
+        if self.downsample_stages < 0:
+            raise ValueError("downsample_stages must be >= 0")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")
+
+    @property
+    def output_stride(self) -> int:
+        return 2 ** self.downsample_stages
+
+
+class MSDBlock(nn.Module):
+    """One multi-scale-dilation block with residual connection.
+
+    Parallel branches ``Conv3x3(dilation=d)`` for each ``d`` produce
+    ``channels / len(dilations)`` maps; their concatenation is batch-
+    normalised, activated, dropped out, and added back to the input.
+    """
+
+    def __init__(self, channels: int, dilations: tuple[int, ...],
+                 dropout: float, rng=None):
+        super().__init__()
+        rng = ensure_rng(rng)
+        branch_out = channels // len(dilations)
+        branch_rngs = spawn(rng, len(dilations))
+        self.branches = [
+            nn.Conv2d(channels, branch_out, kernel_size=3, stride=1,
+                      padding=nn.Conv2d.same_padding(3, d), dilation=d,
+                      rng=r)
+            for d, r in zip(dilations, branch_rngs)
+        ]
+        self.norm = nn.BatchNorm2d(channels)
+        self.act = nn.ReLU()
+        self.drop = nn.SpatialDropout2d(dropout, rng=rng)
+        self._split_sizes = [branch_out] * len(dilations)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        outs = [branch(x) for branch in self.branches]
+        merged = np.concatenate(outs, axis=1)
+        y = self.drop(self.act(self.norm(merged)))
+        return y + x  # residual
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        inner = self.norm.backward(
+            self.act.backward(self.drop.backward(grad)))
+        dx = grad.copy()  # residual path
+        start = 0
+        for branch, size in zip(self.branches, self._split_sizes):
+            dx += branch.backward(inner[:, start:start + size])
+            start += size
+        return dx
+
+
+class MSDNet(nn.Module):
+    """The full scaled MSDnet segmentation model."""
+
+    def __init__(self, config: MSDNetConfig | None = None, rng=None):
+        super().__init__()
+        config = config or MSDNetConfig()
+        rng = ensure_rng(rng)
+        self.config = config
+        ch = config.base_channels
+
+        stem_layers: list[nn.Module] = [
+            nn.Conv2d(config.in_channels, ch, 3, padding=1, rng=rng),
+            nn.BatchNorm2d(ch),
+            nn.ReLU(),
+        ]
+        for _ in range(config.downsample_stages):
+            stem_layers += [
+                nn.Conv2d(ch, ch, 3, stride=2, padding=1, rng=rng),
+                nn.BatchNorm2d(ch),
+                nn.ReLU(),
+            ]
+        self.stem = nn.Sequential(*stem_layers)
+
+        self.blocks = [
+            MSDBlock(ch, config.dilations, config.dropout, rng=rng)
+            for _ in range(config.num_blocks)
+        ]
+        self.head = nn.Conv2d(ch, config.num_classes, kernel_size=1,
+                              rng=rng)
+        self.upsample = (nn.Upsample(config.output_stride, mode="bilinear")
+                         if config.output_stride > 1 else nn.Identity())
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Logits of shape ``(N, num_classes, H, W)`` for NCHW input.
+
+        H and W must be divisible by ``config.output_stride``.
+        """
+        stride = self.config.output_stride
+        if x.ndim != 4:
+            raise ValueError(f"expected NCHW input, got shape {x.shape}")
+        if x.shape[2] % stride or x.shape[3] % stride:
+            raise ValueError(
+                f"input spatial size {x.shape[2:]} must be divisible by "
+                f"the output stride {stride}")
+        y = self.stem(x)
+        for block in self.blocks:
+            y = block(y)
+        y = self.head(y)
+        return self.upsample(y)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad = self.upsample.backward(grad)
+        grad = self.head.backward(grad)
+        for block in reversed(self.blocks):
+            grad = block.backward(grad)
+        return self.stem.backward(grad)
+
+    # ------------------------------------------------------------------
+    def predict_probabilities(self, image: np.ndarray) -> np.ndarray:
+        """Softmax class scores ``(num_classes, H, W)`` for one image.
+
+        Deterministic standard-version inference (dropout inactive unless
+        explicitly put in MC mode) — the core function of Fig. 2.
+        """
+        if image.ndim != 3:
+            raise ValueError(f"expected CHW image, got shape {image.shape}")
+        logits = self.forward(image[None].astype(np.float32))
+        from repro.nn.functional import softmax  # local to avoid cycle
+        return softmax(logits, axis=1)[0]
+
+    def predict_labels(self, image: np.ndarray) -> np.ndarray:
+        """Arg-max class map ``(H, W)`` for one CHW image."""
+        return self.predict_probabilities(image).argmax(axis=0)
+
+
+def build_msdnet(num_classes: int = 8, base_channels: int = 16,
+                 num_blocks: int = 2, dropout: float = 0.5,
+                 seed: int = 0) -> MSDNet:
+    """Convenience constructor with the reproduction's defaults."""
+    config = MSDNetConfig(num_classes=num_classes,
+                          base_channels=base_channels,
+                          num_blocks=num_blocks, dropout=dropout)
+    return MSDNet(config, rng=seed)

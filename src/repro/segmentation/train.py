@@ -1,0 +1,129 @@
+"""Training loop for the segmentation model.
+
+Trains the scaled MSDnet on the synthetic corpus with class-weighted
+cross-entropy (rare classes — cars, humans — are exactly the ones the
+safety case is about).  Deliberately small and deterministic: the
+benchmark harness trains a model from scratch and caches the weights.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro import nn
+from repro.dataset.generator import (
+    SegmentationSample,
+    class_frequencies,
+    iterate_minibatches,
+    stack_batch,
+)
+from repro.segmentation.metrics import SegmentationReport, evaluate_predictions
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["TrainConfig", "TrainHistory", "train_model", "evaluate_model"]
+
+
+@dataclass(frozen=True)
+class TrainConfig:
+    """Optimisation hyper-parameters."""
+
+    epochs: int = 30
+    batch_size: int = 4
+    learning_rate: float = 2e-3
+    weight_decay: float = 1e-5
+    class_weight_power: float = 0.5
+    use_cosine_schedule: bool = True
+    seed: int = 0
+    log_every: int = 0  # 0 disables stdout logging
+
+    def __post_init__(self):
+        check_positive("epochs", self.epochs)
+        check_positive("batch_size", self.batch_size)
+        check_positive("learning_rate", self.learning_rate)
+
+
+@dataclass
+class TrainHistory:
+    """Loss trajectory and bookkeeping from a training run."""
+
+    losses: list[float] = field(default_factory=list)
+    epoch_losses: list[float] = field(default_factory=list)
+    wall_time_s: float = 0.0
+    steps: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+def train_model(model: nn.Module, samples: list[SegmentationSample],
+                config: TrainConfig | None = None) -> TrainHistory:
+    """Train ``model`` in place on ``samples``; returns the history."""
+    config = config or TrainConfig()
+    if not samples:
+        raise ValueError("no training samples provided")
+    rng = ensure_rng(config.seed)
+
+    freq = class_frequencies(samples)
+    weights = nn.class_weights_from_frequencies(
+        freq, power=config.class_weight_power)
+
+    optimizer = nn.Adam(model.parameters(), lr=config.learning_rate,
+                        weight_decay=config.weight_decay)
+    steps_per_epoch = max(1, (len(samples) + config.batch_size - 1)
+                          // config.batch_size)
+    scheduler = (nn.CosineLR(optimizer,
+                             total_steps=config.epochs * steps_per_epoch)
+                 if config.use_cosine_schedule else None)
+
+    history = TrainHistory()
+    model.train(True)
+    start = time.perf_counter()
+    for epoch in range(config.epochs):
+        epoch_losses = []
+        for x, y in iterate_minibatches(samples, config.batch_size,
+                                        rng=rng, epochs=1):
+            logits = model.forward(x)
+            loss, grad = nn.softmax_cross_entropy(
+                logits, y, class_weights=weights)
+            model.zero_grad()
+            model.backward(grad)
+            optimizer.step()
+            if scheduler is not None:
+                scheduler.step()
+            epoch_losses.append(loss)
+            history.losses.append(loss)
+            history.steps += 1
+        mean_loss = float(np.mean(epoch_losses))
+        history.epoch_losses.append(mean_loss)
+        if config.log_every and (epoch + 1) % config.log_every == 0:
+            elapsed = time.perf_counter() - start
+            print(f"epoch {epoch + 1:3d}/{config.epochs}  "
+                  f"loss {mean_loss:.4f}  ({elapsed:.1f}s)")
+    history.wall_time_s = time.perf_counter() - start
+    model.eval()
+    return history
+
+
+def evaluate_model(model: nn.Module, samples: list[SegmentationSample],
+                   num_classes: int = 8,
+                   batch_size: int = 4) -> SegmentationReport:
+    """Deterministic evaluation of ``model`` over ``samples``."""
+    if not samples:
+        raise ValueError("no evaluation samples provided")
+    model.eval()
+
+    def prediction_pairs():
+        for start in range(0, len(samples), batch_size):
+            chunk = samples[start:start + batch_size]
+            x, y = stack_batch(chunk)
+            logits = model.forward(x)
+            preds = logits.argmax(axis=1)
+            for i in range(len(chunk)):
+                yield preds[i], y[i]
+
+    return evaluate_predictions(prediction_pairs(), num_classes)

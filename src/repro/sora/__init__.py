@@ -1,0 +1,102 @@
+"""Executable SORA v2.0 framework plus the paper's EL extension.
+
+Encodes the public decision tables the paper applies by hand — intrinsic
+GRC (Table 2), mitigations (Table 3), SAIL (Table 5), OSO allocation
+(Table 6) — together with the paper's own artefacts: the Table I
+severity scale, the Table II ground-risk outcomes, and Emergency Landing
+as an "active M1" mitigation whose robustness combines the proposed
+integrity (Table III) and assurance (Table IV) levels.
+"""
+
+# NOTE: hazard must be imported before assessment (see the import-cycle
+# discussion in DESIGN.md: uav.mission depends on sora.hazard, while
+# sora.assessment depends on uav.vehicle/ballistics leaf modules).
+from repro.sora.hazard import (
+    FIRE_ENERGY_THRESHOLD_J,
+    OUTCOME_TABLE,
+    SEVERITY_DESCRIPTIONS,
+    GroundRiskOutcome,
+    Severity,
+    TouchdownAssessment,
+    classify_touchdown,
+)
+from repro.sora.grc import (
+    GRC_TABLE,
+    MAX_SPECIFIC_GRC,
+    OperationalScenario,
+    OutOfSoraScopeError,
+    UasDimensionClass,
+    dimension_class,
+    intrinsic_grc,
+)
+from repro.sora.arc import (
+    ARC,
+    AirspaceEnvironment,
+    apply_strategic_arc_mitigation,
+    initial_arc,
+)
+from repro.sora.mitigations import (
+    GRC_ADJUSTMENT,
+    Mitigation,
+    MitigationType,
+    RobustnessLevel,
+    apply_mitigations,
+    el_mitigation,
+    grc_floor,
+)
+from repro.sora.sail import SAIL, CertifiedCategoryError, determine_sail
+from repro.sora.oso import (
+    OSO_TABLE,
+    Oso,
+    OsoLevel,
+    oso_level_counts,
+    oso_requirements,
+)
+from repro.sora.assessment import (
+    OperationSpec,
+    SoraAssessment,
+    assess,
+    assess_medi_delivery,
+    medi_delivery_spec,
+)
+
+__all__ = [
+    "Severity",
+    "SEVERITY_DESCRIPTIONS",
+    "GroundRiskOutcome",
+    "OUTCOME_TABLE",
+    "TouchdownAssessment",
+    "classify_touchdown",
+    "FIRE_ENERGY_THRESHOLD_J",
+    "OperationalScenario",
+    "UasDimensionClass",
+    "dimension_class",
+    "intrinsic_grc",
+    "GRC_TABLE",
+    "MAX_SPECIFIC_GRC",
+    "OutOfSoraScopeError",
+    "ARC",
+    "AirspaceEnvironment",
+    "initial_arc",
+    "apply_strategic_arc_mitigation",
+    "RobustnessLevel",
+    "MitigationType",
+    "Mitigation",
+    "GRC_ADJUSTMENT",
+    "el_mitigation",
+    "apply_mitigations",
+    "grc_floor",
+    "SAIL",
+    "determine_sail",
+    "CertifiedCategoryError",
+    "Oso",
+    "OsoLevel",
+    "OSO_TABLE",
+    "oso_requirements",
+    "oso_level_counts",
+    "OperationSpec",
+    "SoraAssessment",
+    "assess",
+    "assess_medi_delivery",
+    "medi_delivery_spec",
+]

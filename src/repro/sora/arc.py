@@ -1,0 +1,78 @@
+"""Air Risk Class (ARC) determination — SORA v2.0, simplified decision tree.
+
+Only the elements the paper's case study exercises are modelled: the
+initial ARC from airspace characteristics, and (optionally) strategic
+reductions.  MEDI DELIVERY flies below 500 ft over a populated area in
+uncontrolled airspace, giving ARC-c; the paper assumes a segregated
+corridor for containment but claims no ARC reduction, so the residual
+ARC remains ARC-c.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+__all__ = ["ARC", "AirspaceEnvironment", "initial_arc", "apply_strategic_arc_mitigation"]
+
+
+class ARC(IntEnum):
+    """Air risk classes, ordered by increasing encounter risk."""
+
+    A = 1
+    B = 2
+    C = 3
+    D = 4
+
+    def __str__(self) -> str:  # ARC-a .. ARC-d, as written in the paper
+        return f"ARC-{self.name.lower()}"
+
+
+@dataclass(frozen=True)
+class AirspaceEnvironment:
+    """Airspace characteristics relevant to the initial-ARC decision."""
+
+    max_height_ft: float = 400.0
+    controlled_airspace: bool = False
+    over_urban: bool = True
+    near_aerodrome: bool = False
+    atypical_segregated: bool = False
+
+    def __post_init__(self):
+        if self.max_height_ft <= 0:
+            raise ValueError("max_height_ft must be positive")
+
+
+def initial_arc(env: AirspaceEnvironment) -> ARC:
+    """Initial ARC from the SORA decision tree (simplified).
+
+    * atypical / segregated airspace               -> ARC-a
+    * controlled airspace, near an aerodrome, or
+      above 500 ft                                 -> ARC-d
+    * below 500 ft, uncontrolled, over urban area  -> ARC-c
+    * below 500 ft, uncontrolled, rural            -> ARC-b
+    """
+    if env.atypical_segregated:
+        return ARC.A
+    if env.controlled_airspace or env.near_aerodrome or \
+            env.max_height_ft > 500.0:
+        return ARC.D
+    if env.over_urban:
+        return ARC.C
+    return ARC.B
+
+
+def apply_strategic_arc_mitigation(arc: ARC, reduction_levels: int = 0,
+                                   floor: ARC = ARC.B) -> ARC:
+    """Apply strategic air-risk mitigations (e.g. operational restrictions).
+
+    The SORA allows lowering the ARC with strategic mitigations, but the
+    residual class may not drop below the local air-traffic reality
+    (``floor``; ARC-b by default, ARC-a only for genuinely atypical
+    airspace).  The paper's corridor provides *containment*, not
+    reduction — reduction_levels = 0 keeps ARC-c.
+    """
+    if reduction_levels < 0:
+        raise ValueError("reduction_levels must be non-negative")
+    reduced = max(int(arc) - reduction_levels, int(floor))
+    return ARC(reduced)

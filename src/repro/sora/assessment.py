@@ -1,0 +1,169 @@
+"""Full SORA assessment driver — reproduces Section III-D computationally.
+
+Given an operation specification (vehicle, scenario, airspace, claimed
+mitigations) this module computes intrinsic GRC, final GRC, ARC, SAIL
+and the OSO allocation, i.e. the complete paper walk-through:
+
+* MEDI DELIVERY intrinsic GRC **6** (1 m span but 8.23 kJ -> 3 m column,
+  BVLOS populated),
+* initial/residual ARC **ARC-c** (below 500 ft, urban, uncontrolled),
+* final GRC **6** with a medium-robustness ERP (M3), **7** without,
+* SAIL **V** (or **VI** without M3), all 24 OSOs requested,
+* and, per Section IV, the effect of claiming EL as an active-M1
+  mitigation at a given integrity/assurance robustness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sora.arc import ARC, AirspaceEnvironment, initial_arc
+from repro.sora.grc import (
+    OperationalScenario,
+    UasDimensionClass,
+    dimension_class,
+    intrinsic_grc,
+)
+from repro.sora.mitigations import (
+    Mitigation,
+    MitigationType,
+    RobustnessLevel,
+    apply_mitigations,
+    el_mitigation,
+)
+from repro.sora.oso import OsoLevel, oso_level_counts, oso_requirements
+from repro.sora.sail import SAIL, determine_sail
+from repro.uav.ballistics import free_fall_speed, kinetic_energy
+from repro.uav.vehicle import MEDI_DELIVERY, VehicleParams
+
+__all__ = [
+    "OperationSpec",
+    "SoraAssessment",
+    "assess",
+    "medi_delivery_spec",
+    "assess_medi_delivery",
+]
+
+
+@dataclass(frozen=True)
+class OperationSpec:
+    """Everything the SORA needs to know about an operation."""
+
+    vehicle: VehicleParams
+    scenario: OperationalScenario
+    airspace: AirspaceEnvironment
+    mitigations: tuple[Mitigation, ...] = ()
+
+    def ballistic_energy_j(self) -> float:
+        """Typical kinetic energy used for the GRC dimension class.
+
+        The paper computes it from the rounded ballistic speed
+        (48.5 m/s -> 8.23 kJ); we keep full precision — both land in
+        the same (3 m / < 34 kJ) band.
+        """
+        speed = free_fall_speed(self.vehicle.cruise_height_m)
+        return kinetic_energy(self.vehicle.mtow_kg, speed)
+
+
+@dataclass(frozen=True)
+class SoraAssessment:
+    """Result of a SORA application."""
+
+    spec: OperationSpec
+    dimension: UasDimensionClass
+    ballistic_speed_ms: float
+    ballistic_energy_j: float
+    intrinsic_grc: int
+    final_grc: int
+    initial_arc: ARC
+    residual_arc: ARC
+    sail: SAIL
+    oso_levels: dict[int, OsoLevel] = field(repr=False, default_factory=dict)
+
+    def oso_counts(self) -> dict[OsoLevel, int]:
+        """Number of OSOs requested at each robustness level."""
+        return oso_level_counts(self.sail)
+
+    def summary_lines(self) -> list[str]:
+        """Human-readable assessment summary (used by examples/benches)."""
+        counts = self.oso_counts()
+        mitigation_text = ", ".join(
+            f"{m.type.value}@{m.robustness.name}"
+            for m in self.spec.mitigations) or "none"
+        return [
+            f"operation:        {self.spec.vehicle.name}, "
+            f"{self.spec.scenario.value}",
+            f"ballistic speed:  {self.ballistic_speed_ms:.1f} m/s",
+            f"kinetic energy:   {self.ballistic_energy_j / 1000.0:.2f} kJ",
+            f"dimension class:  {self.dimension.name}",
+            f"intrinsic GRC:    {self.intrinsic_grc}",
+            f"mitigations:      {mitigation_text}",
+            f"final GRC:        {self.final_grc}",
+            f"ARC:              {self.residual_arc}",
+            f"SAIL:             {self.sail}",
+            f"OSO profile:      "
+            f"{counts[OsoLevel.HIGH]} high, {counts[OsoLevel.MEDIUM]} "
+            f"medium, {counts[OsoLevel.LOW]} low, "
+            f"{counts[OsoLevel.OPTIONAL]} optional",
+        ]
+
+
+def assess(spec: OperationSpec) -> SoraAssessment:
+    """Run the complete SORA process on ``spec``."""
+    energy = spec.ballistic_energy_j()
+    speed = free_fall_speed(spec.vehicle.cruise_height_m)
+    dim = dimension_class(spec.vehicle.span_m, energy)
+    grc0 = intrinsic_grc(spec.scenario, dim)
+    grc = apply_mitigations(grc0, list(spec.mitigations), dim)
+    arc0 = initial_arc(spec.airspace)
+    # The paper's corridor provides containment, not ARC reduction.
+    arc = arc0
+    sail = determine_sail(grc, arc)
+    return SoraAssessment(
+        spec=spec, dimension=dim, ballistic_speed_ms=speed,
+        ballistic_energy_j=energy, intrinsic_grc=grc0, final_grc=grc,
+        initial_arc=arc0, residual_arc=arc, sail=sail,
+        oso_levels=oso_requirements(sail))
+
+
+def medi_delivery_spec(
+        mitigations: tuple[Mitigation, ...] = ()) -> OperationSpec:
+    """The paper's case study: BVLOS urban delivery below 500 ft."""
+    return OperationSpec(
+        vehicle=MEDI_DELIVERY,
+        scenario=OperationalScenario.BVLOS_POPULATED,
+        airspace=AirspaceEnvironment(max_height_ft=400.0,
+                                     controlled_airspace=False,
+                                     over_urban=True,
+                                     near_aerodrome=False,
+                                     atypical_segregated=False),
+        mitigations=mitigations)
+
+
+def assess_medi_delivery(
+        with_m3: bool = True,
+        el_integrity: RobustnessLevel | None = None,
+        el_assurance: RobustnessLevel | None = None) -> SoraAssessment:
+    """Assess MEDI DELIVERY as in Sections III-D and IV.
+
+    Parameters
+    ----------
+    with_m3:
+        Claim a medium-robustness Emergency Response Plan (the paper's
+        "M3 with medium robustness"); without it the final GRC takes the
+        +1 missing-ERP penalty.
+    el_integrity, el_assurance:
+        When both given, additionally claim EL as an active-M1
+        mitigation with those Table III / Table IV levels (the paper's
+        Section IV proposal).
+    """
+    mitigations: list[Mitigation] = []
+    if with_m3:
+        mitigations.append(Mitigation(MitigationType.M3_ERP,
+                                      RobustnessLevel.MEDIUM))
+    if (el_integrity is None) != (el_assurance is None):
+        raise ValueError(
+            "claiming EL requires both an integrity and an assurance level")
+    if el_integrity is not None and el_assurance is not None:
+        mitigations.append(el_mitigation(el_integrity, el_assurance))
+    return assess(medi_delivery_spec(tuple(mitigations)))

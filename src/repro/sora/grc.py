@@ -1,0 +1,112 @@
+"""Intrinsic Ground Risk Class (GRC) determination — SORA v2.0 Table 2.
+
+The intrinsic GRC is read from a table indexed by the UAS dimension
+class (max characteristic dimension *and* typical kinetic energy — the
+more demanding of the two governs) and the operational scenario.
+
+For MEDI DELIVERY (Sec. III-D): the span is ~1 m but the ballistic
+kinetic energy of 8.23 kJ exceeds the 700 J bound of the 1 m column, so
+the 3 m column applies; BVLOS over a populated environment then yields
+an intrinsic GRC of 6 — the paper's number.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, IntEnum
+
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "UasDimensionClass",
+    "OperationalScenario",
+    "dimension_class",
+    "intrinsic_grc",
+    "OutOfSoraScopeError",
+    "GRC_TABLE",
+    "MAX_SPECIFIC_GRC",
+]
+
+
+class OutOfSoraScopeError(ValueError):
+    """The operation falls outside the SORA specific category."""
+
+
+class UasDimensionClass(IntEnum):
+    """Columns of the intrinsic-GRC table: dimension / energy bands."""
+
+    D1M = 0      # 1 m   / < 700 J
+    D3M = 1      # 3 m   / < 34 kJ
+    D8M = 2      # 8 m   / < 1084 kJ
+    D8M_PLUS = 3  # > 8 m / > 1084 kJ
+
+
+#: (max dimension m, max typical kinetic energy J) per class.
+_DIMENSION_BOUNDS = (
+    (1.0, 700.0),
+    (3.0, 34_000.0),
+    (8.0, 1_084_000.0),
+    (float("inf"), float("inf")),
+)
+
+
+class OperationalScenario(Enum):
+    """Rows of the intrinsic-GRC table."""
+
+    VLOS_CONTROLLED = "VLOS over controlled ground area"
+    BVLOS_CONTROLLED = "BVLOS over controlled ground area"
+    VLOS_SPARSE = "VLOS in sparsely populated environment"
+    BVLOS_SPARSE = "BVLOS in sparsely populated environment"
+    VLOS_POPULATED = "VLOS in populated environment"
+    BVLOS_POPULATED = "BVLOS in populated environment"
+    VLOS_ASSEMBLY = "VLOS over gathering of people"
+    BVLOS_ASSEMBLY = "BVLOS over gathering of people"
+
+
+#: SORA v2.0 Table 2.  ``None`` marks out-of-scope combinations
+#: (gatherings of people with larger aircraft are not SORA-assessable).
+GRC_TABLE: dict[OperationalScenario, tuple[int | None, ...]] = {
+    OperationalScenario.VLOS_CONTROLLED: (1, 2, 3, 4),
+    OperationalScenario.BVLOS_CONTROLLED: (1, 2, 3, 4),
+    OperationalScenario.VLOS_SPARSE: (2, 3, 4, 5),
+    OperationalScenario.BVLOS_SPARSE: (3, 4, 5, 6),
+    OperationalScenario.VLOS_POPULATED: (4, 5, 6, 8),
+    OperationalScenario.BVLOS_POPULATED: (5, 6, 8, 10),
+    OperationalScenario.VLOS_ASSEMBLY: (7, None, None, None),
+    OperationalScenario.BVLOS_ASSEMBLY: (8, None, None, None),
+}
+
+#: GRC values above this leave the specific category (-> certified).
+MAX_SPECIFIC_GRC = 7
+
+
+def dimension_class(span_m: float,
+                    kinetic_energy_j: float) -> UasDimensionClass:
+    """Dimension class from span and typical kinetic energy.
+
+    Each band must satisfy *both* bounds; the first band accommodating
+    both governs (e.g. a 1 m / 8.23 kJ vehicle lands in the 3 m class).
+    """
+    check_positive("span_m", span_m)
+    check_positive("kinetic_energy_j", kinetic_energy_j)
+    for cls in UasDimensionClass:
+        max_dim, max_energy = _DIMENSION_BOUNDS[cls]
+        if span_m <= max_dim and kinetic_energy_j <= max_energy:
+            return cls
+    return UasDimensionClass.D8M_PLUS  # pragma: no cover (inf bounds)
+
+
+def intrinsic_grc(scenario: OperationalScenario,
+                  dim_class: UasDimensionClass) -> int:
+    """Intrinsic GRC for a scenario/dimension combination.
+
+    Raises :class:`OutOfSoraScopeError` for combinations the SORA does
+    not cover (large aircraft over assemblies of people).
+    """
+    value = GRC_TABLE[OperationalScenario(scenario)][
+        UasDimensionClass(dim_class)]
+    if value is None:
+        raise OutOfSoraScopeError(
+            f"{scenario.value} with dimension class "
+            f"{UasDimensionClass(dim_class).name} is outside the SORA "
+            "specific category")
+    return value

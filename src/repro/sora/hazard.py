@@ -1,0 +1,186 @@
+"""Hazard analysis artefacts: Table I (severity) and Table II (outcomes).
+
+The paper extends Belcastro et al.'s hazard analysis with a severity
+analysis of ground-risk outcomes.  This module encodes both tables
+verbatim and provides the touchdown classifier that the mission
+simulator uses to *measure* outcome frequencies — turning the paper's
+asserted severities into observable simulation events.
+
+Table I — severity scale::
+
+    1  Negligible   - No effect
+    2  Minor        - Slight injury or damage to the drone
+    3  Serious      - Important injury or damage to critical
+                      infrastructures, environment
+    4  Major        - Single fatal injury
+    5  Catastrophic - Multiple fatal injuries
+
+Table II — main ground risks::
+
+    R1  UAV causes accident involving ground vehicles         severity 5
+    R2  UAV injures people on ground                          severity 4
+    R3  Post-crash fire threatening wildlife and environment  severity 3
+    R4  UAV collides with infrastructure                      severity 3
+    R5  UAV crashes into parked ground vehicle                severity 2
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, IntEnum
+
+import numpy as np
+
+from repro.dataset.classes import UavidClass
+
+__all__ = [
+    "Severity",
+    "SEVERITY_DESCRIPTIONS",
+    "GroundRiskOutcome",
+    "OUTCOME_TABLE",
+    "TouchdownAssessment",
+    "classify_touchdown",
+    "FIRE_ENERGY_THRESHOLD_J",
+]
+
+
+class Severity(IntEnum):
+    """Table I severity ratings."""
+
+    NEGLIGIBLE = 1
+    MINOR = 2
+    SERIOUS = 3
+    MAJOR = 4
+    CATASTROPHIC = 5
+
+
+SEVERITY_DESCRIPTIONS = {
+    Severity.NEGLIGIBLE: "Negligible - No effect",
+    Severity.MINOR: "Minor - Slight injury or damage to the drone",
+    Severity.SERIOUS: ("Serious - Important injury or damage to critical "
+                       "infrastructures, environment"),
+    Severity.MAJOR: "Major - Single fatal injury",
+    Severity.CATASTROPHIC: "Catastrophic - Multiple fatal injuries",
+}
+
+
+class GroundRiskOutcome(Enum):
+    """Table II hazardous outcomes."""
+
+    R1_GROUND_VEHICLE_ACCIDENT = "R1"
+    R2_PERSON_INJURED = "R2"
+    R3_POST_CRASH_FIRE = "R3"
+    R4_INFRASTRUCTURE_COLLISION = "R4"
+    R5_PARKED_VEHICLE_CRASH = "R5"
+
+
+@dataclass(frozen=True)
+class OutcomeSpec:
+    """One row of Table II."""
+
+    outcome: GroundRiskOutcome
+    description: str
+    severity: Severity
+
+
+#: Table II, exactly as printed in the paper.
+OUTCOME_TABLE: tuple[OutcomeSpec, ...] = (
+    OutcomeSpec(GroundRiskOutcome.R1_GROUND_VEHICLE_ACCIDENT,
+                "UAV causes accident involving ground vehicles",
+                Severity.CATASTROPHIC),
+    OutcomeSpec(GroundRiskOutcome.R2_PERSON_INJURED,
+                "UAV injures people on ground", Severity.MAJOR),
+    OutcomeSpec(GroundRiskOutcome.R3_POST_CRASH_FIRE,
+                "Post-crash fire that threatens wildlife and environment",
+                Severity.SERIOUS),
+    OutcomeSpec(GroundRiskOutcome.R4_INFRASTRUCTURE_COLLISION,
+                "UAV collides with infrastructure (Building, bridge, "
+                "power lines / sub-station, etc.)", Severity.SERIOUS),
+    OutcomeSpec(GroundRiskOutcome.R5_PARKED_VEHICLE_CRASH,
+                "UAV crashes into parked ground vehicle", Severity.MINOR),
+)
+
+_OUTCOME_SEVERITY = {spec.outcome: spec.severity for spec in OUTCOME_TABLE}
+
+#: Impact energies above this are assumed able to start a post-crash
+#: fire in vegetation (battery rupture); a parachuted touchdown is below.
+FIRE_ENERGY_THRESHOLD_J = 500.0
+
+
+@dataclass(frozen=True)
+class TouchdownAssessment:
+    """Classified consequence of one touchdown."""
+
+    outcome: GroundRiskOutcome | None
+    severity: Severity
+    mitigated_by_parachute: bool
+
+    @property
+    def fatal(self) -> bool:
+        """True when the outcome can involve fatalities (severity >= 4)."""
+        return self.severity >= Severity.MAJOR
+
+
+def classify_touchdown(footprint_labels: np.ndarray,
+                       parachute_deployed: bool,
+                       impact_energy_j: float) -> TouchdownAssessment:
+    """Classify a touchdown footprint into a Table II outcome.
+
+    Parameters
+    ----------
+    footprint_labels:
+        Ground-truth class ids under the touchdown footprint.
+    parachute_deployed:
+        Whether the impact was under canopy.  Per Section III-D (M2
+        discussion), a parachute reduces the severity of injuring a
+        person (R2) from Major to Minor, but does *not* mitigate the
+        busy-road outcome (R1): "a landing on a busy road could still
+        cause fatal accidents".
+    impact_energy_j:
+        Impact kinetic energy, used for the post-crash-fire outcome.
+
+    Returns the worst outcome realised by the footprint.
+    """
+    labels = np.asarray(footprint_labels).reshape(-1)
+    present = set(int(v) for v in np.unique(labels))
+
+    def has(cls: UavidClass) -> bool:
+        return int(cls) in present
+
+    # R1: reaching a road surface, or striking a moving car, can always
+    # cause a multi-fatality traffic accident (paper Sec. IV-A) —
+    # parachute or not.
+    if has(UavidClass.MOVING_CAR) or has(UavidClass.ROAD):
+        return TouchdownAssessment(
+            GroundRiskOutcome.R1_GROUND_VEHICLE_ACCIDENT,
+            Severity.CATASTROPHIC, mitigated_by_parachute=False)
+
+    # R2: striking a person.  Effective M2 mitigation (parachute)
+    # reduces severity 4 -> 2.
+    if has(UavidClass.HUMAN):
+        severity = Severity.MINOR if parachute_deployed else Severity.MAJOR
+        return TouchdownAssessment(GroundRiskOutcome.R2_PERSON_INJURED,
+                                   severity,
+                                   mitigated_by_parachute=parachute_deployed)
+
+    # R4: infrastructure collision.
+    if has(UavidClass.BUILDING):
+        return TouchdownAssessment(
+            GroundRiskOutcome.R4_INFRASTRUCTURE_COLLISION,
+            Severity.SERIOUS, mitigated_by_parachute=False)
+
+    # R5: parked vehicle.
+    if has(UavidClass.STATIC_CAR):
+        return TouchdownAssessment(
+            GroundRiskOutcome.R5_PARKED_VEHICLE_CRASH,
+            Severity.MINOR, mitigated_by_parachute=False)
+
+    # R3: a high-energy impact into vegetation can ignite.
+    vegetation = has(UavidClass.TREE) or has(UavidClass.LOW_VEGETATION)
+    if vegetation and impact_energy_j >= FIRE_ENERGY_THRESHOLD_J:
+        return TouchdownAssessment(GroundRiskOutcome.R3_POST_CRASH_FIRE,
+                                   Severity.SERIOUS,
+                                   mitigated_by_parachute=False)
+
+    return TouchdownAssessment(None, Severity.NEGLIGIBLE,
+                               mitigated_by_parachute=parachute_deployed)

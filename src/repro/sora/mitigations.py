@@ -1,0 +1,149 @@
+"""Ground-risk mitigations (M1/M2/M3) and the paper's active-M1 EL.
+
+SORA v2.0 Table 3 assigns each mitigation a GRC adaptation depending on
+its *robustness* (the lower of its integrity and assurance levels):
+
+====  ==========================================  ====  ======  ====
+ #    Mitigation                                  Low   Medium  High
+====  ==========================================  ====  ======  ====
+M1    Strategic mitigations for ground risk        -1     -2     -4
+M2    Effects of ground impact are reduced          0     -1     -2
+M3    Emergency Response Plan in place             +1      0     -1
+====  ==========================================  ====  ======  ====
+
+(M3 at low robustness — or absent — *penalises* the GRC by +1.)
+
+Section IV of the paper proposes Emergency Landing as an **active M1**:
+like M1 it reduces the number of people at risk, but by *actively*
+selecting a landing zone from live data instead of by static route
+buffers.  Its robustness combines the Table III integrity level with
+the Table IV assurance level; its GRC credit follows the M1 schedule.
+
+The final GRC may not be reduced below the intrinsic GRC of the
+controlled-ground-area row for the same dimension class (you cannot
+mitigate below "nobody under the drone").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, IntEnum
+
+from repro.sora.grc import (
+    GRC_TABLE,
+    OperationalScenario,
+    UasDimensionClass,
+)
+
+__all__ = [
+    "RobustnessLevel",
+    "MitigationType",
+    "Mitigation",
+    "GRC_ADJUSTMENT",
+    "el_mitigation",
+    "apply_mitigations",
+    "grc_floor",
+]
+
+
+class RobustnessLevel(IntEnum):
+    """SORA robustness: combination of integrity and assurance."""
+
+    NONE = 0
+    LOW = 1
+    MEDIUM = 2
+    HIGH = 3
+
+
+class MitigationType(Enum):
+    """Ground-risk mitigation categories."""
+
+    M1_STRATEGIC = "M1"
+    M2_IMPACT_REDUCTION = "M2"
+    M3_ERP = "M3"
+    EL_ACTIVE_M1 = "EL (active M1)"
+
+
+#: SORA v2.0 Table 3 GRC adaptations, by robustness level.
+GRC_ADJUSTMENT: dict[MitigationType, dict[RobustnessLevel, int]] = {
+    MitigationType.M1_STRATEGIC: {
+        RobustnessLevel.NONE: 0,
+        RobustnessLevel.LOW: -1,
+        RobustnessLevel.MEDIUM: -2,
+        RobustnessLevel.HIGH: -4,
+    },
+    MitigationType.M2_IMPACT_REDUCTION: {
+        RobustnessLevel.NONE: 0,
+        RobustnessLevel.LOW: 0,
+        RobustnessLevel.MEDIUM: -1,
+        RobustnessLevel.HIGH: -2,
+    },
+    MitigationType.M3_ERP: {
+        RobustnessLevel.NONE: 1,   # absent ERP penalises the GRC
+        RobustnessLevel.LOW: 1,
+        RobustnessLevel.MEDIUM: 0,
+        RobustnessLevel.HIGH: -1,
+    },
+    # The paper's proposal: EL credited on the M1 schedule.
+    MitigationType.EL_ACTIVE_M1: {
+        RobustnessLevel.NONE: 0,
+        RobustnessLevel.LOW: -1,
+        RobustnessLevel.MEDIUM: -2,
+        RobustnessLevel.HIGH: -4,
+    },
+}
+
+
+@dataclass(frozen=True)
+class Mitigation:
+    """A claimed mitigation with its robustness."""
+
+    type: MitigationType
+    robustness: RobustnessLevel
+
+    def grc_adjustment(self) -> int:
+        return GRC_ADJUSTMENT[self.type][self.robustness]
+
+
+def el_mitigation(integrity: RobustnessLevel,
+                  assurance: RobustnessLevel) -> Mitigation:
+    """Build the active-M1 EL mitigation from its two assessments.
+
+    Per the SORA, robustness is the *lower* of the integrity level
+    (Table III) and the assurance level (Table IV): strong integrity
+    claims with weak evidence earn no extra credit.
+    """
+    robustness = RobustnessLevel(min(int(integrity), int(assurance)))
+    return Mitigation(MitigationType.EL_ACTIVE_M1, robustness)
+
+
+def grc_floor(dim_class: UasDimensionClass) -> int:
+    """Lowest GRC reachable through mitigation for this aircraft size."""
+    value = GRC_TABLE[OperationalScenario.VLOS_CONTROLLED][
+        UasDimensionClass(dim_class)]
+    assert value is not None  # controlled row is fully populated
+    return value
+
+
+def apply_mitigations(intrinsic: int, mitigations: list[Mitigation],
+                      dim_class: UasDimensionClass) -> int:
+    """Final GRC after applying all claimed mitigations.
+
+    Note the M3 rule: if *no* M3 mitigation is claimed at all, the
+    SORA's +1 penalty for a missing ERP applies (this is how the paper
+    arrives at "7 if no M3 with medium robustness is proposed").
+    """
+    if intrinsic < 1:
+        raise ValueError(f"intrinsic GRC must be >= 1, got {intrinsic}")
+    seen_types = set()
+    total = 0
+    for mitigation in mitigations:
+        if mitigation.type in seen_types:
+            raise ValueError(
+                f"duplicate mitigation claim: {mitigation.type.value}")
+        seen_types.add(mitigation.type)
+        total += mitigation.grc_adjustment()
+    if MitigationType.M3_ERP not in seen_types:
+        total += GRC_ADJUSTMENT[MitigationType.M3_ERP][RobustnessLevel.NONE]
+    final = intrinsic + total
+    return max(final, grc_floor(dim_class))

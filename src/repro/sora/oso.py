@@ -1,0 +1,141 @@
+"""Operational Safety Objectives (OSO) allocation — SORA v2.0 Table 6.
+
+Each SAIL requests the 24 OSOs at a robustness level: O (optional),
+L (low), M (medium) or H (high).  The paper's point in Sec. III-D is
+that SAIL V "requests all the OSOs and most of them at a high level of
+integrity and assurance", which makes certification prohibitively
+expensive — the quantitative shape reproduced by
+:func:`oso_level_counts`.
+
+The table below is transcribed from SORA v2.0 Table 6.  (Transcription
+note: the reproduction's claims only rely on the *aggregate* hardness
+profile per SAIL, which is robust to single-cell deviations.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+
+from repro.sora.sail import SAIL
+
+__all__ = ["OsoLevel", "Oso", "OSO_TABLE", "oso_requirements", "oso_level_counts"]
+
+
+class OsoLevel(IntEnum):
+    """Requested robustness of one OSO at a given SAIL."""
+
+    OPTIONAL = 0
+    LOW = 1
+    MEDIUM = 2
+    HIGH = 3
+
+    @property
+    def letter(self) -> str:
+        return {0: "O", 1: "L", 2: "M", 3: "H"}[int(self)]
+
+
+@dataclass(frozen=True)
+class Oso:
+    """One Operational Safety Objective with its per-SAIL levels."""
+
+    number: int
+    description: str
+    levels: tuple[OsoLevel, ...]  # indexed by SAIL I..VI
+
+    def __post_init__(self):
+        if len(self.levels) != 6:
+            raise ValueError(
+                f"OSO #{self.number} needs 6 levels, got {len(self.levels)}")
+
+    def level_for(self, sail: SAIL) -> OsoLevel:
+        return self.levels[int(sail) - 1]
+
+
+_O = OsoLevel.OPTIONAL
+_L = OsoLevel.LOW
+_M = OsoLevel.MEDIUM
+_H = OsoLevel.HIGH
+
+#: SORA v2.0 Table 6 (levels for SAIL I..VI).
+OSO_TABLE: tuple[Oso, ...] = (
+    Oso(1, "Ensure the operator is competent and/or proven",
+        (_O, _L, _M, _H, _H, _H)),
+    Oso(2, "UAS manufactured by competent and/or proven entity",
+        (_O, _O, _L, _M, _H, _H)),
+    Oso(3, "UAS maintained by competent and/or proven entity",
+        (_L, _L, _M, _M, _H, _H)),
+    Oso(4, "UAS developed to authority recognized design standards",
+        (_O, _O, _O, _L, _M, _H)),
+    Oso(5, "UAS is designed considering system safety and reliability",
+        (_O, _O, _L, _M, _H, _H)),
+    Oso(6, "C3 link performance is appropriate for the operation",
+        (_O, _L, _L, _M, _H, _H)),
+    Oso(7, "Inspection of the UAS (product inspection) to ensure "
+           "consistency with the ConOps",
+        (_L, _L, _M, _M, _H, _H)),
+    Oso(8, "Operational procedures are defined, validated and adhered "
+           "to (technical issue with the UAS)",
+        (_L, _M, _H, _H, _H, _H)),
+    Oso(9, "Remote crew trained and current and able to control the "
+           "abnormal situation (technical issue with the UAS)",
+        (_L, _L, _M, _M, _H, _H)),
+    Oso(10, "Safe recovery from a technical issue",
+        (_L, _L, _M, _M, _H, _H)),
+    Oso(11, "Procedures are in-place to handle the deterioration of "
+            "external systems supporting UAS operation",
+        (_L, _M, _H, _H, _H, _H)),
+    Oso(12, "The UAS is designed to manage the deterioration of "
+            "external systems supporting UAS operation",
+        (_L, _L, _M, _M, _H, _H)),
+    Oso(13, "External services supporting UAS operations are adequate "
+            "to the operation",
+        (_L, _L, _M, _H, _H, _H)),
+    Oso(14, "Operational procedures are defined, validated and adhered "
+            "to (human error)",
+        (_L, _M, _H, _H, _H, _H)),
+    Oso(15, "Remote crew trained and current and able to control the "
+            "abnormal situation (human error)",
+        (_L, _L, _M, _M, _H, _H)),
+    Oso(16, "Multi crew coordination",
+        (_L, _L, _M, _M, _H, _H)),
+    Oso(17, "Remote crew is fit to operate",
+        (_L, _L, _M, _M, _H, _H)),
+    Oso(18, "Automatic protection of the flight envelope from human "
+            "error",
+        (_O, _O, _L, _M, _H, _H)),
+    Oso(19, "Safe recovery from human error",
+        (_O, _O, _L, _M, _M, _H)),
+    Oso(20, "A human factors evaluation has been performed and the HMI "
+            "found appropriate for the mission",
+        (_O, _L, _L, _M, _M, _H)),
+    Oso(21, "Operational procedures are defined, validated and adhered "
+            "to (adverse operating conditions)",
+        (_L, _M, _H, _H, _H, _H)),
+    Oso(22, "The remote crew is trained to identify critical "
+            "environmental conditions and to avoid them",
+        (_L, _L, _M, _M, _M, _H)),
+    Oso(23, "Environmental conditions for safe operations defined, "
+            "measurable and adhered to",
+        (_L, _L, _M, _M, _H, _H)),
+    Oso(24, "UAS designed and qualified for adverse environmental "
+            "conditions",
+        (_O, _O, _M, _H, _H, _H)),
+)
+
+
+def oso_requirements(sail: SAIL) -> dict[int, OsoLevel]:
+    """Requested level of every OSO at the given SAIL."""
+    return {oso.number: oso.level_for(sail) for oso in OSO_TABLE}
+
+
+def oso_level_counts(sail: SAIL) -> dict[OsoLevel, int]:
+    """How many OSOs are requested at each level for a SAIL.
+
+    Reproduces the paper's qualitative claim: at SAIL V, no OSO is
+    optional and most are High.
+    """
+    counts = {level: 0 for level in OsoLevel}
+    for oso in OSO_TABLE:
+        counts[oso.level_for(sail)] += 1
+    return counts

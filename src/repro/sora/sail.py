@@ -1,0 +1,62 @@
+"""SAIL determination — SORA v2.0 Table 5.
+
+The Specific Assurance and Integrity Level (SAIL, I..VI) consolidates
+the residual ground and air risks.  MEDI DELIVERY's final GRC 6 with
+ARC-c gives SAIL V; without an ERP (final GRC 7) it gives SAIL VI —
+"a high risk operation among the specific category" (Sec. III-D).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.sora.arc import ARC
+from repro.sora.grc import MAX_SPECIFIC_GRC
+
+__all__ = ["SAIL", "determine_sail", "CertifiedCategoryError"]
+
+
+class CertifiedCategoryError(ValueError):
+    """The residual risk exceeds what the specific category can carry."""
+
+
+class SAIL(IntEnum):
+    """Specific Assurance and Integrity Levels."""
+
+    I = 1
+    II = 2
+    III = 3
+    IV = 4
+    V = 5
+    VI = 6
+
+    def __str__(self) -> str:
+        return f"SAIL {self.name}"
+
+
+#: SORA v2.0 Table 5: rows = final GRC (<=2, 3..7), columns = ARC a..d.
+_SAIL_MATRIX: dict[int, dict[ARC, SAIL]] = {
+    2: {ARC.A: SAIL.I, ARC.B: SAIL.II, ARC.C: SAIL.IV, ARC.D: SAIL.VI},
+    3: {ARC.A: SAIL.II, ARC.B: SAIL.II, ARC.C: SAIL.IV, ARC.D: SAIL.VI},
+    4: {ARC.A: SAIL.III, ARC.B: SAIL.III, ARC.C: SAIL.IV, ARC.D: SAIL.VI},
+    5: {ARC.A: SAIL.IV, ARC.B: SAIL.IV, ARC.C: SAIL.IV, ARC.D: SAIL.VI},
+    6: {ARC.A: SAIL.V, ARC.B: SAIL.V, ARC.C: SAIL.V, ARC.D: SAIL.VI},
+    7: {ARC.A: SAIL.VI, ARC.B: SAIL.VI, ARC.C: SAIL.VI, ARC.D: SAIL.VI},
+}
+
+
+def determine_sail(final_grc: int, arc: ARC) -> SAIL:
+    """SAIL for a residual (final GRC, residual ARC) pair.
+
+    Raises :class:`CertifiedCategoryError` when the final GRC exceeds 7
+    — such operations cannot be authorised in the specific category at
+    all (they fall under certified-category rules).
+    """
+    if final_grc < 1:
+        raise ValueError(f"final GRC must be >= 1, got {final_grc}")
+    if final_grc > MAX_SPECIFIC_GRC:
+        raise CertifiedCategoryError(
+            f"final GRC {final_grc} exceeds the specific category limit "
+            f"({MAX_SPECIFIC_GRC}); certified category rules apply")
+    row = max(final_grc, 2)  # GRC 1 and 2 share the first row
+    return _SAIL_MATRIX[row][ARC(arc)]

@@ -1,0 +1,80 @@
+"""UAV simulation substrate: vehicle, ballistics, failures, safety switch,
+missions.
+
+Implements the paper's MEDI DELIVERY case study end to end: the vehicle
+parameters of Sec. III-A (with the exact ballistic figures), Belcastro-
+style failure injection, the Fig. 1 safety-switch state machine
+(H / RB / EL / FT) and a Monte-Carlo mission simulator that measures
+Table II outcome frequencies under different emergency-landing policies.
+"""
+
+from repro.uav.ballistics import (
+    GRAVITY,
+    DriftModel,
+    ballistic_impact_energy,
+    descent_time,
+    free_fall_speed,
+    kinetic_energy,
+    parachute_drift,
+    parachute_impact_energy,
+)
+from repro.uav.capability import (
+    NOMINAL_CAPABILITIES,
+    CapabilityState,
+    ServiceStatus,
+)
+from repro.uav.failures import (
+    BELCASTRO_CATEGORY,
+    FailureEvent,
+    FailureInjector,
+    FailureType,
+    apply_failure,
+)
+from repro.uav.mission import (
+    CampaignStats,
+    ELPolicy,
+    MissionConfig,
+    MissionResult,
+    run_campaign,
+    simulate_mission,
+)
+from repro.uav.safety_switch import (
+    Maneuver,
+    SafetySwitch,
+    SwitchDecision,
+    select_maneuver,
+)
+from repro.uav.vehicle import MEDI_DELIVERY, UavState, VehicleParams, step_towards
+
+__all__ = [
+    "GRAVITY",
+    "free_fall_speed",
+    "kinetic_energy",
+    "ballistic_impact_energy",
+    "descent_time",
+    "parachute_drift",
+    "parachute_impact_energy",
+    "DriftModel",
+    "ServiceStatus",
+    "CapabilityState",
+    "NOMINAL_CAPABILITIES",
+    "FailureType",
+    "FailureEvent",
+    "FailureInjector",
+    "apply_failure",
+    "BELCASTRO_CATEGORY",
+    "Maneuver",
+    "select_maneuver",
+    "SafetySwitch",
+    "SwitchDecision",
+    "VehicleParams",
+    "MEDI_DELIVERY",
+    "UavState",
+    "step_towards",
+    "MissionConfig",
+    "MissionResult",
+    "simulate_mission",
+    "CampaignStats",
+    "run_campaign",
+    "ELPolicy",
+]

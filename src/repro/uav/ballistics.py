@@ -1,0 +1,146 @@
+"""Impact ballistics and parachute-descent models.
+
+Reproduces the paper's Section III-A numbers exactly: a MEDI DELIVERY
+vehicle cruising at a height of 120 m has a "typical ballistic vertical
+speed" of 48.5 m/s (free-fall impact velocity, v = sqrt(2 g h)) and,
+with a 7 kg maximum take-off weight, a kinetic energy of 8.23 kJ
+(computed from the rounded speed, as in the paper).
+
+The parachute model supports the Table III Medium-1 integrity criterion:
+the landing-zone buffer "must take into account the typical parachute
+drift in nominal conditions" — drift = wind x descent time — plus gust
+and localisation margins for adverse conditions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = [
+    "GRAVITY",
+    "free_fall_speed",
+    "kinetic_energy",
+    "ballistic_impact_energy",
+    "descent_time",
+    "parachute_drift",
+    "parachute_impact_energy",
+    "DriftModel",
+]
+
+#: Standard gravity, m/s^2.
+GRAVITY = 9.81
+
+
+def free_fall_speed(height_m: float) -> float:
+    """Drag-free impact speed from a fall of ``height_m`` metres.
+
+    ``v = sqrt(2 g h)`` — for h = 120 m this gives 48.5 m/s, the paper's
+    "typical ballistic vertical speed".
+    """
+    check_non_negative("height_m", height_m)
+    return math.sqrt(2.0 * GRAVITY * height_m)
+
+
+def kinetic_energy(mass_kg: float, speed_ms: float) -> float:
+    """Kinetic energy in joules: ``E = m v^2 / 2``."""
+    check_positive("mass_kg", mass_kg)
+    check_non_negative("speed_ms", speed_ms)
+    return 0.5 * mass_kg * speed_ms ** 2
+
+
+def ballistic_impact_energy(mass_kg: float, height_m: float) -> float:
+    """Impact kinetic energy of an uncontrolled fall (no parachute).
+
+    For the MEDI DELIVERY parameters (7 kg, 120 m) this is ~8.24 kJ;
+    the paper reports 8.23 kJ because it rounds the speed to 48.5 m/s
+    first.  Both are asserted in the test suite.
+    """
+    return kinetic_energy(mass_kg, free_fall_speed(height_m))
+
+
+def descent_time(height_m: float, descent_rate_ms: float) -> float:
+    """Time to descend ``height_m`` at a constant sink rate."""
+    check_non_negative("height_m", height_m)
+    check_positive("descent_rate_ms", descent_rate_ms)
+    return height_m / descent_rate_ms
+
+
+def parachute_drift(height_m: float, descent_rate_ms: float,
+                    wind_speed_ms: float) -> float:
+    """Horizontal drift during a parachute descent in steady wind.
+
+    A canopy quickly reaches the wind's horizontal velocity, so drift is
+    ``wind x descent time`` — the "typical parachute drift in nominal
+    conditions" of Table III.
+    """
+    check_non_negative("wind_speed_ms", wind_speed_ms)
+    return wind_speed_ms * descent_time(height_m, descent_rate_ms)
+
+
+def parachute_impact_energy(mass_kg: float,
+                            descent_rate_ms: float) -> float:
+    """Impact energy under canopy (terminal sink rate reached)."""
+    return kinetic_energy(mass_kg, descent_rate_ms)
+
+
+@dataclass(frozen=True)
+class DriftModel:
+    """Landing-deviation model used to size zone clearance buffers.
+
+    Integrity levels of Table III map onto this model as follows:
+
+    * **Low**: nominal drift only (``gust_factor = 1``, no extras).
+    * **Medium/High**: adverse conditions and improbable single failures
+      are absorbed by the gust factor, the localisation error of the
+      degraded navigation solution, and the maneuver-latency allowance
+      ("UAV latencies, behavior and performance").
+    """
+
+    wind_speed_ms: float = 4.0
+    gust_factor: float = 1.5
+    descent_rate_ms: float = 6.0
+    release_height_m: float = 40.0
+    position_error_m: float = 3.0
+    latency_s: float = 1.0
+    approach_speed_ms: float = 5.0
+
+    def __post_init__(self):
+        check_non_negative("wind_speed_ms", self.wind_speed_ms)
+        check_positive("descent_rate_ms", self.descent_rate_ms)
+        check_non_negative("release_height_m", self.release_height_m)
+        check_non_negative("position_error_m", self.position_error_m)
+        check_non_negative("latency_s", self.latency_s)
+        check_non_negative("approach_speed_ms", self.approach_speed_ms)
+        if self.gust_factor < 1.0:
+            raise ValueError("gust_factor must be >= 1")
+
+    # ------------------------------------------------------------------
+    def nominal_drift_m(self) -> float:
+        """Expected downwind drift during the parachute descent."""
+        return parachute_drift(self.release_height_m, self.descent_rate_ms,
+                               self.wind_speed_ms)
+
+    def adverse_drift_m(self) -> float:
+        """Drift under gusting wind (adverse-condition envelope)."""
+        return parachute_drift(self.release_height_m, self.descent_rate_ms,
+                               self.wind_speed_ms * self.gust_factor)
+
+    def latency_allowance_m(self) -> float:
+        """Distance overshoot due to activation latency."""
+        return self.latency_s * self.approach_speed_ms
+
+    def required_clearance_m(self, conservative: bool = True) -> float:
+        """Radius a landing zone must keep clear of hazards.
+
+        ``conservative=True`` is the Medium/High-integrity buffer
+        (adverse drift + localisation + latency); ``False`` gives the
+        Low-integrity nominal buffer.
+        """
+        drift = self.adverse_drift_m() if conservative else \
+            self.nominal_drift_m()
+        extras = (self.position_error_m + self.latency_allowance_m()
+                  if conservative else 0.0)
+        return drift + extras

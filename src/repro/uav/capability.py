@@ -1,0 +1,100 @@
+"""Capability state: which on-board/external services still work.
+
+The Fig. 1 safety switch decides between Hovering, Return-to-Base,
+Emergency Landing and Flight Termination based on *which capabilities
+remain*: communication, navigation (global localisation), trajectory
+control, propulsion, the camera (needed for EL) and energy reserves.
+This module defines that state and its derived predicates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from enum import Enum
+
+__all__ = ["ServiceStatus", "CapabilityState", "NOMINAL_CAPABILITIES"]
+
+
+class ServiceStatus(Enum):
+    """Health of one service or function."""
+
+    OK = "ok"
+    DEGRADED = "degraded"
+    TEMPORARILY_LOST = "temporarily_lost"
+    LOST = "lost"
+
+    @property
+    def usable(self) -> bool:
+        """True when the service can still be relied on right now."""
+        return self in (ServiceStatus.OK, ServiceStatus.DEGRADED)
+
+
+@dataclass(frozen=True)
+class CapabilityState:
+    """Snapshot of every capability the safety switch reasons about.
+
+    Attributes
+    ----------
+    communication:
+        C2 link and external services (paper: "external services",
+        "communication services").
+    navigation:
+        Global localisation / route following (paper: "navigation
+        capabilities (mainly localization)").
+    flight_control:
+        Local attitude/trajectory control (paper: "proper trajectory
+        control").
+    propulsion:
+        Motors/ESCs; loss means no controlled flight at all.
+    camera:
+        The EL camera; without it a safe EL cannot be performed.
+    energy_ok:
+        Sufficient battery for the contemplated maneuver.
+    """
+
+    communication: ServiceStatus = ServiceStatus.OK
+    navigation: ServiceStatus = ServiceStatus.OK
+    flight_control: ServiceStatus = ServiceStatus.OK
+    propulsion: ServiceStatus = ServiceStatus.OK
+    camera: ServiceStatus = ServiceStatus.OK
+    energy_ok: bool = True
+
+    # ------------------------------------------------------------------
+    # Predicates used by the safety switch (Fig. 1 rules)
+    # ------------------------------------------------------------------
+    def trajectory_controllable(self) -> bool:
+        """Can the vehicle still fly a commanded local trajectory?"""
+        return (self.flight_control.usable and self.propulsion.usable)
+
+    def navigable(self) -> bool:
+        """Can the vehicle still navigate a global route (e.g. home)?
+
+        A *degraded* navigation solution still counts as navigable — the
+        safety switch treats it as a temporary condition (Hover) and
+        only escalates when the degradation persists or becomes a loss.
+        """
+        return (self.trajectory_controllable()
+                and self.navigation.usable)
+
+    def safe_el_possible(self) -> bool:
+        """Can an autonomous emergency landing be attempted safely?"""
+        return (self.trajectory_controllable()
+                and self.camera.usable
+                and self.energy_ok)
+
+    def nominal(self) -> bool:
+        """True when every service is fully OK."""
+        return (self.communication is ServiceStatus.OK
+                and self.navigation is ServiceStatus.OK
+                and self.flight_control is ServiceStatus.OK
+                and self.propulsion is ServiceStatus.OK
+                and self.camera is ServiceStatus.OK
+                and self.energy_ok)
+
+    def degrade(self, **changes) -> "CapabilityState":
+        """Return a copy with some services changed."""
+        return replace(self, **changes)
+
+
+#: The all-OK capability state.
+NOMINAL_CAPABILITIES = CapabilityState()

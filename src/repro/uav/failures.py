@@ -1,0 +1,134 @@
+"""Failure taxonomy and injection, after Belcastro et al. (2017).
+
+The paper grounds its hazard analysis in Belcastro's study of civilian
+UAV accidents, which distils fourteen hazard categories (loss of
+control, fly-away, lost communication, ...).  This module encodes the
+categories relevant to the ground-risk case, maps each failure to its
+effect on the vehicle's :class:`CapabilityState`, and provides a
+stochastic injector for Monte-Carlo mission campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.uav.capability import CapabilityState, ServiceStatus
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "FailureType",
+    "FailureEvent",
+    "apply_failure",
+    "FailureInjector",
+    "BELCASTRO_CATEGORY",
+]
+
+
+class FailureType(Enum):
+    """Failure modes injected into missions."""
+
+    GPS_LOSS = "gps_loss"
+    GPS_DEGRADED = "gps_degraded"
+    COMM_LOSS_TEMPORARY = "comm_loss_temporary"
+    COMM_LOSS_PERMANENT = "comm_loss_permanent"
+    NAVIGATION_AND_COMM_LOSS = "navigation_and_comm_loss"
+    MOTOR_FAILURE = "motor_failure"
+    FLIGHT_CONTROL_LOSS = "flight_control_loss"
+    BATTERY_CRITICAL = "battery_critical"
+    CAMERA_FAILURE = "camera_failure"
+    AVIONICS_DEGRADED = "avionics_degraded"
+
+
+#: Mapping to the Belcastro et al. hazard categories cited by the paper.
+BELCASTRO_CATEGORY = {
+    FailureType.GPS_LOSS: "loss of navigation",
+    FailureType.GPS_DEGRADED: "degraded navigation",
+    FailureType.COMM_LOSS_TEMPORARY: "lost communication",
+    FailureType.COMM_LOSS_PERMANENT: "lost communication",
+    FailureType.NAVIGATION_AND_COMM_LOSS: "fly-away precursor",
+    FailureType.MOTOR_FAILURE: "loss of control (propulsion)",
+    FailureType.FLIGHT_CONTROL_LOSS: "loss of control",
+    FailureType.BATTERY_CRITICAL: "fuel/energy depletion",
+    FailureType.CAMERA_FAILURE: "payload/sensor failure",
+    FailureType.AVIONICS_DEGRADED: "system/component failure",
+}
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """A failure occurring at a given mission time."""
+
+    failure: FailureType
+    time_s: float
+
+    def __post_init__(self):
+        if self.time_s < 0:
+            raise ValueError("failure time must be non-negative")
+
+
+def apply_failure(capabilities: CapabilityState,
+                  failure: FailureType) -> CapabilityState:
+    """Capability state after ``failure`` strikes.
+
+    Effects compose: applying several failures in sequence accumulates
+    their degradations (a service never spontaneously heals here; the
+    recovery of temporary losses is handled by the safety switch timer).
+    """
+    f = FailureType(failure)
+    if f is FailureType.GPS_LOSS:
+        return capabilities.degrade(navigation=ServiceStatus.LOST)
+    if f is FailureType.GPS_DEGRADED:
+        return capabilities.degrade(navigation=ServiceStatus.DEGRADED)
+    if f is FailureType.COMM_LOSS_TEMPORARY:
+        return capabilities.degrade(
+            communication=ServiceStatus.TEMPORARILY_LOST)
+    if f is FailureType.COMM_LOSS_PERMANENT:
+        return capabilities.degrade(communication=ServiceStatus.LOST)
+    if f is FailureType.NAVIGATION_AND_COMM_LOSS:
+        # The paper's canonical EL trigger: "loss of navigation
+        # capabilities still allowing proper trajectory control (mainly
+        # localization and communication loss)".
+        return capabilities.degrade(navigation=ServiceStatus.LOST,
+                                    communication=ServiceStatus.LOST)
+    if f is FailureType.MOTOR_FAILURE:
+        return capabilities.degrade(propulsion=ServiceStatus.LOST)
+    if f is FailureType.FLIGHT_CONTROL_LOSS:
+        return capabilities.degrade(flight_control=ServiceStatus.LOST)
+    if f is FailureType.BATTERY_CRITICAL:
+        return capabilities.degrade(energy_ok=False)
+    if f is FailureType.CAMERA_FAILURE:
+        return capabilities.degrade(camera=ServiceStatus.LOST)
+    if f is FailureType.AVIONICS_DEGRADED:
+        return capabilities.degrade(flight_control=ServiceStatus.DEGRADED)
+    raise ValueError(f"unhandled failure type {failure!r}")
+
+
+class FailureInjector:
+    """Samples failure events for Monte-Carlo mission campaigns."""
+
+    def __init__(self, failure_weights: dict[FailureType, float] | None = None,
+                 rng=None):
+        """``failure_weights`` are relative occurrence rates; default is
+        uniform over all failure types."""
+        weights = (failure_weights if failure_weights is not None
+                   else {f: 1.0 for f in FailureType})
+        if not weights:
+            raise ValueError("failure_weights must not be empty")
+        for f, w in weights.items():
+            if w < 0:
+                raise ValueError(f"negative weight for {f}")
+        total = sum(weights.values())
+        if total <= 0:
+            raise ValueError("at least one weight must be positive")
+        self._types = list(weights.keys())
+        self._probs = [weights[f] / total for f in self._types]
+        self.rng = ensure_rng(rng)
+
+    def sample(self, mission_duration_s: float) -> FailureEvent:
+        """Draw one failure uniformly in time over the mission."""
+        if mission_duration_s <= 0:
+            raise ValueError("mission duration must be positive")
+        idx = self.rng.choice(len(self._types), p=self._probs)
+        time_s = float(self.rng.uniform(0.0, mission_duration_s))
+        return FailureEvent(failure=self._types[int(idx)], time_s=time_s)

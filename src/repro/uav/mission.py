@@ -1,0 +1,417 @@
+"""Monte-Carlo mission simulator: failures -> maneuvers -> outcomes.
+
+Closes the loop of the paper's safety argument: a MEDI DELIVERY vehicle
+flies a delivery route over a procedural urban scene; a failure strikes;
+the Fig. 1 safety switch selects a maneuver; if Emergency Landing is
+engaged, an EL policy (e.g. the paper's monitored segmentation pipeline)
+chooses the touchdown zone; the parachute descent drifts with the wind;
+and the touchdown footprint is classified into the Table II outcome.
+
+Campaigns over many seeded missions measure the quantity the SORA
+integrity argument is about — the probability of severe ground-risk
+outcomes — with and without EL, with and without the runtime monitor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.dataset.conditions import DAY, ImagingConditions
+from repro.dataset.render import render_scene_window
+from repro.dataset.scene import UrbanScene
+from repro.sora.hazard import (
+    Severity,
+    TouchdownAssessment,
+    classify_touchdown,
+)
+from repro.uav.ballistics import (
+    ballistic_impact_energy,
+    parachute_drift,
+    parachute_impact_energy,
+)
+from repro.uav.capability import NOMINAL_CAPABILITIES
+from repro.uav.failures import FailureEvent, apply_failure
+from repro.uav.safety_switch import Maneuver, SafetySwitch
+from repro.uav.vehicle import MEDI_DELIVERY, UavState, VehicleParams, step_towards
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "ELPolicy",
+    "MissionConfig",
+    "MissionResult",
+    "simulate_mission",
+    "CampaignStats",
+    "run_campaign",
+]
+
+#: An EL policy maps a camera frame (CHW float image) to a landing-zone
+#: centre in window pixel coordinates, or ``None`` to abort (-> FT).
+ELPolicy = Callable[[np.ndarray], "tuple[float, float] | None"]
+
+
+@dataclass(frozen=True)
+class MissionConfig:
+    """Parameters of one simulated delivery mission."""
+
+    route_m: tuple[tuple[float, float], ...] = ((30.0, 30.0),
+                                                (226.0, 226.0))
+    dt_s: float = 1.0
+    max_time_s: float = 600.0
+    wind_speed_ms: float = 4.0
+    wind_direction_rad: float = 0.8
+    camera_shape_px: tuple[int, int] = (96, 128)
+    camera_gsd_m: float = 1.0
+    conditions: ImagingConditions = DAY
+    hover_timeout_s: float = 20.0
+    nav_error_sigma_m: float = 4.0
+    footprint_margin_m: float = 0.5
+
+    def __post_init__(self):
+        if len(self.route_m) < 2:
+            raise ValueError("route needs at least two waypoints")
+        check_positive("dt_s", self.dt_s)
+        check_positive("max_time_s", self.max_time_s)
+        check_positive("camera_gsd_m", self.camera_gsd_m)
+
+    def wind_xy(self) -> tuple[float, float]:
+        return (self.wind_speed_ms * math.cos(self.wind_direction_rad),
+                self.wind_speed_ms * math.sin(self.wind_direction_rad))
+
+
+@dataclass
+class MissionResult:
+    """Everything observable about one mission."""
+
+    completed: bool
+    final_maneuver: Maneuver
+    failure: FailureEvent | None
+    touchdown_xy_m: tuple[float, float] | None
+    parachute_used: bool
+    assessment: TouchdownAssessment | None
+    el_attempted: bool
+    el_zone_found: bool
+    flight_time_s: float
+    events: list[str] = field(default_factory=list)
+
+    @property
+    def severity(self) -> Severity:
+        if self.assessment is None:
+            return Severity.NEGLIGIBLE
+        return self.assessment.severity
+
+
+def _scene_cell(scene: UrbanScene, x_m: float, y_m: float
+                ) -> tuple[float, float]:
+    """World metres -> scene grid (row, col); x is col-axis, y row-axis."""
+    gsd = scene.config.gsd
+    return (y_m / gsd, x_m / gsd)
+
+
+def _touchdown_assessment(scene: UrbanScene, vehicle: VehicleParams,
+                          x_m: float, y_m: float, parachute: bool,
+                          config: MissionConfig,
+                          fall_height_m: float) -> TouchdownAssessment:
+    """Classify the footprint under a touchdown point."""
+    row, col = _scene_cell(scene, x_m, y_m)
+    radius_m = vehicle.span_m / 2.0 + config.footprint_margin_m
+    radius_cells = max(1.0, radius_m / scene.config.gsd)
+    h, w = scene.labels.shape
+    r0 = int(np.clip(math.floor(row - radius_cells), 0, h - 1))
+    r1 = int(np.clip(math.ceil(row + radius_cells), 1, h))
+    c0 = int(np.clip(math.floor(col - radius_cells), 0, w - 1))
+    c1 = int(np.clip(math.ceil(col + radius_cells), 1, w))
+    rows = np.arange(r0, r1)[:, None]
+    cols = np.arange(c0, c1)[None, :]
+    disk = (rows - row) ** 2 + (cols - col) ** 2 <= radius_cells ** 2
+    footprint = scene.labels[r0:r1, c0:c1][disk]
+    if footprint.size == 0:
+        footprint = scene.labels[int(np.clip(row, 0, h - 1)),
+                                 int(np.clip(col, 0, w - 1))].reshape(1)
+    energy = (parachute_impact_energy(vehicle.mtow_kg,
+                                      vehicle.parachute_descent_rate_ms)
+              if parachute
+              else ballistic_impact_energy(vehicle.mtow_kg, fall_height_m))
+    return classify_touchdown(footprint, parachute, energy)
+
+
+def _parachute_touchdown(x_m: float, y_m: float, height_m: float,
+                         vehicle: VehicleParams, config: MissionConfig,
+                         rng: np.random.Generator
+                         ) -> tuple[float, float]:
+    """Touchdown point of a canopy descent from (x, y, height)."""
+    drift = parachute_drift(height_m, vehicle.parachute_descent_rate_ms,
+                            config.wind_speed_ms)
+    # Gust variability around the mean drift.
+    drift *= float(rng.uniform(0.6, 1.4))
+    angle = config.wind_direction_rad + float(rng.normal(0.0, 0.15))
+    return (x_m + drift * math.cos(angle), y_m + drift * math.sin(angle))
+
+
+def simulate_mission(scene: UrbanScene,
+                     config: MissionConfig | None = None,
+                     vehicle: VehicleParams = MEDI_DELIVERY,
+                     failure: FailureEvent | None = None,
+                     el_policy: ELPolicy | None = None,
+                     rng=None) -> MissionResult:
+    """Simulate one mission over ``scene``.
+
+    Parameters
+    ----------
+    failure:
+        The failure to inject, or ``None`` for an uneventful mission.
+    el_policy:
+        Landing-zone policy used when the safety switch engages EL;
+        ``None`` means the vehicle has no EL capability, so a situation
+        calling for EL escalates to Flight Termination in place — the
+        paper's status quo ante.
+    """
+    config = config or MissionConfig()
+    rng = ensure_rng(rng)
+    events: list[str] = []
+
+    state = UavState(x_m=config.route_m[0][0], y_m=config.route_m[0][1],
+                     height_m=vehicle.cruise_height_m,
+                     energy_wh=vehicle.battery_capacity_wh)
+    switch = SafetySwitch(hover_timeout_s=config.hover_timeout_s)
+    capabilities = NOMINAL_CAPABILITIES
+    wind = config.wind_xy()
+
+    waypoint_idx = 1
+    failure_applied = failure is None
+    el_attempted = False
+    el_zone_found = False
+    el_target: tuple[float, float] | None = None
+
+    def finish_touchdown(x: float, y: float, parachute: bool,
+                         fall_height: float,
+                         maneuver: Maneuver) -> MissionResult:
+        assessment = _touchdown_assessment(scene, vehicle, x, y,
+                                           parachute, config, fall_height)
+        events.append(
+            f"touchdown at ({x:.0f}, {y:.0f}) severity "
+            f"{assessment.severity.name}")
+        return MissionResult(
+            completed=False, final_maneuver=maneuver, failure=failure,
+            touchdown_xy_m=(x, y), parachute_used=parachute,
+            assessment=assessment, el_attempted=el_attempted,
+            el_zone_found=el_zone_found, flight_time_s=state.time_s,
+            events=events)
+
+    while state.time_s < config.max_time_s:
+        # --- failure injection -----------------------------------------
+        if not failure_applied and state.time_s >= failure.time_s:
+            capabilities = apply_failure(capabilities, failure.failure)
+            failure_applied = True
+            events.append(
+                f"t={state.time_s:.0f}s failure {failure.failure.value}")
+
+        if state.energy_wh <= 0 and capabilities.energy_ok:
+            capabilities = capabilities.degrade(energy_ok=False)
+            events.append(f"t={state.time_s:.0f}s battery exhausted")
+
+        maneuver = switch.update(capabilities, state.time_s)
+
+        # --- maneuver execution -----------------------------------------
+        if maneuver is Maneuver.FLIGHT_TERMINATION:
+            events.append(f"t={state.time_s:.0f}s FT engaged")
+            x, y = _parachute_touchdown(state.x_m, state.y_m,
+                                        state.height_m, vehicle, config,
+                                        rng)
+            return finish_touchdown(x, y, parachute=True,
+                                    fall_height=state.height_m,
+                                    maneuver=maneuver)
+
+        if maneuver is Maneuver.EMERGENCY_LANDING:
+            if el_policy is None:
+                events.append(
+                    f"t={state.time_s:.0f}s EL required but unavailable "
+                    "-> FT")
+                x, y = _parachute_touchdown(state.x_m, state.y_m,
+                                            state.height_m, vehicle,
+                                            config, rng)
+                return finish_touchdown(
+                    x, y, parachute=True, fall_height=state.height_m,
+                    maneuver=Maneuver.FLIGHT_TERMINATION)
+
+            if el_target is None and not el_attempted:
+                el_attempted = True
+                center = _scene_cell(scene, state.x_m, state.y_m)
+                try:
+                    image, _ = render_scene_window(
+                        scene, center, config.camera_shape_px,
+                        config.camera_gsd_m, config.conditions,
+                        rng=rng)
+                    zone_px = el_policy(image)
+                except Exception as exc:  # pragma: no cover - defensive
+                    events.append(f"EL policy error: {exc}")
+                    zone_px = None
+                if zone_px is None:
+                    events.append(
+                        f"t={state.time_s:.0f}s EL aborted (no safe "
+                        "zone) -> FT")
+                    x, y = _parachute_touchdown(state.x_m, state.y_m,
+                                                state.height_m, vehicle,
+                                                config, rng)
+                    return finish_touchdown(
+                        x, y, parachute=True, fall_height=state.height_m,
+                        maneuver=Maneuver.FLIGHT_TERMINATION)
+                el_zone_found = True
+                # Window pixel -> world offset from current position.
+                dr = (zone_px[0] - (config.camera_shape_px[0] - 1) / 2.0)
+                dc = (zone_px[1] - (config.camera_shape_px[1] - 1) / 2.0)
+                el_target = (state.x_m + dc * config.camera_gsd_m,
+                             state.y_m + dr * config.camera_gsd_m)
+                events.append(
+                    f"t={state.time_s:.0f}s EL zone selected at "
+                    f"({el_target[0]:.0f}, {el_target[1]:.0f})")
+
+            if el_target is not None:
+                # Degraded navigation: wind only partially rejected and
+                # position error accumulates.
+                nav_noise = rng.normal(
+                    0.0, config.nav_error_sigma_m * config.dt_s / 10.0,
+                    size=2)
+                state = step_towards(
+                    state, el_target, config.dt_s,
+                    vehicle.emergency_speed_ms,
+                    wind_xy_ms=(wind[0] + nav_noise[0] / config.dt_s,
+                                wind[1] + nav_noise[1] / config.dt_s),
+                    wind_rejection=0.8,
+                    power_w=vehicle.hover_power_w)
+                reached = math.hypot(state.x_m - el_target[0],
+                                     state.y_m - el_target[1]) < 2.0
+                if reached:
+                    # Controlled descent, then canopy from release height.
+                    release_h = max(vehicle.parachute_min_height_m, 40.0)
+                    nav_err = rng.normal(0.0, config.nav_error_sigma_m,
+                                         size=2)
+                    x, y = _parachute_touchdown(
+                        el_target[0] + nav_err[0],
+                        el_target[1] + nav_err[1],
+                        release_h, vehicle, config, rng)
+                    events.append(
+                        f"t={state.time_s:.0f}s EL parachute from "
+                        f"{release_h:.0f} m")
+                    return finish_touchdown(x, y, parachute=True,
+                                            fall_height=release_h,
+                                            maneuver=maneuver)
+                continue
+
+        if maneuver is Maneuver.RETURN_TO_BASE:
+            state = step_towards(state, config.route_m[0], config.dt_s,
+                                 vehicle.cruise_speed_ms, wind_xy_ms=wind,
+                                 wind_rejection=1.0,
+                                 power_w=vehicle.cruise_power_w)
+            if math.hypot(state.x_m - config.route_m[0][0],
+                          state.y_m - config.route_m[0][1]) < 3.0:
+                events.append(f"t={state.time_s:.0f}s landed at base")
+                return MissionResult(
+                    completed=True, final_maneuver=maneuver,
+                    failure=failure, touchdown_xy_m=config.route_m[0],
+                    parachute_used=False, assessment=None,
+                    el_attempted=el_attempted,
+                    el_zone_found=el_zone_found,
+                    flight_time_s=state.time_s, events=events)
+            continue
+
+        if maneuver is Maneuver.HOVER:
+            state = step_towards(state, state.position(), config.dt_s,
+                                 0.0, wind_xy_ms=wind, wind_rejection=0.9,
+                                 power_w=vehicle.hover_power_w)
+            continue
+
+        # --- nominal route following ------------------------------------
+        target = config.route_m[waypoint_idx]
+        state = step_towards(state, target, config.dt_s,
+                             vehicle.cruise_speed_ms, wind_xy_ms=wind,
+                             wind_rejection=1.0,
+                             power_w=vehicle.cruise_power_w)
+        if math.hypot(state.x_m - target[0], state.y_m - target[1]) < 3.0:
+            waypoint_idx += 1
+            if waypoint_idx >= len(config.route_m):
+                events.append(f"t={state.time_s:.0f}s mission complete")
+                return MissionResult(
+                    completed=True, final_maneuver=Maneuver.NOMINAL,
+                    failure=failure, touchdown_xy_m=target,
+                    parachute_used=False, assessment=None,
+                    el_attempted=el_attempted,
+                    el_zone_found=el_zone_found,
+                    flight_time_s=state.time_s, events=events)
+
+    # Time budget exhausted (e.g. hover against the wind): treat as
+    # battery exhaustion -> FT where the vehicle is.
+    events.append("mission time budget exhausted -> FT")
+    x, y = _parachute_touchdown(state.x_m, state.y_m, state.height_m,
+                                vehicle, config, rng)
+    return finish_touchdown(x, y, parachute=True,
+                            fall_height=state.height_m,
+                            maneuver=Maneuver.FLIGHT_TERMINATION)
+
+
+@dataclass
+class CampaignStats:
+    """Aggregate statistics over a mission campaign."""
+
+    num_missions: int = 0
+    severity_counts: dict[Severity, int] = field(default_factory=dict)
+    outcome_counts: dict[str, int] = field(default_factory=dict)
+    maneuver_counts: dict[Maneuver, int] = field(default_factory=dict)
+    el_attempts: int = 0
+    el_aborts: int = 0
+    completed: int = 0
+
+    def record(self, result: MissionResult) -> None:
+        self.num_missions += 1
+        sev = result.severity
+        self.severity_counts[sev] = self.severity_counts.get(sev, 0) + 1
+        if result.assessment is not None and \
+                result.assessment.outcome is not None:
+            key = result.assessment.outcome.value
+            self.outcome_counts[key] = self.outcome_counts.get(key, 0) + 1
+        man = result.final_maneuver
+        self.maneuver_counts[man] = self.maneuver_counts.get(man, 0) + 1
+        if result.el_attempted:
+            self.el_attempts += 1
+            if not result.el_zone_found:
+                self.el_aborts += 1
+        if result.completed:
+            self.completed += 1
+
+    def severe_fraction(self) -> float:
+        """Fraction of missions ending with severity >= Major."""
+        if self.num_missions == 0:
+            return 0.0
+        severe = sum(count for sev, count in self.severity_counts.items()
+                     if sev >= Severity.MAJOR)
+        return severe / self.num_missions
+
+    def mean_severity(self) -> float:
+        if self.num_missions == 0:
+            return float("nan")
+        total = sum(int(sev) * count
+                    for sev, count in self.severity_counts.items())
+        return total / self.num_missions
+
+
+def run_campaign(scenes: list[UrbanScene],
+                 failures: list[FailureEvent],
+                 config: MissionConfig | None = None,
+                 vehicle: VehicleParams = MEDI_DELIVERY,
+                 el_policy: ELPolicy | None = None,
+                 seed=0) -> CampaignStats:
+    """Run one mission per (scene, failure) pair and aggregate stats."""
+    if len(scenes) != len(failures):
+        raise ValueError("need one failure event per scene")
+    rng = ensure_rng(seed)
+    stats = CampaignStats()
+    for scene, failure in zip(scenes, failures):
+        result = simulate_mission(scene, config=config, vehicle=vehicle,
+                                  failure=failure, el_policy=el_policy,
+                                  rng=rng)
+        stats.record(result)
+    return stats

@@ -1,0 +1,144 @@
+"""The Fig. 1 safety architecture: continuous monitoring -> maneuver.
+
+The paper's intended safety architecture is a continuous monitoring loop
+that analyses acquisition data and triggers the suitable emergency
+procedure when a critical anomaly is detected:
+
+* temporary unavailability of external services  -> **Hovering (H)**
+* permanent communication unavailability, or on-board failures still
+  allowing proper navigability                   -> **Return-to-Base (RB)**
+* loss of navigation capabilities still allowing proper trajectory
+  control (mainly localization + communication)  -> **Emergency Landing (EL)**
+* flight continuation or safe EL impossible      -> **Flight Termination
+  (FT)** — stop the engines and open the parachute.
+
+:func:`select_maneuver` is the stateless decision rule;
+:class:`SafetySwitch` adds the temporal behaviour (hover-timeout
+escalation of temporary losses, monotone severity latching).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+from repro.uav.capability import CapabilityState, ServiceStatus
+
+__all__ = ["Maneuver", "select_maneuver", "SafetySwitch", "SwitchDecision"]
+
+
+class Maneuver(IntEnum):
+    """Emergency maneuvers, ordered by escalation severity."""
+
+    NOMINAL = 0
+    HOVER = 1
+    RETURN_TO_BASE = 2
+    EMERGENCY_LANDING = 3
+    FLIGHT_TERMINATION = 4
+
+
+def select_maneuver(capabilities: CapabilityState) -> Maneuver:
+    """Map a capability state to the Fig. 1 maneuver.
+
+    Rules are evaluated from most to least severe, so the strongest
+    applicable response wins (FT > EL > RB > H > nominal).
+    """
+    cap = capabilities
+
+    # FT: flight continuation impossible (no trajectory control) —
+    # the only remaining option is to cut engines and open the parachute.
+    if not cap.trajectory_controllable():
+        return Maneuver.FLIGHT_TERMINATION
+
+    # EL: global navigation is gone but the vehicle can still be flown
+    # locally.  If a safe EL is impossible (camera dead, no energy),
+    # escalate to FT per the paper's fourth rule.
+    if not cap.navigable():
+        if cap.safe_el_possible():
+            return Maneuver.EMERGENCY_LANDING
+        return Maneuver.FLIGHT_TERMINATION
+
+    # RB: permanent communication loss, or degraded on-board systems,
+    # while navigation still works.
+    if (cap.communication is ServiceStatus.LOST
+            or cap.flight_control is ServiceStatus.DEGRADED
+            or cap.propulsion is ServiceStatus.DEGRADED
+            or not cap.energy_ok):
+        return Maneuver.RETURN_TO_BASE
+
+    # H: temporary unavailability of external services.
+    if (cap.communication is ServiceStatus.TEMPORARILY_LOST
+            or cap.communication is ServiceStatus.DEGRADED
+            or cap.navigation is ServiceStatus.DEGRADED):
+        return Maneuver.HOVER
+
+    return Maneuver.NOMINAL
+
+
+@dataclass
+class SwitchDecision:
+    """One decision record of the safety switch."""
+
+    time_s: float
+    maneuver: Maneuver
+    capabilities: CapabilityState
+
+
+@dataclass
+class SafetySwitch:
+    """Stateful safety switch with hover-timeout escalation.
+
+    Behaviour beyond the stateless rule:
+
+    * **Hover timeout** — a temporary external-service loss that
+      persists longer than ``hover_timeout_s`` is treated as permanent
+      (the paper's distinction between H and RB/EL is precisely
+      temporary vs permanent unavailability).
+    * **Severity latching** — an engaged emergency maneuver is never
+      de-escalated by a later, less severe assessment; recovering from
+      an emergency requires an explicit :meth:`reset` (operator action).
+    """
+
+    hover_timeout_s: float = 30.0
+    history: list[SwitchDecision] = field(default_factory=list)
+    _hover_since_s: float | None = None
+    _latched: Maneuver = Maneuver.NOMINAL
+
+    def update(self, capabilities: CapabilityState,
+               time_s: float) -> Maneuver:
+        """Feed one monitoring-loop sample; returns the active maneuver."""
+        maneuver = select_maneuver(capabilities)
+
+        if maneuver is Maneuver.HOVER:
+            if self._hover_since_s is None:
+                self._hover_since_s = time_s
+            elif time_s - self._hover_since_s >= self.hover_timeout_s:
+                # Temporary loss has become permanent: escalate.
+                escalated = capabilities
+                if capabilities.communication is \
+                        ServiceStatus.TEMPORARILY_LOST:
+                    escalated = escalated.degrade(
+                        communication=ServiceStatus.LOST)
+                if capabilities.navigation is ServiceStatus.DEGRADED:
+                    escalated = escalated.degrade(
+                        navigation=ServiceStatus.LOST)
+                maneuver = select_maneuver(escalated)
+        else:
+            self._hover_since_s = None
+
+        if maneuver > self._latched:
+            self._latched = maneuver
+        decision = SwitchDecision(time_s=time_s, maneuver=self._latched,
+                                  capabilities=capabilities)
+        self.history.append(decision)
+        return self._latched
+
+    @property
+    def active_maneuver(self) -> Maneuver:
+        """Currently latched maneuver."""
+        return self._latched
+
+    def reset(self) -> None:
+        """Operator reset after recovery (clears latch and timers)."""
+        self._latched = Maneuver.NOMINAL
+        self._hover_since_s = None

@@ -1,0 +1,133 @@
+"""Vehicle model: MEDI DELIVERY parameters and point-mass kinematics.
+
+Section III-A of the paper specifies the case-study vehicle: a rotary
+wing UAV with ~1 m span, 7 kg maximum take-off weight, cruising at
+~120 m above urban terrain, BVLOS — yielding the ballistic figures the
+SORA ground-risk class is computed from.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+from repro.uav.ballistics import ballistic_impact_energy, free_fall_speed
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["VehicleParams", "MEDI_DELIVERY", "UavState", "step_towards"]
+
+
+@dataclass(frozen=True)
+class VehicleParams:
+    """Physical and performance parameters of a multirotor UAV."""
+
+    name: str = "generic"
+    span_m: float = 1.0
+    mtow_kg: float = 7.0
+    cruise_height_m: float = 120.0
+    cruise_speed_ms: float = 14.0
+    emergency_speed_ms: float = 6.0
+    descent_rate_ms: float = 3.0
+    parachute_descent_rate_ms: float = 6.0
+    parachute_min_height_m: float = 25.0
+    battery_capacity_wh: float = 400.0
+    cruise_power_w: float = 900.0
+    hover_power_w: float = 800.0
+
+    def __post_init__(self):
+        check_positive("span_m", self.span_m)
+        check_positive("mtow_kg", self.mtow_kg)
+        check_positive("cruise_height_m", self.cruise_height_m)
+        check_positive("cruise_speed_ms", self.cruise_speed_ms)
+        check_positive("descent_rate_ms", self.descent_rate_ms)
+        check_positive("parachute_descent_rate_ms",
+                       self.parachute_descent_rate_ms)
+        check_non_negative("parachute_min_height_m",
+                           self.parachute_min_height_m)
+
+    # ------------------------------------------------------------------
+    def ballistic_speed_ms(self) -> float:
+        """Free-fall impact speed from cruise height (paper: 48.5 m/s)."""
+        return free_fall_speed(self.cruise_height_m)
+
+    def ballistic_energy_j(self) -> float:
+        """Uncontrolled-impact kinetic energy (paper: 8.23 kJ)."""
+        return ballistic_impact_energy(self.mtow_kg, self.cruise_height_m)
+
+    def endurance_s(self, power_w: float | None = None) -> float:
+        """Flight endurance at a given electrical power draw."""
+        p = power_w if power_w is not None else self.cruise_power_w
+        check_positive("power_w", p)
+        return self.battery_capacity_wh * 3600.0 / p
+
+
+#: The paper's case-study vehicle (Sec. III-A).
+MEDI_DELIVERY = VehicleParams(
+    name="MEDI DELIVERY",
+    span_m=1.0,
+    mtow_kg=7.0,
+    cruise_height_m=120.0,
+)
+
+
+@dataclass(frozen=True)
+class UavState:
+    """Kinematic state of the vehicle (positions in metres)."""
+
+    x_m: float
+    y_m: float
+    height_m: float
+    heading_rad: float = 0.0
+    speed_ms: float = 0.0
+    energy_wh: float = 400.0
+    time_s: float = 0.0
+
+    def position(self) -> tuple[float, float]:
+        return (self.x_m, self.y_m)
+
+    def with_time_advanced(self, dt_s: float, power_w: float) -> "UavState":
+        """Advance clock and drain battery without moving."""
+        return replace(self,
+                       time_s=self.time_s + dt_s,
+                       energy_wh=max(0.0, self.energy_wh
+                                     - power_w * dt_s / 3600.0))
+
+
+def step_towards(state: UavState, target_xy: tuple[float, float],
+                 dt_s: float, speed_ms: float,
+                 wind_xy_ms: tuple[float, float] = (0.0, 0.0),
+                 wind_rejection: float = 1.0,
+                 power_w: float = 900.0) -> UavState:
+    """One integration step of waypoint-tracking flight.
+
+    Moves at most ``speed_ms * dt_s`` toward the target and drains the
+    battery.  ``wind_rejection`` models the position controller: with a
+    healthy navigation solution the controller compensates the wind
+    fully (1.0); in degraded modes only partially, so the residual
+    ``(1 - wind_rejection) * wind`` displaces the vehicle.  Simple but
+    sufficient: the safety analysis depends on *where* the vehicle is,
+    not on attitude dynamics.
+    """
+    check_positive("dt_s", dt_s)
+    check_non_negative("speed_ms", speed_ms)
+    if not 0.0 <= wind_rejection <= 1.0:
+        raise ValueError(
+            f"wind_rejection must be in [0, 1], got {wind_rejection}")
+    dx = target_xy[0] - state.x_m
+    dy = target_xy[1] - state.y_m
+    dist = math.hypot(dx, dy)
+    max_step = speed_ms * dt_s
+    if dist <= max_step or dist == 0.0:
+        nx, ny = target_xy
+        actual_speed = dist / dt_s
+    else:
+        nx = state.x_m + dx / dist * max_step
+        ny = state.y_m + dy / dist * max_step
+        actual_speed = speed_ms
+    residual = 1.0 - wind_rejection
+    nx += wind_xy_ms[0] * residual * dt_s
+    ny += wind_xy_ms[1] * residual * dt_s
+    heading = math.atan2(dy, dx) if dist > 0 else state.heading_rad
+    advanced = state.with_time_advanced(dt_s, power_w)
+    return replace(advanced, x_m=nx, y_m=ny, heading_rad=heading,
+                   speed_ms=actual_speed)

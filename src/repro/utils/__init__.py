@@ -1,0 +1,51 @@
+"""Shared utilities: seeded RNG handling, geometry, image ops, validation."""
+
+from repro.utils.geometry import Box, clamp, disk_mask, distance, footprint_box
+from repro.utils.imageops import (
+    clip01,
+    colorize_labels,
+    resize_labels,
+    resize_nearest,
+    smooth_noise,
+    to_chw,
+    to_hwc,
+    write_pgm,
+    write_ppm,
+)
+from repro.utils.rng import derive_seed, ensure_rng, spawn
+from repro.utils.validation import (
+    check_image_chw,
+    check_in_range,
+    check_label_map,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_shape,
+)
+
+__all__ = [
+    "Box",
+    "clamp",
+    "disk_mask",
+    "distance",
+    "footprint_box",
+    "clip01",
+    "colorize_labels",
+    "resize_labels",
+    "resize_nearest",
+    "smooth_noise",
+    "to_chw",
+    "to_hwc",
+    "write_pgm",
+    "write_ppm",
+    "derive_seed",
+    "ensure_rng",
+    "spawn",
+    "check_image_chw",
+    "check_in_range",
+    "check_label_map",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_shape",
+]

@@ -1,0 +1,151 @@
+"""Lightweight 2-D geometry primitives shared across the library.
+
+Image-space objects use ``(row, col)`` pixel coordinates; world-space
+objects use ``(x, y)`` metres.  The :class:`Box` type is the common
+currency between the landing-zone selector, the runtime monitor (which
+crops sub-images, Fig. 2 of the paper) and the mission simulator (which
+maps touchdown footprints back onto scene label maps).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Box", "clamp", "distance", "disk_mask", "footprint_box"]
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into ``[low, high]``."""
+    if low > high:
+        raise ValueError(f"empty interval [{low}, {high}]")
+    return max(low, min(high, value))
+
+
+def distance(a, b) -> float:
+    """Euclidean distance between two 2-D points."""
+    return math.hypot(a[0] - b[0], a[1] - b[1])
+
+
+@dataclass(frozen=True)
+class Box:
+    """Axis-aligned rectangle in image coordinates.
+
+    ``row``/``col`` locate the top-left corner; ``height``/``width`` are
+    extents in pixels.  Boxes are half-open: the covered pixel range is
+    ``[row, row + height) x [col, col + width)``.
+    """
+
+    row: int
+    col: int
+    height: int
+    width: int
+
+    def __post_init__(self):
+        if self.height < 0 or self.width < 0:
+            raise ValueError(f"negative box extent: {self}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_center(center_row: float, center_col: float, height: int,
+                    width: int) -> "Box":
+        """Build a box of given size centred (up to rounding) on a point."""
+        row = int(round(center_row - height / 2.0))
+        col = int(round(center_col - width / 2.0))
+        return Box(row, col, height, width)
+
+    # ------------------------------------------------------------------
+    # Basic properties
+    # ------------------------------------------------------------------
+    @property
+    def area(self) -> int:
+        return self.height * self.width
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return (self.row + self.height / 2.0, self.col + self.width / 2.0)
+
+    @property
+    def bottom(self) -> int:
+        return self.row + self.height
+
+    @property
+    def right(self) -> int:
+        return self.col + self.width
+
+    def is_empty(self) -> bool:
+        return self.height == 0 or self.width == 0
+
+    # ------------------------------------------------------------------
+    # Set-like operations
+    # ------------------------------------------------------------------
+    def contains(self, row: float, col: float) -> bool:
+        """True if the point lies inside the half-open box."""
+        return (self.row <= row < self.bottom
+                and self.col <= col < self.right)
+
+    def contains_box(self, other: "Box") -> bool:
+        return (self.row <= other.row and self.col <= other.col
+                and other.bottom <= self.bottom and other.right <= self.right)
+
+    def intersect(self, other: "Box") -> "Box":
+        """Intersection of two boxes (may be empty)."""
+        row = max(self.row, other.row)
+        col = max(self.col, other.col)
+        bottom = min(self.bottom, other.bottom)
+        right = min(self.right, other.right)
+        return Box(row, col, max(0, bottom - row), max(0, right - col))
+
+    def iou(self, other: "Box") -> float:
+        """Intersection-over-union; 0.0 for disjoint or empty boxes."""
+        inter = self.intersect(other).area
+        union = self.area + other.area - inter
+        if union <= 0:
+            return 0.0
+        return inter / union
+
+    def clip_to(self, height: int, width: int) -> "Box":
+        """Clip the box to an image of shape ``(height, width)``."""
+        row = int(clamp(self.row, 0, height))
+        col = int(clamp(self.col, 0, width))
+        bottom = int(clamp(self.bottom, 0, height))
+        right = int(clamp(self.right, 0, width))
+        return Box(row, col, bottom - row, right - col)
+
+    def expand(self, margin: int) -> "Box":
+        """Grow the box by ``margin`` pixels on every side."""
+        return Box(self.row - margin, self.col - margin,
+                   self.height + 2 * margin, self.width + 2 * margin)
+
+    # ------------------------------------------------------------------
+    # Array interop
+    # ------------------------------------------------------------------
+    def as_slices(self) -> tuple[slice, slice]:
+        """Return ``(row_slice, col_slice)`` for numpy indexing."""
+        return (slice(self.row, self.bottom), slice(self.col, self.right))
+
+    def extract(self, array: np.ndarray) -> np.ndarray:
+        """Crop the trailing two dimensions of ``array`` to this box."""
+        rs, cs = self.as_slices()
+        return array[..., rs, cs]
+
+
+def disk_mask(shape: tuple[int, int], center: tuple[float, float],
+              radius: float) -> np.ndarray:
+    """Boolean mask of a disk in an image of the given shape."""
+    rows = np.arange(shape[0])[:, None]
+    cols = np.arange(shape[1])[None, :]
+    return ((rows - center[0]) ** 2 + (cols - center[1]) ** 2
+            <= radius ** 2)
+
+
+def footprint_box(center_row: float, center_col: float, radius: float,
+                  height: int, width: int) -> Box:
+    """Bounding box of a disk footprint, clipped to the image."""
+    size = int(math.ceil(2 * radius)) + 1
+    box = Box.from_center(center_row, center_col, size, size)
+    return box.clip_to(height, width)

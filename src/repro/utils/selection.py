@@ -1,0 +1,58 @@
+"""Greedy peak selection over dense score maps.
+
+Shared by the core landing-zone selector and the baseline LZS methods:
+repeatedly take the best-scoring location as a zone centre, suppress its
+neighbourhood, repeat.  Keeping this in ``utils`` avoids a dependency
+between the core pipeline and the baselines package.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.geometry import Box
+
+__all__ = ["greedy_peak_boxes"]
+
+
+def greedy_peak_boxes(score_map: np.ndarray, zone_size: int,
+                      num_candidates: int,
+                      border_margin: int = 0
+                      ) -> list[tuple[Box, float]]:
+    """Select up to ``num_candidates`` non-overlapping peak boxes.
+
+    Returns ``(box, score)`` pairs sorted by decreasing score.  Boxes
+    are ``zone_size`` squares centred on score peaks, kept at least
+    ``border_margin + zone_size // 2`` away from the image border so
+    each returned box has full support in the frame.  Pixels whose score
+    is ``-inf`` are never selected.
+    """
+    if zone_size < 1:
+        raise ValueError(f"zone_size must be >= 1, got {zone_size}")
+    if num_candidates < 1:
+        raise ValueError("num_candidates must be >= 1")
+    if score_map.ndim != 2:
+        raise ValueError(f"score_map must be 2-D, got {score_map.shape}")
+    h, w = score_map.shape
+    half = zone_size // 2
+    margin = border_margin + half
+    if 2 * margin >= h or 2 * margin >= w:
+        return []
+
+    working = np.full((h, w), -np.inf, dtype=np.float64)
+    working[margin:h - margin, margin:w - margin] = \
+        score_map[margin:h - margin, margin:w - margin]
+
+    selected: list[tuple[Box, float]] = []
+    for _ in range(num_candidates):
+        flat_idx = int(np.argmax(working))
+        best = working.reshape(-1)[flat_idx]
+        if not np.isfinite(best):
+            break
+        row, col = divmod(flat_idx, w)
+        box = Box.from_center(row, col, zone_size, zone_size).clip_to(h, w)
+        selected.append((box, float(best)))
+        r0 = max(0, row - zone_size)
+        c0 = max(0, col - zone_size)
+        working[r0:row + zone_size + 1, c0:col + zone_size + 1] = -np.inf
+    return selected

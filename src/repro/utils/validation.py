@@ -1,0 +1,80 @@
+"""Argument-validation helpers used across the library.
+
+These raise early with actionable messages instead of letting numpy
+broadcast errors surface deep inside a simulation or a training loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_probability",
+    "check_shape",
+    "check_image_chw",
+    "check_label_map",
+]
+
+
+def check_positive(name: str, value) -> None:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_non_negative(name: str, value) -> None:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_in_range(name: str, value, low, high) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+
+
+def check_probability(name: str, value) -> None:
+    """Raise ``ValueError`` unless ``value`` is a probability."""
+    check_in_range(name, value, 0.0, 1.0)
+
+
+def check_shape(name: str, array: np.ndarray, shape: tuple) -> None:
+    """Raise ``ValueError`` unless ``array.shape`` matches ``shape``.
+
+    ``None`` entries in ``shape`` match any extent.
+    """
+    actual = np.shape(array)
+    if len(actual) != len(shape):
+        raise ValueError(
+            f"{name} must have {len(shape)} dimensions, got shape {actual}")
+    for i, (want, got) in enumerate(zip(shape, actual)):
+        if want is not None and want != got:
+            raise ValueError(
+                f"{name} dimension {i} must be {want}, got shape {actual}")
+
+
+def check_image_chw(name: str, image: np.ndarray,
+                    channels: int | None = 3) -> None:
+    """Validate a CHW float image."""
+    check_shape(name, image, (channels, None, None))
+    if not np.issubdtype(np.asarray(image).dtype, np.floating):
+        raise ValueError(f"{name} must be a float array")
+
+
+def check_label_map(name: str, labels: np.ndarray,
+                    num_classes: int | None = None) -> None:
+    """Validate a 2-D integer label map, optionally bounding class ids."""
+    arr = np.asarray(labels)
+    check_shape(name, arr, (None, None))
+    if not np.issubdtype(arr.dtype, np.integer):
+        raise ValueError(f"{name} must be an integer array, got {arr.dtype}")
+    if num_classes is not None and arr.size:
+        lo, hi = int(arr.min()), int(arr.max())
+        if lo < 0 or hi >= num_classes:
+            raise ValueError(
+                f"{name} has class ids outside [0, {num_classes}): "
+                f"range [{lo}, {hi}]")

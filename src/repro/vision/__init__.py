@@ -1,0 +1,31 @@
+"""Classic computer-vision substrate (filters, Canny, tile features)."""
+
+from repro.vision.canny import canny, hysteresis_threshold, non_maximum_suppression
+from repro.vision.features import (
+    FEATURE_NAMES,
+    extract_tile_features,
+    tile_features,
+    tile_grid,
+)
+from repro.vision.filters import (
+    box_filter,
+    gaussian_blur,
+    gradient_magnitude,
+    sobel_gradients,
+    to_grayscale,
+)
+
+__all__ = [
+    "canny",
+    "non_maximum_suppression",
+    "hysteresis_threshold",
+    "FEATURE_NAMES",
+    "tile_features",
+    "tile_grid",
+    "extract_tile_features",
+    "to_grayscale",
+    "gaussian_blur",
+    "sobel_gradients",
+    "gradient_magnitude",
+    "box_filter",
+]

@@ -1,0 +1,73 @@
+"""Hand-crafted tile features for classical landing-site classifiers.
+
+References [12]-[14] of the paper classify image tiles (building /
+bitumen / trees / grass / water, or safe / unsafe) with SVMs or small
+CNNs on texture features.  This module extracts per-tile descriptors:
+colour statistics, gradient energy and edge density.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vision.canny import canny
+from repro.vision.filters import gradient_magnitude, to_grayscale
+
+__all__ = ["tile_grid", "tile_features", "FEATURE_NAMES", "extract_tile_features"]
+
+FEATURE_NAMES = (
+    "mean_r", "mean_g", "mean_b",
+    "std_r", "std_g", "std_b",
+    "gradient_energy",
+    "edge_density",
+    "excess_green",
+)
+
+
+def tile_grid(shape: tuple[int, int], tile: int
+              ) -> list[tuple[int, int, int, int]]:
+    """Partition an image into tiles ``(row, col, height, width)``.
+
+    Edge tiles are truncated rather than discarded so the whole frame is
+    covered (a landing-site selector must reason about every pixel).
+    """
+    if tile < 1:
+        raise ValueError(f"tile must be >= 1, got {tile}")
+    h, w = shape
+    boxes = []
+    for row in range(0, h, tile):
+        for col in range(0, w, tile):
+            boxes.append((row, col, min(tile, h - row), min(tile, w - col)))
+    return boxes
+
+
+def tile_features(image_chw: np.ndarray, tile: int
+                  ) -> tuple[np.ndarray, list[tuple[int, int, int, int]]]:
+    """Feature matrix ``(num_tiles, num_features)`` plus tile boxes."""
+    if image_chw.ndim != 3 or image_chw.shape[0] != 3:
+        raise ValueError(f"expected (3, H, W) image, got {image_chw.shape}")
+    gray = to_grayscale(image_chw)
+    grad = gradient_magnitude(gray)
+    edges = canny(gray)
+    boxes = tile_grid(gray.shape, tile)
+    features = np.empty((len(boxes), len(FEATURE_NAMES)), dtype=np.float64)
+    for i, (row, col, height, width) in enumerate(boxes):
+        rs = slice(row, row + height)
+        cs = slice(col, col + width)
+        patch = image_chw[:, rs, cs]
+        features[i] = extract_tile_features(patch, grad[rs, cs],
+                                            edges[rs, cs])
+    return features, boxes
+
+
+def extract_tile_features(patch_chw: np.ndarray, grad_patch: np.ndarray,
+                          edge_patch: np.ndarray) -> np.ndarray:
+    """Descriptor of a single tile (see :data:`FEATURE_NAMES`)."""
+    means = patch_chw.reshape(3, -1).mean(axis=1)
+    stds = patch_chw.reshape(3, -1).std(axis=1)
+    gradient_energy = float(np.mean(grad_patch ** 2))
+    edge_density = float(np.mean(edge_patch))
+    # Excess-green index: separates vegetation from asphalt/roofs.
+    excess_green = float(2 * means[1] - means[0] - means[2])
+    return np.array([*means, *stds, gradient_energy, edge_density,
+                     excess_green])

@@ -1,0 +1,68 @@
+"""Classic image filters (grayscale, Gaussian, Sobel) — CV substrate.
+
+These support the related-work baselines the paper surveys: the
+edge-density landing-site detector of Mejias & Fitzgerald (2013) and the
+hand-crafted tile features used by SVM-based classifiers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+__all__ = [
+    "to_grayscale",
+    "gaussian_blur",
+    "sobel_gradients",
+    "gradient_magnitude",
+    "box_filter",
+]
+
+# ITU-R BT.601 luma weights.
+_LUMA = np.array([0.299, 0.587, 0.114])
+
+_SOBEL_ROW = np.array([[-1, -2, -1],
+                       [0, 0, 0],
+                       [1, 2, 1]], dtype=np.float64)
+_SOBEL_COL = _SOBEL_ROW.T
+
+
+def to_grayscale(image_chw: np.ndarray) -> np.ndarray:
+    """Luma grayscale ``(H, W)`` from a CHW RGB image."""
+    if image_chw.ndim != 3 or image_chw.shape[0] != 3:
+        raise ValueError(f"expected (3, H, W) image, got {image_chw.shape}")
+    return np.tensordot(_LUMA, image_chw, axes=([0], [0]))
+
+
+def gaussian_blur(image: np.ndarray, sigma: float) -> np.ndarray:
+    """Gaussian blur of a 2-D array (no-op for ``sigma <= 0``)."""
+    if image.ndim != 2:
+        raise ValueError(f"expected 2-D array, got shape {image.shape}")
+    if sigma <= 0:
+        return image.copy()
+    return ndimage.gaussian_filter(image, sigma)
+
+
+def sobel_gradients(image: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sobel row- and column-gradients of a 2-D image."""
+    if image.ndim != 2:
+        raise ValueError(f"expected 2-D array, got shape {image.shape}")
+    grad_r = ndimage.convolve(image, _SOBEL_ROW, mode="nearest")
+    grad_c = ndimage.convolve(image, _SOBEL_COL, mode="nearest")
+    return grad_r, grad_c
+
+
+def gradient_magnitude(image: np.ndarray) -> np.ndarray:
+    """Sobel gradient magnitude of a 2-D image."""
+    grad_r, grad_c = sobel_gradients(image)
+    return np.hypot(grad_r, grad_c)
+
+
+def box_filter(image: np.ndarray, size: int) -> np.ndarray:
+    """Mean filter with a ``size x size`` window (edge-replicated)."""
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    if image.ndim != 2:
+        raise ValueError(f"expected 2-D array, got shape {image.shape}")
+    return ndimage.uniform_filter(image.astype(np.float64), size=size,
+                                  mode="nearest")

@@ -1,0 +1,170 @@
+"""Tests for the baseline landing-zone-selection methods."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    EdgeDensityLZS,
+    LinearSVM,
+    StaticMapLZS,
+    TileClassifierLZS,
+    dominant_tile_labels,
+    top_zones_from_score_map,
+)
+from repro.dataset import (
+    DAY,
+    DatasetConfig,
+    UavidClass,
+    UrbanScene,
+    generate_dataset,
+)
+from repro.vision.features import tile_grid
+
+
+@pytest.fixture(scope="module")
+def samples():
+    return generate_dataset(DatasetConfig(num_scenes=3,
+                                          windows_per_scene=4,
+                                          image_shape=(48, 64), seed=17))
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return UrbanScene.generate(seed=23)
+
+
+class TestZoneProposalHelper:
+    def test_method_tag_attached(self):
+        score = np.ones((20, 20))
+        props = top_zones_from_score_map(score, 4, 2, "test_method")
+        assert all(p.method == "test_method" for p in props)
+
+    def test_scores_descending(self, rng):
+        props = top_zones_from_score_map(rng.random((30, 30)), 4, 4, "m")
+        scores = [p.score for p in props]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestLinearSVM:
+    def test_separable_data(self, rng):
+        x0 = rng.normal(loc=-2.0, size=(50, 3))
+        x1 = rng.normal(loc=+2.0, size=(50, 3))
+        x = np.vstack([x0, x1])
+        y = np.array([0] * 50 + [1] * 50)
+        svm = LinearSVM(2, epochs=200, seed=0).fit(x, y)
+        assert svm.accuracy(x, y) > 0.95
+
+    def test_three_classes(self, rng):
+        centers = np.array([[-3, 0], [3, 0], [0, 4]])
+        x = np.vstack([rng.normal(loc=c, scale=0.5, size=(30, 2))
+                       for c in centers])
+        y = np.repeat([0, 1, 2], 30)
+        svm = LinearSVM(3, epochs=300, seed=0).fit(x, y)
+        assert svm.accuracy(x, y) > 0.9
+
+    def test_decision_function_shape(self, rng):
+        x = rng.normal(size=(20, 4))
+        y = rng.integers(0, 3, 20)
+        svm = LinearSVM(3, epochs=10, seed=0).fit(x, y)
+        assert svm.decision_function(x).shape == (20, 3)
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            LinearSVM(2).predict(rng.normal(size=(3, 2)))
+
+    def test_label_validation(self, rng):
+        x = rng.normal(size=(10, 2))
+        with pytest.raises(ValueError, match="outside"):
+            LinearSVM(2).fit(x, np.full(10, 5))
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ValueError):
+            LinearSVM(2).fit(rng.normal(size=10), np.zeros(10, dtype=int))
+
+
+class TestEdgeDensity:
+    def test_prefers_smooth_region(self):
+        # Left half: heavy texture; right half: flat.
+        img = np.full((3, 40, 60), 0.5, dtype=np.float32)
+        rng = np.random.default_rng(0)
+        img[:, :, :30] += rng.normal(0, 0.3, size=(3, 40, 30)) \
+            .astype(np.float32)
+        img = np.clip(img, 0, 1)
+        props = EdgeDensityLZS().propose(img, num_candidates=1)
+        assert props
+        assert props[0].box.col >= 25  # zone in the flat half
+
+    def test_density_map_range(self, samples):
+        density = EdgeDensityLZS().edge_density_map(samples[0].image)
+        assert density.min() >= 0.0 and density.max() <= 1.0
+
+    def test_proposals_on_real_frames(self, samples):
+        props = EdgeDensityLZS().propose(samples[0].image, 3)
+        assert 1 <= len(props) <= 3
+
+
+class TestTileClassifier:
+    @pytest.fixture(scope="class")
+    def fitted(self, samples):
+        return TileClassifierLZS().fit(samples[:8])
+
+    def test_tile_accuracy_beats_chance(self, fitted, samples):
+        acc = fitted.tile_accuracy(samples[8:])
+        assert acc > 0.5  # 8-class chance is 0.125
+
+    def test_predicted_map_shape(self, fitted, samples):
+        tile_map = fitted.predicted_tile_map(samples[0].image)
+        assert tile_map.shape == samples[0].image.shape[1:]
+
+    def test_propose_returns_zones(self, fitted, samples):
+        props = fitted.propose(samples[0].image, 3)
+        assert len(props) >= 0  # may be empty if everything unsafe
+        for p in props:
+            assert p.method == "tile_svm"
+
+    def test_unfitted_raises(self, samples):
+        with pytest.raises(RuntimeError, match="not fitted"):
+            TileClassifierLZS().propose(samples[0].image)
+
+    def test_dominant_tile_labels(self):
+        labels = np.zeros((8, 8), dtype=np.int64)
+        labels[:, 4:] = int(UavidClass.ROAD)
+        boxes = tile_grid((8, 8), 4)
+        doms = dominant_tile_labels(labels, 4, boxes)
+        assert set(doms) == {0, int(UavidClass.ROAD)}
+
+    def test_fit_empty_raises(self):
+        with pytest.raises(ValueError, match="no training samples"):
+            TileClassifierLZS().fit([])
+
+
+class TestStaticMap:
+    def test_avoids_static_hazards(self, scene):
+        lzs = StaticMapLZS()
+        props = lzs.propose(scene, (256, 256), (64, 96), 1.0, 3)
+        static = scene.static_label_window((256, 256), (64, 96), 1.0)
+        for p in props:
+            crop = p.box.extract(static)
+            assert not (crop == int(UavidClass.ROAD)).any()
+            assert not (crop == int(UavidClass.BUILDING)).any()
+
+    def test_blind_to_dynamic_objects(self, scene):
+        """The selector never sees cars/humans — by construction."""
+        lzs = StaticMapLZS()
+        window = scene.static_label_window((256, 256), (64, 96), 1.0)
+        present = set(np.unique(window))
+        assert int(UavidClass.MOVING_CAR) not in present
+        assert int(UavidClass.HUMAN) not in present
+
+    def test_risk_map_weights(self, scene):
+        lzs = StaticMapLZS()
+        window = scene.static_label_window((256, 256), (32, 32), 1.0)
+        risk = lzs.risk_map(window)
+        road = window == int(UavidClass.ROAD)
+        if road.any():
+            assert risk[road].min() == 1.0
+
+    def test_all_hazard_window_returns_empty(self):
+        lzs = StaticMapLZS()
+        all_road = np.full((32, 32), int(UavidClass.ROAD), dtype=np.int16)
+        assert lzs.propose_from_window(all_road) == []

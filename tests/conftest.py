@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite.
+
+The expensive artefact — a trained segmentation system — is built once
+per session at a deliberately tiny scale (small frames, few epochs) and
+cached on disk, so the integration/core tests that need a real trained
+model stay fast on repeated runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dataset.generator import DatasetConfig
+from repro.eval.harness import HarnessConfig, TrainedSystem, build_trained_system
+from repro.segmentation.train import TrainConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_system() -> TrainedSystem:
+    """A small but genuinely trained system (cached across runs)."""
+    config = HarnessConfig(
+        dataset=DatasetConfig(num_scenes=5, windows_per_scene=8,
+                              image_shape=(48, 64), gsd=1.0, seed=99),
+        train=TrainConfig(epochs=30, batch_size=4, learning_rate=3e-3,
+                          seed=5),
+        model_channels=16,
+        model_blocks=2,
+        model_seed=11,
+        zone_size_m=10.0,
+        monitor_samples=6,
+    )
+    return build_trained_system(config, cache=True)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(1234)

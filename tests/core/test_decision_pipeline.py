@@ -1,0 +1,154 @@
+"""Tests for the decision module and the assembled Fig. 2 pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Decision,
+    DecisionAction,
+    DecisionConfig,
+    DecisionModule,
+    LandingPipeline,
+    MonitorConfig,
+    PipelineConfig,
+    ZoneCandidate,
+)
+from repro.core.monitor import ZoneVerdict
+from repro.segmentation.bayesian import PixelDistribution
+from repro.utils.geometry import Box
+
+
+def _candidate(rank, clearance=30.0, required=10.0):
+    return ZoneCandidate(box=Box(4 * rank, 4 * rank, 8, 8),
+                         clearance_m=clearance,
+                         required_clearance_m=required, rank=rank)
+
+
+def _verdict(accepted, box=Box(0, 0, 8, 8)):
+    dist = PixelDistribution(mean=np.zeros((8, 8, 8)),
+                             std=np.zeros((8, 8, 8)), num_samples=1)
+    return ZoneVerdict(accepted=accepted, unsafe_fraction=0.0
+                       if accepted else 1.0,
+                       unsafe_mask=np.zeros((8, 8), dtype=bool),
+                       box=box, num_samples=1, distribution=dist)
+
+
+class TestDecisionModule:
+    def test_first_accepted_lands(self):
+        dm = DecisionModule(DecisionConfig())
+        decision = dm.decide([_candidate(0), _candidate(1)],
+                             lambda c: _verdict(True))
+        assert decision.action is DecisionAction.LAND
+        assert decision.zone.rank == 0
+        assert decision.attempts == 1
+
+    def test_retry_then_land(self):
+        dm = DecisionModule(DecisionConfig())
+        verdicts = iter([_verdict(False), _verdict(True)])
+        decision = dm.decide([_candidate(0), _candidate(1)],
+                             lambda c: next(verdicts))
+        assert decision.landed
+        assert decision.zone.rank == 1
+        assert decision.attempts == 2
+        assert any("try another" in line for line in decision.log)
+
+    def test_all_rejected_aborts(self):
+        dm = DecisionModule(DecisionConfig(max_attempts=5))
+        decision = dm.decide([_candidate(i) for i in range(3)],
+                             lambda c: _verdict(False))
+        assert decision.action is DecisionAction.ABORT
+        assert decision.attempts == 3
+
+    def test_attempt_budget_respected(self):
+        dm = DecisionModule(DecisionConfig(max_attempts=2))
+        decision = dm.decide([_candidate(i) for i in range(5)],
+                             lambda c: _verdict(False))
+        assert decision.attempts == 2
+        assert any("attempt budget" in line for line in decision.log)
+
+    def test_time_budget_respected(self):
+        dm = DecisionModule(DecisionConfig(max_attempts=10,
+                                           time_budget_s=8.0,
+                                           seconds_per_attempt=5.0))
+        decision = dm.decide([_candidate(i) for i in range(5)],
+                             lambda c: _verdict(False))
+        assert decision.attempts == 1  # second attempt would exceed 8 s
+        assert any("time budget" in line for line in decision.log)
+
+    def test_unbuffered_candidates_skipped_without_monitor_cost(self):
+        dm = DecisionModule(DecisionConfig())
+        calls = []
+
+        def check(candidate):
+            calls.append(candidate.rank)
+            return _verdict(True)
+
+        bad = _candidate(0, clearance=5.0, required=10.0)
+        good = _candidate(1, clearance=30.0, required=10.0)
+        decision = dm.decide([bad, good], check)
+        assert decision.landed
+        assert calls == [1]  # the unbuffered zone never hit the monitor
+
+    def test_no_viable_aborts_immediately(self):
+        dm = DecisionModule(DecisionConfig())
+        decision = dm.decide([_candidate(0, clearance=1.0,
+                                         required=10.0)],
+                             lambda c: _verdict(True))
+        assert decision.action is DecisionAction.ABORT
+        assert decision.attempts == 0
+
+    def test_monitor_disabled_accepts_best(self):
+        dm = DecisionModule(DecisionConfig())
+        decision = dm.decide([_candidate(0), _candidate(1)], None)
+        assert decision.landed
+        assert decision.zone.rank == 0
+        assert any("monitor disabled" in line for line in decision.log)
+
+    def test_empty_candidates_abort(self):
+        dm = DecisionModule(DecisionConfig())
+        decision = dm.decide([], lambda c: _verdict(True))
+        assert decision.action is DecisionAction.ABORT
+
+
+class TestPipeline:
+    @pytest.fixture(scope="class")
+    def pipeline(self, tiny_system):
+        return tiny_system.make_pipeline(monitor_enabled=True, rng=0)
+
+    def test_run_produces_full_result(self, pipeline, tiny_system):
+        result = pipeline.run(tiny_system.test_samples[0].image)
+        assert result.predicted_labels.shape == (48, 64)
+        assert isinstance(result.decision, Decision)
+        assert set(result.timings_s) == {"segmentation_s",
+                                         "selection_s", "monitoring_s"}
+
+    def test_verdicts_recorded_when_monitored(self, pipeline,
+                                              tiny_system):
+        for sample in tiny_system.test_samples:
+            result = pipeline.run(sample.image)
+            assert len(result.verdicts) == result.decision.attempts
+
+    def test_unmonitored_pipeline_runs_no_verdicts(self, tiny_system):
+        pipe = tiny_system.make_pipeline(monitor_enabled=False, rng=0)
+        result = pipe.run(tiny_system.test_samples[0].image)
+        assert result.verdicts == []
+
+    def test_mission_policy_adapter(self, pipeline, tiny_system):
+        policy = pipeline.as_mission_policy()
+        out = policy(tiny_system.test_samples[0].image)
+        assert out is None or (len(out) == 2
+                               and all(np.isfinite(v) for v in out))
+
+    def test_rejects_bad_image(self, pipeline):
+        with pytest.raises(ValueError):
+            pipeline.run(np.zeros((48, 64)))
+
+    def test_monitored_never_accepts_what_it_flagged(self, pipeline,
+                                                     tiny_system):
+        for sample in tiny_system.test_samples:
+            result = pipeline.run(sample.image)
+            if result.landed:
+                accepted = result.verdicts[-1]
+                assert accepted.accepted
+                assert accepted.unsafe_fraction <= \
+                    pipeline.config.monitor.max_unsafe_fraction

@@ -1,0 +1,153 @@
+"""Tests for the future-work extensions: hybrid LZS and LightSegNet."""
+
+import numpy as np
+import pytest
+
+from repro.core import HybridConfig, HybridLandingZoneSelector
+from repro.core.landing_zone import LandingZoneConfig
+from repro.dataset.classes import UavidClass
+from repro.segmentation import (
+    BayesianSegmenter,
+    LightSegNetConfig,
+    TrainConfig,
+    build_lightsegnet,
+    train_model,
+)
+from repro.uav.ballistics import DriftModel
+
+
+def _selector_config():
+    return LandingZoneConfig(
+        zone_size_m=8.0, gsd_m=1.0,
+        drift_model=DriftModel(wind_speed_ms=2.0, gust_factor=1.2,
+                               release_height_m=20.0, descent_rate_ms=5.0,
+                               position_error_m=1.0, latency_s=0.5,
+                               approach_speed_ms=2.0),
+        max_candidates=4)
+
+
+def _map(h=64, w=64, fill=UavidClass.LOW_VEGETATION):
+    return np.full((h, w), int(fill), dtype=np.int16)
+
+
+class TestHybridSelector:
+    def test_database_covers_model_blindness(self):
+        """Road in the database but missed by the model -> still hazard."""
+        hybrid = HybridLandingZoneSelector(
+            HybridConfig(selector=_selector_config()))
+        predicted = _map()  # the model sees nothing (OOD failure)
+        static = _map()
+        static[:, :12] = int(UavidClass.ROAD)
+        fused = hybrid.fused_hazard_mask(predicted, static)
+        assert fused[:, :12].all()
+
+    def test_model_covers_database_blindness(self):
+        """A moving car (invisible to the database) stays a hazard."""
+        hybrid = HybridLandingZoneSelector(
+            HybridConfig(selector=_selector_config(),
+                         registration_error_px=0))
+        predicted = _map()
+        predicted[30, 30] = int(UavidClass.MOVING_CAR)
+        static = _map()
+        fused = hybrid.fused_hazard_mask(predicted, static)
+        assert fused[30, 30]
+
+    def test_union_is_conservative(self):
+        """Fused hazards are a superset of each source's hazards."""
+        hybrid = HybridLandingZoneSelector(
+            HybridConfig(selector=_selector_config(),
+                         registration_error_px=0))
+        rng = np.random.default_rng(0)
+        predicted = rng.integers(0, 8, size=(32, 32)).astype(np.int16)
+        static = rng.integers(0, 5, size=(32, 32)).astype(np.int16)
+        fused = hybrid.fused_hazard_mask(predicted, static)
+        learned = hybrid._learned.unsafe_mask(predicted)
+        database = hybrid.database_hazard_mask(static)
+        assert (fused >= learned).all()
+        assert (fused >= database).all()
+
+    def test_registration_error_dilates(self):
+        narrow = HybridLandingZoneSelector(
+            HybridConfig(selector=_selector_config(),
+                         registration_error_px=0))
+        wide = HybridLandingZoneSelector(
+            HybridConfig(selector=_selector_config(),
+                         registration_error_px=3))
+        static = _map()
+        static[30:34, 30:34] = int(UavidClass.BUILDING)
+        assert wide.database_hazard_mask(static).sum() > \
+            narrow.database_hazard_mask(static).sum()
+
+    def test_propose_avoids_both_sources(self):
+        hybrid = HybridLandingZoneSelector(
+            HybridConfig(selector=_selector_config()))
+        predicted = _map()
+        predicted[:, 40:] = int(UavidClass.MOVING_CAR)  # live hazard
+        static = _map()
+        static[:, :12] = int(UavidClass.ROAD)           # database hazard
+        candidates = hybrid.propose(predicted, static)
+        assert candidates
+        best = candidates[0]
+        center_col = best.box.center[1]
+        assert 12 < center_col < 40
+
+    def test_all_hazard_returns_empty(self):
+        hybrid = HybridLandingZoneSelector(
+            HybridConfig(selector=_selector_config()))
+        assert hybrid.propose(_map(fill=UavidClass.ROAD),
+                              _map(fill=UavidClass.ROAD)) == []
+
+    def test_shape_mismatch_raises(self):
+        hybrid = HybridLandingZoneSelector(
+            HybridConfig(selector=_selector_config()))
+        with pytest.raises(ValueError, match="align"):
+            hybrid.fused_hazard_mask(_map(32, 32), _map(16, 16))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            HybridConfig(registration_error_px=-1)
+        with pytest.raises(ValueError):
+            HybridConfig(database_classes=())
+
+
+class TestLightSegNet:
+    def test_output_shape(self, rng):
+        model = build_lightsegnet(base_channels=4, seed=0)
+        x = rng.random((1, 3, 16, 24)).astype(np.float32)
+        assert model(x).shape == (1, 8, 16, 24)
+
+    def test_fewer_parameters_than_msdnet(self):
+        from repro.segmentation import build_msdnet
+        light = build_lightsegnet(base_channels=8, seed=0)
+        msd = build_msdnet(base_channels=16, num_blocks=2, seed=0)
+        assert light.num_parameters() < msd.num_parameters() / 2
+
+    def test_trains(self):
+        from repro.dataset import DatasetConfig, generate_dataset
+        samples = generate_dataset(DatasetConfig(
+            num_scenes=2, windows_per_scene=3, image_shape=(32, 48),
+            seed=41))
+        model = build_lightsegnet(base_channels=8, seed=1)
+        history = train_model(model, samples,
+                              TrainConfig(epochs=5, batch_size=3,
+                                          seed=0))
+        assert history.final_loss < history.epoch_losses[0]
+
+    def test_monitor_compatible(self, rng):
+        """The same Bayesian wrapper must work unchanged."""
+        model = build_lightsegnet(base_channels=4, seed=0)
+        segmenter = BayesianSegmenter(model, num_samples=4, rng=0)
+        image = rng.random((3, 16, 16)).astype(np.float32)
+        dist = segmenter.predict_distribution(image)
+        assert dist.std.max() > 0.0  # dropout produces MC variance
+
+    def test_stride_validation(self, rng):
+        model = build_lightsegnet(base_channels=4, seed=0)
+        with pytest.raises(ValueError, match="divisible"):
+            model(rng.random((1, 3, 15, 16)).astype(np.float32))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LightSegNetConfig(base_channels=0)
+        with pytest.raises(ValueError):
+            LightSegNetConfig(dropout=1.0)

@@ -1,0 +1,128 @@
+"""Tests for the landing-zone selector (core function, step 1 of EL)."""
+
+import numpy as np
+import pytest
+
+from repro.core import LandingZoneConfig, LandingZoneSelector
+from repro.dataset.classes import UavidClass
+from repro.uav.ballistics import DriftModel
+
+
+def _map(h=64, w=64, fill=UavidClass.LOW_VEGETATION):
+    return np.full((h, w), int(fill), dtype=np.int16)
+
+
+def _config(**kwargs):
+    defaults = dict(
+        zone_size_m=8.0, gsd_m=1.0,
+        drift_model=DriftModel(wind_speed_ms=2.0, gust_factor=1.2,
+                               release_height_m=20.0, descent_rate_ms=5.0,
+                               position_error_m=1.0, latency_s=0.5,
+                               approach_speed_ms=2.0),
+        max_candidates=4)
+    defaults.update(kwargs)
+    return LandingZoneConfig(**defaults)
+
+
+class TestUnsafeMask:
+    def test_high_risk_classes_flagged(self):
+        selector = LandingZoneSelector(_config())
+        labels = _map()
+        labels[0, 0] = int(UavidClass.ROAD)
+        labels[0, 1] = int(UavidClass.HUMAN)
+        labels[0, 2] = int(UavidClass.BUILDING)
+        labels[0, 3] = int(UavidClass.MOVING_CAR)
+        labels[0, 4] = int(UavidClass.TREE)  # not high-risk
+        mask = selector.unsafe_mask(labels)
+        assert mask[0, :4].all()
+        assert not mask[0, 4]
+
+    def test_custom_unsafe_classes(self):
+        selector = LandingZoneSelector(
+            _config(unsafe_classes=(UavidClass.ROAD,)))
+        labels = _map()
+        labels[5, 5] = int(UavidClass.BUILDING)
+        assert not selector.unsafe_mask(labels).any()
+
+
+class TestClearanceMap:
+    def test_no_hazard_gives_frame_bound(self):
+        selector = LandingZoneSelector(_config())
+        clearance = selector.clearance_map_m(_map())
+        assert clearance.min() >= 64.0  # bounded by frame size
+
+    def test_all_hazard_gives_zero(self):
+        selector = LandingZoneSelector(_config())
+        clearance = selector.clearance_map_m(_map(fill=UavidClass.ROAD))
+        np.testing.assert_array_equal(clearance, 0.0)
+
+    def test_distance_in_metres(self):
+        selector = LandingZoneSelector(_config(gsd_m=2.0))
+        labels = _map()
+        labels[:, 0] = int(UavidClass.ROAD)
+        clearance = selector.clearance_map_m(labels)
+        # 10 cells from the road column at 2 m/px = 20 m.
+        assert clearance[32, 10] == pytest.approx(20.0)
+
+    def test_monotone_away_from_single_hazard(self):
+        selector = LandingZoneSelector(_config())
+        labels = _map()
+        labels[32, 32] = int(UavidClass.ROAD)
+        clearance = selector.clearance_map_m(labels)
+        assert clearance[32, 40] < clearance[32, 50]
+
+
+class TestPropose:
+    def test_candidates_ranked_by_clearance(self):
+        selector = LandingZoneSelector(_config())
+        labels = _map()
+        labels[:, :8] = int(UavidClass.ROAD)
+        candidates = selector.propose(labels)
+        clearances = [c.clearance_m for c in candidates]
+        assert clearances == sorted(clearances, reverse=True)
+        assert [c.rank for c in candidates] == list(range(len(candidates)))
+
+    def test_best_candidate_far_from_road(self):
+        selector = LandingZoneSelector(_config())
+        labels = _map()
+        labels[:, :8] = int(UavidClass.ROAD)
+        best = selector.propose(labels)[0]
+        assert best.box.center[1] > 32  # far from the left road
+
+    def test_zone_boxes_inside_frame(self):
+        selector = LandingZoneSelector(_config())
+        labels = _map(48, 48)
+        labels[20:28, 20:28] = int(UavidClass.ROAD)
+        for c in selector.propose(labels):
+            assert c.box.row >= 0 and c.box.col >= 0
+            assert c.box.bottom <= 48 and c.box.right <= 48
+
+    def test_meets_buffer_logic(self):
+        cfg = _config()
+        selector = LandingZoneSelector(cfg)
+        labels = _map()
+        candidates = selector.propose(labels)  # no hazards at all
+        assert candidates
+        assert all(c.meets_buffer() for c in candidates)
+
+    def test_viable_candidates_filtered(self):
+        cfg = _config()
+        selector = LandingZoneSelector(cfg)
+        labels = _map(32, 32, fill=UavidClass.ROAD)
+        labels[14:18, 14:18] = int(UavidClass.LOW_VEGETATION)
+        # A tiny island surrounded by road: clearance can't cover buffer.
+        assert selector.viable_candidates(labels) == []
+
+    def test_required_clearance_uses_conservative_buffer(self):
+        strict = LandingZoneSelector(_config(conservative_buffer=True))
+        loose = LandingZoneSelector(_config(conservative_buffer=False))
+        labels = _map()
+        req_strict = strict.propose(labels)[0].required_clearance_m
+        req_loose = loose.propose(labels)[0].required_clearance_m
+        assert req_strict >= req_loose
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LandingZoneConfig(zone_size_m=0.0)
+        with pytest.raises(ValueError):
+            LandingZoneConfig(unsafe_classes=())

@@ -1,0 +1,164 @@
+"""Tests for the executable Tables III & IV (compliance engine)."""
+
+import pytest
+
+from repro.core import (
+    EL_ASSURANCE_CRITERIA,
+    EL_INTEGRITY_CRITERIA,
+    M1_ASSURANCE_CRITERIA_TEXT,
+    M1_INTEGRITY_CRITERIA_TEXT,
+    UNSAFE_ZONE_TOLERANCE,
+    EvidenceBundle,
+    achieved_robustness,
+    evaluate_assurance,
+    evaluate_integrity,
+)
+from repro.sora import RobustnessLevel
+
+
+def _strong_evidence(**overrides):
+    base = dict(
+        declared_integrity=True,
+        unsafe_zone_rate=0.0,
+        in_context_unsafe_rate=0.0,
+        drift_buffer_applied=True,
+        failure_allowance_applied=True,
+        tested_on_heldout_dataset=True,
+        tested_in_context=True,
+        video_data_verified=True,
+        runtime_monitor_in_place=True,
+        third_party_validated=True,
+        conditions_validated=frozenset(
+            {"day", "overcast", "sunset", "night", "fog"}),
+    )
+    base.update(overrides)
+    return EvidenceBundle(**base)
+
+
+class TestTables:
+    def test_integrity_criteria_cover_all_levels(self):
+        levels = {c.level for c in EL_INTEGRITY_CRITERIA}
+        assert levels == {RobustnessLevel.LOW, RobustnessLevel.MEDIUM,
+                          RobustnessLevel.HIGH}
+
+    def test_assurance_criteria_cover_all_levels(self):
+        levels = {c.level for c in EL_ASSURANCE_CRITERIA}
+        assert levels == {RobustnessLevel.LOW, RobustnessLevel.MEDIUM,
+                          RobustnessLevel.HIGH}
+
+    def test_medium_assurance_includes_monitoring(self):
+        """Table IV Medium-3: the criterion that motivates the paper."""
+        ids = [c.id for c in EL_ASSURANCE_CRITERIA
+               if c.level is RobustnessLevel.MEDIUM]
+        assert "EL-A-M3" in ids
+
+    def test_m1_comparison_columns_present(self):
+        assert set(M1_INTEGRITY_CRITERIA_TEXT) == {
+            RobustnessLevel.LOW, RobustnessLevel.MEDIUM,
+            RobustnessLevel.HIGH}
+        assert set(M1_ASSURANCE_CRITERIA_TEXT) == {
+            RobustnessLevel.LOW, RobustnessLevel.MEDIUM,
+            RobustnessLevel.HIGH}
+
+    def test_criterion_ids_unique(self):
+        ids = [c.id for c in EL_INTEGRITY_CRITERIA] + \
+            [c.id for c in EL_ASSURANCE_CRITERIA]
+        assert len(ids) == len(set(ids))
+
+
+class TestIntegrityEvaluation:
+    def test_full_evidence_reaches_high(self):
+        report = evaluate_integrity(_strong_evidence())
+        assert report.achieved is RobustnessLevel.HIGH
+        assert not report.failing()
+
+    def test_no_measurements_reaches_none(self):
+        report = evaluate_integrity(EvidenceBundle())
+        assert report.achieved is RobustnessLevel.NONE
+
+    def test_unsafe_rate_above_tolerance_fails_low(self):
+        evidence = _strong_evidence(
+            unsafe_zone_rate=UNSAFE_ZONE_TOLERANCE * 10)
+        report = evaluate_integrity(evidence)
+        assert report.achieved is RobustnessLevel.NONE
+
+    def test_levels_are_cumulative(self):
+        """Medium evidence without the Low criteria earns nothing."""
+        evidence = EvidenceBundle(drift_buffer_applied=True,
+                                  failure_allowance_applied=True)
+        report = evaluate_integrity(evidence)
+        assert report.achieved is RobustnessLevel.NONE
+
+    def test_low_only(self):
+        evidence = EvidenceBundle(unsafe_zone_rate=0.0,
+                                  in_context_unsafe_rate=0.0)
+        report = evaluate_integrity(evidence)
+        assert report.achieved is RobustnessLevel.LOW
+
+    def test_unmeasured_rate_fails(self):
+        evidence = _strong_evidence(unsafe_zone_rate=None)
+        assert evaluate_integrity(evidence).achieved is \
+            RobustnessLevel.NONE
+
+
+class TestAssuranceEvaluation:
+    def test_full_evidence_reaches_high(self):
+        assert evaluate_assurance(_strong_evidence()).achieved is \
+            RobustnessLevel.HIGH
+
+    def test_declaration_alone_is_low(self):
+        evidence = EvidenceBundle(declared_integrity=True)
+        assert evaluate_assurance(evidence).achieved is \
+            RobustnessLevel.LOW
+
+    def test_no_monitor_caps_at_low(self):
+        """Without runtime monitoring, Medium-3 fails (the paper's
+        central assurance argument)."""
+        evidence = _strong_evidence(runtime_monitor_in_place=False)
+        assert evaluate_assurance(evidence).achieved is \
+            RobustnessLevel.LOW
+
+    def test_no_third_party_caps_at_medium(self):
+        evidence = _strong_evidence(third_party_validated=False)
+        assert evaluate_assurance(evidence).achieved is \
+            RobustnessLevel.MEDIUM
+
+    def test_narrow_condition_sweep_caps_at_medium(self):
+        evidence = _strong_evidence(
+            conditions_validated=frozenset({"day"}))
+        assert evaluate_assurance(evidence).achieved is \
+            RobustnessLevel.MEDIUM
+
+
+class TestCombinedRobustness:
+    def test_min_of_both(self):
+        evidence = _strong_evidence(third_party_validated=False)
+        # Integrity HIGH, assurance MEDIUM -> MEDIUM.
+        assert achieved_robustness(evidence) is RobustnessLevel.MEDIUM
+
+    def test_none_when_either_none(self):
+        evidence = _strong_evidence(unsafe_zone_rate=None)
+        assert achieved_robustness(evidence) is RobustnessLevel.NONE
+
+
+class TestEvidenceBundle:
+    def test_immutable(self):
+        evidence = EvidenceBundle()
+        with pytest.raises(Exception):
+            evidence.declared_integrity = True
+
+    def test_with_updates(self):
+        a = EvidenceBundle()
+        b = a.with_updates(runtime_monitor_in_place=True)
+        assert not a.runtime_monitor_in_place
+        assert b.runtime_monitor_in_place
+
+    def test_summary_lines(self):
+        lines = _strong_evidence().summary_lines()
+        assert len(lines) == len(EvidenceBundle.__dataclass_fields__)
+
+    def test_report_summary_renders(self):
+        report = evaluate_integrity(_strong_evidence())
+        text = "\n".join(report.summary_lines())
+        assert "achieved level: HIGH" in text
+        assert "PASS" in text

@@ -1,0 +1,151 @@
+"""Tests for dataset assembly, splitting and batching."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.classes import NUM_CLASSES, busy_road_mask, class_mask, UavidClass
+from repro.dataset.conditions import SUNSET
+from repro.dataset.generator import (
+    DatasetConfig,
+    class_frequencies,
+    generate_dataset,
+    iterate_minibatches,
+    reshoot_under_condition,
+    split_by_scene,
+    stack_batch,
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return DatasetConfig(num_scenes=4, windows_per_scene=3,
+                         image_shape=(32, 48), seed=5)
+
+
+@pytest.fixture(scope="module")
+def dataset(config):
+    return generate_dataset(config)
+
+
+class TestClasses:
+    def test_class_mask(self):
+        labels = np.array([[0, 2], [5, 7]])
+        mask = class_mask(labels, (UavidClass.ROAD, UavidClass.HUMAN))
+        np.testing.assert_array_equal(mask, [[False, True],
+                                             [False, True]])
+
+    def test_busy_road_mask(self):
+        labels = np.array([[2, 5, 6, 1]])
+        np.testing.assert_array_equal(busy_road_mask(labels),
+                                      [[True, True, True, False]])
+
+
+class TestGeneration:
+    def test_size(self, dataset, config):
+        assert len(dataset) == config.num_scenes * config.windows_per_scene
+
+    def test_sample_format(self, dataset):
+        s = dataset[0]
+        assert s.image.shape == (3, 32, 48)
+        assert s.image.dtype == np.float32
+        assert s.labels.shape == (32, 48)
+        assert s.labels.dtype == np.int16
+
+    def test_deterministic(self, config, dataset):
+        again = generate_dataset(config)
+        np.testing.assert_array_equal(dataset[0].image, again[0].image)
+        np.testing.assert_array_equal(dataset[-1].labels,
+                                      again[-1].labels)
+
+    def test_conditions_from_training_set(self, dataset, config):
+        names = {s.condition for s in dataset}
+        allowed = {c.name for c in config.conditions}
+        assert names <= allowed
+
+    def test_scene_seeds_distinct(self, dataset, config):
+        seeds = {s.scene_seed for s in dataset}
+        assert len(seeds) == config.num_scenes
+
+
+class TestReshoot:
+    def test_same_geography_same_labels(self, config, dataset):
+        shifted = reshoot_under_condition(config, SUNSET)
+        assert len(shifted) == len(dataset)
+        for a, b in zip(dataset, shifted):
+            np.testing.assert_array_equal(a.labels, b.labels)
+            assert b.condition == "sunset"
+
+    def test_images_differ(self, config, dataset):
+        shifted = reshoot_under_condition(config, SUNSET)
+        assert not np.array_equal(dataset[0].image, shifted[0].image)
+
+
+class TestSplit:
+    def test_scene_level_disjoint(self, dataset):
+        train, val, test = split_by_scene(dataset, 0.25, 0.25)
+        seeds = [({s.scene_seed for s in split})
+                 for split in (train, val, test)]
+        assert not (seeds[0] & seeds[1])
+        assert not (seeds[0] & seeds[2])
+        assert not (seeds[1] & seeds[2])
+
+    def test_partition_complete(self, dataset):
+        train, val, test = split_by_scene(dataset, 0.25, 0.25)
+        assert len(train) + len(val) + len(test) == len(dataset)
+
+    def test_deterministic_split(self, dataset):
+        a = split_by_scene(dataset, 0.25, 0.25)
+        b = split_by_scene(dataset, 0.25, 0.25)
+        assert [len(x) for x in a] == [len(x) for x in b]
+
+    def test_impossible_split_raises(self, dataset):
+        with pytest.raises(ValueError, match="not enough scenes"):
+            split_by_scene(dataset, 0.45, 0.45)
+
+    def test_invalid_fractions_raise(self, dataset):
+        with pytest.raises(ValueError):
+            split_by_scene(dataset, 0.8, 0.4)
+
+
+class TestBatching:
+    def test_stack_batch(self, dataset):
+        x, y = stack_batch(dataset[:3])
+        assert x.shape == (3, 3, 32, 48)
+        assert y.shape == (3, 32, 48)
+        assert y.dtype == np.int64
+
+    def test_stack_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            stack_batch([])
+
+    def test_minibatches_cover_all_samples(self, dataset):
+        seen = 0
+        for x, y in iterate_minibatches(dataset, 4, rng=0, epochs=1):
+            seen += x.shape[0]
+        assert seen == len(dataset)
+
+    def test_minibatches_epochs(self, dataset):
+        batches = list(iterate_minibatches(dataset, 4, rng=0, epochs=2))
+        total = sum(x.shape[0] for x, _ in batches)
+        assert total == 2 * len(dataset)
+
+    def test_minibatch_shuffled(self, dataset):
+        first_a = next(iter(iterate_minibatches(dataset, 4, rng=1)))
+        first_b = next(iter(iterate_minibatches(dataset, 4, rng=2)))
+        assert not np.array_equal(first_a[0], first_b[0])
+
+
+class TestFrequencies:
+    def test_sums_to_one(self, dataset):
+        freq = class_frequencies(dataset)
+        assert freq.shape == (NUM_CLASSES,)
+        assert freq.sum() == pytest.approx(1.0)
+
+    def test_vegetation_dominant_humans_rare(self, dataset):
+        freq = class_frequencies(dataset)
+        assert freq[int(UavidClass.LOW_VEGETATION)] > \
+            freq[int(UavidClass.HUMAN)]
+
+    def test_empty_returns_zeros(self):
+        np.testing.assert_array_equal(class_frequencies([]),
+                                      np.zeros(NUM_CLASSES))

@@ -1,0 +1,133 @@
+"""Tests for the rasterisation primitives (including property tests)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataset import rasterize
+
+
+def _grid(h=40, w=40):
+    return np.zeros((h, w), dtype=np.int16)
+
+
+class TestDrawDisk:
+    def test_area_close_to_pi_r2(self):
+        grid = _grid(100, 100)
+        painted = rasterize.draw_disk(grid, (50, 50), 20, 1)
+        assert painted == pytest.approx(np.pi * 400, rel=0.05)
+        assert (grid == 1).sum() == painted
+
+    def test_zero_radius_paints_nothing(self):
+        grid = _grid()
+        assert rasterize.draw_disk(grid, (5, 5), 0, 1) == 0
+
+    def test_fully_outside_paints_nothing(self):
+        grid = _grid()
+        assert rasterize.draw_disk(grid, (-50, -50), 3, 1) == 0
+
+    def test_clipping_at_border(self):
+        grid = _grid(20, 20)
+        painted = rasterize.draw_disk(grid, (0, 0), 5, 1)
+        assert 0 < painted < np.pi * 25
+
+    @given(st.floats(0, 39), st.floats(0, 39), st.floats(0.5, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_painted_cells_within_radius(self, r, c, radius):
+        grid = _grid()
+        rasterize.draw_disk(grid, (r, c), radius, 1)
+        rows, cols = np.nonzero(grid)
+        if rows.size:
+            dist = np.sqrt((rows - r) ** 2 + (cols - c) ** 2)
+            assert dist.max() <= radius + 1e-9
+
+
+class TestDrawRect:
+    def test_exact_area(self):
+        grid = _grid()
+        painted = rasterize.draw_rect(grid, 5, 6, 4, 7, 2)
+        assert painted == 4 * 7
+        assert (grid == 2).sum() == 28
+
+    def test_clipped_area(self):
+        grid = _grid(10, 10)
+        painted = rasterize.draw_rect(grid, 8, 8, 5, 5, 1)
+        assert painted == 4  # 2x2 corner
+
+    def test_degenerate(self):
+        grid = _grid()
+        assert rasterize.draw_rect(grid, 0, 0, 0, 5, 1) == 0
+
+
+class TestOrientedRect:
+    def test_axis_aligned_matches_rect_area(self):
+        grid = _grid()
+        painted = rasterize.draw_oriented_rect(grid, (20, 20), 10, 4,
+                                               0.0, 1)
+        # Cell-centre rasterisation with inclusive bounds covers
+        # (length+1) x (width+1) cells for integer extents.
+        assert 10 * 4 <= painted <= 11 * 5
+
+    def test_rotation_preserves_area_roughly(self):
+        areas = []
+        for heading in (0.0, np.pi / 6, np.pi / 4, np.pi / 2):
+            grid = _grid()
+            areas.append(rasterize.draw_oriented_rect(
+                grid, (20, 20), 12, 5, heading, 1))
+        assert max(areas) / min(areas) < 1.4
+
+    def test_heading_rotates_footprint(self):
+        horizontal = _grid()
+        rasterize.draw_oriented_rect(horizontal, (20, 20), 12, 3, 0.0, 1)
+        vertical = _grid()
+        rasterize.draw_oriented_rect(vertical, (20, 20), 12, 3,
+                                     np.pi / 2, 1)
+        rows_h, cols_h = np.nonzero(horizontal)
+        rows_v, cols_v = np.nonzero(vertical)
+        assert np.ptp(cols_h) > np.ptp(rows_h)  # long axis horizontal
+        assert np.ptp(rows_v) > np.ptp(cols_v)  # long axis vertical
+
+    def test_outside_returns_zero(self):
+        grid = _grid()
+        assert rasterize.draw_oriented_rect(grid, (-100, -100), 5, 2,
+                                            0.3, 1) == 0
+
+    def test_mask_offset_consistent(self):
+        result = rasterize.oriented_rect_mask((40, 40), (10, 10), 6, 3,
+                                              0.5)
+        assert result is not None
+        mask, (r0, c0) = result
+        assert r0 >= 0 and c0 >= 0
+        assert mask.any()
+
+
+class TestThickLine:
+    def test_horizontal_line_area(self):
+        grid = _grid(20, 60)
+        painted = rasterize.draw_thick_line(grid, (10, 5), (10, 55), 4, 1)
+        # 50 long x (4+1 inclusive-bound) wide plus rounded caps.
+        assert 50 * 4 <= painted <= 56 * 5.5
+
+    def test_cells_within_half_width(self):
+        grid = _grid(40, 40)
+        rasterize.draw_thick_line(grid, (5, 5), (35, 30), 6, 1)
+        rows, cols = np.nonzero(grid)
+        # Distance from segment must be <= half width.
+        p0 = np.array([5.0, 5.0])
+        p1 = np.array([35.0, 30.0])
+        d = p1 - p0
+        for r, c in zip(rows, cols):
+            p = np.array([r, c], dtype=float)
+            t = np.clip(np.dot(p - p0, d) / np.dot(d, d), 0, 1)
+            dist = np.linalg.norm(p - (p0 + t * d))
+            assert dist <= 3.0 + 1e-9
+
+    def test_degenerate_segment_is_disk(self):
+        grid = _grid()
+        painted = rasterize.draw_thick_line(grid, (20, 20), (20, 20), 8, 1)
+        assert painted == pytest.approx(np.pi * 16, rel=0.15)
+
+    def test_zero_width_paints_nothing(self):
+        grid = _grid()
+        assert rasterize.draw_thick_line(grid, (0, 0), (10, 10), 0, 1) == 0

@@ -1,0 +1,135 @@
+"""Tests for the renderer and imaging conditions."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.classes import UavidClass
+from repro.dataset.conditions import (
+    ALL_CONDITIONS,
+    DAY,
+    FOG,
+    NIGHT,
+    OOD_CONDITIONS,
+    SUNSET,
+    TRAINING_CONDITIONS,
+    ImagingConditions,
+    by_name,
+)
+from repro.dataset.render import BASE_COLORS, render_labels
+from repro.dataset.scene import UrbanScene
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return UrbanScene.generate(seed=11)
+
+
+@pytest.fixture(scope="module")
+def window(scene):
+    labels = scene.label_window((256, 256), (48, 64), 1.0)
+    height = scene.height_window((256, 256), (48, 64), 1.0)
+    return labels, height
+
+
+class TestConditions:
+    def test_presets_well_formed(self):
+        for cond in ALL_CONDITIONS:
+            assert 0 <= cond.fog <= 1
+            assert cond.noise_sigma >= 0
+
+    def test_by_name(self):
+        assert by_name("sunset") is SUNSET
+        with pytest.raises(KeyError):
+            by_name("blizzard")
+
+    def test_train_and_ood_disjoint(self):
+        train_names = {c.name for c in TRAINING_CONDITIONS}
+        ood_names = {c.name for c in OOD_CONDITIONS}
+        assert not train_names & ood_names
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ImagingConditions(name="bad", fog=1.5)
+        with pytest.raises(ValueError):
+            ImagingConditions(name="bad", sun_elevation_deg=0.0)
+        with pytest.raises(ValueError):
+            ImagingConditions(name="bad", noise_sigma=-1)
+
+
+class TestRenderLabels:
+    def test_output_format(self, window):
+        labels, height = window
+        img = render_labels(labels, height, DAY, 1.0, rng=0)
+        assert img.shape == (3, 48, 64)
+        assert img.dtype == np.float32
+        assert img.min() >= 0.0 and img.max() <= 1.0
+
+    def test_deterministic_given_seed(self, window):
+        labels, height = window
+        a = render_labels(labels, height, DAY, 1.0, rng=5)
+        b = render_labels(labels, height, DAY, 1.0, rng=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seed_changes_texture(self, window):
+        labels, height = window
+        a = render_labels(labels, height, DAY, 1.0, rng=1)
+        b = render_labels(labels, height, DAY, 1.0, rng=2)
+        assert not np.array_equal(a, b)
+
+    def test_sunset_is_warmer_and_darker(self, window):
+        labels, height = window
+        day = render_labels(labels, height, DAY, 1.0, rng=0)
+        sunset = render_labels(labels, height, SUNSET, 1.0, rng=0)
+        assert sunset.mean() < day.mean()
+        # Red-to-blue ratio increases at sunset.
+        day_rb = day[0].mean() / max(day[2].mean(), 1e-6)
+        sunset_rb = sunset[0].mean() / max(sunset[2].mean(), 1e-6)
+        assert sunset_rb > day_rb
+
+    def test_night_is_dark(self, window):
+        labels, height = window
+        night = render_labels(labels, height, NIGHT, 1.0, rng=0)
+        assert night.mean() < 0.25
+
+    def test_fog_reduces_contrast(self, window):
+        labels, height = window
+        day = render_labels(labels, height, DAY, 1.0, rng=0)
+        fog = render_labels(labels, height, FOG, 1.0, rng=0)
+        assert fog.std() < day.std()
+
+    def test_grass_is_greener_than_road(self, scene):
+        labels = scene.label_window((256, 256), (64, 96), 1.0)
+        img = render_labels(labels, None, DAY, 1.0, rng=0)
+        grass = labels == int(UavidClass.LOW_VEGETATION)
+        road = labels == int(UavidClass.ROAD)
+        if grass.any() and road.any():
+            assert img[1][grass].mean() > img[1][road].mean()
+
+    def test_shadows_darken_ground(self, window):
+        labels, height = window
+        if not (height > 0).any():
+            pytest.skip("no elevated objects in window")
+        with_shadow = render_labels(labels, height, DAY, 1.0, rng=0)
+        without = render_labels(labels, None, DAY, 1.0, rng=0)
+        assert with_shadow.mean() <= without.mean() + 1e-6
+
+    def test_invalid_labels_rejected(self):
+        with pytest.raises(ValueError, match="class set"):
+            render_labels(np.full((8, 8), 99), None, DAY, 1.0, rng=0)
+        with pytest.raises(ValueError, match="2-D"):
+            render_labels(np.zeros((2, 8, 8), dtype=int), None, DAY,
+                          1.0, rng=0)
+
+    def test_base_colors_cover_all_classes(self):
+        assert BASE_COLORS.shape == (8, 3)
+
+    def test_cars_get_distinct_instance_colors(self, scene):
+        """Two separated cars should not share the exact same paint."""
+        car_a = next(c for c in scene.cars if not c.moving)
+        labels = scene.label_window((car_a.row, car_a.col), (32, 32),
+                                    scene.config.gsd)
+        img = render_labels(labels, None, DAY, 0.5, rng=0)
+        mask = labels == int(UavidClass.STATIC_CAR)
+        if mask.sum() >= 8:
+            colors = img[:, mask]
+            assert colors.std() > 0.0

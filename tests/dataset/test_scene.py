@@ -1,0 +1,145 @@
+"""Tests for the procedural urban scene generator."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.classes import NUM_CLASSES, UavidClass
+from repro.dataset.scene import SceneConfig, UrbanScene
+
+
+@pytest.fixture(scope="module")
+def scene() -> UrbanScene:
+    return UrbanScene.generate(seed=42)
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = UrbanScene.generate(seed=7)
+        b = UrbanScene.generate(seed=7)
+        np.testing.assert_array_equal(a.labels, b.labels)
+
+    def test_different_seeds_differ(self):
+        a = UrbanScene.generate(seed=1)
+        b = UrbanScene.generate(seed=2)
+        assert not np.array_equal(a.labels, b.labels)
+
+    def test_grid_shape_matches_config(self, scene):
+        assert scene.labels.shape == scene.config.grid_shape
+
+    def test_all_labels_valid(self, scene):
+        assert scene.labels.min() >= 0
+        assert scene.labels.max() < NUM_CLASSES
+
+    def test_major_classes_present(self, scene):
+        present = set(np.unique(scene.labels))
+        for cls in (UavidClass.ROAD, UavidClass.BUILDING,
+                    UavidClass.LOW_VEGETATION,
+                    UavidClass.BACKGROUND_CLUTTER):
+            assert int(cls) in present
+
+    def test_class_fractions_sum_to_one(self, scene):
+        assert scene.class_fractions().sum() == pytest.approx(1.0)
+
+    def test_road_fraction_plausible(self, scene):
+        road = scene.class_fractions()[int(UavidClass.ROAD)]
+        assert 0.05 < road < 0.45
+
+    def test_road_network_connected(self, scene):
+        import networkx as nx
+        assert nx.is_connected(scene.road_graph)
+
+    def test_object_inventories_populated(self, scene):
+        assert scene.cars
+        assert scene.buildings
+        assert scene.trees
+        assert scene.humans
+
+    def test_both_car_kinds_exist(self, scene):
+        kinds = {car.moving for car in scene.cars}
+        assert kinds == {True, False}
+
+    def test_cars_near_roads(self, scene):
+        """Every car centre lies on/next to the road surface."""
+        from scipy import ndimage
+        road = scene.labels == int(UavidClass.ROAD)
+        car_cls = (scene.labels == int(UavidClass.STATIC_CAR)) | \
+            (scene.labels == int(UavidClass.MOVING_CAR))
+        near_road = ndimage.distance_transform_edt(~(road | car_cls))
+        h, w = scene.labels.shape
+        for car in scene.cars:
+            r = min(max(int(car.row), 0), h - 1)
+            c = min(max(int(car.col), 0), w - 1)
+            assert near_road[r, c] <= scene.config.m_to_cells(3.0)
+
+    def test_heights_only_on_objects(self, scene):
+        has_height = scene.height_m > 0
+        elevated = (scene.labels == int(UavidClass.BUILDING)) | \
+            (scene.labels == int(UavidClass.TREE))
+        # Cars/humans may overwrite tree/building labels afterwards;
+        # allow height on those pixels too.
+        dynamic = (scene.labels == int(UavidClass.STATIC_CAR)) | \
+            (scene.labels == int(UavidClass.MOVING_CAR)) | \
+            (scene.labels == int(UavidClass.HUMAN))
+        assert not (has_height & ~(elevated | dynamic)).any()
+
+    def test_static_labels_have_no_dynamic_objects(self, scene):
+        present = set(np.unique(scene.static_labels))
+        assert int(UavidClass.MOVING_CAR) not in present
+        assert int(UavidClass.STATIC_CAR) not in present
+        assert int(UavidClass.HUMAN) not in present
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="road spacings"):
+            SceneConfig(size_m=(50.0, 50.0))
+        with pytest.raises(ValueError):
+            SceneConfig(gsd=0.0)
+
+
+class TestWindows:
+    def test_label_window_shape(self, scene):
+        win = scene.label_window((256, 256), (32, 48), 1.0)
+        assert win.shape == (32, 48)
+
+    def test_window_native_gsd_matches_slice(self, scene):
+        """At native GSD the window equals a direct array slice."""
+        win = scene.label_window((100, 100), (20, 20), scene.config.gsd)
+        direct = scene.labels[91:111, 91:111]
+        np.testing.assert_array_equal(win, direct)
+
+    def test_window_is_copy(self, scene):
+        win = scene.label_window((100, 100), (8, 8), 1.0)
+        win[:] = -1
+        assert (scene.labels >= 0).all()
+
+    def test_gsd_changes_coverage(self, scene):
+        """Coarser GSD shows more distinct scene content, not more rows."""
+        fine = scene.label_window((256, 256), (32, 32), 0.5)
+        coarse = scene.label_window((256, 256), (32, 32), 2.0)
+        assert fine.shape == coarse.shape == (32, 32)
+        assert not np.array_equal(fine, coarse)
+
+    def test_height_window_aligned(self, scene):
+        labels = scene.label_window((200, 200), (24, 24), 1.0)
+        height = scene.height_window((200, 200), (24, 24), 1.0)
+        assert height.shape == labels.shape
+
+    def test_center_bounds_and_random_center(self, scene):
+        rng = np.random.default_rng(0)
+        rmin, rmax, cmin, cmax = scene.window_center_bounds((32, 48), 1.0)
+        for _ in range(20):
+            r, c = scene.random_window_center((32, 48), 1.0, rng)
+            assert rmin <= r <= rmax
+            assert cmin <= c <= cmax
+
+    def test_oversized_window_raises(self, scene):
+        with pytest.raises(ValueError, match="does not fit"):
+            scene.window_center_bounds((2000, 2000), 1.0)
+
+    def test_static_window_differs_where_cars_are(self, scene):
+        # Pick a static car and look at its neighbourhood.
+        car = next(c for c in scene.cars if not c.moving)
+        center = (car.row, car.col)
+        dynamic = scene.label_window(center, (16, 16), scene.config.gsd)
+        static = scene.static_label_window(center, (16, 16),
+                                           scene.config.gsd)
+        assert (dynamic != static).any()

@@ -1,0 +1,155 @@
+"""End-to-end integration tests: the paper's claims on a trained system.
+
+These tests exercise the full stack — procedural scenes, rendering,
+trained MSDnet, landing pipeline, monitor, mission simulation, SORA
+compliance — and assert the *shape* of the paper's results (who wins,
+in which direction), not absolute numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import achieved_robustness, EvidenceBundle
+from repro.dataset import SUNSET, UavidClass, busy_road_mask
+from repro.eval import (
+    fig4_experiment,
+    zone_acceptance_experiment,
+)
+from repro.segmentation import evaluate_model
+from repro.sora import RobustnessLevel, Severity, assess_medi_delivery
+from repro.uav import (
+    FailureEvent,
+    FailureType,
+    Maneuver,
+    MissionConfig,
+    simulate_mission,
+)
+from repro.dataset.scene import UrbanScene
+
+
+@pytest.fixture(scope="module")
+def fig4(tiny_system):
+    return fig4_experiment(tiny_system, condition=SUNSET, max_frames=4)
+
+
+class TestFig4Shape:
+    """The paper's headline qualitative result, as inequalities."""
+
+    def test_model_good_in_distribution(self, fig4):
+        assert fig4["in_distribution"]["accuracy"] > 0.6
+
+    def test_model_degrades_ood(self, fig4):
+        assert fig4["ood"]["miou"] < fig4["in_distribution"]["miou"]
+        assert fig4["ood"]["accuracy"] < \
+            fig4["in_distribution"]["accuracy"]
+
+    def test_model_misses_more_road_ood(self, fig4):
+        assert fig4["ood"]["model_miss_rate"] > \
+            fig4["in_distribution"]["model_miss_rate"]
+
+    def test_monitor_catches_part_of_ood_misses(self, fig4):
+        """'the monitor seems able to trigger warnings for a large part
+        of the road areas that was not covered by the core model'"""
+        assert fig4["ood"]["monitor_catch_rate"] > 0.1
+
+    def test_monitor_not_perfect_ood(self, fig4):
+        """'many regions containing roads are missed by the monitor'
+        — the paper's admitted limitation must reproduce too."""
+        assert fig4["ood"]["residual_miss_rate"] > 0.0
+
+    def test_false_alarms_bounded(self, fig4):
+        assert fig4["in_distribution"]["false_alarm_rate"] < 0.6
+
+
+class TestZoneAcceptanceShape:
+    def test_monitored_never_accepts_road_zone(self, tiny_system):
+        result = zone_acceptance_experiment(
+            tiny_system, tiny_system.test_samples, monitor_enabled=True)
+        assert result["road_unsafe_accepted"] == 0
+
+    def test_monitor_reduces_ood_unsafe_acceptance(self, tiny_system):
+        ood = tiny_system.ood_samples(SUNSET)
+        monitored = zone_acceptance_experiment(tiny_system, ood,
+                                               monitor_enabled=True)
+        unmonitored = zone_acceptance_experiment(tiny_system, ood,
+                                                 monitor_enabled=False)
+        assert monitored["road_unsafe_accepted"] <= \
+            unmonitored["road_unsafe_accepted"]
+        # The monitor must also reduce acceptance overall OOD (it
+        # cannot be *more* permissive than no monitor).
+        assert monitored["landed"] <= unmonitored["landed"]
+
+
+class TestMissionIntegration:
+    def test_el_mission_with_trained_pipeline(self, tiny_system):
+        scene = UrbanScene.generate(seed=77)
+        policy = tiny_system.make_pipeline(
+            monitor_enabled=True).as_mission_policy()
+        config = MissionConfig(camera_shape_px=(48, 64),
+                               camera_gsd_m=1.0)
+        failure = FailureEvent(FailureType.NAVIGATION_AND_COMM_LOSS, 5.0)
+        result = simulate_mission(scene, config=config, failure=failure,
+                                  el_policy=policy, rng=3)
+        assert result.el_attempted
+        assert result.final_maneuver in (Maneuver.EMERGENCY_LANDING,
+                                         Maneuver.FLIGHT_TERMINATION)
+        assert result.severity in list(Severity)
+
+    def test_landed_zone_ground_truth_checked(self, tiny_system):
+        """When the monitored pipeline lands, the accepted zone's
+        ground truth must be road-free (on in-distribution imagery)."""
+        pipeline = tiny_system.make_pipeline(monitor_enabled=True, rng=0)
+        for sample in tiny_system.test_samples:
+            result = pipeline.run(sample.image)
+            if result.landed:
+                gt = result.selected_zone.box.extract(sample.labels)
+                assert not busy_road_mask(gt).any()
+
+
+class TestCertificationIntegration:
+    def test_validation_results_feed_sora(self, tiny_system):
+        """The full certification loop: measure -> evidence -> Tables
+        III/IV -> robustness -> SORA credit."""
+        held_out = zone_acceptance_experiment(
+            tiny_system, tiny_system.test_samples, monitor_enabled=True)
+        evidence = EvidenceBundle(
+            declared_integrity=True,
+            unsafe_zone_rate=held_out["road_accept_rate"],
+            in_context_unsafe_rate=held_out["road_accept_rate"],
+            drift_buffer_applied=True,
+            failure_allowance_applied=True,
+            tested_on_heldout_dataset=True,
+            tested_in_context=True,
+            video_data_verified=True,
+            runtime_monitor_in_place=True,
+            conditions_validated=frozenset({"day"}),
+        )
+        robustness = achieved_robustness(evidence)
+        assert robustness >= RobustnessLevel.MEDIUM
+
+        with_el = assess_medi_delivery(with_m3=True,
+                                       el_integrity=robustness,
+                                       el_assurance=robustness)
+        without = assess_medi_delivery(with_m3=True)
+        assert with_el.final_grc < without.final_grc
+        assert int(with_el.sail) <= int(without.sail)
+
+
+class TestDeterminism:
+    def test_pipeline_run_reproducible(self, tiny_system):
+        image = tiny_system.test_samples[0].image
+        results = []
+        for _ in range(2):
+            pipeline = tiny_system.make_pipeline(monitor_enabled=True,
+                                                 rng=9)
+            results.append(pipeline.run(image))
+        assert results[0].landed == results[1].landed
+        assert len(results[0].candidates) == len(results[1].candidates)
+        for a, b in zip(results[0].candidates, results[1].candidates):
+            assert a.box == b.box
+
+    def test_fig4_experiment_reproducible(self, tiny_system):
+        a = fig4_experiment(tiny_system, max_frames=2)
+        b = fig4_experiment(tiny_system, max_frames=2)
+        assert a["in_distribution"]["miou"] == \
+            pytest.approx(b["in_distribution"]["miou"])

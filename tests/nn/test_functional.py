@@ -1,0 +1,199 @@
+"""Tests for the low-level nn operations (conv, pooling, resize, softmax)."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert F.conv_output_size(8, 3, 1, 1, 1) == 8
+
+    def test_stride(self):
+        assert F.conv_output_size(8, 3, 2, 1, 1) == 4
+
+    def test_dilation(self):
+        # Effective kernel = (3-1)*2+1 = 5.
+        assert F.conv_output_size(8, 3, 1, 2, 2) == 8
+
+    def test_no_padding_shrinks(self):
+        assert F.conv_output_size(8, 3, 1, 0, 1) == 6
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValueError, match="output size"):
+            F.conv_output_size(2, 5, 1, 0, 1)
+
+
+class TestIm2Col:
+    def test_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 10))
+        cols, geom = F.im2col(x, (3, 3), stride=1, padding=1, dilation=1)
+        assert cols.shape == (2, 3 * 9, 8 * 10)
+
+    def test_identity_kernel_1x1(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        cols, _ = F.im2col(x, (1, 1), stride=1, padding=0, dilation=1)
+        np.testing.assert_allclose(cols.reshape(1, 2, 16),
+                                   x.reshape(1, 2, 16))
+
+    def test_col2im_adjointness(self, rng):
+        """<im2col(x), y> == <x, col2im(y)> — exact adjoint pair."""
+        x = rng.normal(size=(2, 2, 6, 7))
+        cols, geom = F.im2col(x, (3, 3), stride=2, padding=1, dilation=1)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * F.col2im(y, geom)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_col2im_adjointness_dilated(self, rng):
+        x = rng.normal(size=(1, 3, 9, 9))
+        cols, geom = F.im2col(x, (3, 3), stride=1, padding=2, dilation=2)
+        y = rng.normal(size=cols.shape)
+        lhs = float((cols * y).sum())
+        rhs = float((x * F.col2im(y, geom)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestConv2d:
+    def _naive_conv(self, x, w, b, stride, pad, dil):
+        n, c_in, h, wd = x.shape
+        c_out, _, kh, kw = w.shape
+        oh = F.conv_output_size(h, kh, stride, pad, dil)
+        ow = F.conv_output_size(wd, kw, stride, pad, dil)
+        xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+        out = np.zeros((n, c_out, oh, ow))
+        for ni in range(n):
+            for co in range(c_out):
+                for i in range(oh):
+                    for j in range(ow):
+                        acc = 0.0
+                        for ci in range(c_in):
+                            for ki in range(kh):
+                                for kj in range(kw):
+                                    acc += (xp[ni, ci,
+                                               i * stride + ki * dil,
+                                               j * stride + kj * dil]
+                                            * w[co, ci, ki, kj])
+                        out[ni, co, i, j] = acc + (b[co] if b is not None
+                                                   else 0.0)
+        return out
+
+    @pytest.mark.parametrize("stride,pad,dil", [(1, 1, 1), (2, 1, 1),
+                                                (1, 2, 2), (1, 0, 1)])
+    def test_matches_naive(self, rng, stride, pad, dil):
+        x = rng.normal(size=(2, 3, 7, 8))
+        w = rng.normal(size=(4, 3, 3, 3))
+        b = rng.normal(size=4)
+        y, _ = F.conv2d_forward(x, w, b, stride, pad, dil)
+        expected = self._naive_conv(x, w, b, stride, pad, dil)
+        np.testing.assert_allclose(y, expected, atol=1e-10)
+
+    def test_channel_mismatch_raises(self, rng):
+        x = rng.normal(size=(1, 3, 5, 5))
+        w = rng.normal(size=(2, 4, 3, 3))
+        with pytest.raises(ValueError, match="channels"):
+            F.conv2d_forward(x, w, None)
+
+    def test_backward_shapes(self, rng):
+        x = rng.normal(size=(2, 3, 6, 6))
+        w = rng.normal(size=(5, 3, 3, 3))
+        b = rng.normal(size=5)
+        y, cache = F.conv2d_forward(x, w, b, 1, 1, 1)
+        dx, dw, db = F.conv2d_backward(np.ones_like(y), cache)
+        assert dx.shape == x.shape
+        assert dw.shape == w.shape
+        assert db.shape == b.shape
+
+    def test_backward_no_bias(self, rng):
+        x = rng.normal(size=(1, 2, 5, 5))
+        w = rng.normal(size=(3, 2, 3, 3))
+        y, cache = F.conv2d_forward(x, w, None, 1, 1, 1)
+        _, _, db = F.conv2d_backward(np.ones_like(y), cache)
+        assert db is None
+
+
+class TestMaxPool:
+    def test_values(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        y, _ = F.maxpool2d_forward(x, 2)
+        np.testing.assert_allclose(y[0, 0], [[5, 7], [13, 15]])
+
+    def test_backward_routes_to_argmax(self):
+        x = np.arange(16, dtype=np.float64).reshape(1, 1, 4, 4)
+        y, cache = F.maxpool2d_forward(x, 2)
+        dx = F.maxpool2d_backward(np.ones_like(y), cache)
+        assert dx.sum() == 4
+        assert dx[0, 0, 1, 1] == 1  # position of value 5
+
+    def test_backward_ties_single_route(self):
+        x = np.zeros((1, 1, 4, 4))
+        y, cache = F.maxpool2d_forward(x, 2)
+        dx = F.maxpool2d_backward(np.ones_like(y), cache)
+        # Each 2x2 window routes exactly one unit despite the tie.
+        assert dx.sum() == 4
+        assert dx.max() == 1
+
+    def test_indivisible_raises(self, rng):
+        with pytest.raises(ValueError, match="divisible"):
+            F.maxpool2d_forward(rng.normal(size=(1, 1, 5, 4)), 2)
+
+
+class TestResize:
+    def test_linear_weights_rows_sum_to_one(self):
+        w = F.linear_resize_weights(7, 18)
+        np.testing.assert_allclose(w.sum(axis=1), 1.0)
+
+    def test_linear_weights_identity(self):
+        w = F.linear_resize_weights(5, 5)
+        np.testing.assert_allclose(w, np.eye(5), atol=1e-12)
+
+    def test_bilinear_constant_preserved(self):
+        x = np.full((1, 2, 4, 4), 3.5)
+        y, _ = F.resize_bilinear_forward(x, 8, 8)
+        np.testing.assert_allclose(y, 3.5)
+
+    def test_bilinear_adjointness(self, rng):
+        x = rng.normal(size=(1, 2, 4, 5))
+        y, cache = F.resize_bilinear_forward(x, 8, 10)
+        g = rng.normal(size=y.shape)
+        lhs = float((y * g).sum())
+        rhs = float((x * F.resize_bilinear_backward(g, cache)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+    def test_nearest_upsample_values(self):
+        x = np.array([[1.0, 2.0], [3.0, 4.0]]).reshape(1, 1, 2, 2)
+        y, _ = F.resize_nearest_forward(x, 4, 4)
+        np.testing.assert_allclose(y[0, 0, :2, :2], 1.0)
+        np.testing.assert_allclose(y[0, 0, 2:, 2:], 4.0)
+
+    def test_nearest_adjointness(self, rng):
+        x = rng.normal(size=(2, 1, 3, 3))
+        y, cache = F.resize_nearest_forward(x, 6, 6)
+        g = rng.normal(size=y.shape)
+        lhs = float((y * g).sum())
+        rhs = float((x * F.resize_nearest_backward(g, cache)).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+
+
+class TestSoftmax:
+    def test_sums_to_one(self, rng):
+        x = rng.normal(size=(2, 8, 3, 3))
+        s = F.softmax(x, axis=1)
+        np.testing.assert_allclose(s.sum(axis=1), 1.0, atol=1e-12)
+
+    def test_stability_large_values(self):
+        x = np.array([[1000.0, 1000.0]])
+        s = F.softmax(x, axis=1)
+        np.testing.assert_allclose(s, 0.5)
+
+    def test_log_softmax_consistent(self, rng):
+        x = rng.normal(size=(4, 6))
+        np.testing.assert_allclose(np.exp(F.log_softmax(x, axis=1)),
+                                   F.softmax(x, axis=1), atol=1e-12)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 5))
+        np.testing.assert_allclose(F.softmax(x, axis=1),
+                                   F.softmax(x + 100.0, axis=1),
+                                   atol=1e-12)

@@ -1,0 +1,81 @@
+"""Tests for model checkpointing (save/load round trips, strictness)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.io import load_state_dict, load_weights, save_weights, state_dict
+
+
+def _make_model(seed):
+    return nn.Sequential(
+        nn.Conv2d(2, 4, 3, padding=1, rng=seed),
+        nn.BatchNorm2d(4),
+        nn.ReLU(),
+        nn.Conv2d(4, 3, 1, rng=seed + 1),
+    )
+
+
+class TestStateDict:
+    def test_roundtrip_in_memory(self, rng):
+        a = _make_model(0)
+        a(rng.normal(size=(2, 2, 4, 4)))  # populate BN running stats
+        b = _make_model(99)
+        load_state_dict(b, state_dict(a))
+        a.eval()
+        b.eval()
+        x = rng.normal(size=(1, 2, 4, 4))
+        np.testing.assert_allclose(a(x), b(x))
+
+    def test_running_stats_saved(self, rng):
+        a = _make_model(0)
+        a(rng.normal(2.0, 1.0, size=(8, 2, 4, 4)))
+        state = state_dict(a)
+        running_keys = [k for k in state if k.startswith("__running__")]
+        assert len(running_keys) == 2  # mean + var of the single BN
+
+    def test_missing_parameter_raises(self):
+        a = _make_model(0)
+        state = state_dict(a)
+        key = next(iter(k for k in state if not k.startswith("__")))
+        del state[key]
+        with pytest.raises(KeyError, match="missing parameter"):
+            load_state_dict(_make_model(1), state)
+
+    def test_shape_mismatch_raises(self):
+        a = _make_model(0)
+        state = state_dict(a)
+        key = next(iter(k for k in state if not k.startswith("__")))
+        state[key] = np.zeros((1, 1))
+        with pytest.raises(ValueError, match="shape mismatch"):
+            load_state_dict(_make_model(1), state)
+
+
+class TestFileRoundtrip:
+    def test_save_load_file(self, tmp_path, rng):
+        a = _make_model(0)
+        a(rng.normal(size=(2, 2, 4, 4)))
+        path = tmp_path / "ckpt.npz"
+        save_weights(a, path)
+        b = _make_model(5)
+        load_weights(b, path)
+        a.eval()
+        b.eval()
+        x = rng.normal(size=(1, 2, 4, 4))
+        np.testing.assert_allclose(a(x), b(x))
+
+    def test_msdnet_roundtrip(self, tmp_path, rng):
+        from repro.segmentation.msdnet import MSDNet, MSDNetConfig
+        cfg = MSDNetConfig(base_channels=8, num_blocks=1,
+                           dilations=(1, 2), dropout=0.5)
+        a = MSDNet(cfg, rng=0)
+        x = rng.normal(size=(1, 3, 8, 8)).astype(np.float32)
+        a.train(True)
+        a(x)
+        path = tmp_path / "msd.npz"
+        save_weights(a, path)
+        b = MSDNet(cfg, rng=77)
+        load_weights(b, path)
+        a.eval()
+        b.eval()
+        np.testing.assert_allclose(a(x), b(x), atol=1e-6)

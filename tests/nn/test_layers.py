@@ -1,0 +1,206 @@
+"""Tests for nn layers: shapes, modes, and the MC-dropout switch."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+
+
+class TestConv2dLayer:
+    def test_same_padding_preserves_size(self, rng):
+        layer = nn.Conv2d(3, 4, 3, padding=nn.Conv2d.same_padding(3),
+                          rng=0)
+        y = layer(rng.normal(size=(1, 3, 8, 8)))
+        assert y.shape == (1, 4, 8, 8)
+
+    def test_same_padding_dilated(self, rng):
+        pad = nn.Conv2d.same_padding(3, dilation=4)
+        layer = nn.Conv2d(2, 2, 3, padding=pad, dilation=4, rng=0)
+        y = layer(rng.normal(size=(1, 2, 16, 16)))
+        assert y.shape == (1, 2, 16, 16)
+
+    def test_stride_halves(self, rng):
+        layer = nn.Conv2d(2, 2, 3, stride=2, padding=1, rng=0)
+        assert layer(rng.normal(size=(1, 2, 8, 8))).shape == (1, 2, 4, 4)
+
+    def test_no_bias(self):
+        layer = nn.Conv2d(2, 3, 3, bias=False, rng=0)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            nn.Conv2d(0, 3, 3)
+        with pytest.raises(ValueError):
+            nn.Conv2d(2, 3, 3, padding=-1)
+
+    def test_backward_before_forward_raises(self):
+        layer = nn.Conv2d(2, 3, 3, rng=0)
+        with pytest.raises(RuntimeError, match="before forward"):
+            layer.backward(np.zeros((1, 3, 4, 4)))
+
+    def test_deterministic_init_with_seed(self):
+        a = nn.Conv2d(3, 4, 3, rng=42)
+        b = nn.Conv2d(3, 4, 3, rng=42)
+        np.testing.assert_array_equal(a.weight.data, b.weight.data)
+
+
+class TestBatchNorm:
+    def test_normalizes_in_training(self, rng):
+        layer = nn.BatchNorm2d(3)
+        x = rng.normal(5.0, 3.0, size=(4, 3, 8, 8))
+        y = layer(x)
+        np.testing.assert_allclose(y.mean(axis=(0, 2, 3)), 0.0, atol=1e-6)
+        np.testing.assert_allclose(y.std(axis=(0, 2, 3)), 1.0, atol=1e-2)
+
+    def test_running_stats_converge(self, rng):
+        layer = nn.BatchNorm2d(2, momentum=0.5)
+        for _ in range(20):
+            layer(rng.normal(2.0, 1.0, size=(8, 2, 4, 4)))
+        np.testing.assert_allclose(layer.running_mean, 2.0, atol=0.2)
+
+    def test_eval_uses_running_stats(self, rng):
+        layer = nn.BatchNorm2d(2)
+        for _ in range(10):
+            layer(rng.normal(size=(8, 2, 4, 4)))
+        layer.train(False)
+        x = rng.normal(size=(1, 2, 4, 4))
+        y1 = layer(x)
+        y2 = layer(x)
+        np.testing.assert_array_equal(y1, y2)
+
+    def test_channel_mismatch_raises(self, rng):
+        layer = nn.BatchNorm2d(3)
+        with pytest.raises(ValueError, match="channels"):
+            layer(rng.normal(size=(1, 2, 4, 4)))
+
+
+class TestActivations:
+    def test_relu(self):
+        layer = nn.ReLU()
+        y = layer(np.array([[-1.0, 2.0]]))
+        np.testing.assert_array_equal(y, [[0.0, 2.0]])
+        dx = layer.backward(np.ones((1, 2)))
+        np.testing.assert_array_equal(dx, [[0.0, 1.0]])
+
+    def test_leaky_relu(self):
+        layer = nn.LeakyReLU(0.1)
+        y = layer(np.array([[-2.0, 4.0]]))
+        np.testing.assert_allclose(y, [[-0.2, 4.0]])
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self, rng):
+        layer = nn.Dropout(0.5, rng=0)
+        layer.train(False)
+        x = rng.normal(size=(2, 3, 4, 4))
+        np.testing.assert_array_equal(layer(x), x)
+
+    def test_training_drops_and_rescales(self, rng):
+        layer = nn.Dropout(0.5, rng=0)
+        x = np.ones((1, 1, 100, 100))
+        y = layer(x)
+        assert (y == 0).any()
+        # Inverted dropout: survivors are scaled by 1/keep.
+        assert y.max() == pytest.approx(2.0)
+        assert y.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_mc_mode_stochastic_in_eval(self, rng):
+        layer = nn.Dropout(0.5, rng=0)
+        layer.train(False)
+        layer.mc_mode = True
+        x = np.ones((1, 1, 32, 32))
+        y1, y2 = layer(x), layer(x)
+        assert not np.array_equal(y1, y2)
+
+    def test_zero_rate_identity(self, rng):
+        layer = nn.Dropout(0.0)
+        x = rng.normal(size=(2, 4))
+        np.testing.assert_array_equal(layer(x), x)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            nn.Dropout(1.0)
+        with pytest.raises(ValueError):
+            nn.Dropout(-0.1)
+
+    def test_spatial_dropout_kills_whole_channels(self):
+        layer = nn.SpatialDropout2d(0.5, rng=0)
+        x = np.ones((1, 64, 6, 6))
+        y = layer(x)
+        per_channel = y.reshape(64, -1)
+        # Every channel is either fully zero or fully scaled.
+        for ch in per_channel:
+            assert (ch == 0).all() or (ch == ch[0]).all()
+
+    def test_set_mc_dropout_toggles_all(self):
+        model = nn.Sequential(nn.Conv2d(2, 4, 3, padding=1, rng=0),
+                              nn.Dropout(0.5), nn.ReLU(),
+                              nn.SpatialDropout2d(0.3))
+        count = nn.set_mc_dropout(model, True)
+        assert count == 2
+        assert nn.mc_dropout_enabled(model)
+        nn.set_mc_dropout(model, False)
+        assert not nn.mc_dropout_enabled(model)
+
+
+class TestUpsampleAndPool:
+    def test_upsample_shapes(self, rng):
+        for mode in ("bilinear", "nearest"):
+            layer = nn.Upsample(2, mode=mode)
+            y = layer(rng.normal(size=(1, 3, 4, 5)))
+            assert y.shape == (1, 3, 8, 10)
+
+    def test_upsample_invalid_mode(self):
+        with pytest.raises(ValueError, match="mode"):
+            nn.Upsample(2, mode="cubic")
+
+    def test_maxpool_layer(self, rng):
+        layer = nn.MaxPool2d(2)
+        assert layer(rng.normal(size=(1, 2, 8, 8))).shape == (1, 2, 4, 4)
+
+    def test_identity(self, rng):
+        layer = nn.Identity()
+        x = rng.normal(size=(3, 3))
+        np.testing.assert_array_equal(layer(x), x)
+        np.testing.assert_array_equal(layer.backward(x), x)
+
+
+class TestSequential:
+    def test_forward_chains(self, rng):
+        model = nn.Sequential(nn.Conv2d(2, 4, 3, padding=1, rng=0),
+                              nn.ReLU(),
+                              nn.Conv2d(4, 3, 1, rng=1))
+        y = model(rng.normal(size=(1, 2, 6, 6)))
+        assert y.shape == (1, 3, 6, 6)
+
+    def test_len_getitem_append(self):
+        model = nn.Sequential(nn.ReLU())
+        assert len(model) == 1
+        model.append(nn.Identity())
+        assert len(model) == 2
+        assert isinstance(model[0], nn.ReLU)
+
+    def test_rejects_non_module(self):
+        with pytest.raises(TypeError):
+            nn.Sequential(lambda x: x)
+
+    def test_parameters_collected_recursively(self):
+        model = nn.Sequential(nn.Conv2d(2, 4, 3, rng=0),
+                              nn.BatchNorm2d(4),
+                              nn.Sequential(nn.Conv2d(4, 2, 1, rng=1)))
+        # conv(w,b) + bn(gamma,beta) + inner conv(w,b)
+        assert len(model.parameters()) == 6
+
+    def test_named_parameters_unique(self):
+        model = nn.Sequential(nn.Conv2d(2, 4, 3, rng=0),
+                              nn.BatchNorm2d(4))
+        names = [n for n, _ in model.named_parameters()]
+        assert len(names) == len(set(names))
+
+    def test_train_eval_propagates(self):
+        model = nn.Sequential(nn.Dropout(0.5), nn.BatchNorm2d(2))
+        model.eval()
+        assert all(not m.training for m in model.modules())
+        model.train()
+        assert all(m.training for m in model.modules())

@@ -1,0 +1,148 @@
+"""Tests for dense-prediction losses and class weighting."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import gradient_mismatch, numeric_gradient
+from repro.nn.losses import (
+    class_weights_from_frequencies,
+    dice_loss,
+    softmax_cross_entropy,
+)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_give_log_c(self, rng):
+        logits = np.zeros((1, 8, 4, 4))
+        labels = rng.integers(0, 8, size=(1, 4, 4))
+        loss, _ = softmax_cross_entropy(logits, labels)
+        assert loss == pytest.approx(np.log(8), rel=1e-6)
+
+    def test_perfect_prediction_low_loss(self):
+        logits = np.zeros((1, 3, 2, 2))
+        labels = np.zeros((1, 2, 2), dtype=int)
+        logits[:, 0] = 50.0
+        loss, _ = softmax_cross_entropy(logits, labels)
+        assert loss < 1e-6
+
+    def test_gradient_matches_numeric(self, rng):
+        logits = rng.normal(size=(2, 5, 3, 3))
+        labels = rng.integers(0, 5, size=(2, 3, 3))
+        _, grad = softmax_cross_entropy(logits, labels)
+        numeric = numeric_gradient(
+            lambda z: softmax_cross_entropy(z, labels)[0], logits)
+        assert gradient_mismatch(grad.astype(np.float64), numeric) <= 1.0
+
+    def test_gradient_with_weights_matches_numeric(self, rng):
+        logits = rng.normal(size=(1, 4, 3, 3))
+        labels = rng.integers(0, 4, size=(1, 3, 3))
+        weights = np.array([0.5, 2.0, 1.0, 3.0])
+        _, grad = softmax_cross_entropy(logits, labels,
+                                        class_weights=weights)
+        numeric = numeric_gradient(
+            lambda z: softmax_cross_entropy(z, labels,
+                                            class_weights=weights)[0],
+            logits)
+        assert gradient_mismatch(grad.astype(np.float64), numeric) <= 1.0
+
+    def test_gradient_sums_to_zero_per_pixel(self, rng):
+        """Softmax CE gradient sums to zero over classes."""
+        logits = rng.normal(size=(1, 6, 4, 4))
+        labels = rng.integers(0, 6, size=(1, 4, 4))
+        _, grad = softmax_cross_entropy(logits, labels)
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-7)
+
+    def test_ignore_index_excludes_pixels(self, rng):
+        logits = rng.normal(size=(1, 3, 2, 2))
+        labels = np.array([[[0, 1], [255, 255]]])
+        loss, grad = softmax_cross_entropy(logits, labels,
+                                           ignore_index=255)
+        # Ignored pixels contribute no gradient.
+        np.testing.assert_allclose(grad[0, :, 1, :], 0.0)
+        assert np.isfinite(loss)
+
+    def test_all_ignored_returns_zero(self, rng):
+        logits = rng.normal(size=(1, 3, 2, 2))
+        labels = np.full((1, 2, 2), 255)
+        loss, grad = softmax_cross_entropy(logits, labels,
+                                           ignore_index=255)
+        assert loss == 0.0
+        np.testing.assert_array_equal(grad, 0.0)
+
+    def test_class_weights_emphasise_rare_class(self, rng):
+        logits = np.zeros((1, 2, 1, 2))
+        labels = np.array([[[0, 1]]])
+        weights = np.array([1.0, 10.0])
+        _, grad = softmax_cross_entropy(logits, labels,
+                                        class_weights=weights)
+        # Pixel of the heavier class carries more gradient.
+        assert np.abs(grad[0, :, 0, 1]).sum() > \
+            np.abs(grad[0, :, 0, 0]).sum()
+
+    def test_shape_mismatch_raises(self, rng):
+        with pytest.raises(ValueError, match="labels shape"):
+            softmax_cross_entropy(rng.normal(size=(1, 3, 4, 4)),
+                                  np.zeros((1, 3, 3), dtype=int))
+
+    def test_out_of_range_labels_raise(self, rng):
+        logits = rng.normal(size=(1, 3, 2, 2))
+        with pytest.raises(ValueError, match="labels out of range"):
+            softmax_cross_entropy(logits, np.full((1, 2, 2), 7))
+
+    def test_bad_weight_shape_raises(self, rng):
+        logits = rng.normal(size=(1, 3, 2, 2))
+        labels = np.zeros((1, 2, 2), dtype=int)
+        with pytest.raises(ValueError, match="class_weights"):
+            softmax_cross_entropy(logits, labels,
+                                  class_weights=np.ones(5))
+
+
+class TestDiceLoss:
+    def test_perfect_prediction_near_zero(self):
+        logits = np.zeros((1, 2, 4, 4))
+        labels = np.zeros((1, 4, 4), dtype=int)
+        logits[:, 0] = 60.0
+        loss, _ = dice_loss(logits, labels)
+        assert loss < 0.01
+
+    def test_worst_prediction_high(self):
+        logits = np.zeros((1, 2, 4, 4))
+        labels = np.zeros((1, 4, 4), dtype=int)
+        logits[:, 1] = 60.0  # confidently wrong everywhere
+        loss, _ = dice_loss(logits, labels)
+        assert loss > 0.5
+
+    def test_gradient_matches_numeric(self, rng):
+        logits = rng.normal(size=(1, 3, 3, 3))
+        labels = rng.integers(0, 3, size=(1, 3, 3))
+        _, grad = dice_loss(logits, labels)
+        numeric = numeric_gradient(lambda z: dice_loss(z, labels)[0],
+                                   logits)
+        assert gradient_mismatch(grad.astype(np.float64), numeric) <= 1.0
+
+
+class TestClassWeights:
+    def test_mean_is_one(self):
+        w = class_weights_from_frequencies(np.array([0.5, 0.3, 0.2]))
+        assert w.mean() == pytest.approx(1.0)
+
+    def test_rare_class_weighted_higher(self):
+        w = class_weights_from_frequencies(np.array([0.9, 0.1]))
+        assert w[1] > w[0]
+
+    def test_zero_frequency_finite(self):
+        w = class_weights_from_frequencies(np.array([0.5, 0.5, 0.0]))
+        assert np.isfinite(w).all()
+        assert w[2] == w.max()
+
+    def test_power_zero_uniform(self):
+        w = class_weights_from_frequencies(np.array([0.7, 0.3]), power=0)
+        np.testing.assert_allclose(w, 1.0)
+
+    def test_negative_frequency_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            class_weights_from_frequencies(np.array([0.5, -0.1]))
+
+    def test_wrong_ndim_raises(self):
+        with pytest.raises(ValueError, match="1-D"):
+            class_weights_from_frequencies(np.ones((2, 2)))

@@ -1,0 +1,149 @@
+"""Tests for optimisers and learning-rate schedules."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.module import Parameter
+from repro.nn.optim import SGD, Adam, CosineLR, StepLR
+
+
+def _param(value):
+    p = Parameter(np.array(value, dtype=np.float64))
+    return p
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = _param([1.0])
+        p.grad[:] = 0.5
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95])
+
+    def test_momentum_accumulates(self):
+        p = _param([0.0])
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad[:] = 1.0
+        opt.step()  # v=1, x=-1
+        p.grad[:] = 1.0
+        opt.step()  # v=1.9, x=-2.9
+        np.testing.assert_allclose(p.data, [-2.9])
+
+    def test_weight_decay_shrinks(self):
+        p = _param([10.0])
+        opt = SGD([p], lr=0.1, weight_decay=0.1)
+        p.grad[:] = 0.0
+        opt.step()
+        assert p.data[0] < 10.0
+
+    def test_nesterov_requires_momentum(self):
+        with pytest.raises(ValueError, match="nesterov"):
+            SGD([_param([1.0])], lr=0.1, nesterov=True)
+
+    def test_converges_on_quadratic(self):
+        p = _param([5.0])
+        opt = SGD([p], lr=0.1, momentum=0.5)
+        for _ in range(200):
+            p.grad[:] = 2 * p.data  # d/dx x^2
+            opt.step()
+        assert abs(p.data[0]) < 1e-4
+
+    def test_zero_grad(self):
+        p = _param([1.0])
+        p.grad[:] = 3.0
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        np.testing.assert_array_equal(p.grad, 0.0)
+
+    def test_empty_params_raises(self):
+        with pytest.raises(ValueError, match="no parameters"):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr_raises(self):
+        with pytest.raises(ValueError, match="learning rate"):
+            SGD([_param([1.0])], lr=0.0)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        """With bias correction, |first step| ~= lr regardless of grad."""
+        p = _param([0.0])
+        opt = Adam([p], lr=0.01)
+        p.grad[:] = 123.0
+        opt.step()
+        assert abs(p.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_converges_on_quadratic(self):
+        p = _param([3.0])
+        opt = Adam([p], lr=0.1)
+        for _ in range(500):
+            p.grad[:] = 2 * p.data
+            opt.step()
+        assert abs(p.data[0]) < 1e-3
+
+    def test_decoupled_weight_decay(self):
+        p = _param([10.0])
+        opt = Adam([p], lr=0.1, weight_decay=0.01)
+        p.grad[:] = 0.0
+        opt.step()
+        # Decay applies even with zero gradient.
+        assert p.data[0] < 10.0
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError, match="betas"):
+            Adam([_param([1.0])], betas=(1.0, 0.999))
+
+    def test_trains_small_network(self, rng):
+        """One real sanity check: Adam reduces loss on a tiny net."""
+        model = nn.Sequential(nn.Conv2d(2, 8, 3, padding=1, rng=0),
+                              nn.ReLU(), nn.Conv2d(8, 2, 1, rng=1))
+        opt = Adam(model.parameters(), lr=1e-2)
+        x = rng.normal(size=(4, 2, 8, 8)).astype(np.float32)
+        y = rng.integers(0, 2, size=(4, 8, 8))
+        first = None
+        for _ in range(30):
+            logits = model(x)
+            loss, grad = nn.softmax_cross_entropy(logits, y)
+            if first is None:
+                first = loss
+            model.zero_grad()
+            model.backward(grad)
+            opt.step()
+        assert loss < first * 0.8
+
+
+class TestSchedulers:
+    def test_step_lr(self):
+        p = _param([1.0])
+        opt = SGD([p], lr=1.0)
+        sched = StepLR(opt, step_size=2, gamma=0.1)
+        lrs = [sched.step() for _ in range(4)]
+        np.testing.assert_allclose(lrs, [1.0, 0.1, 0.1, 0.01])
+
+    def test_cosine_endpoints(self):
+        p = _param([1.0])
+        opt = SGD([p], lr=1.0)
+        sched = CosineLR(opt, total_steps=10, min_lr=0.0)
+        for _ in range(10):
+            last = sched.step()
+        assert last == pytest.approx(0.0, abs=1e-9)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = SGD([_param([1.0])], lr=1.0)
+        sched = CosineLR(opt, total_steps=20)
+        lrs = [sched.step() for _ in range(20)]
+        assert all(a >= b for a, b in zip(lrs, lrs[1:]))
+
+    def test_cosine_clamps_past_horizon(self):
+        opt = SGD([_param([1.0])], lr=1.0)
+        sched = CosineLR(opt, total_steps=5, min_lr=0.2)
+        for _ in range(10):
+            last = sched.step()
+        assert last == pytest.approx(0.2)
+
+    def test_invalid_args(self):
+        opt = SGD([_param([1.0])], lr=1.0)
+        with pytest.raises(ValueError):
+            StepLR(opt, step_size=0)
+        with pytest.raises(ValueError):
+            CosineLR(opt, total_steps=0)

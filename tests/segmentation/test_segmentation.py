@@ -1,0 +1,242 @@
+"""Tests for MSDnet, training, metrics and Bayesian inference."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.generator import DatasetConfig, generate_dataset
+from repro.segmentation import (
+    BayesianSegmenter,
+    MSDNet,
+    MSDNetConfig,
+    TrainConfig,
+    build_msdnet,
+    confusion_matrix,
+    evaluate_model,
+    evaluate_predictions,
+    iou_per_class,
+    mean_iou,
+    pixel_accuracy,
+    train_model,
+)
+from repro.nn.layers import Dropout, mc_dropout_enabled
+
+
+class TestMSDNetArchitecture:
+    def test_output_shape(self, rng):
+        model = build_msdnet(base_channels=8, num_blocks=1, seed=0)
+        x = rng.normal(size=(2, 3, 16, 24)).astype(np.float32)
+        y = model(x)
+        assert y.shape == (2, 8, 16, 24)
+
+    def test_channels_must_divide_branches(self):
+        with pytest.raises(ValueError, match="divisible"):
+            MSDNetConfig(base_channels=10, dilations=(1, 2, 4))
+
+    def test_indivisible_input_rejected(self, rng):
+        model = build_msdnet(base_channels=8, num_blocks=1, seed=0)
+        with pytest.raises(ValueError, match="divisible"):
+            model(rng.normal(size=(1, 3, 15, 16)).astype(np.float32))
+
+    def test_non_nchw_rejected(self, rng):
+        model = build_msdnet(base_channels=8, num_blocks=1, seed=0)
+        with pytest.raises(ValueError, match="NCHW"):
+            model(rng.normal(size=(3, 16, 16)))
+
+    def test_output_stride_property(self):
+        assert MSDNetConfig(downsample_stages=2).output_stride == 4
+        assert MSDNetConfig(downsample_stages=0).output_stride == 1
+
+    def test_contains_dropout_layers(self):
+        model = build_msdnet(seed=0)
+        assert any(isinstance(m, Dropout) for m in model.modules())
+
+    def test_predict_labels(self, rng):
+        model = build_msdnet(base_channels=8, num_blocks=1, seed=0)
+        image = rng.random((3, 16, 16)).astype(np.float32)
+        labels = model.predict_labels(image)
+        assert labels.shape == (16, 16)
+        assert labels.min() >= 0 and labels.max() < 8
+
+    def test_probabilities_sum_to_one(self, rng):
+        model = build_msdnet(base_channels=8, num_blocks=1, seed=0)
+        model.eval()
+        image = rng.random((3, 16, 16)).astype(np.float32)
+        probs = model.predict_probabilities(image)
+        np.testing.assert_allclose(probs.sum(axis=0), 1.0, atol=1e-5)
+
+    def test_eval_deterministic(self, rng):
+        model = build_msdnet(base_channels=8, num_blocks=1, seed=0)
+        model.eval()
+        x = rng.random((1, 3, 16, 16)).astype(np.float32)
+        np.testing.assert_array_equal(model(x), model(x))
+
+
+class TestTraining:
+    @pytest.fixture(scope="class")
+    def small_data(self):
+        return generate_dataset(DatasetConfig(
+            num_scenes=2, windows_per_scene=4, image_shape=(32, 48),
+            seed=3))
+
+    def test_loss_decreases(self, small_data):
+        model = build_msdnet(base_channels=8, num_blocks=1, seed=1)
+        history = train_model(model, small_data,
+                              TrainConfig(epochs=6, batch_size=4,
+                                          seed=0))
+        assert history.final_loss < history.epoch_losses[0]
+
+    def test_history_bookkeeping(self, small_data):
+        model = build_msdnet(base_channels=8, num_blocks=1, seed=1)
+        history = train_model(model, small_data,
+                              TrainConfig(epochs=2, batch_size=4,
+                                          seed=0))
+        assert len(history.epoch_losses) == 2
+        assert history.steps == 2 * 2  # 8 samples / batch 4 / epoch
+        assert history.wall_time_s > 0
+
+    def test_model_left_in_eval_mode(self, small_data):
+        model = build_msdnet(base_channels=8, num_blocks=1, seed=1)
+        train_model(model, small_data, TrainConfig(epochs=1, seed=0))
+        assert not model.training
+
+    def test_empty_samples_raise(self):
+        model = build_msdnet(seed=0)
+        with pytest.raises(ValueError, match="no training samples"):
+            train_model(model, [])
+
+    def test_evaluate_model(self, small_data):
+        model = build_msdnet(base_channels=8, num_blocks=1, seed=1)
+        train_model(model, small_data, TrainConfig(epochs=2, seed=0))
+        report = evaluate_model(model, small_data)
+        assert 0.0 <= report.accuracy <= 1.0
+        assert report.num_pixels == len(small_data) * 32 * 48
+
+
+class TestMetrics:
+    def test_confusion_matrix_exact(self):
+        pred = np.array([0, 0, 1, 1])
+        target = np.array([0, 1, 1, 1])
+        cm = confusion_matrix(pred, target, 2)
+        np.testing.assert_array_equal(cm, [[1, 0], [1, 2]])
+
+    def test_perfect_prediction(self):
+        labels = np.arange(4)
+        cm = confusion_matrix(labels, labels, 4)
+        assert pixel_accuracy(cm) == 1.0
+        assert mean_iou(cm) == 1.0
+
+    def test_iou_absent_class_nan(self):
+        pred = np.array([0, 0])
+        target = np.array([0, 0])
+        iou = iou_per_class(confusion_matrix(pred, target, 3))
+        assert iou[0] == 1.0
+        assert np.isnan(iou[1]) and np.isnan(iou[2])
+
+    def test_mean_iou_skips_nan(self):
+        pred = np.array([0, 1])
+        target = np.array([0, 1])
+        assert mean_iou(confusion_matrix(pred, target, 5)) == 1.0
+
+    def test_known_iou_value(self):
+        # class 0: inter 2, union 3 -> 2/3.
+        pred = np.array([0, 0, 0, 1])
+        target = np.array([0, 0, 1, 0])
+        iou = iou_per_class(confusion_matrix(pred, target, 2))
+        assert iou[0] == pytest.approx(2 / 4)  # inter 2, union 4
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            confusion_matrix(np.zeros(3), np.zeros(4), 2)
+
+    def test_evaluate_predictions_accumulates(self):
+        pairs = [(np.array([0]), np.array([0])),
+                 (np.array([1]), np.array([0]))]
+        report = evaluate_predictions(pairs, 2)
+        assert report.num_pixels == 2
+        assert report.accuracy == 0.5
+
+
+class TestBayesianSegmenter:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return build_msdnet(base_channels=8, num_blocks=1, dropout=0.5,
+                            seed=2)
+
+    @pytest.fixture(scope="class")
+    def image(self):
+        rng = np.random.default_rng(0)
+        return rng.random((3, 16, 16)).astype(np.float32)
+
+    def test_distribution_shapes(self, model, image):
+        segmenter = BayesianSegmenter(model, num_samples=5, rng=0)
+        dist = segmenter.predict_distribution(image)
+        assert dist.mean.shape == (8, 16, 16)
+        assert dist.std.shape == (8, 16, 16)
+        assert dist.num_samples == 5
+
+    def test_mean_is_probability(self, model, image):
+        segmenter = BayesianSegmenter(model, num_samples=5, rng=0)
+        dist = segmenter.predict_distribution(image)
+        np.testing.assert_allclose(dist.mean.sum(axis=0), 1.0, atol=1e-5)
+        assert (dist.std >= 0).all()
+
+    def test_dropout_produces_variance(self, model, image):
+        segmenter = BayesianSegmenter(model, num_samples=8, rng=0)
+        dist = segmenter.predict_distribution(image)
+        assert dist.std.max() > 0.0
+
+    def test_deterministic_pass_has_no_variance(self, model, image):
+        segmenter = BayesianSegmenter(model, num_samples=1, rng=0)
+        a = segmenter.predict_deterministic(image)
+        b = segmenter.predict_deterministic(image)
+        np.testing.assert_array_equal(a, b)
+
+    def test_mc_mode_restored_after_inference(self, model, image):
+        segmenter = BayesianSegmenter(model, num_samples=3, rng=0)
+        segmenter.predict_distribution(image)
+        assert not mc_dropout_enabled(model)
+
+    def test_reproducible_with_seed(self, model, image):
+        a = BayesianSegmenter(model, num_samples=4,
+                              rng=7).predict_distribution(image)
+        b = BayesianSegmenter(model, num_samples=4,
+                              rng=7).predict_distribution(image)
+        np.testing.assert_allclose(a.mean, b.mean)
+        np.testing.assert_allclose(a.std, b.std)
+
+    def test_upper_confidence(self, model, image):
+        segmenter = BayesianSegmenter(model, num_samples=4, rng=0)
+        dist = segmenter.predict_distribution(image)
+        np.testing.assert_allclose(dist.upper_confidence(0.0), dist.mean)
+        assert (dist.upper_confidence(3.0) >= dist.mean).all()
+
+    def test_samples_stack(self, model, image):
+        segmenter = BayesianSegmenter(model, num_samples=3, rng=0)
+        stack = segmenter.predict_samples(image)
+        assert stack.shape == (3, 8, 16, 16)
+        # Stochastic passes differ.
+        assert not np.allclose(stack[0], stack[1])
+
+    def test_more_samples_stabilise_mean(self, model, image):
+        """Convergence: means of independent many-sample runs agree
+        better than means of few-sample runs (averaged over pairs to
+        keep the check statistically stable)."""
+        def mean_gap(t, seed_a, seed_b):
+            a = BayesianSegmenter(model, num_samples=t,
+                                  rng=seed_a).predict_distribution(image)
+            b = BayesianSegmenter(model, num_samples=t,
+                                  rng=seed_b).predict_distribution(image)
+            return np.abs(a.mean - b.mean).mean()
+
+        pairs = [(1, 2), (3, 4), (5, 6)]
+        gap_many = np.mean([mean_gap(24, a, b) for a, b in pairs])
+        gap_few = np.mean([mean_gap(2, a + 10, b + 10)
+                           for a, b in pairs])
+        assert gap_many < gap_few
+
+    def test_invalid_num_samples(self, model, image):
+        with pytest.raises(ValueError):
+            BayesianSegmenter(model, num_samples=0)
+        segmenter = BayesianSegmenter(model, num_samples=2, rng=0)
+        with pytest.raises(ValueError):
+            segmenter.predict_distribution(image, num_samples=0)

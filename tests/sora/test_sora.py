@@ -1,0 +1,334 @@
+"""Tests for the SORA framework — including every paper number."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sora import (
+    ARC,
+    GRC_TABLE,
+    OSO_TABLE,
+    OUTCOME_TABLE,
+    SAIL,
+    SEVERITY_DESCRIPTIONS,
+    AirspaceEnvironment,
+    CertifiedCategoryError,
+    GroundRiskOutcome,
+    Mitigation,
+    MitigationType,
+    OperationalScenario,
+    OsoLevel,
+    OutOfSoraScopeError,
+    RobustnessLevel,
+    Severity,
+    UasDimensionClass,
+    apply_mitigations,
+    apply_strategic_arc_mitigation,
+    assess_medi_delivery,
+    classify_touchdown,
+    determine_sail,
+    dimension_class,
+    el_mitigation,
+    grc_floor,
+    initial_arc,
+    intrinsic_grc,
+    oso_level_counts,
+    oso_requirements,
+)
+from repro.dataset.classes import UavidClass
+
+
+class TestTablesIAndII:
+    def test_severity_scale_five_levels(self):
+        assert [int(s) for s in Severity] == [1, 2, 3, 4, 5]
+        assert len(SEVERITY_DESCRIPTIONS) == 5
+
+    def test_outcome_table_matches_paper(self):
+        expected = {
+            "R1": Severity.CATASTROPHIC,
+            "R2": Severity.MAJOR,
+            "R3": Severity.SERIOUS,
+            "R4": Severity.SERIOUS,
+            "R5": Severity.MINOR,
+        }
+        actual = {spec.outcome.value: spec.severity
+                  for spec in OUTCOME_TABLE}
+        assert actual == expected
+
+
+class TestClassifyTouchdown:
+    def _labels(self, *classes):
+        return np.array([[int(c) for c in classes]])
+
+    def test_road_is_catastrophic_even_with_parachute(self):
+        a = classify_touchdown(self._labels(UavidClass.ROAD),
+                               parachute_deployed=True,
+                               impact_energy_j=100.0)
+        assert a.outcome is GroundRiskOutcome.R1_GROUND_VEHICLE_ACCIDENT
+        assert a.severity is Severity.CATASTROPHIC
+        assert a.fatal
+
+    def test_moving_car_is_r1(self):
+        a = classify_touchdown(self._labels(UavidClass.MOVING_CAR),
+                               True, 100.0)
+        assert a.outcome is GroundRiskOutcome.R1_GROUND_VEHICLE_ACCIDENT
+
+    def test_human_severity_mitigated_by_parachute(self):
+        """The paper's M2 argument: severity 4 -> 2 with parachute."""
+        hard = classify_touchdown(self._labels(UavidClass.HUMAN),
+                                  False, 8000.0)
+        soft = classify_touchdown(self._labels(UavidClass.HUMAN),
+                                  True, 126.0)
+        assert hard.severity is Severity.MAJOR
+        assert soft.severity is Severity.MINOR
+        assert soft.mitigated_by_parachute
+
+    def test_building_is_r4(self):
+        a = classify_touchdown(self._labels(UavidClass.BUILDING),
+                               True, 100.0)
+        assert a.outcome is GroundRiskOutcome.R4_INFRASTRUCTURE_COLLISION
+        assert a.severity is Severity.SERIOUS
+
+    def test_static_car_is_r5(self):
+        a = classify_touchdown(self._labels(UavidClass.STATIC_CAR),
+                               True, 100.0)
+        assert a.outcome is GroundRiskOutcome.R5_PARKED_VEHICLE_CRASH
+        assert a.severity is Severity.MINOR
+
+    def test_high_energy_vegetation_fire(self):
+        a = classify_touchdown(self._labels(UavidClass.TREE),
+                               False, 8000.0)
+        assert a.outcome is GroundRiskOutcome.R3_POST_CRASH_FIRE
+
+    def test_parachuted_grass_landing_negligible(self):
+        a = classify_touchdown(self._labels(UavidClass.LOW_VEGETATION),
+                               True, 126.0)
+        assert a.outcome is None
+        assert a.severity is Severity.NEGLIGIBLE
+
+    def test_worst_class_dominates(self):
+        labels = self._labels(UavidClass.LOW_VEGETATION,
+                              UavidClass.HUMAN, UavidClass.ROAD)
+        a = classify_touchdown(labels, True, 100.0)
+        assert a.outcome is GroundRiskOutcome.R1_GROUND_VEHICLE_ACCIDENT
+
+
+class TestGrc:
+    def test_paper_dimension_class(self):
+        """1 m span but 8.23 kJ -> 3 m column."""
+        assert dimension_class(1.0, 8230.0) is UasDimensionClass.D3M
+
+    def test_small_light_uav_first_column(self):
+        assert dimension_class(0.8, 500.0) is UasDimensionClass.D1M
+
+    def test_energy_alone_can_push_columns(self):
+        assert dimension_class(1.0, 50_000.0) is UasDimensionClass.D8M
+
+    def test_huge_uav_last_column(self):
+        assert dimension_class(12.0, 2e6) is UasDimensionClass.D8M_PLUS
+
+    def test_paper_intrinsic_grc(self):
+        """BVLOS populated, 3 m column -> GRC 6 (Sec. III-D)."""
+        assert intrinsic_grc(OperationalScenario.BVLOS_POPULATED,
+                             UasDimensionClass.D3M) == 6
+
+    def test_controlled_area_row(self):
+        assert intrinsic_grc(OperationalScenario.VLOS_CONTROLLED,
+                             UasDimensionClass.D1M) == 1
+
+    def test_assembly_large_uas_out_of_scope(self):
+        with pytest.raises(OutOfSoraScopeError):
+            intrinsic_grc(OperationalScenario.VLOS_ASSEMBLY,
+                          UasDimensionClass.D3M)
+
+    def test_table_monotone_in_dimension(self):
+        for scenario, row in GRC_TABLE.items():
+            values = [v for v in row if v is not None]
+            assert values == sorted(values)
+
+    @given(st.floats(0.1, 20.0), st.floats(1.0, 2e6))
+    @settings(max_examples=50, deadline=None)
+    def test_dimension_class_total(self, span, energy):
+        assert dimension_class(span, energy) in list(UasDimensionClass)
+
+
+class TestArc:
+    def test_paper_case_is_arc_c(self):
+        env = AirspaceEnvironment(max_height_ft=400.0, over_urban=True)
+        assert initial_arc(env) is ARC.C
+
+    def test_rural_low_is_arc_b(self):
+        env = AirspaceEnvironment(max_height_ft=400.0, over_urban=False)
+        assert initial_arc(env) is ARC.B
+
+    def test_atypical_is_arc_a(self):
+        env = AirspaceEnvironment(atypical_segregated=True)
+        assert initial_arc(env) is ARC.A
+
+    def test_controlled_airspace_is_arc_d(self):
+        env = AirspaceEnvironment(controlled_airspace=True)
+        assert initial_arc(env) is ARC.D
+
+    def test_above_500ft_is_arc_d(self):
+        env = AirspaceEnvironment(max_height_ft=600.0)
+        assert initial_arc(env) is ARC.D
+
+    def test_strategic_mitigation_floor(self):
+        assert apply_strategic_arc_mitigation(ARC.D, 5) is ARC.B
+        assert apply_strategic_arc_mitigation(ARC.C, 0) is ARC.C
+
+    def test_str_format(self):
+        assert str(ARC.C) == "ARC-c"
+
+
+class TestMitigations:
+    def test_m1_schedule(self):
+        for level, adj in ((RobustnessLevel.LOW, -1),
+                           (RobustnessLevel.MEDIUM, -2),
+                           (RobustnessLevel.HIGH, -4)):
+            assert Mitigation(MitigationType.M1_STRATEGIC,
+                              level).grc_adjustment() == adj
+
+    def test_m3_missing_penalty(self):
+        """No ERP at all costs +1 GRC (paper: '7 if no M3')."""
+        final = apply_mitigations(6, [], UasDimensionClass.D3M)
+        assert final == 7
+
+    def test_m3_medium_neutral(self):
+        m3 = Mitigation(MitigationType.M3_ERP, RobustnessLevel.MEDIUM)
+        assert apply_mitigations(6, [m3], UasDimensionClass.D3M) == 6
+
+    def test_m2_parachute_credit(self):
+        m3 = Mitigation(MitigationType.M3_ERP, RobustnessLevel.MEDIUM)
+        m2 = Mitigation(MitigationType.M2_IMPACT_REDUCTION,
+                        RobustnessLevel.HIGH)
+        assert apply_mitigations(6, [m3, m2],
+                                 UasDimensionClass.D3M) == 4
+
+    def test_floor_is_controlled_area_grc(self):
+        assert grc_floor(UasDimensionClass.D3M) == 2
+        m1 = Mitigation(MitigationType.M1_STRATEGIC,
+                        RobustnessLevel.HIGH)
+        m3 = Mitigation(MitigationType.M3_ERP, RobustnessLevel.HIGH)
+        # 6 - 4 - 1 = 1, floored at 2.
+        assert apply_mitigations(6, [m1, m3],
+                                 UasDimensionClass.D3M) == 2
+
+    def test_duplicate_claims_rejected(self):
+        m = Mitigation(MitigationType.M1_STRATEGIC, RobustnessLevel.LOW)
+        with pytest.raises(ValueError, match="duplicate"):
+            apply_mitigations(6, [m, m], UasDimensionClass.D3M)
+
+    def test_el_robustness_is_min(self):
+        el = el_mitigation(RobustnessLevel.HIGH, RobustnessLevel.LOW)
+        assert el.robustness is RobustnessLevel.LOW
+        assert el.type is MitigationType.EL_ACTIVE_M1
+
+    def test_el_follows_m1_schedule(self):
+        el = el_mitigation(RobustnessLevel.MEDIUM,
+                           RobustnessLevel.MEDIUM)
+        assert el.grc_adjustment() == -2
+
+
+class TestSail:
+    @pytest.mark.parametrize("grc,arc,expected", [
+        (6, ARC.C, SAIL.V),    # the paper's case
+        (7, ARC.C, SAIL.VI),   # without M3
+        (4, ARC.C, SAIL.IV),   # with EL medium
+        (2, ARC.C, SAIL.IV),   # air risk pins SAIL at IV
+        (1, ARC.A, SAIL.I),
+        (3, ARC.B, SAIL.II),
+        (5, ARC.D, SAIL.VI),
+    ])
+    def test_matrix(self, grc, arc, expected):
+        assert determine_sail(grc, arc) is expected
+
+    def test_grc_above_seven_certified(self):
+        with pytest.raises(CertifiedCategoryError):
+            determine_sail(8, ARC.A)
+
+    def test_invalid_grc(self):
+        with pytest.raises(ValueError):
+            determine_sail(0, ARC.A)
+
+    def test_sail_monotone_in_grc(self):
+        for arc in ARC:
+            sails = [int(determine_sail(g, arc)) for g in range(1, 8)]
+            assert sails == sorted(sails)
+
+
+class TestOso:
+    def test_twenty_four_osos(self):
+        assert len(OSO_TABLE) == 24
+        assert [o.number for o in OSO_TABLE] == list(range(1, 25))
+
+    def test_levels_monotone_in_sail(self):
+        """Higher SAIL never relaxes an OSO."""
+        for oso in OSO_TABLE:
+            values = [int(level) for level in oso.levels]
+            assert values == sorted(values)
+
+    def test_sail_v_profile_matches_paper_claim(self):
+        """Sec. III-D: all OSOs requested, most at high robustness."""
+        counts = oso_level_counts(SAIL.V)
+        assert counts[OsoLevel.OPTIONAL] == 0
+        assert counts[OsoLevel.HIGH] > 12
+
+    def test_sail_vi_all_high_or_medium(self):
+        counts = oso_level_counts(SAIL.VI)
+        assert counts[OsoLevel.OPTIONAL] == 0
+        assert counts[OsoLevel.LOW] == 0
+
+    def test_sail_i_mostly_light(self):
+        counts = oso_level_counts(SAIL.I)
+        assert counts[OsoLevel.HIGH] == 0
+
+    def test_requirements_lookup(self):
+        reqs = oso_requirements(SAIL.IV)
+        assert len(reqs) == 24
+        assert all(isinstance(level, OsoLevel)
+                   for level in reqs.values())
+
+
+class TestAssessment:
+    """Section III-D end to end — the paper's certification numbers."""
+
+    def test_baseline_assessment(self):
+        a = assess_medi_delivery(with_m3=True)
+        assert a.ballistic_speed_ms == pytest.approx(48.5, abs=0.05)
+        assert a.ballistic_energy_j == pytest.approx(8240, rel=1e-3)
+        assert a.dimension is UasDimensionClass.D3M
+        assert a.intrinsic_grc == 6
+        assert a.final_grc == 6
+        assert a.residual_arc is ARC.C
+        assert a.sail is SAIL.V
+
+    def test_without_erp(self):
+        a = assess_medi_delivery(with_m3=False)
+        assert a.final_grc == 7
+        assert a.sail is SAIL.VI
+
+    def test_el_medium_lowers_to_sail_iv(self):
+        a = assess_medi_delivery(with_m3=True,
+                                 el_integrity=RobustnessLevel.MEDIUM,
+                                 el_assurance=RobustnessLevel.MEDIUM)
+        assert a.final_grc == 4
+        assert a.sail is SAIL.IV
+
+    def test_el_high_floors_at_controlled_grc(self):
+        a = assess_medi_delivery(with_m3=True,
+                                 el_integrity=RobustnessLevel.HIGH,
+                                 el_assurance=RobustnessLevel.HIGH)
+        assert a.final_grc == 2
+        assert a.sail is SAIL.IV  # ARC-c pins the SAIL
+
+    def test_el_requires_both_levels(self):
+        with pytest.raises(ValueError, match="both"):
+            assess_medi_delivery(el_integrity=RobustnessLevel.LOW)
+
+    def test_summary_lines_render(self):
+        lines = assess_medi_delivery().summary_lines()
+        text = "\n".join(lines)
+        assert "48.5" in text
+        assert "SAIL V" in text

@@ -1,0 +1,206 @@
+"""Tests for the shared utilities (rng, geometry, imageops, selection)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import (
+    Box,
+    clamp,
+    disk_mask,
+    distance,
+    ensure_rng,
+    footprint_box,
+    resize_labels,
+    resize_nearest,
+    smooth_noise,
+    spawn,
+    to_chw,
+    to_hwc,
+    write_pgm,
+    write_ppm,
+)
+from repro.utils.rng import derive_seed
+from repro.utils.selection import greedy_peak_boxes
+
+
+class TestRng:
+    def test_ensure_rng_from_int_deterministic(self):
+        a = ensure_rng(42).integers(0, 1000, 10)
+        b = ensure_rng(42).integers(0, 1000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_ensure_rng_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_ensure_rng_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+    def test_spawn_children_independent(self):
+        children = spawn(ensure_rng(0), 3)
+        draws = [c.integers(0, 10**9) for c in children]
+        assert len(set(draws)) == 3
+
+    def test_spawn_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn(ensure_rng(0), -1)
+
+    def test_derive_seed_stable_and_distinct(self):
+        assert derive_seed(1, 2, 3) == derive_seed(1, 2, 3)
+        assert derive_seed(1, 2, 3) != derive_seed(1, 3, 2)
+        assert 0 <= derive_seed(1, 2, 3) < 2**63 - 1
+
+
+class TestGeometry:
+    def test_clamp(self):
+        assert clamp(5, 0, 3) == 3
+        assert clamp(-1, 0, 3) == 0
+        with pytest.raises(ValueError):
+            clamp(1, 3, 0)
+
+    def test_distance(self):
+        assert distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_box_center_roundtrip(self):
+        box = Box.from_center(10, 20, 6, 8)
+        assert box.center == (10.0, 20.0)
+
+    def test_box_contains(self):
+        box = Box(2, 3, 4, 5)
+        assert box.contains(2, 3)
+        assert not box.contains(6, 3)  # half-open
+
+    def test_box_intersection_and_iou(self):
+        a = Box(0, 0, 4, 4)
+        b = Box(2, 2, 4, 4)
+        inter = a.intersect(b)
+        assert inter.area == 4
+        assert a.iou(b) == pytest.approx(4 / 28)
+
+    def test_disjoint_iou_zero(self):
+        assert Box(0, 0, 2, 2).iou(Box(10, 10, 2, 2)) == 0.0
+
+    def test_clip_to(self):
+        box = Box(-2, -3, 10, 10).clip_to(5, 6)
+        assert (box.row, box.col, box.height, box.width) == (0, 0, 5, 6)
+
+    def test_expand(self):
+        box = Box(5, 5, 2, 2).expand(1)
+        assert (box.row, box.col, box.height, box.width) == (4, 4, 4, 4)
+
+    def test_extract_matches_slices(self, rng):
+        arr = rng.normal(size=(3, 10, 12))
+        box = Box(2, 3, 4, 5)
+        np.testing.assert_array_equal(box.extract(arr),
+                                      arr[:, 2:6, 3:8])
+
+    def test_negative_extent_raises(self):
+        with pytest.raises(ValueError):
+            Box(0, 0, -1, 2)
+
+    def test_disk_mask_area(self):
+        mask = disk_mask((50, 50), (25, 25), 10)
+        assert mask.sum() == pytest.approx(np.pi * 100, rel=0.05)
+
+    def test_footprint_box_clipped(self):
+        box = footprint_box(1, 1, 5, 20, 20)
+        assert box.row == 0 and box.col == 0
+
+    @given(st.integers(0, 20), st.integers(0, 20),
+           st.integers(0, 10), st.integers(0, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_iou_symmetric(self, r, c, h, w):
+        a = Box(r, c, h, w)
+        b = Box(5, 5, 6, 6)
+        assert a.iou(b) == pytest.approx(b.iou(a))
+
+    @given(st.integers(-5, 25), st.integers(-5, 25),
+           st.integers(0, 12), st.integers(0, 12))
+    @settings(max_examples=50, deadline=None)
+    def test_clip_inside_bounds(self, r, c, h, w):
+        box = Box(r, c, h, w).clip_to(20, 20)
+        assert 0 <= box.row <= box.bottom <= 20
+        assert 0 <= box.col <= box.right <= 20
+
+
+class TestImageOps:
+    def test_chw_hwc_roundtrip(self, rng):
+        img = rng.random((3, 4, 5)).astype(np.float32)
+        np.testing.assert_array_equal(to_chw(to_hwc(img)), img)
+
+    def test_resize_nearest_identity(self, rng):
+        img = rng.random((3, 6, 8))
+        np.testing.assert_array_equal(resize_nearest(img, 6, 8), img)
+
+    def test_resize_labels_preserves_classes(self, rng):
+        labels = rng.integers(0, 8, size=(16, 16))
+        out = resize_labels(labels, 7, 9)
+        assert set(np.unique(out)) <= set(np.unique(labels))
+
+    def test_smooth_noise_bounded(self, rng):
+        field = smooth_noise((32, 32), rng, scale=8, amplitude=0.5)
+        assert field.shape == (32, 32)
+        assert np.abs(field).max() <= 0.5 + 1e-9
+
+    def test_write_ppm_pgm(self, tmp_path, rng):
+        img = rng.random((3, 4, 5)).astype(np.float32)
+        ppm = tmp_path / "x.ppm"
+        write_ppm(ppm, img)
+        data = ppm.read_bytes()
+        assert data.startswith(b"P6\n5 4\n255\n")
+        assert len(data) == len(b"P6\n5 4\n255\n") + 4 * 5 * 3
+        pgm = tmp_path / "x.pgm"
+        write_pgm(pgm, img[0])
+        assert pgm.read_bytes().startswith(b"P5\n5 4\n255\n")
+
+    def test_write_ppm_wrong_shape(self, rng):
+        with pytest.raises(ValueError):
+            write_ppm("/tmp/never.ppm", rng.random((4, 4)))
+
+
+class TestGreedyPeakBoxes:
+    def test_picks_global_peak_first(self):
+        score = np.zeros((20, 20))
+        score[10, 10] = 5.0
+        score[4, 4] = 3.0
+        boxes = greedy_peak_boxes(score, 4, 3)
+        assert boxes[0][0].contains(10, 10)
+        assert boxes[0][1] == 5.0
+
+    def test_suppression_prevents_overlap(self):
+        score = np.ones((30, 30))
+        boxes = greedy_peak_boxes(score, 6, 5)
+        for i, (a, _) in enumerate(boxes):
+            for b, _ in boxes[i + 1:]:
+                assert a.iou(b) == 0.0
+
+    def test_border_margin_respected(self):
+        score = np.zeros((20, 20))
+        score[0, 0] = 10.0  # peak at corner must be excluded
+        score[10, 10] = 1.0
+        boxes = greedy_peak_boxes(score, 4, 1, border_margin=2)
+        assert boxes[0][0].contains(10, 10)
+
+    def test_neg_inf_never_selected(self):
+        score = np.full((20, 20), -np.inf)
+        assert greedy_peak_boxes(score, 4, 3) == []
+
+    def test_too_small_map_returns_empty(self):
+        assert greedy_peak_boxes(np.ones((4, 4)), 10, 1) == []
+
+    def test_scores_sorted_descending(self, rng):
+        score = rng.random((40, 40))
+        boxes = greedy_peak_boxes(score, 4, 5)
+        scores = [s for _, s in boxes]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            greedy_peak_boxes(np.ones((10, 10)), 0, 1)
+        with pytest.raises(ValueError):
+            greedy_peak_boxes(np.ones((10, 10)), 2, 0)
+        with pytest.raises(ValueError):
+            greedy_peak_boxes(np.ones(10), 2, 1)

@@ -1,0 +1,108 @@
+"""Tests for the ballistics module — including the paper's exact numbers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uav.ballistics import (
+    DriftModel,
+    ballistic_impact_energy,
+    descent_time,
+    free_fall_speed,
+    kinetic_energy,
+    parachute_drift,
+    parachute_impact_energy,
+)
+
+
+class TestPaperNumbers:
+    """Section III-A: 120 m -> 48.5 m/s; 7 kg -> 8.23 kJ."""
+
+    def test_ballistic_speed_matches_paper(self):
+        assert free_fall_speed(120.0) == pytest.approx(48.5, abs=0.05)
+
+    def test_kinetic_energy_from_rounded_speed(self):
+        # The paper computes 8.23 kJ from the rounded 48.5 m/s.
+        assert kinetic_energy(7.0, 48.5) == pytest.approx(8233, rel=1e-3)
+
+    def test_full_precision_energy(self):
+        energy = ballistic_impact_energy(7.0, 120.0)
+        assert energy == pytest.approx(8240, rel=1e-3)
+        # Both land within the paper's "8.23 KJ" rounding.
+        assert 8200 < energy < 8300
+
+    def test_energy_in_3m_sora_band(self):
+        """8.23 kJ > 700 J pushes MEDI DELIVERY to the 3 m GRC column."""
+        energy = ballistic_impact_energy(7.0, 120.0)
+        assert 700.0 < energy < 34_000.0
+
+
+class TestBasics:
+    def test_free_fall_zero_height(self):
+        assert free_fall_speed(0.0) == 0.0
+
+    def test_negative_height_raises(self):
+        with pytest.raises(ValueError):
+            free_fall_speed(-1.0)
+
+    def test_kinetic_energy_validation(self):
+        with pytest.raises(ValueError):
+            kinetic_energy(0.0, 10.0)
+        with pytest.raises(ValueError):
+            kinetic_energy(1.0, -1.0)
+
+    def test_descent_time(self):
+        assert descent_time(60.0, 6.0) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            descent_time(10.0, 0.0)
+
+    def test_parachute_drift_linear_in_wind(self):
+        d1 = parachute_drift(40.0, 6.0, 3.0)
+        d2 = parachute_drift(40.0, 6.0, 6.0)
+        assert d2 == pytest.approx(2 * d1)
+
+    def test_parachute_impact_energy_small(self):
+        # 7 kg at 6 m/s: 126 J — versus 8.2 kJ ballistic.
+        energy = parachute_impact_energy(7.0, 6.0)
+        assert energy == pytest.approx(126.0)
+        assert energy < ballistic_impact_energy(7.0, 120.0) / 50
+
+    @given(st.floats(1.0, 200.0))
+    @settings(max_examples=30, deadline=None)
+    def test_speed_monotone_in_height(self, h):
+        assert free_fall_speed(h + 10.0) > free_fall_speed(h)
+
+
+class TestDriftModel:
+    def test_conservative_at_least_nominal(self):
+        model = DriftModel()
+        assert model.required_clearance_m(conservative=True) >= \
+            model.required_clearance_m(conservative=False)
+
+    def test_nominal_drift_formula(self):
+        model = DriftModel(wind_speed_ms=4.0, descent_rate_ms=6.0,
+                           release_height_m=40.0)
+        # 4 m/s x (40/6) s
+        assert model.nominal_drift_m() == pytest.approx(4.0 * 40.0 / 6.0)
+
+    def test_adverse_scales_with_gust(self):
+        model = DriftModel(gust_factor=2.0)
+        assert model.adverse_drift_m() == \
+            pytest.approx(2.0 * model.nominal_drift_m())
+
+    def test_latency_allowance(self):
+        model = DriftModel(latency_s=2.0, approach_speed_ms=5.0)
+        assert model.latency_allowance_m() == pytest.approx(10.0)
+
+    def test_gust_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            DriftModel(gust_factor=0.5)
+
+    @given(st.floats(0.0, 15.0), st.floats(10.0, 100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_clearance_monotone_in_wind_and_height(self, wind, height):
+        a = DriftModel(wind_speed_ms=wind, release_height_m=height)
+        b = DriftModel(wind_speed_ms=wind + 1.0,
+                       release_height_m=height + 5.0)
+        assert b.required_clearance_m() >= a.required_clearance_m()

@@ -1,0 +1,186 @@
+"""Tests for the Fig. 1 safety switch: the four rules and the state machine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uav.capability import (
+    NOMINAL_CAPABILITIES,
+    CapabilityState,
+    ServiceStatus,
+)
+from repro.uav.failures import FailureType, apply_failure
+from repro.uav.safety_switch import Maneuver, SafetySwitch, select_maneuver
+
+N = NOMINAL_CAPABILITIES
+
+
+class TestFig1Rules:
+    """The paper's four textual rules, one by one."""
+
+    def test_nominal(self):
+        assert select_maneuver(N) is Maneuver.NOMINAL
+
+    def test_temporary_comm_loss_hovers(self):
+        cap = N.degrade(communication=ServiceStatus.TEMPORARILY_LOST)
+        assert select_maneuver(cap) is Maneuver.HOVER
+
+    def test_degraded_navigation_hovers(self):
+        cap = N.degrade(navigation=ServiceStatus.DEGRADED)
+        assert select_maneuver(cap) is Maneuver.HOVER
+
+    def test_permanent_comm_loss_returns_to_base(self):
+        cap = N.degrade(communication=ServiceStatus.LOST)
+        assert select_maneuver(cap) is Maneuver.RETURN_TO_BASE
+
+    def test_degraded_onboard_with_navigability_returns(self):
+        cap = N.degrade(flight_control=ServiceStatus.DEGRADED)
+        assert select_maneuver(cap) is Maneuver.RETURN_TO_BASE
+
+    def test_energy_low_returns(self):
+        cap = N.degrade(energy_ok=False)
+        assert select_maneuver(cap) is Maneuver.RETURN_TO_BASE
+
+    def test_navigation_loss_triggers_el(self):
+        """The paper's canonical EL case: localisation + comm lost,
+        trajectory control intact."""
+        cap = N.degrade(navigation=ServiceStatus.LOST,
+                        communication=ServiceStatus.LOST)
+        assert select_maneuver(cap) is Maneuver.EMERGENCY_LANDING
+
+    def test_navigation_loss_alone_triggers_el(self):
+        cap = N.degrade(navigation=ServiceStatus.LOST)
+        assert select_maneuver(cap) is Maneuver.EMERGENCY_LANDING
+
+    def test_el_impossible_escalates_to_ft(self):
+        """Fourth rule: no safe EL possible -> flight termination."""
+        cap = N.degrade(navigation=ServiceStatus.LOST,
+                        camera=ServiceStatus.LOST)
+        assert select_maneuver(cap) is Maneuver.FLIGHT_TERMINATION
+
+    def test_el_without_energy_escalates_to_ft(self):
+        cap = N.degrade(navigation=ServiceStatus.LOST, energy_ok=False)
+        assert select_maneuver(cap) is Maneuver.FLIGHT_TERMINATION
+
+    def test_propulsion_loss_is_ft(self):
+        cap = N.degrade(propulsion=ServiceStatus.LOST)
+        assert select_maneuver(cap) is Maneuver.FLIGHT_TERMINATION
+
+    def test_flight_control_loss_is_ft(self):
+        cap = N.degrade(flight_control=ServiceStatus.LOST)
+        assert select_maneuver(cap) is Maneuver.FLIGHT_TERMINATION
+
+
+_STATUSES = st.sampled_from(list(ServiceStatus))
+
+
+class TestRulePriorityProperties:
+    @given(comm=_STATUSES, nav=_STATUSES, fc=_STATUSES, prop=_STATUSES,
+           cam=_STATUSES, energy=st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_ft_whenever_uncontrollable(self, comm, nav, fc, prop, cam,
+                                        energy):
+        cap = CapabilityState(communication=comm, navigation=nav,
+                              flight_control=fc, propulsion=prop,
+                              camera=cam, energy_ok=energy)
+        maneuver = select_maneuver(cap)
+        if not cap.trajectory_controllable():
+            assert maneuver is Maneuver.FLIGHT_TERMINATION
+
+    @given(comm=_STATUSES, nav=_STATUSES, cam=_STATUSES,
+           energy=st.booleans())
+    @settings(max_examples=200, deadline=None)
+    def test_no_nominal_under_any_degradation(self, comm, nav, cam,
+                                              energy):
+        cap = CapabilityState(communication=comm, navigation=nav,
+                              camera=cam, energy_ok=energy)
+        if not cap.nominal() and (comm is not ServiceStatus.OK
+                                  or nav is not ServiceStatus.OK
+                                  or not energy):
+            assert select_maneuver(cap) is not Maneuver.NOMINAL
+
+    @given(nav=_STATUSES)
+    @settings(max_examples=20, deadline=None)
+    def test_el_only_with_working_camera(self, nav):
+        cap = CapabilityState(navigation=nav,
+                              camera=ServiceStatus.LOST)
+        assert select_maneuver(cap) is not Maneuver.EMERGENCY_LANDING
+
+
+class TestFailureMapping:
+    """Failure taxonomy -> maneuver, via capability effects."""
+
+    @pytest.mark.parametrize("failure,expected", [
+        (FailureType.GPS_LOSS, Maneuver.EMERGENCY_LANDING),
+        (FailureType.GPS_DEGRADED, Maneuver.HOVER),
+        (FailureType.COMM_LOSS_TEMPORARY, Maneuver.HOVER),
+        (FailureType.COMM_LOSS_PERMANENT, Maneuver.RETURN_TO_BASE),
+        (FailureType.NAVIGATION_AND_COMM_LOSS,
+         Maneuver.EMERGENCY_LANDING),
+        (FailureType.MOTOR_FAILURE, Maneuver.FLIGHT_TERMINATION),
+        (FailureType.FLIGHT_CONTROL_LOSS, Maneuver.FLIGHT_TERMINATION),
+        (FailureType.BATTERY_CRITICAL, Maneuver.RETURN_TO_BASE),
+        (FailureType.CAMERA_FAILURE, Maneuver.NOMINAL),
+        (FailureType.AVIONICS_DEGRADED, Maneuver.RETURN_TO_BASE),
+    ])
+    def test_single_failure_response(self, failure, expected):
+        cap = apply_failure(N, failure)
+        assert select_maneuver(cap) is expected
+
+    def test_failures_compose(self):
+        cap = apply_failure(N, FailureType.GPS_LOSS)
+        cap = apply_failure(cap, FailureType.CAMERA_FAILURE)
+        # Navigation gone AND camera gone: EL impossible -> FT.
+        assert select_maneuver(cap) is Maneuver.FLIGHT_TERMINATION
+
+
+class TestSafetySwitchStateMachine:
+    def test_hover_timeout_escalates_comm_loss(self):
+        switch = SafetySwitch(hover_timeout_s=10.0)
+        cap = N.degrade(communication=ServiceStatus.TEMPORARILY_LOST)
+        assert switch.update(cap, 0.0) is Maneuver.HOVER
+        assert switch.update(cap, 5.0) is Maneuver.HOVER
+        assert switch.update(cap, 10.0) is Maneuver.RETURN_TO_BASE
+
+    def test_hover_timeout_escalates_degraded_nav_to_el(self):
+        switch = SafetySwitch(hover_timeout_s=10.0)
+        cap = N.degrade(navigation=ServiceStatus.DEGRADED)
+        switch.update(cap, 0.0)
+        assert switch.update(cap, 12.0) is Maneuver.EMERGENCY_LANDING
+
+    def test_recovery_before_timeout_cancels(self):
+        switch = SafetySwitch(hover_timeout_s=10.0)
+        cap = N.degrade(communication=ServiceStatus.TEMPORARILY_LOST)
+        switch.update(cap, 0.0)
+        # Service recovers; hover latches (no de-escalation without
+        # reset) but never escalates.
+        assert switch.update(N, 5.0) is Maneuver.HOVER
+        assert switch.update(N, 50.0) is Maneuver.HOVER
+
+    def test_latching_no_deescalation(self):
+        switch = SafetySwitch()
+        el_cap = N.degrade(navigation=ServiceStatus.LOST)
+        assert switch.update(el_cap, 0.0) is Maneuver.EMERGENCY_LANDING
+        # A later, milder reading does not cancel the emergency.
+        assert switch.update(N, 1.0) is Maneuver.EMERGENCY_LANDING
+
+    def test_reset_clears_latch(self):
+        switch = SafetySwitch()
+        switch.update(N.degrade(navigation=ServiceStatus.LOST), 0.0)
+        switch.reset()
+        assert switch.update(N, 1.0) is Maneuver.NOMINAL
+
+    def test_history_recorded(self):
+        switch = SafetySwitch()
+        switch.update(N, 0.0)
+        switch.update(N.degrade(propulsion=ServiceStatus.LOST), 1.0)
+        assert len(switch.history) == 2
+        assert switch.history[-1].maneuver is \
+            Maneuver.FLIGHT_TERMINATION
+
+    def test_escalation_is_monotone_over_time(self):
+        switch = SafetySwitch(hover_timeout_s=5.0)
+        cap = N.degrade(communication=ServiceStatus.TEMPORARILY_LOST)
+        maneuvers = [switch.update(cap, t) for t in range(0, 20, 2)]
+        values = [int(m) for m in maneuvers]
+        assert values == sorted(values)

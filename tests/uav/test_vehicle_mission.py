@@ -1,0 +1,221 @@
+"""Tests for vehicle kinematics, failure injection and mission simulation."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dataset import UrbanScene
+from repro.sora.hazard import Severity
+from repro.uav import (
+    MEDI_DELIVERY,
+    CampaignStats,
+    FailureEvent,
+    FailureInjector,
+    FailureType,
+    Maneuver,
+    MissionConfig,
+    UavState,
+    VehicleParams,
+    run_campaign,
+    simulate_mission,
+    step_towards,
+)
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return UrbanScene.generate(seed=31)
+
+
+class TestVehicleParams:
+    def test_medi_delivery_matches_paper(self):
+        assert MEDI_DELIVERY.span_m == 1.0
+        assert MEDI_DELIVERY.mtow_kg == 7.0
+        assert MEDI_DELIVERY.cruise_height_m == 120.0
+        assert MEDI_DELIVERY.ballistic_speed_ms() == \
+            pytest.approx(48.5, abs=0.05)
+        assert MEDI_DELIVERY.ballistic_energy_j() == \
+            pytest.approx(8240, rel=1e-3)
+
+    def test_endurance(self):
+        v = VehicleParams(battery_capacity_wh=100.0, cruise_power_w=200.0)
+        assert v.endurance_s() == pytest.approx(1800.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VehicleParams(span_m=0.0)
+        with pytest.raises(ValueError):
+            VehicleParams(mtow_kg=-1.0)
+
+
+class TestStepTowards:
+    def _state(self):
+        return UavState(x_m=0.0, y_m=0.0, height_m=100.0,
+                        energy_wh=100.0)
+
+    def test_moves_toward_target(self):
+        s = step_towards(self._state(), (100.0, 0.0), dt_s=1.0,
+                         speed_ms=10.0)
+        assert s.x_m == pytest.approx(10.0)
+        assert s.y_m == pytest.approx(0.0)
+
+    def test_does_not_overshoot(self):
+        s = step_towards(self._state(), (3.0, 0.0), dt_s=1.0,
+                         speed_ms=10.0)
+        assert s.x_m == pytest.approx(3.0)
+
+    def test_full_wind_rejection_ignores_wind(self):
+        s = step_towards(self._state(), (100.0, 0.0), dt_s=1.0,
+                         speed_ms=10.0, wind_xy_ms=(0.0, 5.0),
+                         wind_rejection=1.0)
+        assert s.y_m == pytest.approx(0.0)
+
+    def test_partial_rejection_drifts(self):
+        s = step_towards(self._state(), (100.0, 0.0), dt_s=1.0,
+                         speed_ms=10.0, wind_xy_ms=(0.0, 5.0),
+                         wind_rejection=0.8)
+        assert s.y_m == pytest.approx(1.0)
+
+    def test_energy_drains(self):
+        s = step_towards(self._state(), (100.0, 0.0), dt_s=3600.0,
+                         speed_ms=0.0, power_w=50.0)
+        assert s.energy_wh == pytest.approx(50.0)
+
+    def test_time_advances(self):
+        s = step_towards(self._state(), (10.0, 0.0), dt_s=2.5,
+                         speed_ms=1.0)
+        assert s.time_s == pytest.approx(2.5)
+
+    def test_invalid_rejection(self):
+        with pytest.raises(ValueError):
+            step_towards(self._state(), (1.0, 0.0), 1.0, 1.0,
+                         wind_rejection=1.5)
+
+
+class TestFailureInjector:
+    def test_deterministic(self):
+        a = FailureInjector(rng=3).sample(60.0)
+        b = FailureInjector(rng=3).sample(60.0)
+        assert a == b
+
+    def test_respects_weights(self):
+        injector = FailureInjector({FailureType.GPS_LOSS: 1.0}, rng=0)
+        for _ in range(10):
+            assert injector.sample(60.0).failure is FailureType.GPS_LOSS
+
+    def test_time_in_range(self):
+        injector = FailureInjector(rng=1)
+        for _ in range(20):
+            event = injector.sample(30.0)
+            assert 0.0 <= event.time_s <= 30.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureInjector({})
+        with pytest.raises(ValueError):
+            FailureInjector({FailureType.GPS_LOSS: -1.0})
+        with pytest.raises(ValueError):
+            FailureInjector(rng=0).sample(0.0)
+
+    def test_negative_event_time_rejected(self):
+        with pytest.raises(ValueError):
+            FailureEvent(FailureType.GPS_LOSS, -1.0)
+
+
+class TestMission:
+    def test_uneventful_mission_completes(self, scene):
+        result = simulate_mission(scene, rng=0)
+        assert result.completed
+        assert result.final_maneuver is Maneuver.NOMINAL
+        assert result.severity is Severity.NEGLIGIBLE
+
+    def test_deterministic_given_seed(self, scene):
+        failure = FailureEvent(FailureType.NAVIGATION_AND_COMM_LOSS, 5.0)
+        a = simulate_mission(scene, failure=failure, rng=7)
+        b = simulate_mission(scene, failure=failure, rng=7)
+        assert a.touchdown_xy_m == b.touchdown_xy_m
+        assert a.severity == b.severity
+
+    def test_permanent_comm_loss_returns_to_base(self, scene):
+        failure = FailureEvent(FailureType.COMM_LOSS_PERMANENT, 5.0)
+        result = simulate_mission(scene, failure=failure, rng=0)
+        assert result.completed
+        assert result.final_maneuver is Maneuver.RETURN_TO_BASE
+
+    def test_temporary_comm_loss_hover_then_rtb(self, scene):
+        failure = FailureEvent(FailureType.COMM_LOSS_TEMPORARY, 5.0)
+        result = simulate_mission(scene, failure=failure, rng=0)
+        assert result.completed
+        assert result.final_maneuver is Maneuver.RETURN_TO_BASE
+        assert result.flight_time_s > 20.0  # hover timeout elapsed
+
+    def test_nav_loss_without_el_terminates(self, scene):
+        failure = FailureEvent(FailureType.NAVIGATION_AND_COMM_LOSS, 5.0)
+        result = simulate_mission(scene, failure=failure, el_policy=None,
+                                  rng=0)
+        assert not result.completed
+        assert result.final_maneuver is Maneuver.FLIGHT_TERMINATION
+        assert result.parachute_used
+        assert not result.el_attempted
+
+    def test_nav_loss_with_el_policy_lands(self, scene):
+        failure = FailureEvent(FailureType.NAVIGATION_AND_COMM_LOSS, 5.0)
+        result = simulate_mission(scene, failure=failure,
+                                  el_policy=lambda img: (48.0, 64.0),
+                                  rng=0)
+        assert result.el_attempted
+        assert result.el_zone_found
+        assert result.final_maneuver is Maneuver.EMERGENCY_LANDING
+        assert result.touchdown_xy_m is not None
+
+    def test_el_policy_abort_escalates_to_ft(self, scene):
+        failure = FailureEvent(FailureType.NAVIGATION_AND_COMM_LOSS, 5.0)
+        result = simulate_mission(scene, failure=failure,
+                                  el_policy=lambda img: None, rng=0)
+        assert result.el_attempted
+        assert not result.el_zone_found
+        assert result.final_maneuver is Maneuver.FLIGHT_TERMINATION
+
+    def test_motor_failure_immediate_ft(self, scene):
+        failure = FailureEvent(FailureType.MOTOR_FAILURE, 3.0)
+        result = simulate_mission(scene, failure=failure, rng=0)
+        assert result.final_maneuver is Maneuver.FLIGHT_TERMINATION
+        # Touchdown near the failure point (parachute drift bounded).
+        assert result.touchdown_xy_m is not None
+        x, y = result.touchdown_xy_m
+        assert math.hypot(x - 30.0, y - 30.0) < 250.0
+
+    def test_touchdown_assessed_against_scene(self, scene):
+        failure = FailureEvent(FailureType.MOTOR_FAILURE, 3.0)
+        result = simulate_mission(scene, failure=failure, rng=4)
+        assert result.assessment is not None
+        assert result.severity in list(Severity)
+
+    def test_events_logged(self, scene):
+        failure = FailureEvent(FailureType.NAVIGATION_AND_COMM_LOSS, 5.0)
+        result = simulate_mission(scene, failure=failure, rng=0)
+        assert any("failure" in e for e in result.events)
+
+    def test_route_validation(self):
+        with pytest.raises(ValueError, match="two waypoints"):
+            MissionConfig(route_m=((0.0, 0.0),))
+
+
+class TestCampaign:
+    def test_run_campaign_aggregates(self, scene):
+        scenes = [scene, scene, scene]
+        failures = [FailureEvent(FailureType.MOTOR_FAILURE, 2.0)] * 3
+        stats = run_campaign(scenes, failures, seed=0)
+        assert stats.num_missions == 3
+        assert sum(stats.severity_counts.values()) == 3
+        assert stats.maneuver_counts[Maneuver.FLIGHT_TERMINATION] == 3
+
+    def test_mismatched_lengths_raise(self, scene):
+        with pytest.raises(ValueError, match="one failure"):
+            run_campaign([scene], [], seed=0)
+
+    def test_stats_metrics(self):
+        stats = CampaignStats()
+        assert stats.severe_fraction() == 0.0
+        assert math.isnan(stats.mean_severity())

@@ -1,0 +1,147 @@
+"""Tests for the classic-vision substrate (filters, Canny, features)."""
+
+import numpy as np
+import pytest
+
+from repro.vision import (
+    FEATURE_NAMES,
+    box_filter,
+    canny,
+    gaussian_blur,
+    gradient_magnitude,
+    hysteresis_threshold,
+    non_maximum_suppression,
+    sobel_gradients,
+    tile_features,
+    tile_grid,
+    to_grayscale,
+)
+
+
+class TestFilters:
+    def test_grayscale_weights(self):
+        red = np.zeros((3, 4, 4))
+        red[0] = 1.0
+        assert to_grayscale(red).mean() == pytest.approx(0.299)
+
+    def test_grayscale_shape_check(self, rng):
+        with pytest.raises(ValueError):
+            to_grayscale(rng.random((4, 4)))
+
+    def test_blur_preserves_mean(self, rng):
+        img = rng.random((16, 16))
+        blurred = gaussian_blur(img, 2.0)
+        assert blurred.mean() == pytest.approx(img.mean(), abs=0.02)
+        assert blurred.std() < img.std()
+
+    def test_blur_sigma_zero_identity(self, rng):
+        img = rng.random((8, 8))
+        np.testing.assert_array_equal(gaussian_blur(img, 0.0), img)
+
+    def test_sobel_detects_vertical_edge(self):
+        img = np.zeros((10, 10))
+        img[:, 5:] = 1.0
+        grad_r, grad_c = sobel_gradients(img)
+        assert np.abs(grad_c).max() > np.abs(grad_r).max()
+
+    def test_gradient_magnitude_nonnegative(self, rng):
+        assert (gradient_magnitude(rng.random((8, 8))) >= 0).all()
+
+    def test_box_filter_constant(self):
+        img = np.full((10, 10), 3.0)
+        np.testing.assert_allclose(box_filter(img, 3), 3.0)
+
+    def test_box_filter_invalid_size(self, rng):
+        with pytest.raises(ValueError):
+            box_filter(rng.random((5, 5)), 0)
+
+
+class TestCanny:
+    def test_detects_step_edge(self):
+        img = np.zeros((32, 32))
+        img[:, 16:] = 1.0
+        edges = canny(img)
+        assert edges[:, 14:18].any()
+        # Edge localised: no edges far from the step.
+        assert not edges[:, :8].any()
+        assert not edges[:, 24:].any()
+
+    def test_constant_image_no_edges(self):
+        assert not canny(np.full((16, 16), 0.5)).any()
+
+    def test_edges_are_thin(self):
+        img = np.zeros((32, 32))
+        img[:, 16:] = 1.0
+        edges = canny(img)
+        # Non-max suppression keeps the edge at most ~2 px wide.
+        assert edges.sum(axis=1).max() <= 3
+
+    def test_threshold_ordering_enforced(self, rng):
+        with pytest.raises(ValueError):
+            canny(rng.random((8, 8)), low_threshold=0.5,
+                  high_threshold=0.1)
+
+    def test_higher_threshold_fewer_edges(self, rng):
+        img = rng.random((32, 32))
+        low = canny(img, low_threshold=0.02, high_threshold=0.05)
+        high = canny(img, low_threshold=0.3, high_threshold=0.6)
+        assert high.sum() <= low.sum()
+
+    def test_nms_keeps_peak(self):
+        magnitude = np.zeros((5, 5))
+        magnitude[2, 2] = 1.0
+        grad_r = np.zeros((5, 5))
+        grad_c = np.ones((5, 5))
+        thin = non_maximum_suppression(magnitude, grad_r, grad_c)
+        assert thin[2, 2] == 1.0
+
+    def test_hysteresis_connects_weak_to_strong(self):
+        thin = np.zeros((5, 10))
+        thin[2, 2:8] = 0.2   # weak chain
+        thin[2, 5] = 0.9     # one strong pixel
+        edges = hysteresis_threshold(thin, low=0.1, high=0.5)
+        assert edges[2, 2:8].all()
+
+    def test_hysteresis_drops_isolated_weak(self):
+        thin = np.zeros((5, 5))
+        thin[2, 2] = 0.2
+        edges = hysteresis_threshold(thin, low=0.1, high=0.5)
+        assert not edges.any()
+
+
+class TestTileFeatures:
+    def test_grid_covers_image(self):
+        boxes = tile_grid((20, 30), 8)
+        covered = np.zeros((20, 30), dtype=int)
+        for row, col, h, w in boxes:
+            covered[row:row + h, col:col + w] += 1
+        np.testing.assert_array_equal(covered, 1)
+
+    def test_grid_invalid_tile(self):
+        with pytest.raises(ValueError):
+            tile_grid((10, 10), 0)
+
+    def test_feature_matrix_shape(self, rng):
+        img = rng.random((3, 16, 24)).astype(np.float32)
+        feats, boxes = tile_features(img, 8)
+        assert feats.shape == (len(boxes), len(FEATURE_NAMES))
+        assert np.isfinite(feats).all()
+
+    def test_excess_green_separates_grass_from_road(self):
+        grass = np.zeros((3, 8, 8), dtype=np.float32)
+        grass[1] = 0.6
+        grass[0] = 0.2
+        road = np.full((3, 8, 8), 0.35, dtype=np.float32)
+        g_feats, _ = tile_features(grass, 8)
+        r_feats, _ = tile_features(road, 8)
+        idx = FEATURE_NAMES.index("excess_green")
+        assert g_feats[0, idx] > r_feats[0, idx]
+
+    def test_edge_density_feature_responds(self, rng):
+        smooth = np.full((3, 16, 16), 0.5, dtype=np.float32)
+        stripes = smooth.copy()
+        stripes[:, :, ::2] = 0.1
+        s_feats, _ = tile_features(smooth, 16)
+        t_feats, _ = tile_features(stripes, 16)
+        idx = FEATURE_NAMES.index("gradient_energy")
+        assert t_feats[0, idx] > s_feats[0, idx]
