@@ -1,0 +1,98 @@
+"""BATCHED-INFERENCE bench: sequential vs batched MC-dropout engine.
+
+Artefact of this repo's batched inference engine (not a paper figure):
+the monitor's ``T``-sample Bayesian pass runs as chunked batched
+forwards — with the deterministic stem computed once — instead of ``T``
+full single-image forwards.  The Sec. V-B latency constraint is the
+whole reason the Fig. 2 monitor runs on sub-images, so every factor
+gained here directly widens the experiment space the monitor can
+afford.
+
+Expectations:
+
+* the batched pass is at least 2x faster than the sequential reference
+  on the bench-scale frame (relaxed to parity in smoke mode, where the
+  frame is too small for the batching win to dominate noise);
+* batched and sequential paths agree *bit for bit* on the same seed —
+  the speedup must not change a single verdict.
+
+The measured numbers are recorded in
+``benchmarks/BENCH_batched_inference.json`` so the perf trajectory is
+tracked across PRs.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.eval.reporting import format_table, format_title
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    fn()  # warm-up
+    return min(
+        (lambda t0: (fn(), time.perf_counter() - t0)[1])(
+            time.perf_counter())
+        for _ in range(repeats))
+
+
+def test_batched_inference_speedup(benchmark, system, emit):
+    segmenter = system.make_segmenter(rng=0)
+    image = system.test_samples[0].image
+    t = system.config.monitor_samples if SMOKE else 10
+
+    sequential_s = _best_of(
+        lambda: segmenter.predict_distribution_sequential(
+            image, num_samples=t))
+    batched_s = _best_of(
+        lambda: segmenter.predict_distribution(image, num_samples=t))
+    benchmark.pedantic(
+        lambda: segmenter.predict_distribution(image, num_samples=t),
+        rounds=1, iterations=1)
+    speedup = sequential_s / batched_s
+
+    # Seeded equivalence: same stream, fresh segmenters per path.
+    seq = system.make_segmenter(rng=7).predict_distribution_sequential(
+        image, num_samples=t)
+    bat = system.make_segmenter(rng=7).predict_distribution(
+        image, num_samples=t)
+    bit_for_bit = bool(np.array_equal(seq.mean, bat.mean)
+                       and np.array_equal(seq.std, bat.std))
+
+    emit("\n" + format_title(
+        "BATCHED-INFERENCE: MC-dropout engine, sequential vs batched"))
+    emit(format_table(
+        ["path", f"wall time (ms), T={t}"],
+        [["sequential (1 forward / sample)",
+          round(sequential_s * 1000, 2)],
+         ["batched (chunked tiles + shared stem)",
+          round(batched_s * 1000, 2)]],
+        title=f"frame {image.shape[1]}x{image.shape[2]}, "
+              f"max_batch={segmenter.max_batch}:"))
+    emit(f"\nspeedup: {speedup:.2f}x    "
+         f"bit-for-bit equal: {bit_for_bit}")
+
+    if not SMOKE:
+        # Only full-scale numbers belong in the tracked trajectory
+        # file; the CI smoke pass must not clobber them.
+        summary = {
+            "image_shape": list(image.shape),
+            "num_samples": t,
+            "max_batch": segmenter.max_batch,
+            "sequential_s": sequential_s,
+            "batched_s": batched_s,
+            "speedup": speedup,
+            "bit_for_bit_equal": bit_for_bit,
+        }
+        out = (Path(__file__).resolve().parent
+               / "BENCH_batched_inference.json")
+        out.write_text(json.dumps(summary, indent=2) + "\n")
+
+    assert bit_for_bit, "batched engine diverged from sequential path"
+    assert speedup >= (1.0 if SMOKE else 2.0), (
+        f"batched engine only {speedup:.2f}x faster than sequential")

@@ -10,11 +10,16 @@ architectural, so the expectations are ratios, not absolute seconds:
 
 * a zone-sized crop is many times cheaper than the full frame (pixel
   ratio ~8x here, ~8x in the paper's 1024^2 vs 3840x2160);
-* the Bayesian pass scales linearly with the number of MC samples.
+* the Bayesian pass cost grows monotonically — and, on the batched
+  engine, *sub-linearly* — with the number of MC samples: the
+  deterministic stem is computed once and only the stochastic suffix
+  is tiled per sample (see ``bench_batched_inference.py``);
+* the pipeline's reported timings separate ``monitoring_s`` (wall time
+  inside per-zone Bayesian passes) from ``decision_s`` (decision-module
+  bookkeeping), so the Sec. V-B budget can be attributed correctly.
 """
 
 import numpy as np
-import pytest
 
 from repro.eval.harness import timing_experiment
 from repro.eval.reporting import format_table, format_title
@@ -54,8 +59,25 @@ def test_sec5_monitor_timing(benchmark, system, emit):
     # Sub-image monitoring is several times cheaper than full frame —
     # the architectural claim behind Fig. 2.
     assert full_10 / crop_10 > pixel_ratio / 3
-    # Cost grows ~linearly in the MC sample count.
+    # Cost grows monotonically in the MC sample count, and the batched
+    # engine amortises the shared stem, so never worse than linearly.
     crop_1 = time_of(crop, crop, 1)
     crop_5 = time_of(crop, crop, 5)
-    assert crop_5 == pytest.approx(5 * crop_1, rel=1.0)
-    assert crop_10 > crop_5 > crop_1
+    assert crop_1 <= crop_5 <= crop_10
+    assert crop_10 <= 10 * crop_1 * 1.5  # generous noise margin
+
+    # The pipeline's decision-loop timing is split: monitoring_s is the
+    # per-zone Bayesian wall time, decision_s the loop bookkeeping.
+    pipeline = system.make_pipeline(rng=0)
+    result = pipeline.run(system.test_samples[0].image)
+    emit("\npipeline episode timing split:")
+    for key in ("segmentation_s", "selection_s", "monitoring_s",
+                "decision_s"):
+        emit(f"  {key}: {result.timings_s[key] * 1000:.2f} ms")
+    assert {"segmentation_s", "selection_s", "monitoring_s",
+            "decision_s"} <= set(result.timings_s)
+    assert result.timings_s["decision_s"] >= 0.0
+    if result.decision.attempts > 0:
+        # At least one zone was checked, so monitor time was recorded
+        # and the split keeps it out of the decision overhead.
+        assert result.timings_s["monitoring_s"] > 0.0

@@ -8,9 +8,20 @@ artefacts, shape inequalities for the learning-based experiments.
 The trained system is built once per session and cached on disk, so the
 first benchmark run pays the training cost (~1 minute) and later runs
 load weights.
+
+Smoke mode (CI): setting ``BENCH_SMOKE=1`` swaps in the test-suite's
+tiny trained system (48x64 frames, shared on-disk weight cache with
+``tests/conftest.py``) and truncates the fig4 frame corpus, so the
+whole bench suite runs in seconds.  All bench assertions hold at the
+tiny scale as-is; a bench whose threshold is genuinely full-scale-only
+should read ``os.environ.get("BENCH_SMOKE") == "1"`` and relax it, as
+``bench_batched_inference.py`` does for its speedup floor.
+``scripts/check.sh`` runs tier-1 pytest plus this smoke pass.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
@@ -19,19 +30,28 @@ from repro.eval.harness import (
     TrainedSystem,
     build_trained_system,
     fig4_experiment,
+    tiny_harness_config,
 )
+
+BENCH_SMOKE = os.environ.get("BENCH_SMOKE") == "1"
 
 
 @pytest.fixture(scope="session")
 def system() -> TrainedSystem:
-    """The bench-scale trained system (cached across runs)."""
-    return build_trained_system(HarnessConfig(), cache=True)
+    """The bench-scale trained system (cached across runs).
+
+    Smoke mode uses ``tiny_harness_config`` — the same configuration
+    (and therefore the same weight cache) as the test suite's
+    ``tiny_system`` fixture."""
+    config = tiny_harness_config() if BENCH_SMOKE else HarnessConfig()
+    return build_trained_system(config, cache=True)
 
 
 @pytest.fixture(scope="session")
 def fig4_results(system):
     """Fig. 4 statistics, shared by the monitoring bench and ablations."""
-    return fig4_experiment(system)
+    return fig4_experiment(system,
+                           max_frames=2 if BENCH_SMOKE else None)
 
 
 @pytest.fixture()

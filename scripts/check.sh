@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Full verification gate: tier-1 tests plus a fast benchmark smoke pass.
+#
+#   scripts/check.sh           # tier-1 pytest + bench smoke (CI default)
+#   scripts/check.sh --full    # additionally run the full-scale benches
+#
+# BENCH_SMOKE=1 makes every bench run against the tiny (48x64) trained
+# system shared with the test suite, so the whole script finishes in
+# well under a minute once the weight caches are warm.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest tests -q -x
+
+echo
+echo "== benchmark smoke (BENCH_SMOKE=1) =="
+# bench_*.py does not match pytest's default test-file glob; explicit
+# paths collect regardless.
+BENCH_SMOKE=1 python -m pytest benchmarks/bench_*.py -q -x --benchmark-disable
+
+if [[ "${1:-}" == "--full" ]]; then
+    echo
+    echo "== full-scale benchmarks =="
+    python -m pytest benchmarks/bench_*.py -q -x
+fi

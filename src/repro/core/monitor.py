@@ -14,6 +14,16 @@ Following Fig. 2, the monitor runs on *sub-images* (the candidate zone
 plus its drift buffer), not on the full frame — the full-frame Bayesian
 pass would be prohibitively slow in an emergency (Sec. V-B timing,
 reproduced in ``benchmarks/bench_sec5_timing.py``).
+
+All Bayesian passes run on the segmenter's batched MC-dropout engine
+(``T`` tiles per forward; see :mod:`repro.segmentation.bayesian`).
+:meth:`RuntimeMonitor.check_zones` verifies several candidate zones in
+one call: by default each zone keeps its own dropout seeding, so the
+verdicts are bit-for-bit identical to ``N`` separate
+:meth:`RuntimeMonitor.check_zone` calls; with ``joint=True`` the crops
+are stride-padded to a common shape and verified in a single jointly
+seeded ``(zones * T)``-batched pass — the fastest path, still
+seeded-reproducible, but on a different (documented) RNG stream.
 """
 
 from __future__ import annotations
@@ -92,53 +102,87 @@ class RuntimeMonitor:
             unsafe |= upper[int(cls)] > cfg.tau
         return unsafe
 
-    def _stride_padded_crop(self, image: np.ndarray,
-                            box: Box) -> tuple[np.ndarray, Box]:
-        """Crop ``box`` (with context margin) padded to the model stride.
+    def _model_stride(self) -> int:
+        return int(getattr(
+            getattr(self.segmenter.model, "config", None),
+            "output_stride", 1))
+
+    def _padded_spans(self, image: np.ndarray, box: Box,
+                      target: tuple[int, int] | None = None
+                      ) -> tuple[Box, Box]:
+        """Stride-aligned crop window for ``box`` — geometry only.
 
         The segmentation model needs spatial sizes divisible by its
-        output stride; the crop is grown symmetrically (within frame
-        bounds) until that holds.  Returns the crop and the region of
-        interest *within the crop* corresponding to the original box.
+        output stride; the crop window is grown symmetrically (within
+        frame bounds) until that holds.  Returns the crop box and the
+        region of interest *within the crop* corresponding to the
+        original box, without extracting any pixels.
+
+        ``target`` forces the crop to exact ``(height, width)`` spans
+        (already stride-aligned, at most the frame size) — used by
+        :meth:`check_zones` with ``joint=True`` to bring several crops
+        to a common shape for one stacked Bayesian pass.
         """
         cfg = self.config
         h, w = image.shape[1:]
         grown = box.expand(cfg.context_margin_px).clip_to(h, w)
-        stride = getattr(
-            getattr(self.segmenter.model, "config", None),
-            "output_stride", 1)
+        stride = self._model_stride()
 
-        def pad_span(start: int, extent: int, limit: int) -> tuple[int, int]:
-            need = (-extent) % stride
+        def pad_span(start: int, extent: int, limit: int,
+                     want: int | None) -> tuple[int, int]:
+            if limit < stride:
+                raise ValueError(
+                    f"frame extent {limit} is smaller than the model's "
+                    f"output stride {stride}; the Bayesian monitor "
+                    "cannot run on this frame")
+            if want is None:
+                need = (-extent) % stride
+            else:
+                if want % stride or want > limit:
+                    raise ValueError(
+                        f"target span {want} must be stride-aligned "
+                        f"({stride}) and fit the frame extent {limit}")
+                if extent >= want:
+                    # The grown crop exceeds the target span (the frame
+                    # itself was not stride-divisible, so every natural
+                    # span got trimmed below the grown extent): centre a
+                    # want-sized window on it, exactly as the natural
+                    # path effectively does when it trims.
+                    lo = max(0, start + (extent - want) // 2)
+                    lo = min(lo, limit - want)
+                    return lo, want
+                need = want - extent
             lo = max(0, start - need // 2)
             hi = min(limit, lo + extent + need)
             lo = max(0, hi - (extent + need))
-            # If the frame itself is not large enough, fall back to the
-            # largest stride-aligned span that fits.
             span = hi - lo
             span -= span % stride
+            # A degenerate zero-extent span (tiny crop in a tiny frame)
+            # would produce an empty crop and crash the model; clamp to
+            # one full stride instead.
+            if span == 0:
+                span = stride
+                lo = min(lo, limit - stride)
             return lo, span
 
-        r0, rh = pad_span(grown.row, grown.height, h)
-        c0, cw = pad_span(grown.col, grown.width, w)
+        th, tw = target if target is not None else (None, None)
+        r0, rh = pad_span(grown.row, grown.height, h, th)
+        c0, cw = pad_span(grown.col, grown.width, w, tw)
         crop_box = Box(r0, c0, rh, cw)
-        crop = crop_box.extract(image)
         roi = Box(box.row - r0, box.col - c0, box.height, box.width)
         roi = roi.clip_to(rh, cw)
-        return crop, roi
+        return crop_box, roi
 
-    def check_zone(self, image: np.ndarray, box: Box) -> ZoneVerdict:
-        """Run the Bayesian pass on the zone crop and return a verdict.
+    def _stride_padded_crop(self, image: np.ndarray, box: Box,
+                            target: tuple[int, int] | None = None
+                            ) -> tuple[np.ndarray, Box]:
+        """:meth:`_padded_spans` plus the pixel extraction."""
+        crop_box, roi = self._padded_spans(image, box, target)
+        return crop_box.extract(image), roi
 
-        This is the "Monitor" box of Fig. 2: image cropping -> Bayesian
-        SS model -> mean and std segmentations -> zone confirmation.
-        """
-        check_image_chw("image", image)
-        if box.is_empty():
-            raise ValueError("cannot check an empty zone box")
-        crop, roi = self._stride_padded_crop(image, box)
-        distribution = self.segmenter.predict_distribution(
-            crop, num_samples=self.config.num_samples)
+    def _verdict(self, distribution: PixelDistribution, box: Box,
+                 roi: Box) -> ZoneVerdict:
+        """Turn a crop distribution into the zone's accept/reject."""
         unsafe_crop = self.unsafe_pixels(distribution)
         unsafe_zone = roi.extract(unsafe_crop)
         fraction = float(unsafe_zone.mean()) if unsafe_zone.size else 1.0
@@ -147,6 +191,66 @@ class RuntimeMonitor:
                            unsafe_mask=unsafe_zone, box=box,
                            num_samples=distribution.num_samples,
                            distribution=distribution)
+
+    def check_zone(self, image: np.ndarray, box: Box,
+                   max_batch: int | None = None) -> ZoneVerdict:
+        """Run the Bayesian pass on the zone crop and return a verdict.
+
+        This is the "Monitor" box of Fig. 2: image cropping -> Bayesian
+        SS model -> mean and std segmentations -> zone confirmation.
+        The pass runs on the batched engine (all ``T`` MC samples in
+        chunked batched forwards; ``max_batch`` overrides the
+        segmenter's chunk size).
+        """
+        check_image_chw("image", image)
+        if box.is_empty():
+            raise ValueError("cannot check an empty zone box")
+        crop, roi = self._stride_padded_crop(image, box)
+        distribution = self.segmenter.predict_distribution(
+            crop, num_samples=self.config.num_samples,
+            max_batch=max_batch)
+        return self._verdict(distribution, box, roi)
+
+    def check_zones(self, image: np.ndarray, boxes,
+                    joint: bool = False,
+                    max_batch: int | None = None) -> list[ZoneVerdict]:
+        """Verify several candidate zones in one batched call.
+
+        With ``joint=False`` (default) every zone keeps its own dropout
+        seeding, so the verdicts are bit-for-bit identical to calling
+        :meth:`check_zone` once per box in order — each zone still gets
+        the ``T``-fold batched forward.  With ``joint=True`` all crops
+        are stride-padded to a common shape (growing within the frame,
+        so every crop still shows real context) and verified in a
+        single jointly seeded ``(len(boxes) * T)``-batched Bayesian
+        pass: the fastest path, seeded and reproducible, but its mask
+        stream — and the extra context smaller crops gain — mean the
+        verdicts can differ marginally from per-zone calls.
+        """
+        check_image_chw("image", image)
+        boxes = list(boxes)
+        for box in boxes:
+            if box.is_empty():
+                raise ValueError("cannot check an empty zone box")
+        if not boxes:
+            return []
+        if not joint:
+            return [self.check_zone(image, box, max_batch=max_batch)
+                    for box in boxes]
+
+        # First pass computes only the natural spans (no pixel copies);
+        # the single extraction happens at the common target shape.
+        spans = [self._padded_spans(image, box) for box in boxes]
+        th = max(crop_box.height for crop_box, _ in spans)
+        tw = max(crop_box.width for crop_box, _ in spans)
+        crops, rois = zip(*[
+            self._stride_padded_crop(image, box, target=(th, tw))
+            for box in boxes])
+        distributions = self.segmenter.predict_distribution_stack(
+            np.stack([c.astype(np.float32) for c in crops]),
+            num_samples=self.config.num_samples, max_batch=max_batch)
+        return [self._verdict(dist, box, roi)
+                for dist, box, roi in zip(distributions, boxes, rois)]
 
     def full_frame_unsafe(self, image: np.ndarray) -> np.ndarray:
         """Eq. (2) evaluated over the whole frame.

@@ -5,7 +5,12 @@ segmentation model plus datasets — so the harness builds it once and
 caches the weights on disk, keyed by a hash of the full configuration.
 On top of it, each experiment of DESIGN.md's per-experiment index has a
 driver here returning plain dictionaries the benches format and assert
-against.
+against.  All drivers run on the batched inference paths:
+``fig4_experiment`` segments its frame corpora in chunked batched
+forwards, ``zone_acceptance_experiment`` goes through
+``LandingPipeline.run_batch``, and ``timing_experiment`` times the
+batched MC-dropout engine (``sequential=True`` for the per-sample
+reference).
 
 Scale note: the paper's system runs on 3840x2160 frames at ~10 cm/px on
 a GPU; this reproduction runs 96x128 frames at 1 m/px on CPU.  The
@@ -30,6 +35,7 @@ from repro.core.pipeline import LandingPipeline, PipelineConfig
 from repro.dataset.classes import (
     BUSY_ROAD_CLASSES,
     HIGH_RISK_CLASSES,
+    NUM_CLASSES,
     UavidClass,
 )
 from repro.dataset.conditions import (
@@ -51,8 +57,9 @@ from repro.eval.monitor_metrics import (
 )
 from repro.nn.io import load_weights, save_weights
 from repro.segmentation.bayesian import BayesianSegmenter
+from repro.segmentation.metrics import evaluate_predictions
 from repro.segmentation.msdnet import MSDNet, MSDNetConfig
-from repro.segmentation.train import TrainConfig, evaluate_model, train_model
+from repro.segmentation.train import TrainConfig, train_model
 from repro.uav.ballistics import DriftModel
 
 __all__ = [
@@ -60,6 +67,7 @@ __all__ = [
     "TrainedSystem",
     "build_trained_system",
     "scaled_drift_model",
+    "tiny_harness_config",
     "default_cache_dir",
     "fig4_experiment",
     "zone_acceptance_experiment",
@@ -73,6 +81,26 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env)
     return Path(__file__).resolve().parents[3] / ".cache"
+
+
+def tiny_harness_config() -> "HarnessConfig":
+    """The CI-scale trained system (48x64 frames, short training).
+
+    Single source of truth shared by ``tests/conftest.py`` and the
+    benchmark suite's ``BENCH_SMOKE=1`` mode, so both resolve to the
+    same cache key and train the tiny system at most once per machine.
+    """
+    return HarnessConfig(
+        dataset=DatasetConfig(num_scenes=5, windows_per_scene=8,
+                              image_shape=(48, 64), gsd=1.0, seed=99),
+        train=TrainConfig(epochs=30, batch_size=4, learning_rate=3e-3,
+                          seed=5),
+        model_channels=16,
+        model_blocks=2,
+        model_seed=11,
+        zone_size_m=10.0,
+        monitor_samples=6,
+    )
 
 
 def scaled_drift_model() -> DriftModel:
@@ -125,14 +153,19 @@ class TrainedSystem:
             conservative_buffer=conservative,
             max_candidates=5)
 
-    def monitor_config(self, tau: float = 1.0 / 8.0,
+    def monitor_config(self, tau: float | None = None,
                        num_samples: int | None = None) -> MonitorConfig:
-        return MonitorConfig(
-            tau=tau,
-            num_samples=num_samples or self.config.monitor_samples)
+        """Monitor parameters; ``tau=None`` keeps ``MonitorConfig``'s
+        canonical ``1 / NUM_CLASSES`` default (the single source of
+        truth for the paper's threshold)."""
+        kwargs = {"num_samples":
+                  num_samples or self.config.monitor_samples}
+        if tau is not None:
+            kwargs["tau"] = tau
+        return MonitorConfig(**kwargs)
 
     def make_pipeline(self, monitor_enabled: bool = True,
-                      tau: float = 1.0 / 8.0,
+                      tau: float | None = None,
                       num_samples: int | None = None,
                       conservative: bool = True,
                       rng=0) -> LandingPipeline:
@@ -212,10 +245,19 @@ def fig4_experiment(system: TrainedSystem,
                           ("ood", system.ood_samples(condition))):
         if max_frames is not None:
             samples = samples[:max_frames]
-        report = evaluate_model(system.model, samples)
+        # The deterministic predictions of all frames run as ONE
+        # chunked batched forward on the shared engine; the same
+        # predictions feed both the segmentation report and the
+        # monitor statistics (argmax of softmax == argmax of logits,
+        # so this matches evaluate_model exactly).
+        scores = segmenter.predict_deterministic_batch(
+            [s.image for s in samples])
+        preds = scores.argmax(axis=1)
+        report = evaluate_predictions(
+            ((pred, sample.labels)
+             for pred, sample in zip(preds, samples)), NUM_CLASSES)
         stats = []
-        for sample in samples:
-            pred = system.model.predict_labels(sample.image)
+        for sample, pred in zip(samples, preds):
             unsafe = monitor.full_frame_unsafe(sample.image)
             stats.append(pixel_monitor_stats(sample.labels, pred, unsafe))
         total = accumulate_stats(stats)
@@ -236,7 +278,7 @@ def fig4_experiment(system: TrainedSystem,
 def zone_acceptance_experiment(system: TrainedSystem,
                                samples: list[SegmentationSample],
                                monitor_enabled: bool = True,
-                               tau: float = 1.0 / 8.0,
+                               tau: float | None = None,
                                rng=0) -> dict:
     """Run the pipeline over frames and score accepted zones on GT.
 
@@ -258,8 +300,8 @@ def zone_acceptance_experiment(system: TrainedSystem,
     high_risk_unsafe = 0
     aborted = 0
     attempts_total = 0
-    for sample in samples:
-        result = pipeline.run(sample.image)
+    results = pipeline.run_batch([s.image for s in samples])
+    for sample, result in zip(samples, results):
         attempts_total += result.decision.attempts
         if result.landed:
             landed += 1
@@ -286,29 +328,42 @@ def zone_acceptance_experiment(system: TrainedSystem,
 def timing_experiment(system: TrainedSystem,
                       crop_sizes: list[tuple[int, int]],
                       num_samples_list: list[int],
-                      repeats: int = 2) -> list[dict]:
+                      repeats: int = 2,
+                      sequential: bool = False) -> list[dict]:
     """Monitor latency vs crop size and MC sample count (Sec. V-B).
 
     Returns one record per (crop, samples) point with the mean wall
-    time of a Bayesian pass on that crop.
+    time of a Bayesian pass on that crop.  By default the pass runs on
+    the batched engine; ``sequential=True`` times the one-forward-per-
+    sample reference instead (the baseline of
+    ``benchmarks/bench_batched_inference.py``).
     """
     import time
 
     segmenter = system.make_segmenter(rng=0)
+    predict = (segmenter.predict_distribution_sequential if sequential
+               else segmenter.predict_distribution)
     sample = system.test_samples[0]
+    stride = system.model.config.output_stride
+    if min(sample.image.shape[1:]) < stride:
+        raise ValueError(
+            f"frame {sample.image.shape[1:]} smaller than the model's "
+            f"output stride {stride}")
     records = []
     for size in crop_sizes:
         h = min(size[0], sample.image.shape[1])
         w = min(size[1], sample.image.shape[2])
-        stride = system.model.config.output_stride
-        h -= h % stride
-        w -= w % stride
+        # Trim to the stride, but never below one stride: a requested
+        # crop smaller than the stride must still yield a runnable
+        # (stride x stride) crop rather than an empty one.
+        h = max(h - h % stride, stride)
+        w = max(w - w % stride, stride)
         crop = sample.image[:, :h, :w]
         for t in num_samples_list:
             times = []
             for _ in range(repeats):
                 start = time.perf_counter()
-                segmenter.predict_distribution(crop, num_samples=t)
+                predict(crop, num_samples=t)
                 times.append(time.perf_counter() - start)
             records.append({
                 "crop_h": h, "crop_w": w, "pixels": h * w,

@@ -75,8 +75,10 @@ def im2col(x: np.ndarray, kernel: tuple[int, int], stride: int,
     out_w = conv_output_size(w, kw, stride, padding, dilation)
 
     if padding > 0:
-        xp = np.pad(x, ((0, 0), (0, 0), (padding, padding),
-                        (padding, padding)))
+        # Manual zero-pad: ~2x cheaper than np.pad on this hot path.
+        xp = np.zeros((n, c, h + 2 * padding, w + 2 * padding),
+                      dtype=x.dtype)
+        xp[:, :, padding:padding + h, padding:padding + w] = x
     else:
         xp = x
 
@@ -130,8 +132,11 @@ def conv2d_forward(x: np.ndarray, weight: np.ndarray,
             f"input has {x.shape[1]} channels, weight expects {c_in}")
     cols, geom = im2col(x, (kh, kw), stride, padding, dilation)
     w2 = weight.reshape(c_out, c_in * kh * kw)
-    # (N, C_out, L) = (C_out, K) @ (N, K, L)
-    out = np.einsum("ok,nkl->nol", w2, cols, optimize=True)
+    # (N, C_out, L) = (C_out, K) @ (N, K, L) as a broadcast batched GEMM.
+    # np.matmul scales linearly in N here, where the equivalent einsum
+    # path degrades sharply for N > 1 — this is the hot path of the
+    # batched MC-dropout engine (see repro.segmentation.bayesian).
+    out = np.matmul(w2, cols)
     if bias is not None:
         out = out + bias[None, :, None]
     n = x.shape[0]
@@ -154,12 +159,12 @@ def conv2d_backward(dy: np.ndarray, cache: tuple
     dy2 = dy.reshape(n, c_out, -1)  # (N, C_out, L)
 
     dbias = dy2.sum(axis=(0, 2)) if has_bias else None
-    # dW = sum_n dy2 @ cols^T
-    dw2 = np.einsum("nol,nkl->ok", dy2, cols, optimize=True)
+    # dW = sum_n dy2[n] @ cols[n]^T, again as a batched GEMM.
+    dw2 = np.matmul(dy2, cols.transpose(0, 2, 1)).sum(axis=0)
     dweight = dw2.reshape(weight.shape)
     # dcols = W^T @ dy2
     w2 = weight.reshape(c_out, c_in * kh * kw)
-    dcols = np.einsum("ok,nol->nkl", w2, dy2, optimize=True)
+    dcols = np.matmul(w2.T, dy2)
     dx = col2im(dcols, geom)
     return dx, dweight, dbias
 
@@ -273,8 +278,11 @@ def resize_nearest_backward(dy: np.ndarray, cache: tuple) -> np.ndarray:
 def softmax(x: np.ndarray, axis: int = 1) -> np.ndarray:
     """Numerically stable softmax along ``axis``."""
     shifted = x - x.max(axis=axis, keepdims=True)
-    ex = np.exp(shifted)
-    return ex / ex.sum(axis=axis, keepdims=True)
+    if not np.issubdtype(shifted.dtype, np.floating):
+        shifted = shifted.astype(np.float64)
+    ex = np.exp(shifted, out=shifted)  # reuse the temporary
+    ex /= ex.sum(axis=axis, keepdims=True)
+    return ex
 
 
 def log_softmax(x: np.ndarray, axis: int = 1) -> np.ndarray:

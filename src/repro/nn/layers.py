@@ -67,6 +67,9 @@ class Conv2d(Module):
         return dilation * (kernel_size - 1) // 2
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(
+                f"Conv2d expects NCHW input, got shape {np.shape(x)}")
         bias = self.bias.data if self.bias is not None else None
         y, self._cache = F.conv2d_forward(
             x, self.weight.data, bias, self.stride, self.padding,
@@ -84,7 +87,14 @@ class Conv2d(Module):
 
 
 class BatchNorm2d(Module):
-    """Per-channel batch normalisation with running statistics."""
+    """Per-channel batch normalisation with running statistics.
+
+    In eval mode the normalisation uses the running statistics only, so
+    it is per-element and batch-size-invariant — a property the batched
+    MC-dropout engine (:mod:`repro.segmentation.bayesian`) relies on:
+    an image tiled ``T`` times along the batch axis normalises exactly
+    as ``T`` single-image forwards.
+    """
 
     def __init__(self, num_channels: int, eps: float = 1e-5,
                  momentum: float = 0.1):
@@ -184,6 +194,13 @@ class Dropout(Module):
     stochastic passes sample an approximate posterior.  Setting
     ``mc_mode = True`` (via :func:`set_mc_dropout`) enables exactly that
     behaviour without touching the training flag of other layers.
+
+    Batch contract: the mask is drawn with one ``rng.random(x.shape)``
+    call, so every batch element gets an independent mask and — because
+    one ``(T, ...)`` draw consumes the generator stream exactly like
+    ``T`` successive ``(1, ...)`` draws — a ``T``-tiled batch forward
+    reproduces ``T`` sequential forwards bit for bit on the same seed.
+    The batched MC-dropout engine is built on this contract.
     """
 
     def __init__(self, p: float = 0.5, rng=None):
@@ -217,7 +234,9 @@ class SpatialDropout2d(Dropout):
 
     More effective than elementwise dropout for convolutional features
     (adjacent pixels are correlated), and the variant used between MSD
-    blocks in our scaled MSDnet.
+    blocks in our scaled MSDnet.  The ``(N, C, 1, 1)`` mask draw obeys
+    the same per-batch-element independence contract as
+    :class:`Dropout`, so batched MC inference stays exact.
     """
 
     def forward(self, x: np.ndarray) -> np.ndarray:

@@ -87,10 +87,24 @@ class MSDBlock(nn.Module):
         self._split_sizes = [branch_out] * len(dilations)
 
     def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.forward_from_pre_dropout(
+            self.forward_pre_dropout(x), x)
+
+    def forward_pre_dropout(self, x: np.ndarray) -> np.ndarray:
+        """Branches, concat, norm and activation — all deterministic.
+
+        Everything before the block's dropout; under MC inference this
+        part is identical for every sample of the same input, which the
+        batched engine exploits (see :meth:`MSDNet.forward_prefix`).
+        """
         outs = [branch(x) for branch in self.branches]
         merged = np.concatenate(outs, axis=1)
-        y = self.drop(self.act(self.norm(merged)))
-        return y + x  # residual
+        return self.act(self.norm(merged))
+
+    def forward_from_pre_dropout(self, activated: np.ndarray,
+                                 x: np.ndarray) -> np.ndarray:
+        """Dropout plus the residual connection — the stochastic tail."""
+        return self.drop(activated) + x
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         inner = self.norm.backward(
@@ -136,11 +150,7 @@ class MSDNet(nn.Module):
                          if config.output_stride > 1 else nn.Identity())
 
     # ------------------------------------------------------------------
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        """Logits of shape ``(N, num_classes, H, W)`` for NCHW input.
-
-        H and W must be divisible by ``config.output_stride``.
-        """
+    def _check_input(self, x: np.ndarray) -> None:
         stride = self.config.output_stride
         if x.ndim != 4:
             raise ValueError(f"expected NCHW input, got shape {x.shape}")
@@ -148,9 +158,54 @@ class MSDNet(nn.Module):
             raise ValueError(
                 f"input spatial size {x.shape[2:]} must be divisible by "
                 f"the output stride {stride}")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Logits of shape ``(N, num_classes, H, W)`` for NCHW input.
+
+        H and W must be divisible by ``config.output_stride``.
+        Computes the direct path; ``forward_suffix(forward_prefix(x))``
+        must produce the identical result (the split contract, covered
+        by ``tests/segmentation/test_bayesian_batched.py``).
+        """
+        self._check_input(x)
         y = self.stem(x)
         for block in self.blocks:
             y = block(y)
+        y = self.head(y)
+        return self.upsample(y)
+
+    def forward_prefix(self, x: np.ndarray) -> np.ndarray:
+        """The deterministic prefix of the network.
+
+        Together with :meth:`forward_suffix` this implements the split
+        contract of the batched MC-dropout engine
+        (:class:`repro.segmentation.bayesian.BayesianSegmenter`):
+        ``forward(x) == forward_suffix(forward_prefix(x))`` and the
+        prefix applies **no stochastic (dropout) layer**, so under MC
+        dropout it can be computed once per image instead of once per
+        sample.  In MSDnet the first randomness is the *first block's*
+        dropout, so the prefix covers the stem plus that block's
+        branches/norm/activation; the pre-dropout activations and the
+        residual input are returned concatenated along the channel axis
+        for :meth:`forward_suffix` to unpack.
+        """
+        self._check_input(x)
+        y = self.stem(x)
+        if not self.blocks:
+            return y
+        activated = self.blocks[0].forward_pre_dropout(y)
+        return np.concatenate([activated, y], axis=1)
+
+    def forward_suffix(self, z: np.ndarray) -> np.ndarray:
+        """Dropout of block 1 onward — the (stochastic) remainder."""
+        if self.blocks:
+            ch = self.config.base_channels
+            activated, y = z[:, :ch], z[:, ch:]
+            y = self.blocks[0].forward_from_pre_dropout(activated, y)
+            for block in self.blocks[1:]:
+                y = block(y)
+        else:
+            y = z
         y = self.head(y)
         return self.upsample(y)
 

@@ -11,26 +11,22 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.dataset.generator import DatasetConfig
-from repro.eval.harness import HarnessConfig, TrainedSystem, build_trained_system
-from repro.segmentation.train import TrainConfig
+from repro.eval.harness import (
+    TrainedSystem,
+    build_trained_system,
+    tiny_harness_config,
+)
 
 
 @pytest.fixture(scope="session")
 def tiny_system() -> TrainedSystem:
-    """A small but genuinely trained system (cached across runs)."""
-    config = HarnessConfig(
-        dataset=DatasetConfig(num_scenes=5, windows_per_scene=8,
-                              image_shape=(48, 64), gsd=1.0, seed=99),
-        train=TrainConfig(epochs=30, batch_size=4, learning_rate=3e-3,
-                          seed=5),
-        model_channels=16,
-        model_blocks=2,
-        model_seed=11,
-        zone_size_m=10.0,
-        monitor_samples=6,
-    )
-    return build_trained_system(config, cache=True)
+    """A small but genuinely trained system (cached across runs).
+
+    The configuration comes from ``tiny_harness_config`` — the single
+    source shared with the benchmark suite's ``BENCH_SMOKE=1`` mode, so
+    both resolve to one cached set of trained weights.
+    """
+    return build_trained_system(tiny_harness_config(), cache=True)
 
 
 @pytest.fixture()

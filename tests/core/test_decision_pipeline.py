@@ -120,7 +120,10 @@ class TestPipeline:
         assert result.predicted_labels.shape == (48, 64)
         assert isinstance(result.decision, Decision)
         assert set(result.timings_s) == {"segmentation_s",
-                                         "selection_s", "monitoring_s"}
+                                         "selection_s", "monitoring_s",
+                                         "decision_s"}
+        assert result.timings_s["monitoring_s"] >= 0.0
+        assert result.timings_s["decision_s"] >= 0.0
 
     def test_verdicts_recorded_when_monitored(self, pipeline,
                                               tiny_system):

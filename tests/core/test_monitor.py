@@ -29,7 +29,8 @@ class _FakeSegmenter:
         self.distribution = distribution
         self.model = None
 
-    def predict_distribution(self, image, num_samples=None):
+    def predict_distribution(self, image, num_samples=None,
+                             max_batch=None):
         return self.distribution
 
 
@@ -155,6 +156,96 @@ class TestZoneVerdicts:
             MonitorConfig(num_samples=0)
         with pytest.raises(ValueError):
             MonitorConfig(road_classes=())
+
+
+class TestBatchedZones:
+    """check_zones must agree with N separate check_zone calls."""
+
+    def _monitor(self, tiny_system, seed=5, num_samples=3):
+        segmenter = BayesianSegmenter(tiny_system.model,
+                                      num_samples=num_samples, rng=seed)
+        return RuntimeMonitor(segmenter,
+                              MonitorConfig(num_samples=num_samples))
+
+    def test_check_zones_matches_sequential_calls(self, tiny_system):
+        image = tiny_system.test_samples[0].image
+        boxes = [Box(4, 4, 10, 10), Box(8, 20, 12, 12), Box(20, 40, 9, 11)]
+        batched = self._monitor(tiny_system).check_zones(image, boxes)
+        sequential_monitor = self._monitor(tiny_system)
+        sequential = [sequential_monitor.check_zone(image, b)
+                      for b in boxes]
+        assert len(batched) == len(sequential) == len(boxes)
+        for a, b in zip(batched, sequential):
+            assert a.accepted == b.accepted
+            assert a.unsafe_fraction == b.unsafe_fraction
+            assert np.array_equal(a.unsafe_mask, b.unsafe_mask)
+            assert np.array_equal(a.distribution.mean,
+                                  b.distribution.mean)
+            assert np.array_equal(a.distribution.std, b.distribution.std)
+
+    def test_check_zones_joint_reproducible(self, tiny_system):
+        image = tiny_system.test_samples[0].image
+        boxes = [Box(4, 4, 10, 10), Box(8, 20, 12, 12)]
+        a = self._monitor(tiny_system).check_zones(image, boxes,
+                                                   joint=True)
+        b = self._monitor(tiny_system).check_zones(image, boxes,
+                                                   joint=True,
+                                                   max_batch=2)
+        for va, vb in zip(a, b):
+            assert va.accepted == vb.accepted
+            assert va.unsafe_fraction == vb.unsafe_fraction
+            assert va.unsafe_mask.shape == (va.box.height, va.box.width)
+
+    def test_check_zones_joint_on_unaligned_frame(self, tiny_system):
+        """Regression: frames not divisible by the stride trim every
+        natural crop below its grown extent; the joint path must centre
+        a target-sized window rather than raise."""
+        stride = tiny_system.model.config.output_stride
+        image = tiny_system.test_samples[0].image[:, :stride * 2 + 2, :]
+        box = Box(0, 4, image.shape[1], 12)  # full (unaligned) height
+        monitor = self._monitor(tiny_system)
+        single = monitor.check_zone(image, box)
+        verdicts = self._monitor(tiny_system).check_zones(
+            image, [box, Box(1, 20, 6, 6)], joint=True)
+        assert len(verdicts) == 2
+        assert verdicts[0].unsafe_mask.shape == single.unsafe_mask.shape
+
+    def test_check_zones_empty_list(self, tiny_system):
+        image = tiny_system.test_samples[0].image
+        assert self._monitor(tiny_system).check_zones(image, []) == []
+
+    def test_check_zones_rejects_empty_box(self, tiny_system):
+        image = tiny_system.test_samples[0].image
+        with pytest.raises(ValueError, match="empty"):
+            self._monitor(tiny_system).check_zones(
+                image, [Box(0, 0, 4, 4), Box(0, 0, 0, 4)])
+
+
+class TestSmallFrames:
+    """Frames or crops below the model stride must fail loudly (or be
+    clamped), never produce a zero-extent crop (regression)."""
+
+    def test_frame_smaller_than_stride_raises_clearly(self, tiny_system):
+        stride = tiny_system.model.config.output_stride
+        assert stride > 1  # the regression needs a real stride
+        segmenter = BayesianSegmenter(tiny_system.model, num_samples=2,
+                                      rng=0)
+        monitor = RuntimeMonitor(segmenter, MonitorConfig(num_samples=2))
+        tiny = np.zeros((3, stride - 1, stride - 1), dtype=np.float32)
+        with pytest.raises(ValueError, match="output stride"):
+            monitor.check_zone(tiny, Box(0, 0, 1, 1))
+        with pytest.raises(ValueError, match="output stride"):
+            monitor.full_frame_unsafe(tiny)
+
+    def test_tiny_box_in_adequate_frame_is_clamped(self, tiny_system):
+        """A 1x1 box in a frame >= one stride must yield a verdict."""
+        segmenter = BayesianSegmenter(tiny_system.model, num_samples=2,
+                                      rng=0)
+        monitor = RuntimeMonitor(segmenter, MonitorConfig(
+            num_samples=2, context_margin_px=0))
+        image = tiny_system.test_samples[0].image
+        verdict = monitor.check_zone(image, Box(0, 0, 1, 1))
+        assert verdict.unsafe_mask.shape == (1, 1)
 
 
 class TestWithRealModel:

@@ -149,6 +149,45 @@ class TestTrainedSystemFixture:
         assert monitored.config.monitor_enabled
         assert not plain.config.monitor_enabled
 
+    def test_tau_defaults_to_monitor_config(self, tiny_system):
+        """The paper's threshold has one source of truth: MonitorConfig."""
+        from repro.core.monitor import MonitorConfig
+        from repro.dataset.classes import NUM_CLASSES
+        assert tiny_system.monitor_config().tau == MonitorConfig().tau
+        assert tiny_system.monitor_config().tau == 1.0 / NUM_CLASSES
+        pipeline = tiny_system.make_pipeline()
+        assert pipeline.config.monitor.tau == MonitorConfig().tau
+        # Explicit overrides still go through.
+        assert tiny_system.monitor_config(tau=0.25).tau == 0.25
+        assert tiny_system.make_pipeline(tau=0.25)\
+            .config.monitor.tau == 0.25
+
+    def test_timing_experiment_clamps_sub_stride_crops(self, tiny_system):
+        from repro.eval.harness import timing_experiment
+        stride = tiny_system.model.config.output_stride
+        records = timing_experiment(tiny_system, crop_sizes=[(1, 1)],
+                                    num_samples_list=[1], repeats=1)
+        assert records[0]["crop_h"] == stride
+        assert records[0]["crop_w"] == stride
+        assert records[0]["mean_s"] > 0.0
+
+    def test_run_batch_matches_run(self, tiny_system):
+        """Batched multi-frame episodes equal frame-by-frame runs."""
+        images = [s.image for s in tiny_system.test_samples[:2]]
+        batch_pipeline = tiny_system.make_pipeline(rng=0)
+        batched = batch_pipeline.run_batch(images)
+        loop_pipeline = tiny_system.make_pipeline(rng=0)
+        looped = [loop_pipeline.run(image) for image in images]
+        assert len(batched) == len(looped)
+        for a, b in zip(batched, looped):
+            assert a.decision.action == b.decision.action
+            assert a.decision.attempts == b.decision.attempts
+            np.testing.assert_array_equal(a.predicted_labels,
+                                          b.predicted_labels)
+            for va, vb in zip(a.verdicts, b.verdicts):
+                assert va.accepted == vb.accepted
+                assert va.unsafe_fraction == vb.unsafe_fraction
+
 
 class TestReporting:
     def test_format_table_basic(self):

@@ -187,6 +187,12 @@ class TestSoftmax:
         s = F.softmax(x, axis=1)
         np.testing.assert_allclose(s, 0.5)
 
+    def test_integer_input(self):
+        """Regression: the in-place exp must not reject integer input."""
+        s = F.softmax(np.array([[1, 2, 3]]), axis=1)
+        np.testing.assert_allclose(
+            s, F.softmax(np.array([[1.0, 2.0, 3.0]]), axis=1))
+
     def test_log_softmax_consistent(self, rng):
         x = rng.normal(size=(4, 6))
         np.testing.assert_allclose(np.exp(F.log_softmax(x, axis=1)),

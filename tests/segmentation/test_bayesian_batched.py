@@ -1,0 +1,149 @@
+"""Seeded equivalence tests for the batched MC-dropout engine.
+
+The engine's contract (see ``repro/segmentation/bayesian.py``): on the
+same seed, the batched path — any ``max_batch`` chunking included —
+reproduces the sequential one-forward-per-sample reference *bit for
+bit*, because dropout masks are consumed in sample order from the same
+generator stream and every other layer is batch-element-deterministic.
+"""
+
+import numpy as np
+import pytest
+
+from repro.segmentation.bayesian import BayesianSegmenter
+from repro.segmentation.msdnet import MSDNet, MSDNetConfig
+
+
+@pytest.fixture(scope="module")
+def model() -> MSDNet:
+    """A small untrained MSDnet (weights are irrelevant to the RNG
+    contract)."""
+    return MSDNet(MSDNetConfig(base_channels=16, num_blocks=2), rng=1)
+
+
+@pytest.fixture(scope="module")
+def image() -> np.ndarray:
+    return np.random.default_rng(0).random((3, 32, 48)).astype(np.float32)
+
+
+def _dist_equal(a, b) -> bool:
+    return (np.array_equal(a.mean, b.mean)
+            and np.array_equal(a.std, b.std)
+            and a.num_samples == b.num_samples)
+
+
+class TestSequentialEquivalence:
+    def test_batched_matches_sequential_bit_for_bit(self, model, image):
+        seq = BayesianSegmenter(model, num_samples=7, rng=123)\
+            .predict_distribution_sequential(image)
+        bat = BayesianSegmenter(model, num_samples=7, rng=123)\
+            .predict_distribution(image)
+        assert _dist_equal(seq, bat)
+
+    def test_chunking_never_changes_results(self, model, image):
+        reference = BayesianSegmenter(model, num_samples=9, rng=5)\
+            .predict_distribution(image, max_batch=9)
+        for max_batch in (1, 2, 4, 16):
+            chunked = BayesianSegmenter(model, num_samples=9, rng=5)\
+                .predict_distribution(image, max_batch=max_batch)
+            assert _dist_equal(reference, chunked), max_batch
+
+    def test_predict_samples_matches_chunked(self, model, image):
+        full = BayesianSegmenter(model, num_samples=6, rng=7)\
+            .predict_samples(image)
+        chunked = BayesianSegmenter(model, num_samples=6, rng=7)\
+            .predict_samples(image, max_batch=2)
+        assert np.array_equal(full, chunked)
+        assert full.shape == (6, 8, 32, 48)
+
+    def test_samples_consistent_with_distribution(self, model, image):
+        stack = BayesianSegmenter(model, num_samples=8, rng=11)\
+            .predict_samples(image)
+        dist = BayesianSegmenter(model, num_samples=8, rng=11)\
+            .predict_distribution(image)
+        assert np.allclose(stack.mean(axis=0), dist.mean)
+        assert np.allclose(stack.std(axis=0), dist.std)
+
+    def test_model_left_deterministic_afterwards(self, model, image):
+        from repro.nn.layers import mc_dropout_enabled
+        segmenter = BayesianSegmenter(model, num_samples=3, rng=0)
+        segmenter.predict_distribution(image)
+        assert not mc_dropout_enabled(model)
+
+
+class TestBatchApis:
+    def test_independent_batch_matches_per_image_calls(self, model):
+        rng = np.random.default_rng(3)
+        images = [rng.random((3, 32, 48)).astype(np.float32)
+                  for _ in range(3)]
+        batch = BayesianSegmenter(model, num_samples=4, rng=21)\
+            .predict_distribution_batch(images)
+        loop_seg = BayesianSegmenter(model, num_samples=4, rng=21)
+        loop = [loop_seg.predict_distribution(im) for im in images]
+        assert all(_dist_equal(a, b) for a, b in zip(batch, loop))
+
+    def test_joint_batch_reproducible_and_chunk_invariant(self, model):
+        rng = np.random.default_rng(4)
+        images = [rng.random((3, 32, 48)).astype(np.float32)
+                  for _ in range(3)]
+        a = BayesianSegmenter(model, num_samples=4, rng=9)\
+            .predict_distribution_batch(images, independent=False)
+        b = BayesianSegmenter(model, num_samples=4, rng=9)\
+            .predict_distribution_batch(images, independent=False,
+                                        max_batch=5)
+        assert all(_dist_equal(x, y) for x, y in zip(a, b))
+
+    def test_deterministic_batch_matches_single(self, model):
+        rng = np.random.default_rng(6)
+        images = [rng.random((3, 32, 48)).astype(np.float32)
+                  for _ in range(3)]
+        segmenter = BayesianSegmenter(model, rng=0)
+        batch = segmenter.predict_deterministic_batch(images,
+                                                      max_batch=2)
+        for i, im in enumerate(images):
+            assert np.array_equal(batch[i],
+                                  segmenter.predict_deterministic(im))
+
+    def test_shape_mismatch_rejected(self, model):
+        images = [np.zeros((3, 32, 48), dtype=np.float32),
+                  np.zeros((3, 16, 48), dtype=np.float32)]
+        with pytest.raises(ValueError, match="common shape"):
+            BayesianSegmenter(model, rng=0)\
+                .predict_distribution_batch(images)
+
+    def test_empty_batch(self, model):
+        segmenter = BayesianSegmenter(model, rng=0)
+        assert segmenter.predict_distribution_batch([]) == []
+        assert segmenter.predict_deterministic_batch([]).shape[0] == 0
+
+    def test_invalid_knobs_rejected(self, model, image):
+        segmenter = BayesianSegmenter(model, rng=0)
+        with pytest.raises(ValueError):
+            segmenter.predict_distribution(image, num_samples=0)
+        with pytest.raises(ValueError):
+            segmenter.predict_distribution(image, max_batch=0)
+        with pytest.raises(ValueError):
+            BayesianSegmenter(model, max_batch=0)
+
+
+class TestPrefixSplit:
+    """The deterministic-prefix split must never change the forward."""
+
+    def test_forward_equals_suffix_of_prefix(self, model, image):
+        model.eval()
+        x = image[None]
+        assert np.array_equal(
+            model.forward(x),
+            model.forward_suffix(model.forward_prefix(x)))
+
+    def test_split_holds_in_training_mode(self, model):
+        model.train()
+        try:
+            x = np.random.default_rng(8).random((2, 3, 16, 16))\
+                .astype(np.float32)
+            # Dropout draws differ between the two executions, so only
+            # shapes are comparable here; the MC equivalence tests above
+            # cover value equality under a controlled stream.
+            assert model.forward(x).shape == (2, 8, 16, 16)
+        finally:
+            model.eval()
