@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark suite.
+
+Importable from any bench file (pytest puts ``benchmarks/`` on
+``sys.path`` when collecting them).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+SMOKE_DIR = BENCH_DIR / ".smoke"
+
+
+def best_of(fn, repeats: int = 5) -> float:
+    """Minimum wall time of ``fn`` over ``repeats`` runs (after one
+    warm-up call) — the honest engine time on a noisy single core."""
+    fn()  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def write_bench_summary(filename: str, summary: dict,
+                        smoke: bool) -> Path:
+    """Write a bench summary to its canonical location.
+
+    Full-scale numbers go to the tracked trajectory file
+    ``benchmarks/<filename>``; smoke numbers go to
+    ``benchmarks/.smoke/<filename>`` where the ``scripts/check.sh``
+    regression gate (``scripts/bench_gate.py``) picks them up.  The CI
+    smoke pass must never clobber the tracked trajectory.
+    """
+    if smoke:
+        SMOKE_DIR.mkdir(exist_ok=True)
+        out = SMOKE_DIR / filename
+    else:
+        out = BENCH_DIR / filename
+    out.write_text(json.dumps(summary, indent=2) + "\n")
+    return out

@@ -21,24 +21,15 @@ The measured numbers are recorded in
 tracked across PRs.
 """
 
-import json
 import os
-import time
-from pathlib import Path
 
 import numpy as np
+from _bench_utils import best_of as _best_of
+from _bench_utils import write_bench_summary
 
 from repro.eval.reporting import format_table, format_title
 
 SMOKE = os.environ.get("BENCH_SMOKE") == "1"
-
-
-def _best_of(fn, repeats: int = 5) -> float:
-    fn()  # warm-up
-    return min(
-        (lambda t0: (fn(), time.perf_counter() - t0)[1])(
-            time.perf_counter())
-        for _ in range(repeats))
 
 
 def test_batched_inference_speedup(benchmark, system, emit):
@@ -77,21 +68,19 @@ def test_batched_inference_speedup(benchmark, system, emit):
     emit(f"\nspeedup: {speedup:.2f}x    "
          f"bit-for-bit equal: {bit_for_bit}")
 
-    if not SMOKE:
-        # Only full-scale numbers belong in the tracked trajectory
-        # file; the CI smoke pass must not clobber them.
-        summary = {
-            "image_shape": list(image.shape),
-            "num_samples": t,
-            "max_batch": segmenter.max_batch,
-            "sequential_s": sequential_s,
-            "batched_s": batched_s,
-            "speedup": speedup,
-            "bit_for_bit_equal": bit_for_bit,
-        }
-        out = (Path(__file__).resolve().parent
-               / "BENCH_batched_inference.json")
-        out.write_text(json.dumps(summary, indent=2) + "\n")
+    summary = {
+        "image_shape": list(image.shape),
+        "num_samples": t,
+        "max_batch": segmenter.max_batch,
+        "sequential_s": sequential_s,
+        "batched_s": batched_s,
+        "speedup": speedup,
+        "bit_for_bit_equal": bit_for_bit,
+    }
+    # Smoke numbers feed the check.sh regression gate; only full-scale
+    # numbers belong in the tracked trajectory file.
+    write_bench_summary("BENCH_batched_inference.json", summary,
+                        smoke=SMOKE)
 
     assert bit_for_bit, "batched engine diverged from sequential path"
     assert speedup >= (1.0 if SMOKE else 2.0), (

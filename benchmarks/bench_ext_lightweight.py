@@ -4,16 +4,29 @@
 lightweight ones in order to be able to run on on-board GPUs."
 
 Trains the slim LightSegNet on the same corpus as the bench MSDnet and
-compares parameters, inference latency and segmentation quality.
+compares parameters, inference latency and segmentation quality, plus —
+since PR 2 extended the ``forward_prefix``/``forward_suffix``
+deterministic split to LightSegNet — the MC-dropout monitor pass with
+and without the prefix split.
 
-Expectation (shape): LightSegNet is several times smaller and faster;
+Expectations (shape): LightSegNet is several times smaller and faster;
 MSDnet is at least as accurate (the multi-scale dilation branches buy
-quality); the Bayesian monitor wraps both unchanged.
+quality); the Bayesian monitor wraps both unchanged; and the prefix
+split speeds up the MC pass, because for this architecture the
+deterministic prefix is nearly the whole network (only dropout, the 1x1
+head and the upsample are stochastic-side).
+
+Full-scale numbers land in ``benchmarks/BENCH_ext_lightweight.json``;
+smoke numbers in ``benchmarks/.smoke/`` for the check.sh regression
+gate.
 """
 
+import os
 import time
 
 import numpy as np
+from _bench_utils import best_of as _best_of
+from _bench_utils import write_bench_summary
 
 from repro.eval.reporting import format_table, format_title
 from repro.segmentation import (
@@ -23,6 +36,8 @@ from repro.segmentation import (
     evaluate_model,
     train_model,
 )
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
 
 
 def test_lightweight_tradeoff(benchmark, system, emit):
@@ -60,13 +75,58 @@ def test_lightweight_tradeoff(benchmark, system, emit):
     emit(format_table(["model", "params", "latency (ms)", "mIoU",
                        "accuracy"], rows))
 
-    # The monitor wraps the lightweight model unchanged.
-    segmenter = BayesianSegmenter(light, num_samples=5, rng=0)
-    dist = segmenter.predict_distribution(image)
-    emit(f"\nMC-dropout on LightSegNet: mean sigma "
-         f"{float(dist.std.mean()):.5f} (monitor-compatible)")
+    # ------------------------------------------------------------------
+    # The monitor wraps the lightweight model unchanged — and since
+    # PR 2, with the deterministic-prefix split: the encoder runs once
+    # per image instead of once per MC sample.
+    # ------------------------------------------------------------------
+    t = system.config.monitor_samples if SMOKE else 10
+    split_seg = BayesianSegmenter(light, num_samples=t, rng=0)
+    whole_seg = BayesianSegmenter(light, num_samples=t, rng=0,
+                                  prefix_split=False)
+    split_s = _best_of(lambda: split_seg.predict_distribution(image))
+    whole_s = _best_of(lambda: whole_seg.predict_distribution(image))
+    split_speedup = whole_s / split_s
+
+    # Same distribution either way (the split is an optimisation, not a
+    # semantic change): compare on a fresh shared seed.
+    a = BayesianSegmenter(light, num_samples=t, rng=9)\
+        .predict_distribution(image)
+    b = BayesianSegmenter(light, num_samples=t, rng=9,
+                          prefix_split=False).predict_distribution(image)
+    split_bit_for_bit = bool(np.array_equal(a.mean, b.mean)
+                             and np.array_equal(a.std, b.std))
+
+    dist = split_seg.predict_distribution(image)
+    emit(f"\nMC-dropout on LightSegNet (T={t}): "
+         f"whole-net {whole_s * 1000:.2f} ms -> prefix-split "
+         f"{split_s * 1000:.2f} ms ({split_speedup:.2f}x), "
+         f"bit-for-bit equal: {split_bit_for_bit}")
+    emit(f"mean sigma {float(dist.std.mean()):.5f} "
+         "(monitor-compatible)")
+
+    summary = {
+        "image_shape": list(image.shape),
+        "num_samples": t,
+        "msdnet_params": system.model.num_parameters(),
+        "lightsegnet_params": light.num_parameters(),
+        "msdnet_latency_ms": msd_time * 1000,
+        "lightsegnet_latency_ms": light_time * 1000,
+        "msdnet_miou": msd_report.miou,
+        "lightsegnet_miou": light_report.miou,
+        "mc_whole_net_ms": whole_s * 1000,
+        "mc_prefix_split_ms": split_s * 1000,
+        "prefix_split_speedup": split_speedup,
+        "prefix_split_bit_for_bit": split_bit_for_bit,
+    }
+    write_bench_summary("BENCH_ext_lightweight.json", summary,
+                        smoke=SMOKE)
 
     assert light.num_parameters() < system.model.num_parameters() / 2
     assert light_time < msd_time
     assert msd_report.miou >= light_report.miou - 0.02
     assert dist.std.max() > 0.0
+    assert split_bit_for_bit, \
+        "prefix split changed the LightSegNet MC distribution"
+    assert split_speedup >= (0.9 if SMOKE else 1.2), (
+        f"prefix split only {split_speedup:.2f}x vs whole-net MC")

@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Bench regression gate: fresh smoke numbers vs committed baselines.
+
+Run by ``scripts/check.sh`` after the smoke bench pass.  Benches in
+smoke mode (``BENCH_SMOKE=1``) write their summaries to
+``benchmarks/.smoke/BENCH_*.json``; this script compares them against
+``benchmarks/smoke_baselines.json`` and fails (exit 1) when
+
+* a gated numeric metric (always a machine-robust speedup ratio)
+  regresses by more than 25% — fresh < baseline * 0.75, or
+* a gated boolean contract (bit-for-bit equivalence) flips, or
+* a gated file or metric is missing (the bench silently stopped
+  reporting it).
+
+Baselines are updated deliberately in the PR that changes a
+performance characteristic — never to quiet a failing gate.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+TOLERANCE = 0.75  # fail when fresh < baseline * TOLERANCE
+
+ROOT = Path(__file__).resolve().parents[1]
+SMOKE_DIR = ROOT / "benchmarks" / ".smoke"
+BASELINES = ROOT / "benchmarks" / "smoke_baselines.json"
+
+
+def main() -> int:
+    baselines = json.loads(BASELINES.read_text())
+    failures: list[str] = []
+    rows: list[tuple[str, str, str, str, str]] = []
+
+    for filename, metrics in baselines.items():
+        if filename.startswith("_"):
+            continue
+        fresh_path = SMOKE_DIR / filename
+        if not fresh_path.exists():
+            failures.append(f"{filename}: no smoke output at "
+                            f"{fresh_path} (did the bench run?)")
+            continue
+        fresh = json.loads(fresh_path.read_text())
+        for metric, baseline in metrics.items():
+            if metric not in fresh:
+                failures.append(f"{filename}: metric {metric!r} missing "
+                                "from smoke output")
+                continue
+            value = fresh[metric]
+            if isinstance(baseline, bool):
+                ok = bool(value) == baseline
+                rows.append((filename, metric, str(baseline),
+                             str(bool(value)),
+                             "ok" if ok else "FAIL"))
+                if not ok:
+                    failures.append(
+                        f"{filename}: {metric} = {value!r}, "
+                        f"expected {baseline!r}")
+            else:
+                floor = baseline * TOLERANCE
+                ok = float(value) >= floor
+                rows.append((filename, metric, f"{baseline:.2f}",
+                             f"{float(value):.2f}",
+                             "ok" if ok else "FAIL"))
+                if not ok:
+                    failures.append(
+                        f"{filename}: {metric} = {value:.3f} < "
+                        f"{floor:.3f} (baseline {baseline:.3f} "
+                        f"* {TOLERANCE})")
+
+    width = max((len(r[0]) + len(r[1]) for r in rows), default=20) + 4
+    print("== bench regression gate (smoke, "
+          f">{(1 - TOLERANCE):.0%} regression fails) ==")
+    for filename, metric, base, val, status in rows:
+        name = f"{filename}:{metric}"
+        print(f"  {name:<{width}s} baseline={base:<8s} "
+              f"fresh={val:<8s} {status}")
+    if failures:
+        print("\nFAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("all gated bench metrics within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

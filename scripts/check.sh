@@ -17,8 +17,18 @@ python -m pytest tests -q -x
 echo
 echo "== benchmark smoke (BENCH_SMOKE=1) =="
 # bench_*.py does not match pytest's default test-file glob; explicit
-# paths collect regardless.
+# paths collect regardless.  Smoke summaries land in benchmarks/.smoke/
+# for the regression gate below; start from a clean slate so the gate
+# can never pass on stale output from a previous run.
+rm -rf benchmarks/.smoke
 BENCH_SMOKE=1 python -m pytest benchmarks/bench_*.py -q -x --benchmark-disable
+
+echo
+echo "== bench regression gate =="
+# Compares the fresh smoke numbers against committed baselines
+# (benchmarks/smoke_baselines.json); >25% regression on a gated
+# speedup ratio, or a flipped bit-for-bit contract, fails the build.
+python scripts/bench_gate.py
 
 if [[ "${1:-}" == "--full" ]]; then
     echo

@@ -10,6 +10,23 @@ Termination.  Whether "an additional trial can be safely performed" is
 governed by an attempt budget and a time budget (each Bayesian pass
 costs seconds — the Sec. V-B latency constraint — while the vehicle is
 falling back on degraded control).
+
+Speculative check-ahead
+-----------------------
+The retry loop is adaptive (stop at the first confirmed zone), which
+made it inherently sequential: candidate ``i+1`` is only monitored
+after candidate ``i`` is rejected.  With ``speculative_k > 1`` the DM
+instead monitors the next ``k`` ranked candidates as *one* jointly
+seeded stacked Bayesian pass (``RuntimeMonitor.check_zones``) and
+consumes the verdicts in rank order — the batched engine amortises the
+model forwards, so when the top candidate is rejected the runner-up's
+verdict is already paid for.  Consumption semantics are identical to
+the sequential loop: budgets are decremented per *consumed* verdict,
+verdicts past the first acceptance are discarded, and the batch size is
+clamped so no candidate is ever speculated that the sequential loop
+could not have afforded.  Given the same per-candidate verdicts, both
+paths produce bit-for-bit identical :class:`Decision` objects (tested
+in ``tests/core/test_speculative_decision.py``).
 """
 
 from __future__ import annotations
@@ -38,11 +55,18 @@ class DecisionConfig:
     max_attempts: int = 3
     time_budget_s: float = 20.0
     seconds_per_attempt: float = 5.0  # Sec. V-B: ~5 s per 1024x1024 crop
+    #: Number of ranked candidates monitored per joint Bayesian pass.
+    #: 1 (default) is the paper's strictly sequential confirm/retry
+    #: loop; k > 1 enables speculative check-ahead (see the module
+    #: docstring) when the caller supplies a ``check_zones`` batch
+    #: callable.
+    speculative_k: int = 1
 
     def __post_init__(self):
         check_positive("max_attempts", self.max_attempts)
         check_positive("time_budget_s", self.time_budget_s)
         check_positive("seconds_per_attempt", self.seconds_per_attempt)
+        check_positive("speculative_k", self.speculative_k)
 
 
 @dataclass
@@ -67,8 +91,59 @@ class DecisionModule:
     def __init__(self, config: DecisionConfig | None = None):
         self.config = config or DecisionConfig()
 
+    # ------------------------------------------------------------------
+    # Budget bookkeeping shared by the sequential and speculative paths
+    # ------------------------------------------------------------------
+    def _block_reason(self, decision: Decision) -> str | None:
+        """Log line explaining why the next check cannot run, if so."""
+        cfg = self.config
+        if decision.attempts >= cfg.max_attempts:
+            return (f"attempt budget ({cfg.max_attempts}) exhausted "
+                    "-> abort flight")
+        if decision.elapsed_s + cfg.seconds_per_attempt > \
+                cfg.time_budget_s:
+            return (f"time budget ({cfg.time_budget_s:.0f}s) exhausted "
+                    "-> abort flight")
+        return None
+
+    def _affordable_checks(self, decision: Decision) -> int:
+        """How many further checks the budgets allow, simulated with
+        exactly the sequential loop's float accumulation so both paths
+        agree at budget boundaries."""
+        cfg = self.config
+        attempts = decision.attempts
+        elapsed = decision.elapsed_s
+        count = 0
+        while attempts < cfg.max_attempts and \
+                elapsed + cfg.seconds_per_attempt <= cfg.time_budget_s:
+            attempts += 1
+            elapsed += cfg.seconds_per_attempt
+            count += 1
+        return count
+
+    def _consume(self, decision: Decision, candidate: ZoneCandidate,
+                 verdict: ZoneVerdict) -> bool:
+        """Book one verdict against the budgets; True when it lands."""
+        decision.attempts += 1
+        decision.elapsed_s += self.config.seconds_per_attempt
+        decision.verdicts.append(verdict)
+        if verdict.accepted:
+            decision.action = DecisionAction.LAND
+            decision.zone = candidate
+            decision.log.append(
+                f"zone #{candidate.rank} confirmed "
+                f"(unsafe fraction {verdict.unsafe_fraction:.3f}) "
+                "-> go to landing zone")
+            return True
+        decision.log.append(
+            f"zone #{candidate.rank} rejected "
+            f"(unsafe fraction {verdict.unsafe_fraction:.3f}) "
+            "-> try another candidate")
+        return False
+
+    # ------------------------------------------------------------------
     def decide(self, candidates: list[ZoneCandidate],
-               check_zone) -> Decision:
+               check_zone, check_zones=None) -> Decision:
         """Run the confirm/retry/abort loop.
 
         Parameters
@@ -81,6 +156,11 @@ class DecisionModule:
             Callable ``ZoneCandidate -> ZoneVerdict`` (the monitor);
             pass ``None`` to accept the best buffered candidate without
             monitoring (the unmonitored ablation).
+        check_zones:
+            Optional callable ``list[ZoneCandidate] ->
+            list[ZoneVerdict]`` verifying several candidates in one
+            batched Bayesian pass.  Used (and required) when
+            ``config.speculative_k > 1``; ignored otherwise.
         """
         cfg = self.config
         decision = Decision(action=DecisionAction.ABORT, zone=None)
@@ -94,7 +174,7 @@ class DecisionModule:
             decision.log.append("no viable candidate -> abort flight")
             return decision
 
-        if check_zone is None:
+        if check_zone is None and check_zones is None:
             decision.action = DecisionAction.LAND
             decision.zone = viable[0]
             decision.attempts = 1
@@ -102,36 +182,70 @@ class DecisionModule:
                 "monitor disabled: accepting best candidate unchecked")
             return decision
 
-        for candidate in viable:
-            if decision.attempts >= cfg.max_attempts:
-                decision.log.append(
-                    f"attempt budget ({cfg.max_attempts}) exhausted "
-                    "-> abort flight")
-                break
-            if decision.elapsed_s + cfg.seconds_per_attempt > \
-                    cfg.time_budget_s:
-                decision.log.append(
-                    f"time budget ({cfg.time_budget_s:.0f}s) exhausted "
-                    "-> abort flight")
-                break
-            verdict = check_zone(candidate)
-            decision.attempts += 1
-            decision.elapsed_s += cfg.seconds_per_attempt
-            decision.verdicts.append(verdict)
-            if verdict.accepted:
-                decision.action = DecisionAction.LAND
-                decision.zone = candidate
-                decision.log.append(
-                    f"zone #{candidate.rank} confirmed "
-                    f"(unsafe fraction {verdict.unsafe_fraction:.3f}) "
-                    "-> go to landing zone")
-                return decision
-            decision.log.append(
-                f"zone #{candidate.rank} rejected "
-                f"(unsafe fraction {verdict.unsafe_fraction:.3f}) "
-                "-> try another candidate")
+        if cfg.speculative_k > 1 and check_zones is None:
+            # Surface the misconfiguration instead of silently running
+            # sequential monitoring the caller did not ask for.
+            raise ValueError(
+                f"speculative_k={cfg.speculative_k} requires a "
+                "check_zones batch callable")
+
+        if cfg.speculative_k > 1 and check_zones is not None:
+            self._decide_speculative(decision, viable, check_zones)
+        else:
+            if check_zone is None:
+                # Only a batch callable was supplied but speculation is
+                # off: run it one candidate at a time (bit-identical to
+                # a per-zone monitor by the check_zones contract).
+                def check_zone(candidate, _batch=check_zones):
+                    return _batch([candidate])[0]
+            self._decide_sequential(decision, viable, check_zone)
 
         if decision.action is DecisionAction.ABORT and \
                 not any("abort" in line for line in decision.log):
             decision.log.append("all candidates rejected -> abort flight")
         return decision
+
+    def _decide_sequential(self, decision: Decision, viable: list,
+                           check_zone) -> None:
+        """One monitor pass per candidate, in rank order."""
+        for candidate in viable:
+            reason = self._block_reason(decision)
+            if reason is not None:
+                decision.log.append(reason)
+                return
+            if self._consume(decision, candidate, check_zone(candidate)):
+                return
+
+    def _decide_speculative(self, decision: Decision, viable: list,
+                            check_zones) -> None:
+        """Check-ahead batches of up to ``speculative_k`` candidates.
+
+        Each batch is clamped to what the budgets can still afford, so
+        no candidate is monitored that the sequential loop would have
+        refused; verdicts are consumed in rank order and any computed
+        past the first acceptance are discarded — making the resulting
+        :class:`Decision` identical to the sequential path's given the
+        same per-candidate verdicts.
+        """
+        idx = 0
+        while idx < len(viable):
+            reason = self._block_reason(decision)
+            if reason is not None:
+                decision.log.append(reason)
+                return
+            k = min(self.config.speculative_k,
+                    self._affordable_checks(decision),
+                    len(viable) - idx)
+            batch = viable[idx:idx + k]
+            verdicts = list(check_zones(batch))
+            if len(verdicts) != len(batch):
+                raise ValueError(
+                    f"check_zones returned {len(verdicts)} verdicts "
+                    f"for {len(batch)} candidates")
+            # Speculation is transparent in the decision record: the
+            # log lines match the sequential loop's exactly, so the
+            # equivalence tests can compare whole Decision objects.
+            for candidate, verdict in zip(batch, verdicts):
+                if self._consume(decision, candidate, verdict):
+                    return
+            idx += k

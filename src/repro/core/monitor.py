@@ -23,7 +23,10 @@ verdicts are bit-for-bit identical to ``N`` separate
 :meth:`RuntimeMonitor.check_zone` calls; with ``joint=True`` the crops
 are stride-padded to a common shape and verified in a single jointly
 seeded ``(zones * T)``-batched pass — the fastest path, still
-seeded-reproducible, but on a different (documented) RNG stream.
+seeded-reproducible, but on a different (documented) RNG stream.  The
+joint pass is how the decision module's speculative check-ahead
+(``DecisionConfig.speculative_k > 1``, see :mod:`repro.core.decision`)
+vets the top-k ranked candidates in one go.
 """
 
 from __future__ import annotations

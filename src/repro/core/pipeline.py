@@ -93,8 +93,10 @@ class LandingPipeline:
         """One full episode: segment -> propose -> verify -> decide."""
         check_image_chw("image", image)
         t0 = time.perf_counter()
-        scores = self.segmenter.predict_deterministic(image)
-        labels = scores.argmax(axis=0)
+        # The core function only needs the arg-max class map; the
+        # labels path skips the full-frame softmax (same labels —
+        # softmax is monotone).
+        labels = self.segmenter.predict_labels(image)
         segmentation_s = time.perf_counter() - t0
         return self._finish_episode(image, labels, segmentation_s)
 
@@ -110,11 +112,10 @@ class LandingPipeline:
         if not images:
             return []
         t0 = time.perf_counter()
-        scores = self.segmenter.predict_deterministic_batch(images)
+        labels = self.segmenter.predict_labels_batch(images)
         segmentation_s = (time.perf_counter() - t0) / len(images)
         return [
-            self._finish_episode(image, scores[i].argmax(axis=0),
-                                 segmentation_s)
+            self._finish_episode(image, labels[i], segmentation_s)
             for i, image in enumerate(images)
         ]
 
@@ -127,7 +128,6 @@ class LandingPipeline:
         candidates = self.selector.propose(labels)
         timings["selection_s"] = time.perf_counter() - t0
 
-        verdicts: list[ZoneVerdict] = []
         monitoring_s = 0.0
 
         def check(candidate: ZoneCandidate) -> ZoneVerdict:
@@ -135,20 +135,39 @@ class LandingPipeline:
             t1 = time.perf_counter()
             verdict = self.monitor.check_zone(image, candidate.box)
             monitoring_s += time.perf_counter() - t1
-            verdicts.append(verdict)
             return verdict
 
+        def check_batch(batch: list[ZoneCandidate]) -> list[ZoneVerdict]:
+            # The speculative joint pass: all crops in one jointly
+            # seeded stacked Bayesian pass.  A single-candidate batch
+            # degenerates to the per-zone seeding, i.e. check_zone.
+            nonlocal monitoring_s
+            t1 = time.perf_counter()
+            out = self.monitor.check_zones(
+                image, [c.box for c in batch], joint=True)
+            monitoring_s += time.perf_counter() - t1
+            return out
+
+        speculative = (self.config.monitor_enabled
+                       and self.config.decision.speculative_k > 1)
         t0 = time.perf_counter()
         decision = self.decision_module.decide(
-            candidates, check if self.config.monitor_enabled else None)
+            candidates,
+            check if self.config.monitor_enabled else None,
+            check_zones=check_batch if speculative else None)
         loop_s = time.perf_counter() - t0
         # monitoring_s: wall time inside the per-zone Bayesian passes;
         # decision_s: the decision module's own bookkeeping around them.
         timings["monitoring_s"] = monitoring_s
         timings["decision_s"] = max(loop_s - monitoring_s, 0.0)
 
+        # decision.verdicts holds exactly the consumed verdicts (the
+        # speculative path discards over-checked ones), so monitored
+        # episodes have len(verdicts) == decision.attempts.  The
+        # unmonitored ablation records one attempt with no verdict.
         return PipelineResult(decision=decision, predicted_labels=labels,
-                              candidates=candidates, verdicts=verdicts,
+                              candidates=candidates,
+                              verdicts=list(decision.verdicts),
                               timings_s=timings)
 
     # ------------------------------------------------------------------

@@ -168,19 +168,27 @@ class TrainedSystem:
                       tau: float | None = None,
                       num_samples: int | None = None,
                       conservative: bool = True,
+                      speculative_k: int = 1,
                       rng=0) -> LandingPipeline:
-        """Assemble a Fig. 2 pipeline around the trained model."""
+        """Assemble a Fig. 2 pipeline around the trained model.
+
+        ``speculative_k > 1`` turns on the decision module's
+        speculative check-ahead: up to ``k`` ranked candidates are
+        monitored per jointly seeded batched Bayesian pass.
+        """
         config = PipelineConfig(
             selector=self.selector_config(conservative=conservative),
             monitor=self.monitor_config(tau=tau, num_samples=num_samples),
-            decision=DecisionConfig(max_attempts=3, time_budget_s=20.0),
+            decision=DecisionConfig(max_attempts=3, time_budget_s=20.0,
+                                    speculative_k=speculative_k),
             monitor_enabled=monitor_enabled)
         return LandingPipeline(self.model, config, rng=rng)
 
-    def make_segmenter(self, rng=0) -> BayesianSegmenter:
+    def make_segmenter(self, rng=0,
+                       prefix_split: bool = True) -> BayesianSegmenter:
         return BayesianSegmenter(self.model,
                                  num_samples=self.config.monitor_samples,
-                                 rng=rng)
+                                 rng=rng, prefix_split=prefix_split)
 
     def ood_samples(self, condition: ImagingConditions = SUNSET,
                     split: str = "test") -> list[SegmentationSample]:

@@ -24,6 +24,7 @@ from repro.nn.layers import (
     ReLU,
     SpatialDropout2d,
     Upsample,
+    collect_dropout_layers,
     mc_dropout_enabled,
     set_mc_dropout,
 )
@@ -32,7 +33,13 @@ from repro.nn.losses import (
     dice_loss,
     softmax_cross_entropy,
 )
-from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.module import (
+    Module,
+    Parameter,
+    Sequential,
+    float32_boundary_disabled,
+    set_float32_boundary,
+)
 from repro.nn.optim import SGD, Adam, CosineLR, Optimizer, StepLR
 
 __all__ = [
@@ -50,6 +57,9 @@ __all__ = [
     "Identity",
     "set_mc_dropout",
     "mc_dropout_enabled",
+    "collect_dropout_layers",
+    "set_float32_boundary",
+    "float32_boundary_disabled",
     "softmax_cross_entropy",
     "dice_loss",
     "class_weights_from_frequencies",

@@ -5,15 +5,35 @@ network (MSDnet).  Since no deep-learning framework is available offline,
 this module implements the required primitives from scratch:
 
 * dilated / strided 2-D convolution via ``im2col``/``col2im``,
+* a layout-aware inference engine (:func:`conv2d_infer`) with blocked
+  im2col, buffer reuse and an NHWC option,
 * non-overlapping max pooling,
 * bilinear and nearest-neighbour resizing with exact adjoints,
 * numerically-stable softmax / log-softmax.
 
 All forward functions return ``(output, cache)`` where ``cache`` carries
-whatever the matching backward function needs.  Arrays are NCHW.
+whatever the matching backward function needs.  Arrays are NCHW unless a
+function says otherwise.
+
+Inference conv engine
+---------------------
+The training path (:func:`conv2d_forward`) materialises the full im2col
+matrix because :func:`conv2d_backward` needs it.  Inference does not, so
+:func:`conv2d_infer` runs a *blocked* engine instead: patch columns are
+materialised one cache-sized row block at a time into a reused scratch
+buffer and fed straight to GEMM.  The block geometry depends only on the
+per-sample convolution geometry — never on the batch size — so a
+``T``-tiled batched forward performs exactly the same per-sample GEMM
+calls as ``T`` sequential forwards, which keeps the batched MC-dropout
+engine's bit-for-bit contract intact (OpenBLAS GEMM is deterministic per
+slice, but *not* across different column splits, so the splits must
+match).  Everything is float32-contiguous end to end; see
+:func:`set_conv_engine` for the knobs.
 """
 
 from __future__ import annotations
+
+from contextlib import contextmanager
 
 import numpy as np
 
@@ -23,6 +43,11 @@ __all__ = [
     "col2im",
     "conv2d_forward",
     "conv2d_backward",
+    "conv2d_infer",
+    "set_conv_engine",
+    "get_conv_engine",
+    "conv_engine",
+    "clear_conv_buffers",
     "maxpool2d_forward",
     "maxpool2d_backward",
     "linear_resize_weights",
@@ -51,6 +76,20 @@ def conv_output_size(in_size: int, kernel: int, stride: int, padding: int,
     return out
 
 
+def _pad_nchw(x: np.ndarray, padding: int) -> np.ndarray:
+    """Zero-pad the two trailing (spatial) axes of an NCHW array.
+
+    Manual copy into a zero buffer: ~2x cheaper than ``np.pad`` on the
+    conv hot path.
+    """
+    if padding <= 0:
+        return x
+    n, c, h, w = x.shape
+    xp = np.zeros((n, c, h + 2 * padding, w + 2 * padding), dtype=x.dtype)
+    xp[:, :, padding:padding + h, padding:padding + w] = x
+    return xp
+
+
 def im2col(x: np.ndarray, kernel: tuple[int, int], stride: int,
            padding: int, dilation: int) -> tuple[np.ndarray, tuple]:
     """Unfold image patches into columns.
@@ -74,14 +113,7 @@ def im2col(x: np.ndarray, kernel: tuple[int, int], stride: int,
     out_h = conv_output_size(h, kh, stride, padding, dilation)
     out_w = conv_output_size(w, kw, stride, padding, dilation)
 
-    if padding > 0:
-        # Manual zero-pad: ~2x cheaper than np.pad on this hot path.
-        xp = np.zeros((n, c, h + 2 * padding, w + 2 * padding),
-                      dtype=x.dtype)
-        xp[:, :, padding:padding + h, padding:padding + w] = x
-    else:
-        xp = x
-
+    xp = _pad_nchw(x, padding)
     cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
     for i in range(kh):
         row0 = i * dilation
@@ -170,6 +202,224 @@ def conv2d_backward(dy: np.ndarray, cache: tuple
 
 
 # ----------------------------------------------------------------------
+# Inference conv engine (blocked im2col, buffer reuse, NHWC option)
+# ----------------------------------------------------------------------
+#: Engine knobs.  ``mode``: "blocked" (default) tiles the im2col matrix
+#: into cache-sized row blocks reused from a scratch pool; "reference"
+#: materialises the full im2col matrix exactly like the training path.
+#: ``layout``: "nchw" (default) or "nhwc" — the NHWC path packs columns
+#: channel-minor and contracts against a (kh*kw*C, C_out) weight; its
+#: GEMM reduction order differs, so outputs can differ from NCHW in the
+#: last ulp (benchmarked in benchmarks/bench_conv_engine.py; NCHW wins
+#: at this repo's layer shapes, NHWC is kept as a measured option).
+#: ``block_kib``: per-sample im2col block budget in KiB.  The block
+#: geometry is derived from per-sample quantities only (K, out_w,
+#: itemsize) so batched and sequential forwards split columns
+#: identically — the bit-for-bit contract of the batched MC engine.
+_ENGINE = {"mode": "blocked", "layout": "nchw", "block_kib": 384}
+
+_VALID_MODES = ("blocked", "reference")
+_VALID_LAYOUTS = ("nchw", "nhwc")
+
+#: Scratch-buffer pool for blocked im2col, keyed by required capacity
+#: class.  Bounded; single-threaded use assumed (the whole substrate
+#: is).  Cleared via :func:`clear_conv_buffers`.
+_COL_BUFFERS: dict[tuple, np.ndarray] = {}
+_COL_BUFFER_CAP = 8
+
+
+def set_conv_engine(mode: str | None = None, layout: str | None = None,
+                    block_kib: int | None = None) -> dict:
+    """Configure the inference conv engine; returns the active config."""
+    if mode is not None:
+        if mode not in _VALID_MODES:
+            raise ValueError(f"unknown conv engine mode {mode!r}")
+        _ENGINE["mode"] = mode
+    if layout is not None:
+        if layout not in _VALID_LAYOUTS:
+            raise ValueError(f"unknown conv engine layout {layout!r}")
+        _ENGINE["layout"] = layout
+    if block_kib is not None:
+        if int(block_kib) < 1:
+            raise ValueError("block_kib must be >= 1")
+        _ENGINE["block_kib"] = int(block_kib)
+    return dict(_ENGINE)
+
+
+def get_conv_engine() -> dict:
+    """The active inference-engine configuration (a copy)."""
+    return dict(_ENGINE)
+
+
+@contextmanager
+def conv_engine(mode: str | None = None, layout: str | None = None,
+                block_kib: int | None = None):
+    """Temporarily reconfigure the inference conv engine."""
+    saved = dict(_ENGINE)
+    try:
+        set_conv_engine(mode=mode, layout=layout, block_kib=block_kib)
+        yield dict(_ENGINE)
+    finally:
+        _ENGINE.update(saved)
+
+
+def clear_conv_buffers() -> None:
+    """Drop all pooled im2col scratch buffers."""
+    _COL_BUFFERS.clear()
+
+
+def _col_buffer(capacity: int, dtype) -> np.ndarray:
+    """A flat scratch array of at least ``capacity`` elements.
+
+    Keyed by the rounded-up capacity so repeated layer geometries reuse
+    one allocation instead of paying a multi-MB ``np.empty`` (and the
+    page faults behind it) per conv call.
+    """
+    # Round capacity up to the next power of two so nearby geometries
+    # share an entry and the pool stays small.
+    cap = 1 << (int(capacity) - 1).bit_length()
+    key = (cap, np.dtype(dtype).str)
+    buf = _COL_BUFFERS.get(key)
+    if buf is None:
+        if len(_COL_BUFFERS) >= _COL_BUFFER_CAP:
+            _COL_BUFFERS.pop(next(iter(_COL_BUFFERS)))
+        buf = np.empty(cap, dtype=dtype)
+        _COL_BUFFERS[key] = buf
+    return buf
+
+
+def _conv2d_infer_blocked(x: np.ndarray, weight: np.ndarray,
+                          bias: np.ndarray | None, stride: int,
+                          padding: int, dilation: int) -> np.ndarray:
+    """Blocked im2col + fused GEMM, NCHW.
+
+    Output rows are processed in blocks sized so one *per-sample* im2col
+    block stays within ``block_kib`` KiB; each block is packed into a
+    pooled scratch buffer and multiplied immediately (the fused path),
+    so the full ``(N, K, L)`` column matrix never exists.  A single
+    block degenerates to exactly the reference GEMM.
+    """
+    n, c, h, w = x.shape
+    c_out, c_in, kh, kw = weight.shape
+    out_h = conv_output_size(h, kh, stride, padding, dilation)
+    out_w = conv_output_size(w, kw, stride, padding, dilation)
+    k = c_in * kh * kw
+    xp = _pad_nchw(x, padding)
+    w2 = weight.reshape(c_out, k)
+
+    itemsize = x.dtype.itemsize
+    # Per-sample block budget: independent of N by construction (see
+    # module docstring — this is what keeps batched == sequential).
+    rows = max(1, int(_ENGINE["block_kib"] * 1024 // (k * out_w
+                                                      * itemsize)))
+    rows = min(rows, out_h)
+
+    if rows == out_h:
+        # Single block: pack once into the pooled buffer, one GEMM.
+        cols = _col_buffer(n * k * out_h * out_w, x.dtype)[
+            :n * k * out_h * out_w].reshape(n, c, kh, kw, out_h, out_w)
+        for i in range(kh):
+            r0 = i * dilation
+            for j in range(kw):
+                c0 = j * dilation
+                cols[:, :, i, j] = xp[:, :, r0:r0 + stride * out_h:stride,
+                                      c0:c0 + stride * out_w:stride]
+        out = np.matmul(w2, cols.reshape(n, k, out_h * out_w))
+        y = out.reshape(n, c_out, out_h, out_w)
+    else:
+        y = np.empty((n, c_out, out_h, out_w), dtype=x.dtype)
+        flat = _col_buffer(n * k * rows * out_w, x.dtype)
+        for r0 in range(0, out_h, rows):
+            rb = min(rows, out_h - r0)
+            cols = flat[:n * k * rb * out_w].reshape(n, c, kh, kw, rb,
+                                                     out_w)
+            for i in range(kh):
+                a0 = i * dilation + r0 * stride
+                for j in range(kw):
+                    c0 = j * dilation
+                    cols[:, :, i, j] = xp[:, :,
+                                          a0:a0 + stride * rb:stride,
+                                          c0:c0 + stride * out_w:stride]
+            res = np.matmul(w2, cols.reshape(n, k, rb * out_w))
+            y[:, :, r0:r0 + rb, :] = res.reshape(n, c_out, rb, out_w)
+    if bias is not None:
+        y += bias[None, :, None, None]
+    return y
+
+
+def _conv2d_infer_nhwc(x: np.ndarray, weight: np.ndarray,
+                       bias: np.ndarray | None, stride: int,
+                       padding: int, dilation: int) -> np.ndarray:
+    """NHWC-internal convolution (measured alternative layout).
+
+    Packs columns channel-minor — ``(N, L, kh*kw*C)`` — and contracts
+    with the weight as ``cols @ (kh*kw*C, C_out)``.  The K-reduction
+    order differs from the NCHW engine, so outputs agree only to within
+    floating-point reassociation (last ulp).  Takes and returns NCHW;
+    the layout is internal.
+    """
+    n, c, h, w = x.shape
+    c_out, c_in, kh, kw = weight.shape
+    out_h = conv_output_size(h, kh, stride, padding, dilation)
+    out_w = conv_output_size(w, kw, stride, padding, dilation)
+    xh = np.ascontiguousarray(x.transpose(0, 2, 3, 1))
+    if padding > 0:
+        xp = np.zeros((n, h + 2 * padding, w + 2 * padding, c),
+                      dtype=x.dtype)
+        xp[:, padding:padding + h, padding:padding + w, :] = xh
+    else:
+        xp = xh
+    k = kh * kw * c_in
+    cols = _col_buffer(n * out_h * out_w * k, x.dtype)[
+        :n * out_h * out_w * k].reshape(n, out_h, out_w, kh, kw, c_in)
+    for i in range(kh):
+        r0 = i * dilation
+        for j in range(kw):
+            c0 = j * dilation
+            cols[:, :, :, i, j] = xp[:, r0:r0 + stride * out_h:stride,
+                                     c0:c0 + stride * out_w:stride]
+    w2 = np.ascontiguousarray(weight.transpose(2, 3, 1, 0)).reshape(
+        k, c_out)
+    out = np.matmul(cols.reshape(n, out_h * out_w, k), w2)
+    if bias is not None:
+        out += bias
+    return np.ascontiguousarray(out.transpose(0, 2, 1)).reshape(
+        n, c_out, out_h, out_w)
+
+
+def conv2d_infer(x: np.ndarray, weight: np.ndarray,
+                 bias: np.ndarray | None, stride: int = 1,
+                 padding: int = 0, dilation: int = 1) -> np.ndarray:
+    """Inference-only 2-D convolution on the configured engine.
+
+    Same result contract as :func:`conv2d_forward` but returns only the
+    output: no im2col matrix is retained (inference never calls
+    backward), the blocked engine reuses pooled scratch buffers, and a
+    batch that is a stride-0 broadcast of one sample (the batched MC
+    engine tiling an image) is computed once and re-broadcast.
+    """
+    c_out, c_in, kh, kw = weight.shape
+    if x.shape[1] != c_in:
+        raise ValueError(
+            f"input has {x.shape[1]} channels, weight expects {c_in}")
+    if x.shape[0] > 1 and x.strides[0] == 0:
+        # Every batch element is the same sample: compute one, broadcast.
+        y1 = conv2d_infer(x[:1], weight, bias, stride, padding, dilation)
+        return np.broadcast_to(y1, (x.shape[0],) + y1.shape[1:])
+    if _ENGINE["mode"] == "reference":
+        cols, geom = im2col(x, (kh, kw), stride, padding, dilation)
+        out = np.matmul(weight.reshape(c_out, c_in * kh * kw), cols)
+        if bias is not None:
+            out = out + bias[None, :, None]
+        return out.reshape(x.shape[0], c_out, geom[5], geom[6])
+    if _ENGINE["layout"] == "nhwc":
+        return _conv2d_infer_nhwc(x, weight, bias, stride, padding,
+                                  dilation)
+    return _conv2d_infer_blocked(x, weight, bias, stride, padding,
+                                 dilation)
+
+
+# ----------------------------------------------------------------------
 # Pooling
 # ----------------------------------------------------------------------
 def maxpool2d_forward(x: np.ndarray,
@@ -190,9 +440,12 @@ def maxpool2d_forward(x: np.ndarray,
     y = xr.max(axis=(3, 5))
     # Mask of (first) argmax positions for the backward scatter.
     mask = (xr == y[:, :, :, None, :, None])
-    # Break ties: keep only the first max in each window.
+    # Break ties: keep only the first max in each window.  The running
+    # count fits uint8 for every realistic pool kernel (< 16), keeping
+    # the intermediate at 1 byte/element instead of a wide default.
     flat = mask.transpose(0, 1, 2, 4, 3, 5).reshape(n, c, oh, ow, -1)
-    first = np.cumsum(flat, axis=-1) == 1
+    count_dtype = np.uint8 if kernel * kernel < 256 else np.intp
+    first = np.cumsum(flat, axis=-1, dtype=count_dtype) == 1
     flat &= first
     mask = flat.reshape(n, c, oh, ow, kernel, kernel).transpose(
         0, 1, 2, 4, 3, 5)
@@ -211,17 +464,35 @@ def maxpool2d_backward(dy: np.ndarray, cache: tuple) -> np.ndarray:
 # ----------------------------------------------------------------------
 # Resizing
 # ----------------------------------------------------------------------
+#: Memoised interpolation matrices, keyed by (in_len, out_len, dtype).
+#: Upsample layers rebuild the same tiny matrix every forward; caching
+#: removes the ``np.add.at`` scatter from the hot path.  Entries are
+#: marked read-only because they are shared.
+_RESIZE_W_CACHE: dict[tuple, np.ndarray] = {}
+_RESIZE_W_CACHE_CAP = 32
+
+
 def linear_resize_weights(in_len: int, out_len: int,
-                          dtype=np.float64) -> np.ndarray:
+                          dtype=np.float32) -> np.ndarray:
     """Dense 1-D linear-interpolation matrix ``W`` with ``y = W @ x``.
 
     Uses the half-pixel-centre convention (``align_corners=False``).  The
     matrix form makes the adjoint exact (``dx = W.T @ dy``), which keeps
-    the bilinear-upsampling layer gradient-checkable.
+    the bilinear-upsampling layer gradient-checkable.  The default dtype
+    is float32 — the substrate's working precision; pass
+    ``dtype=np.float64`` explicitly for float64 gradient checking.
+    Returned arrays are cached and read-only; copy before mutating.
     """
     if in_len <= 0 or out_len <= 0:
         raise ValueError("lengths must be positive")
-    w = np.zeros((out_len, in_len), dtype=dtype)
+    key = (int(in_len), int(out_len), np.dtype(dtype).str)
+    cached = _RESIZE_W_CACHE.get(key)
+    if cached is not None:
+        return cached
+    # The fractional coordinates are computed in float64 regardless of
+    # the target dtype so the cast to float32 happens once, on the final
+    # weights — not on intermediate arithmetic.
+    w = np.zeros((out_len, in_len), dtype=np.float64)
     coords = np.clip((np.arange(out_len) + 0.5) * in_len / out_len - 0.5,
                      0, in_len - 1)
     i0 = np.floor(coords).astype(int)
@@ -230,24 +501,33 @@ def linear_resize_weights(in_len: int, out_len: int,
     rows = np.arange(out_len)
     np.add.at(w, (rows, i0), 1.0 - frac)
     np.add.at(w, (rows, i1), frac)
+    w = np.ascontiguousarray(w.astype(dtype, copy=False))
+    w.setflags(write=False)
+    if len(_RESIZE_W_CACHE) >= _RESIZE_W_CACHE_CAP:
+        _RESIZE_W_CACHE.pop(next(iter(_RESIZE_W_CACHE)))
+    _RESIZE_W_CACHE[key] = w
     return w
 
 
 def resize_bilinear_forward(x: np.ndarray, out_h: int, out_w: int
                             ) -> tuple[np.ndarray, tuple]:
-    """Bilinear resize of NCHW input to ``(out_h, out_w)``."""
+    """Bilinear resize of NCHW input to ``(out_h, out_w)``.
+
+    Runs as two small GEMMs (``wr @ x @ wc.T``) rather than a 3-operand
+    einsum — same contraction, without the per-call path search.
+    """
     in_h, in_w = x.shape[-2], x.shape[-1]
     wr = linear_resize_weights(in_h, out_h, dtype=x.dtype)
     wc = linear_resize_weights(in_w, out_w, dtype=x.dtype)
     # y[n,c,i,j] = sum_{h,w} wr[i,h] x[n,c,h,w] wc[j,w]
-    y = np.einsum("ih,nchw,jw->ncij", wr, x, wc, optimize=True)
+    y = np.matmul(wr, np.matmul(x, wc.T))
     return y, (wr, wc)
 
 
 def resize_bilinear_backward(dy: np.ndarray, cache: tuple) -> np.ndarray:
     """Adjoint of :func:`resize_bilinear_forward`."""
     wr, wc = cache
-    return np.einsum("ih,ncij,jw->nchw", wr, dy, wc, optimize=True)
+    return np.matmul(wr.T, np.matmul(dy, wc))
 
 
 def resize_nearest_forward(x: np.ndarray, out_h: int, out_w: int
@@ -276,16 +556,24 @@ def resize_nearest_backward(dy: np.ndarray, cache: tuple) -> np.ndarray:
 # Softmax
 # ----------------------------------------------------------------------
 def softmax(x: np.ndarray, axis: int = 1) -> np.ndarray:
-    """Numerically stable softmax along ``axis``."""
+    """Numerically stable softmax along ``axis``.
+
+    Floating inputs keep their dtype (float32 stays float32 — the
+    substrate's working precision); integer inputs are promoted to
+    float32, not float64.
+    """
     shifted = x - x.max(axis=axis, keepdims=True)
     if not np.issubdtype(shifted.dtype, np.floating):
-        shifted = shifted.astype(np.float64)
+        shifted = shifted.astype(np.float32)
     ex = np.exp(shifted, out=shifted)  # reuse the temporary
     ex /= ex.sum(axis=axis, keepdims=True)
     return ex
 
 
 def log_softmax(x: np.ndarray, axis: int = 1) -> np.ndarray:
-    """Numerically stable log-softmax along ``axis``."""
+    """Numerically stable log-softmax along ``axis`` (dtype-preserving,
+    with the same integer-to-float32 rule as :func:`softmax`)."""
     shifted = x - x.max(axis=axis, keepdims=True)
+    if not np.issubdtype(shifted.dtype, np.floating):
+        shifted = shifted.astype(np.float32)
     return shifted - np.log(np.exp(shifted).sum(axis=axis, keepdims=True))

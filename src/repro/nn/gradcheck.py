@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.nn.module import Module
+from repro.nn.module import Module, float32_boundary_disabled
 
 __all__ = ["numeric_gradient", "check_module_gradients", "max_relative_error"]
 
@@ -68,9 +68,19 @@ def check_module_gradients(module: Module, x: np.ndarray,
     :func:`gradient_mismatch`; <= 1.0 passes) keyed by ``"input"`` and
     parameter names.  Raises ``AssertionError`` when a gradient fails.
 
-    The module is evaluated in float64 for stable differences, and must
+    The module is evaluated in float64 for stable differences — the
+    Module float32 boundary is suspended for the duration — and must
     be deterministic (disable dropout before checking).
     """
+    with float32_boundary_disabled():
+        return _check_module_gradients_f64(module, x, eps=eps, rtol=rtol,
+                                           atol=atol, seed_grad=seed_grad)
+
+
+def _check_module_gradients_f64(module: Module, x: np.ndarray,
+                                eps: float, rtol: float, atol: float,
+                                seed_grad: np.ndarray | None
+                                ) -> dict[str, float]:
     module.train(True)
     x = x.astype(np.float64)
     for _, p in module.named_parameters():

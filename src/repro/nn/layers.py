@@ -27,6 +27,7 @@ __all__ = [
     "Identity",
     "set_mc_dropout",
     "mc_dropout_enabled",
+    "collect_dropout_layers",
 ]
 
 
@@ -71,14 +72,25 @@ class Conv2d(Module):
             raise ValueError(
                 f"Conv2d expects NCHW input, got shape {np.shape(x)}")
         bias = self.bias.data if self.bias is not None else None
-        y, self._cache = F.conv2d_forward(
-            x, self.weight.data, bias, self.stride, self.padding,
-            self.dilation)
+        if self.training:
+            y, self._cache = F.conv2d_forward(
+                x, self.weight.data, bias, self.stride, self.padding,
+                self.dilation)
+        else:
+            # Inference engine: blocked im2col into pooled scratch
+            # buffers, no column matrix retained (backward is a
+            # training-mode operation).
+            self._cache = None
+            y = F.conv2d_infer(
+                x, self.weight.data, bias, self.stride, self.padding,
+                self.dilation)
         return y
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._cache is None:
-            raise RuntimeError("backward called before forward")
+            raise RuntimeError(
+                "backward called before forward (inference-mode "
+                "forwards do not retain the im2col cache)")
         dx, dw, db = F.conv2d_backward(grad, self._cache)
         self.weight.grad += dw
         if self.bias is not None:
@@ -121,27 +133,38 @@ class BatchNorm2d(Module):
             m = self.momentum
             self.running_mean = (1 - m) * self.running_mean + m * mean
             self.running_var = (1 - m) * self.running_var + m * var
-        else:
-            mean = self.running_mean.astype(x.dtype)
-            var = self.running_var.astype(x.dtype)
+            inv_std = 1.0 / np.sqrt(var + self.eps)
+            x_hat = (x - mean[None, :, None, None]) \
+                * inv_std[None, :, None, None]
+            y = (self.gamma.data[None, :, None, None] * x_hat
+                 + self.beta.data[None, :, None, None])
+            self._cache = (x_hat, inv_std, x.shape)
+            return y
+        # Eval: running statistics are constants, so normalisation and
+        # the affine transform fuse into one per-channel scale/shift —
+        # two full-size passes (multiply, add) instead of four, no
+        # materialised x_hat, and no cache retained (inference never
+        # calls backward; see Conv2d).
+        mean = self.running_mean.astype(x.dtype)
+        var = self.running_var.astype(x.dtype)
         inv_std = 1.0 / np.sqrt(var + self.eps)
-        x_hat = (x - mean[None, :, None, None]) * inv_std[None, :, None, None]
-        y = (self.gamma.data[None, :, None, None] * x_hat
-             + self.beta.data[None, :, None, None])
-        self._cache = (x_hat, inv_std, x.shape)
+        scale = self.gamma.data * inv_std
+        shift = self.beta.data - mean * scale
+        y = x * scale[None, :, None, None]
+        y += shift[None, :, None, None]
+        self._cache = None
         return y
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._cache is None:
-            raise RuntimeError("backward called before forward")
+            raise RuntimeError(
+                "backward called before forward (inference-mode "
+                "forwards do not retain normalisation caches)")
         x_hat, inv_std, x_shape = self._cache
         n, _, h, w = x_shape
         m = n * h * w
         self.beta.grad += grad.sum(axis=(0, 2, 3))
         self.gamma.grad += (grad * x_hat).sum(axis=(0, 2, 3))
-        if not self.training:
-            # Running statistics are constants at inference time.
-            return grad * (self.gamma.data * inv_std)[None, :, None, None]
         g = grad * self.gamma.data[None, :, None, None]
         sum_g = g.sum(axis=(0, 2, 3), keepdims=True)
         sum_gx = (g * x_hat).sum(axis=(0, 2, 3), keepdims=True)
@@ -151,19 +174,28 @@ class BatchNorm2d(Module):
 
 
 class ReLU(Module):
-    """Rectified linear unit."""
+    """Rectified linear unit.
+
+    Inference forwards run as a single fused ``np.maximum`` pass and
+    retain no mask (inference never calls backward; see Conv2d).
+    """
 
     def __init__(self):
         super().__init__()
         self._mask = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._mask = x > 0
-        return x * self._mask
+        if self.training:
+            self._mask = x > 0
+            return x * self._mask
+        self._mask = None
+        return np.maximum(x, 0)
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._mask is None:
-            raise RuntimeError("backward called before forward")
+            raise RuntimeError(
+                "backward called before forward (inference-mode "
+                "forwards do not retain the activation mask)")
         return grad * self._mask
 
 
@@ -215,17 +247,35 @@ class Dropout(Module):
     def _active(self) -> bool:
         return (self.training or self.mc_mode) and self.p > 0.0
 
+    def _draw_mask(self, shape, dtype) -> np.ndarray:
+        """One inverted-dropout mask of ``shape``.
+
+        The mask is built in the input's dtype: a {0, 1/keep}-valued
+        float32 array for float32 activations, with 1/keep computed in
+        float64 and rounded once — bit-identical to the historical
+        float64-mask-then-cast, without the full-size float64
+        intermediate and per-forward astype copy.  One ``rng.random``
+        call per mask keeps the batch contract (see class docstring).
+        """
+        keep = 1.0 - self.p
+        scale = np.asarray(1.0 / keep, dtype=dtype
+                           if np.issubdtype(dtype, np.floating)
+                           else np.float32)
+        return (self.rng.random(shape) < keep).astype(
+            scale.dtype) * scale
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         if not self._active():
             self._mask = None
             return x
-        keep = 1.0 - self.p
-        self._mask = (self.rng.random(x.shape) < keep) / keep
-        return x * self._mask.astype(x.dtype)
+        self._mask = self._draw_mask(x.shape, x.dtype)
+        return x * self._mask
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         if self._mask is None:
             return grad
+        if self._mask.dtype == grad.dtype:
+            return grad * self._mask
         return grad * self._mask.astype(grad.dtype)
 
 
@@ -243,11 +293,12 @@ class SpatialDropout2d(Dropout):
         if not self._active():
             self._mask = None
             return x
-        keep = 1.0 - self.p
         n, c = x.shape[:2]
-        mask = (self.rng.random((n, c, 1, 1)) < keep) / keep
-        self._mask = np.broadcast_to(mask, x.shape)
-        return x * self._mask.astype(x.dtype)
+        # Broadcast view: the (N, C, 1, 1) mask multiplies the full map
+        # without ever materialising an (N, C, H, W) mask array.
+        self._mask = np.broadcast_to(
+            self._draw_mask((n, c, 1, 1), x.dtype), x.shape)
+        return x * self._mask
 
 
 class MaxPool2d(Module):
@@ -310,22 +361,35 @@ class Identity(Module):
         return grad
 
 
-def set_mc_dropout(model: Module, active: bool, rng=None) -> int:
+def collect_dropout_layers(model: Module) -> list["Dropout"]:
+    """All dropout layers of ``model`` in ``modules()`` order.
+
+    The order matters: :func:`set_mc_dropout` seeds layers in this
+    order, so callers that cache the list (the Bayesian segmenter's hot
+    path does, to skip the attribute-scan walk on every MC pass) get
+    the exact seeding stream of an uncached call.
+    """
+    return [m for m in model.modules() if isinstance(m, Dropout)]
+
+
+def set_mc_dropout(model: Module, active: bool, rng=None,
+                   layers: list["Dropout"] | None = None) -> int:
     """Toggle Monte-Carlo dropout on every dropout layer of ``model``.
 
     Returns the number of dropout layers affected.  Optionally reseeds
-    the layers' generators so an MC session is reproducible.
+    the layers' generators so an MC session is reproducible.  ``layers``
+    may carry a pre-collected :func:`collect_dropout_layers` result to
+    skip the module walk (the lists must come from the same model).
     """
-    count = 0
+    if layers is None:
+        layers = collect_dropout_layers(model)
     rng = ensure_rng(rng) if rng is not None else None
-    for module in model.modules():
-        if isinstance(module, Dropout):
-            module.mc_mode = active
-            if rng is not None:
-                module.rng = np.random.default_rng(
-                    int(rng.integers(0, 2**63 - 1)))
-            count += 1
-    return count
+    for module in layers:
+        module.mc_mode = active
+        if rng is not None:
+            module.rng = np.random.default_rng(
+                int(rng.integers(0, 2**63 - 1)))
+    return len(layers)
 
 
 def mc_dropout_enabled(model: Module) -> bool:

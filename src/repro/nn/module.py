@@ -11,9 +11,43 @@ gradient-checkable.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 import numpy as np
 
-__all__ = ["Parameter", "Module", "Sequential"]
+__all__ = ["Parameter", "Module", "Sequential", "set_float32_boundary",
+           "float32_boundary_disabled"]
+
+#: When True (default), ``Module.__call__`` converts floating inputs to
+#: float32 before dispatching to ``forward`` — the substrate's working
+#: precision.  This is the dtype firewall: without it a single float64
+#: array (a dataset artefact, a python-float product) silently promotes
+#: every downstream conv/GEMM to float64 at ~2x the cost.  Gradient
+#: checking deliberately runs in float64 and disables the boundary via
+#: :func:`float32_boundary_disabled`.
+_FLOAT32_BOUNDARY = True
+
+
+def set_float32_boundary(enabled: bool) -> None:
+    """Enable/disable the float32 conversion at ``Module.__call__``."""
+    global _FLOAT32_BOUNDARY
+    _FLOAT32_BOUNDARY = bool(enabled)
+
+
+@contextmanager
+def float32_boundary_disabled():
+    """Temporarily let non-float32 dtypes through ``Module.__call__``.
+
+    Used by the float64 gradient checker; inference and training code
+    should never need this.
+    """
+    global _FLOAT32_BOUNDARY
+    saved = _FLOAT32_BOUNDARY
+    _FLOAT32_BOUNDARY = False
+    try:
+        yield
+    finally:
+        _FLOAT32_BOUNDARY = saved
 
 
 class Parameter:
@@ -58,6 +92,10 @@ class Module:
         raise NotImplementedError
 
     def __call__(self, x: np.ndarray) -> np.ndarray:
+        if (_FLOAT32_BOUNDARY and isinstance(x, np.ndarray)
+                and x.dtype != np.float32
+                and np.issubdtype(x.dtype, np.floating)):
+            x = x.astype(np.float32)
         return self.forward(x)
 
     # ------------------------------------------------------------------

@@ -1,0 +1,36 @@
+"""Shared single-image inference helpers for segmentation models.
+
+Both :class:`~repro.segmentation.msdnet.MSDNet` and
+:class:`~repro.segmentation.lightweight.LightSegNet` expose the same
+``predict_probabilities`` / ``predict_labels`` surface; the logic lives
+here once so label semantics (dtype, arg-max tie-breaking, the
+softmax-free labels path) can never diverge between models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.functional import softmax
+
+
+def _forward_single(model, image: np.ndarray) -> np.ndarray:
+    """Logits ``(num_classes, H, W)`` for one CHW image."""
+    if image.ndim != 3:
+        raise ValueError(f"expected CHW image, got shape "
+                         f"{np.shape(image)}")
+    return model.forward(np.asarray(image, dtype=np.float32)[None])[0]
+
+
+def predict_probabilities(model, image: np.ndarray) -> np.ndarray:
+    """Softmax class scores ``(num_classes, H, W)`` for one image."""
+    return softmax(_forward_single(model, image), axis=0)
+
+
+def predict_labels(model, image: np.ndarray) -> np.ndarray:
+    """Arg-max class map ``(H, W)`` for one CHW image.
+
+    Softmax is monotone, so the arg-max is taken on raw logits and the
+    normalisation pass is skipped.
+    """
+    return _forward_single(model, image).argmax(axis=0)

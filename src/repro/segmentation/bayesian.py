@@ -52,7 +52,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.nn.functional import softmax
-from repro.nn.layers import set_mc_dropout
+from repro.nn.layers import collect_dropout_layers, set_mc_dropout
 from repro.nn.module import Module
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_image_chw, check_positive
@@ -138,16 +138,48 @@ class BayesianSegmenter:
         of 6 keeps the im2col working set inside typical CPU caches;
         pushing all 10 tiles through one forward is measurably slower
         than two cache-friendly chunks.
+    prefix_split:
+        Use the model's ``forward_prefix``/``forward_suffix``
+        deterministic split when it offers one (default).  ``False``
+        forces whole-network forwards — the reference the prefix-split
+        timing in ``benchmarks/bench_ext_lightweight.py`` is measured
+        against.
     """
 
     def __init__(self, model: Module, num_samples: int = 10, rng=None,
-                 max_batch: int = 6):
+                 max_batch: int = 6, prefix_split: bool = True):
         check_positive("num_samples", num_samples)
         check_positive("max_batch", max_batch)
         self.model = model
         self.num_samples = int(num_samples)
         self.rng = ensure_rng(rng)
         self.max_batch = int(max_batch)
+        self.prefix_split = bool(prefix_split)
+        # The model's layer graph is static: collect its dropout layers
+        # once so MC toggling skips the module walk on every pass (a
+        # measurable share of small-crop monitor latency).
+        self._dropout_layers = collect_dropout_layers(model)
+        self._eval_cached = False
+
+    # ------------------------------------------------------------------
+    # Model-state plumbing (hot-path helpers)
+    # ------------------------------------------------------------------
+    def _ensure_eval(self) -> None:
+        """``model.eval()``, skipping the walk when already inference.
+
+        The root ``training`` flag tracks ``train()``/``eval()`` calls,
+        which set all descendants; a model whose sub-modules were
+        toggled individually (no supported workflow does that) should
+        call ``model.eval()`` itself.
+        """
+        if self.model.training or not self._eval_cached:
+            self.model.eval()
+            self._eval_cached = True
+
+    def _set_mc(self, active: bool, rng=None) -> None:
+        """Seeded-stream-identical ``set_mc_dropout`` on cached layers."""
+        set_mc_dropout(self.model, active, rng=rng,
+                       layers=self._dropout_layers)
 
     # ------------------------------------------------------------------
     # Knob resolution
@@ -173,7 +205,12 @@ class BayesianSegmenter:
         engine then computes the prefix once per image and tiles only
         the suffix across the ``T`` MC samples — the prefix is usually
         the full-resolution stem, i.e. most of the wall-clock cost.
+        Both :class:`~repro.segmentation.msdnet.MSDNet` and
+        :class:`~repro.segmentation.lightweight.LightSegNet` offer the
+        split; ``prefix_split=False`` disables it for benchmarking.
         """
+        if not self.prefix_split:
+            return None, None
         prefix = getattr(self.model, "forward_prefix", None)
         suffix = getattr(self.model, "forward_suffix", None)
         if callable(prefix) and callable(suffix):
@@ -202,10 +239,41 @@ class BayesianSegmenter:
     def predict_deterministic(self, image: np.ndarray) -> np.ndarray:
         """Standard-version softmax scores ``(C, H, W)`` (dropout off)."""
         check_image_chw("image", image)
-        self.model.eval()
-        set_mc_dropout(self.model, False)
+        self._ensure_eval()
+        self._set_mc(False)
         logits = self.model.forward(image[None].astype(np.float32))
         return softmax(logits, axis=1)[0]
+
+    def predict_labels(self, image: np.ndarray) -> np.ndarray:
+        """Standard-version arg-max labels ``(H, W)`` for one image.
+
+        Identical to ``predict_deterministic(image).argmax(axis=0)`` —
+        softmax is monotone, so the arg-max is taken on raw logits and
+        the full-frame exp/normalise pass is skipped (the pipeline's
+        core function only needs labels).
+        """
+        check_image_chw("image", image)
+        self._ensure_eval()
+        self._set_mc(False)
+        logits = self.model.forward(image[None].astype(np.float32))
+        return logits[0].argmax(axis=0)
+
+    def predict_labels_batch(self, images,
+                             max_batch: int | None = None) -> np.ndarray:
+        """Standard-version labels ``(N, H, W)`` for a frame stack.
+
+        The batched-engine analogue of :meth:`predict_labels`; each
+        element is bit-for-bit equal to the single-image call.
+        """
+        stack = self._stack_images(images)
+        b_max = self._resolve_max_batch(max_batch)
+        if stack.shape[0] == 0:
+            return np.zeros((0, 0, 0), dtype=np.int64)
+        self._ensure_eval()
+        self._set_mc(False)
+        outs = [self.model.forward(stack[lo:lo + b_max]).argmax(axis=1)
+                for lo in range(0, stack.shape[0], b_max)]
+        return np.concatenate(outs, axis=0)
 
     def predict_deterministic_batch(self, images,
                                     max_batch: int | None = None
@@ -225,8 +293,8 @@ class BayesianSegmenter:
             classes = int(getattr(
                 getattr(self.model, "config", None), "num_classes", 0))
             return np.zeros((0, classes, 0, 0), dtype=np.float32)
-        self.model.eval()
-        set_mc_dropout(self.model, False)
+        self._ensure_eval()
+        self._set_mc(False)
         outs = [softmax(self.model.forward(stack[lo:lo + b_max]), axis=1)
                 for lo in range(0, stack.shape[0], b_max)]
         return np.concatenate(outs, axis=0)
@@ -247,11 +315,11 @@ class BayesianSegmenter:
         (consumers iterate inside ``try/finally gen.close()``).
         """
         n = stack.shape[0]
-        self.model.eval()
+        self._ensure_eval()
         prefix, suffix = self._split_fns()
         if prefix is not None:
             # Deterministic prefix: once per image, not once per sample.
-            set_mc_dropout(self.model, False)
+            self._set_mc(False)
             base = np.concatenate(
                 [prefix(stack[lo:lo + max_batch])
                  for lo in range(0, n, max_batch)], axis=0)
@@ -259,7 +327,7 @@ class BayesianSegmenter:
         else:
             base = stack
             forward = self.model.forward
-        set_mc_dropout(self.model, True, rng=self.rng)
+        self._set_mc(True, rng=self.rng)
         total = n * num_samples
         try:
             done = 0
@@ -275,7 +343,7 @@ class BayesianSegmenter:
                 yield owners, softmax(forward(batch), axis=1)
                 done += b
         finally:
-            set_mc_dropout(self.model, False)
+            self._set_mc(False)
 
     def predict_distribution(self, image: np.ndarray,
                              num_samples: int | None = None,
@@ -311,15 +379,15 @@ class BayesianSegmenter:
         """
         check_image_chw("image", image)
         t = self._resolve_samples(num_samples)
-        self.model.eval()
-        set_mc_dropout(self.model, True, rng=self.rng)
+        self._ensure_eval()
+        self._set_mc(True, rng=self.rng)
         x = image[None].astype(np.float32)
         moments = _RunningMoments()
         try:
             for _ in range(t):
                 moments.update(softmax(self.model.forward(x), axis=1)[0])
         finally:
-            set_mc_dropout(self.model, False)
+            self._set_mc(False)
         return moments.finalize()
 
     def predict_distribution_stack(self, stack: np.ndarray,

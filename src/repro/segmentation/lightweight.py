@@ -80,8 +80,13 @@ class LightSegNet(nn.Module):
             layers.append(nn.Upsample(config.output_stride,
                                       mode="bilinear"))
         self.body = nn.Sequential(*layers)
+        # Index of the first stochastic (dropout) layer: the boundary of
+        # the deterministic-prefix split (see forward_prefix).
+        self._prefix_len = next(
+            (i for i, layer in enumerate(self.body.layers)
+             if isinstance(layer, nn.Dropout)), len(self.body.layers))
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def _check_input(self, x: np.ndarray) -> None:
         stride = self.config.output_stride
         if x.ndim != 4:
             raise ValueError(f"expected NCHW input, got shape {x.shape}")
@@ -89,22 +94,51 @@ class LightSegNet(nn.Module):
             raise ValueError(
                 f"input spatial size {x.shape[2:]} must be divisible by "
                 f"the output stride {stride}")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._check_input(x)
         return self.body(x)
+
+    def forward_prefix(self, x: np.ndarray) -> np.ndarray:
+        """Everything upstream of the first dropout — deterministic.
+
+        Implements the same split contract as
+        :meth:`repro.segmentation.msdnet.MSDNet.forward_prefix`:
+        ``forward(x) == forward_suffix(forward_prefix(x))`` with no
+        stochastic layer in the prefix, so the batched MC-dropout
+        engine computes it once per image instead of once per sample.
+        For this architecture the prefix is the entire encoder (stem,
+        strided stages and the pre-dropout conv block) — nearly the
+        whole network, which is why the split matters even more here
+        than for MSDnet (benchmarked in
+        ``benchmarks/bench_ext_lightweight.py``).
+        """
+        self._check_input(x)
+        y = x
+        for layer in self.body.layers[:self._prefix_len]:
+            y = layer(y)
+        return y
+
+    def forward_suffix(self, z: np.ndarray) -> np.ndarray:
+        """Dropout, classification head and upsampling — the remainder."""
+        y = z
+        for layer in self.body.layers[self._prefix_len:]:
+            y = layer(y)
+        return y
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         return self.body.backward(grad)
 
     def predict_probabilities(self, image: np.ndarray) -> np.ndarray:
         """Softmax class scores ``(num_classes, H, W)`` for one image."""
-        if image.ndim != 3:
-            raise ValueError(f"expected CHW image, got {image.shape}")
-        from repro.nn.functional import softmax
-        logits = self.forward(image[None].astype(np.float32))
-        return softmax(logits, axis=1)[0]
+        from repro.segmentation._inference import predict_probabilities
+        return predict_probabilities(self, image)
 
     def predict_labels(self, image: np.ndarray) -> np.ndarray:
-        """Arg-max class map ``(H, W)`` for one CHW image."""
-        return self.predict_probabilities(image).argmax(axis=0)
+        """Arg-max class map ``(H, W)`` for one CHW image (taken on raw
+        logits — softmax is monotone — skipping the normalisation)."""
+        from repro.segmentation._inference import predict_labels
+        return predict_labels(self, image)
 
 
 def build_lightsegnet(num_classes: int = 8, base_channels: int = 8,

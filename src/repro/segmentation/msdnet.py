@@ -223,15 +223,14 @@ class MSDNet(nn.Module):
         Deterministic standard-version inference (dropout inactive unless
         explicitly put in MC mode) — the core function of Fig. 2.
         """
-        if image.ndim != 3:
-            raise ValueError(f"expected CHW image, got shape {image.shape}")
-        logits = self.forward(image[None].astype(np.float32))
-        from repro.nn.functional import softmax  # local to avoid cycle
-        return softmax(logits, axis=1)[0]
+        from repro.segmentation._inference import predict_probabilities
+        return predict_probabilities(self, image)
 
     def predict_labels(self, image: np.ndarray) -> np.ndarray:
-        """Arg-max class map ``(H, W)`` for one CHW image."""
-        return self.predict_probabilities(image).argmax(axis=0)
+        """Arg-max class map ``(H, W)`` for one CHW image (taken on raw
+        logits — softmax is monotone — skipping the normalisation)."""
+        from repro.segmentation._inference import predict_labels
+        return predict_labels(self, image)
 
 
 def build_msdnet(num_classes: int = 8, base_channels: int = 16,

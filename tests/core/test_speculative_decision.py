@@ -1,0 +1,219 @@
+"""Equivalence tests: speculative check-ahead vs the sequential loop.
+
+The decision module's contract (see ``repro/core/decision.py``): given
+the same per-candidate verdicts, ``decide`` with ``speculative_k > 1``
+and a batch ``check_zones`` produces a :class:`Decision` bit-for-bit
+identical to the sequential path — same action, zone, consumed
+verdicts, attempts, elapsed time and log — across land/retry/abort and
+both budget-exhaustion outcomes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DecisionAction,
+    DecisionConfig,
+    DecisionModule,
+    ZoneCandidate,
+)
+from repro.core.monitor import ZoneVerdict
+from repro.segmentation.bayesian import PixelDistribution
+from repro.utils.geometry import Box
+
+
+def _candidate(rank, clearance=30.0, required=10.0):
+    return ZoneCandidate(box=Box(4 * rank, 4 * rank, 8, 8),
+                         clearance_m=clearance,
+                         required_clearance_m=required, rank=rank)
+
+
+def _verdict(accepted, fraction=None):
+    dist = PixelDistribution(mean=np.zeros((8, 8, 8)),
+                             std=np.zeros((8, 8, 8)), num_samples=1)
+    if fraction is None:
+        fraction = 0.0 if accepted else 1.0
+    return ZoneVerdict(accepted=accepted, unsafe_fraction=fraction,
+                       unsafe_mask=np.zeros((8, 8), dtype=bool),
+                       box=Box(0, 0, 8, 8), num_samples=1,
+                       distribution=dist)
+
+
+def _stub_monitors(outcomes):
+    """(check_zone, check_zones, calls) serving fixed verdicts by rank.
+
+    ``calls`` records every batch handed to ``check_zones`` so tests
+    can assert how speculation grouped the work.
+    """
+    verdicts = {rank: _verdict(acc) for rank, acc in outcomes.items()}
+    calls = []
+
+    def check_zone(candidate):
+        return verdicts[candidate.rank]
+
+    def check_zones(batch):
+        calls.append([c.rank for c in batch])
+        return [verdicts[c.rank] for c in batch]
+
+    return check_zone, check_zones, calls
+
+
+def _assert_decisions_identical(a, b):
+    assert a.action is b.action
+    assert a.zone == b.zone
+    assert a.attempts == b.attempts
+    assert a.elapsed_s == b.elapsed_s
+    assert a.log == b.log
+    assert len(a.verdicts) == len(b.verdicts)
+    for va, vb in zip(a.verdicts, b.verdicts):
+        assert va.accepted == vb.accepted
+        assert va.unsafe_fraction == vb.unsafe_fraction
+
+
+SCENARIOS = [
+    # (config kwargs, candidate specs, outcomes by rank)
+    pytest.param(dict(), [(0, 30.0)], {0: True}, id="first-lands"),
+    pytest.param(dict(), [(0, 30.0), (1, 30.0)], {0: False, 1: True},
+                 id="retry-then-land"),
+    pytest.param(dict(max_attempts=5), [(i, 30.0) for i in range(3)],
+                 {0: False, 1: False, 2: False}, id="all-rejected-abort"),
+    pytest.param(dict(max_attempts=2), [(i, 30.0) for i in range(5)],
+                 {i: False for i in range(5)}, id="attempt-budget"),
+    pytest.param(dict(max_attempts=10, time_budget_s=8.0,
+                      seconds_per_attempt=5.0),
+                 [(i, 30.0) for i in range(5)],
+                 {i: False for i in range(5)}, id="time-budget"),
+    pytest.param(dict(), [(0, 5.0), (1, 30.0), (2, 30.0)],
+                 {1: False, 2: True}, id="skips-unbuffered"),
+    pytest.param(dict(), [(0, 1.0)], {}, id="no-viable-abort"),
+    pytest.param(dict(max_attempts=4),
+                 [(i, 30.0) for i in range(4)],
+                 {0: False, 1: False, 2: True, 3: True},
+                 id="lands-mid-second-batch"),
+]
+
+
+class TestSpeculativeEquivalence:
+    @pytest.mark.parametrize("cfg_kw,cand_specs,outcomes", SCENARIOS)
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_identical_decisions(self, cfg_kw, cand_specs, outcomes, k):
+        candidates = [_candidate(r, clearance=c) for r, c in cand_specs]
+        check_zone, check_zones, _ = _stub_monitors(outcomes)
+
+        sequential = DecisionModule(DecisionConfig(**cfg_kw)).decide(
+            candidates, check_zone)
+        speculative = DecisionModule(
+            DecisionConfig(speculative_k=k, **cfg_kw)).decide(
+            candidates, check_zone, check_zones=check_zones)
+        _assert_decisions_identical(sequential, speculative)
+
+    def test_overchecked_verdicts_discarded(self):
+        # First candidate accepted: the joint pass computed 3 verdicts
+        # but the decision consumed exactly one.
+        candidates = [_candidate(i) for i in range(3)]
+        check_zone, check_zones, calls = _stub_monitors(
+            {0: True, 1: True, 2: True})
+        decision = DecisionModule(
+            DecisionConfig(speculative_k=3)).decide(
+            candidates, check_zone, check_zones=check_zones)
+        assert calls == [[0, 1, 2]]
+        assert decision.attempts == 1
+        assert len(decision.verdicts) == 1
+        assert decision.zone.rank == 0
+
+    def test_batches_clamped_to_attempt_budget(self):
+        # max_attempts=2 with k=3: the joint pass must never include a
+        # candidate the sequential loop could not have afforded.
+        candidates = [_candidate(i) for i in range(5)]
+        check_zone, check_zones, calls = _stub_monitors(
+            {i: False for i in range(5)})
+        decision = DecisionModule(
+            DecisionConfig(max_attempts=2, speculative_k=3)).decide(
+            candidates, check_zone, check_zones=check_zones)
+        assert calls == [[0, 1]]
+        assert decision.attempts == 2
+        assert decision.action is DecisionAction.ABORT
+
+    def test_batches_clamped_to_time_budget(self):
+        candidates = [_candidate(i) for i in range(5)]
+        check_zone, check_zones, calls = _stub_monitors(
+            {i: False for i in range(5)})
+        decision = DecisionModule(
+            DecisionConfig(max_attempts=10, time_budget_s=12.0,
+                           seconds_per_attempt=5.0,
+                           speculative_k=4)).decide(
+            candidates, check_zone, check_zones=check_zones)
+        assert calls == [[0, 1]]  # only two 5s attempts fit 12s
+        assert decision.attempts == 2
+
+    def test_second_batch_issued_after_full_rejection(self):
+        candidates = [_candidate(i) for i in range(4)]
+        check_zone, check_zones, calls = _stub_monitors(
+            {0: False, 1: False, 2: True, 3: True})
+        decision = DecisionModule(
+            DecisionConfig(max_attempts=4, speculative_k=2)).decide(
+            candidates, check_zone, check_zones=check_zones)
+        assert calls == [[0, 1], [2, 3]]
+        assert decision.landed
+        assert decision.zone.rank == 2
+        assert decision.attempts == 3
+
+    def test_wrong_verdict_count_rejected(self):
+        candidates = [_candidate(0), _candidate(1)]
+        with pytest.raises(ValueError, match="verdicts"):
+            DecisionModule(DecisionConfig(speculative_k=2)).decide(
+                candidates, None, check_zones=lambda batch: [])
+
+    def test_speculative_k_one_falls_back_to_sequential(self):
+        candidates = [_candidate(0), _candidate(1)]
+        check_zone, check_zones, calls = _stub_monitors(
+            {0: False, 1: True})
+        decision = DecisionModule(DecisionConfig()).decide(
+            candidates, None, check_zones=check_zones)
+        assert calls == [[0], [1]]
+        assert decision.landed
+
+    def test_invalid_speculative_k_rejected(self):
+        with pytest.raises(ValueError):
+            DecisionConfig(speculative_k=0)
+
+
+class TestSpeculativePipeline:
+    """Speculative monitoring through the real monitor and pipeline."""
+
+    def test_single_zone_joint_pass_is_bit_identical(self, tiny_system):
+        # A speculative batch clamped to one candidate runs the same
+        # singly-seeded stacked pass as check_zone — bit for bit.
+        image = tiny_system.test_samples[0].image
+        pipe_a = tiny_system.make_pipeline(rng=0)
+        labels = pipe_a.segmenter.predict_labels(image)
+        candidates = pipe_a.selector.propose(labels)
+        box = candidates[0].box
+        # Fresh seeded pipelines per path: the segmenter's RNG stream
+        # advances with every pass, so same-seed instances are compared.
+        a = pipe_a.monitor.check_zone(image, box)
+        [b] = tiny_system.make_pipeline(rng=0).monitor.check_zones(
+            image, [box], joint=True)
+        assert a.accepted == b.accepted
+        assert a.unsafe_fraction == b.unsafe_fraction
+        assert np.array_equal(a.distribution.mean, b.distribution.mean)
+        assert np.array_equal(a.distribution.std, b.distribution.std)
+
+    def test_speculative_pipeline_invariants(self, tiny_system):
+        pipeline = tiny_system.make_pipeline(rng=0, speculative_k=3)
+        assert pipeline.config.decision.speculative_k == 3
+        for sample in tiny_system.test_samples:
+            result = pipeline.run(sample.image)
+            assert len(result.verdicts) == result.decision.attempts
+            assert result.decision.attempts <= \
+                pipeline.config.decision.max_attempts
+            if result.landed:
+                assert result.verdicts[-1].accepted
+
+    def test_speculative_pipeline_seeded_reproducible(self, tiny_system):
+        image = tiny_system.test_samples[0].image
+        a = tiny_system.make_pipeline(rng=3, speculative_k=3).run(image)
+        b = tiny_system.make_pipeline(rng=3, speculative_k=3).run(image)
+        assert a.decision.action is b.decision.action
+        assert a.decision.attempts == b.decision.attempts
+        assert a.decision.log == b.decision.log

@@ -1,0 +1,180 @@
+"""Tests for the layout-aware inference conv engine.
+
+Contracts:
+
+* the blocked engine agrees with the reference im2col+GEMM path — bit
+  for bit when the geometry fits a single block, to float32
+  reassociation tolerance when the column matrix is split;
+* blocking depends only on per-sample geometry, so batched forwards
+  equal per-sample forwards bit for bit (the batched MC engine's
+  invariant);
+* the NHWC-internal option matches to reassociation tolerance (its GEMM
+  reduction order differs by construction);
+* stride-0 broadcast batches are computed once and re-broadcast.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+
+
+@pytest.fixture(autouse=True)
+def _restore_engine():
+    saved = F.get_conv_engine()
+    yield
+    F.set_conv_engine(**saved)
+
+
+def _case(rng, n, cin, cout, h, w, k=3, stride=1, padding=1, dilation=1):
+    x = rng.normal(size=(n, cin, h, w)).astype(np.float32)
+    wt = rng.normal(size=(cout, cin, k, k)).astype(np.float32)
+    b = rng.normal(size=cout).astype(np.float32)
+    return x, wt, b, stride, padding, dilation
+
+
+CASES = [
+    dict(n=1, cin=3, cout=8, h=24, w=32),                      # stem-like
+    dict(n=4, cin=8, cout=8, h=24, w=32, stride=2),            # strided
+    dict(n=2, cin=8, cout=4, h=12, w=16, padding=4, dilation=4),
+    dict(n=3, cin=8, cout=8, h=9, w=11),                       # odd sizes
+    dict(n=2, cin=4, cout=6, h=8, w=8, k=1, padding=0),        # 1x1
+]
+
+
+class TestBlockedEngine:
+    @pytest.mark.parametrize("kw", CASES)
+    def test_blocked_matches_reference(self, kw):
+        x, wt, b, s, p, d = _case(np.random.default_rng(0), **kw)
+        with F.conv_engine(mode="reference"):
+            ref = F.conv2d_infer(x, wt, b, s, p, d)
+        with F.conv_engine(mode="blocked"):
+            out = F.conv2d_infer(x, wt, b, s, p, d)
+        np.testing.assert_allclose(out, ref, rtol=1e-5, atol=1e-5)
+
+    @pytest.mark.parametrize("kw", CASES)
+    def test_blocked_matches_training_forward(self, kw):
+        x, wt, b, s, p, d = _case(np.random.default_rng(1), **kw)
+        ref, _ = F.conv2d_forward(x, wt, b, s, p, d)
+        out = F.conv2d_infer(x, wt, b, s, p, d)
+        np.testing.assert_allclose(out, ref, rtol=1e-5, atol=1e-5)
+
+    def test_single_block_is_bit_identical_to_reference(self):
+        # Geometry far below the block budget -> the blocked engine
+        # degenerates to exactly the reference GEMM.
+        x, wt, b, s, p, d = _case(np.random.default_rng(2), n=2, cin=4,
+                                  cout=4, h=8, w=8)
+        with F.conv_engine(mode="reference"):
+            ref = F.conv2d_infer(x, wt, b, s, p, d)
+        with F.conv_engine(mode="blocked"):
+            out = F.conv2d_infer(x, wt, b, s, p, d)
+        assert np.array_equal(out, ref)
+
+    def test_batched_equals_per_sample_bit_for_bit(self):
+        # The invariant the batched MC-dropout engine builds on: the
+        # block split never depends on the batch size.  Use a spatial
+        # size large enough to force multiple blocks at a small budget.
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(5, 8, 48, 64)).astype(np.float32)
+        wt = rng.normal(size=(8, 8, 3, 3)).astype(np.float32)
+        with F.conv_engine(mode="blocked", block_kib=64):
+            batched = F.conv2d_infer(x, wt, None, padding=1)
+            singles = np.concatenate(
+                [F.conv2d_infer(x[i:i + 1], wt, None, padding=1)
+                 for i in range(x.shape[0])])
+        assert np.array_equal(batched, singles)
+
+    def test_block_size_does_not_change_results_materially(self):
+        x, wt, b, s, p, d = _case(np.random.default_rng(4), n=2, cin=8,
+                                  cout=8, h=48, w=64)
+        outs = []
+        for kib in (1, 16, 4096):
+            with F.conv_engine(mode="blocked", block_kib=kib):
+                outs.append(F.conv2d_infer(x, wt, b, s, p, d))
+        np.testing.assert_allclose(outs[0], outs[1], rtol=1e-5, atol=1e-5)
+        np.testing.assert_allclose(outs[0], outs[2], rtol=1e-5, atol=1e-5)
+
+    def test_broadcast_batch_computed_once(self):
+        rng = np.random.default_rng(5)
+        one = rng.normal(size=(1, 4, 8, 8)).astype(np.float32)
+        wt = rng.normal(size=(4, 4, 3, 3)).astype(np.float32)
+        tiled = np.broadcast_to(one, (6,) + one.shape[1:])
+        assert tiled.strides[0] == 0
+        y = F.conv2d_infer(tiled, wt, None, padding=1)
+        assert y.shape[0] == 6
+        assert y.strides[0] == 0  # result is a broadcast view too
+        ref = F.conv2d_infer(one, wt, None, padding=1)
+        for i in range(6):
+            assert np.array_equal(y[i], ref[0])
+
+
+class TestNhwcOption:
+    @pytest.mark.parametrize("kw", CASES)
+    def test_nhwc_matches_nchw_to_reassociation(self, kw):
+        x, wt, b, s, p, d = _case(np.random.default_rng(6), **kw)
+        with F.conv_engine(layout="nhwc"):
+            nhwc = F.conv2d_infer(x, wt, b, s, p, d)
+        with F.conv_engine(layout="nchw"):
+            nchw = F.conv2d_infer(x, wt, b, s, p, d)
+        np.testing.assert_allclose(nhwc, nchw, rtol=1e-4, atol=1e-4)
+
+
+class TestEngineConfig:
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            F.set_conv_engine(mode="banana")
+        with pytest.raises(ValueError):
+            F.set_conv_engine(layout="chwn")
+        with pytest.raises(ValueError):
+            F.set_conv_engine(block_kib=0)
+
+    def test_context_manager_restores(self):
+        before = F.get_conv_engine()
+        with F.conv_engine(mode="reference", block_kib=7):
+            assert F.get_conv_engine()["mode"] == "reference"
+        assert F.get_conv_engine() == before
+
+    def test_context_manager_restores_on_error(self):
+        before = F.get_conv_engine()
+        with pytest.raises(RuntimeError):
+            with F.conv_engine(mode="reference"):
+                raise RuntimeError("boom")
+        assert F.get_conv_engine() == before
+
+    def test_clear_conv_buffers(self):
+        x, wt, b, s, p, d = _case(np.random.default_rng(7), n=1, cin=4,
+                                  cout=4, h=8, w=8)
+        F.conv2d_infer(x, wt, b, s, p, d)
+        F.clear_conv_buffers()
+        out = F.conv2d_infer(x, wt, b, s, p, d)
+        assert out.shape == (1, 4, 8, 8)
+
+
+class TestConvLayerDispatch:
+    def test_eval_forward_matches_training_forward(self):
+        layer = nn.Conv2d(3, 5, 3, padding=1, rng=0)
+        x = np.random.default_rng(8).normal(
+            size=(2, 3, 10, 12)).astype(np.float32)
+        layer.train()
+        y_train = layer(x)
+        layer.eval()
+        y_eval = layer(x)
+        np.testing.assert_allclose(y_eval, y_train, rtol=1e-5, atol=1e-5)
+
+    def test_eval_forward_retains_no_cache(self):
+        layer = nn.Conv2d(3, 5, 3, padding=1, rng=0)
+        layer.eval()
+        layer(np.zeros((1, 3, 8, 8), dtype=np.float32))
+        assert layer._cache is None
+        with pytest.raises(RuntimeError, match="before forward"):
+            layer.backward(np.zeros((1, 5, 8, 8), dtype=np.float32))
+
+    def test_training_backward_unaffected(self):
+        layer = nn.Conv2d(2, 3, 3, padding=1, rng=0)
+        x = np.random.default_rng(9).normal(
+            size=(1, 2, 6, 6)).astype(np.float32)
+        layer.train()
+        y = layer(x)
+        dx = layer.backward(np.ones_like(y))
+        assert dx.shape == x.shape

@@ -1,0 +1,132 @@
+"""Float32-discipline regression tests.
+
+The substrate's working precision is float32: a single float64 array
+slipping into a forward pass silently promotes every downstream GEMM to
+float64 at roughly twice the cost.  ``Module.__call__`` is the firewall
+(non-float32 floating inputs are converted), and the functional ops are
+dtype-preserving.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import functional as F
+from repro.nn.module import float32_boundary_disabled
+from repro.segmentation.lightweight import LightSegNet, LightSegNetConfig
+from repro.segmentation.msdnet import MSDNet, MSDNetConfig
+
+
+class TestModuleBoundary:
+    def test_float64_input_converted(self):
+        layer = nn.Identity()
+        out = layer(np.zeros((2, 3), dtype=np.float64))
+        assert out.dtype == np.float32
+
+    def test_float32_input_passes_through_unchanged(self):
+        layer = nn.Identity()
+        x = np.arange(6, dtype=np.float32).reshape(2, 3)
+        assert layer(x) is x
+
+    def test_integer_input_left_alone(self):
+        # The boundary only converts floating dtypes; integer label maps
+        # and masks keep their meaning.
+        layer = nn.Identity()
+        x = np.arange(6).reshape(2, 3)
+        assert layer(x).dtype == x.dtype
+
+    def test_disabled_context_lets_float64_through(self):
+        layer = nn.Identity()
+        x = np.zeros((2, 2), dtype=np.float64)
+        with float32_boundary_disabled():
+            assert layer(x).dtype == np.float64
+        assert layer(x).dtype == np.float32
+
+    def test_gradcheck_still_runs_in_float64(self):
+        # The checker internally suspends the boundary; a failure here
+        # would mean float64 finite differences got truncated to f32.
+        errors = nn.check_module_gradients(
+            nn.Conv2d(2, 2, 3, padding=1, rng=0),
+            np.random.default_rng(0).normal(size=(1, 2, 4, 4)))
+        assert max(errors.values()) <= 1.0
+
+
+class TestEndToEndFloat32:
+    @pytest.mark.parametrize("model", [
+        MSDNet(MSDNetConfig(base_channels=8, num_blocks=1), rng=0),
+        LightSegNet(LightSegNetConfig(base_channels=4), rng=0),
+    ])
+    def test_model_forward_stays_float32(self, model):
+        model.eval()
+        x64 = np.random.default_rng(1).normal(size=(1, 3, 16, 16))
+        y = model(x64)
+        assert y.dtype == np.float32
+
+    def test_dropout_mask_is_float32(self):
+        layer = nn.Dropout(0.5, rng=0)
+        x = np.ones((2, 3, 4, 4), dtype=np.float32)
+        y = layer(x)
+        assert y.dtype == np.float32
+        assert layer._mask.dtype == np.float32
+
+    def test_spatial_dropout_mask_is_broadcast_float32(self):
+        layer = nn.SpatialDropout2d(0.5, rng=0)
+        x = np.ones((2, 3, 8, 8), dtype=np.float32)
+        y = layer(x)
+        assert y.dtype == np.float32
+        assert layer._mask.dtype == np.float32
+        # Broadcast view, not a materialised (N, C, H, W) array.
+        assert layer._mask.base is not None
+
+    def test_batchnorm_eval_output_float32(self):
+        layer = nn.BatchNorm2d(3)
+        layer(np.random.default_rng(0)
+              .normal(size=(4, 3, 5, 5)).astype(np.float32))
+        layer.eval()
+        y = layer(np.ones((1, 3, 4, 4), dtype=np.float32))
+        assert y.dtype == np.float32
+
+
+class TestFunctionalDtypes:
+    def test_softmax_preserves_float32(self):
+        x = np.random.default_rng(0).normal(size=(2, 4)).astype(np.float32)
+        assert F.softmax(x, axis=1).dtype == np.float32
+
+    def test_softmax_promotes_int_to_float32(self):
+        assert F.softmax(np.arange(8).reshape(2, 4),
+                         axis=1).dtype == np.float32
+
+    def test_log_softmax_preserves_float32(self):
+        x = np.random.default_rng(0).normal(size=(2, 4)).astype(np.float32)
+        assert F.log_softmax(x, axis=1).dtype == np.float32
+        assert F.log_softmax(np.arange(8).reshape(2, 4),
+                             axis=1).dtype == np.float32
+
+    def test_resize_weights_default_float32(self):
+        w = F.linear_resize_weights(4, 8)
+        assert w.dtype == np.float32
+        np.testing.assert_allclose(w.sum(axis=1), 1.0, atol=1e-6)
+
+    def test_resize_weights_cached_and_read_only(self):
+        a = F.linear_resize_weights(4, 8)
+        b = F.linear_resize_weights(4, 8)
+        assert a is b
+        with pytest.raises(ValueError):
+            a[0, 0] = 1.0
+
+    def test_resize_weights_float64_on_request(self):
+        assert F.linear_resize_weights(
+            4, 8, dtype=np.float64).dtype == np.float64
+
+    def test_bilinear_resize_preserves_float32(self):
+        x = np.random.default_rng(0).normal(
+            size=(1, 2, 4, 4)).astype(np.float32)
+        y, _ = F.resize_bilinear_forward(x, 8, 8)
+        assert y.dtype == np.float32
+
+    def test_conv_infer_preserves_float32(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        w = rng.normal(size=(4, 3, 3, 3)).astype(np.float32)
+        y = F.conv2d_infer(x, w, None, padding=1)
+        assert y.dtype == np.float32

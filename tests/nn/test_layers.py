@@ -93,8 +93,13 @@ class TestDropout:
     def test_eval_mode_is_identity(self, rng):
         layer = nn.Dropout(0.5, rng=0)
         layer.train(False)
-        x = rng.normal(size=(2, 3, 4, 4))
+        # float32 input passes through bit-identically; the __call__
+        # boundary converts other float dtypes to float32 first.
+        x = rng.normal(size=(2, 3, 4, 4)).astype(np.float32)
         np.testing.assert_array_equal(layer(x), x)
+        x64 = rng.normal(size=(2, 3, 4, 4))
+        np.testing.assert_array_equal(layer(x64),
+                                      x64.astype(np.float32))
 
     def test_training_drops_and_rescales(self, rng):
         layer = nn.Dropout(0.5, rng=0)
@@ -115,7 +120,7 @@ class TestDropout:
 
     def test_zero_rate_identity(self, rng):
         layer = nn.Dropout(0.0)
-        x = rng.normal(size=(2, 4))
+        x = rng.normal(size=(2, 4)).astype(np.float32)
         np.testing.assert_array_equal(layer(x), x)
 
     def test_invalid_rate(self):
@@ -161,7 +166,7 @@ class TestUpsampleAndPool:
 
     def test_identity(self, rng):
         layer = nn.Identity()
-        x = rng.normal(size=(3, 3))
+        x = rng.normal(size=(3, 3)).astype(np.float32)
         np.testing.assert_array_equal(layer(x), x)
         np.testing.assert_array_equal(layer.backward(x), x)
 

@@ -11,6 +11,7 @@ import numpy as np
 import pytest
 
 from repro.segmentation.bayesian import BayesianSegmenter
+from repro.segmentation.lightweight import LightSegNet, LightSegNetConfig
 from repro.segmentation.msdnet import MSDNet, MSDNetConfig
 
 
@@ -19,6 +20,11 @@ def model() -> MSDNet:
     """A small untrained MSDnet (weights are irrelevant to the RNG
     contract)."""
     return MSDNet(MSDNetConfig(base_channels=16, num_blocks=2), rng=1)
+
+
+@pytest.fixture(scope="module")
+def light_model() -> LightSegNet:
+    return LightSegNet(LightSegNetConfig(base_channels=8), rng=2)
 
 
 @pytest.fixture(scope="module")
@@ -135,6 +141,43 @@ class TestPrefixSplit:
         assert np.array_equal(
             model.forward(x),
             model.forward_suffix(model.forward_prefix(x)))
+
+    def test_lightsegnet_forward_equals_suffix_of_prefix(
+            self, light_model, image):
+        light_model.eval()
+        x = image[None]
+        assert np.array_equal(
+            light_model.forward(x),
+            light_model.forward_suffix(light_model.forward_prefix(x)))
+
+    def test_lightsegnet_prefix_is_deterministic(self, light_model):
+        from repro.nn.layers import Dropout
+        split = light_model._prefix_len
+        layers = light_model.body.layers
+        assert not any(isinstance(m, Dropout) for m in layers[:split])
+        assert any(isinstance(m, Dropout) for m in layers[split:])
+
+    def test_lightsegnet_batched_matches_sequential_bit_for_bit(
+            self, light_model, image):
+        seq = BayesianSegmenter(light_model, num_samples=7, rng=123)\
+            .predict_distribution_sequential(image)
+        bat = BayesianSegmenter(light_model, num_samples=7, rng=123)\
+            .predict_distribution(image)
+        assert _dist_equal(seq, bat)
+
+    def test_lightsegnet_split_engages_in_engine(self, light_model,
+                                                 image):
+        # prefix_split=False must give the same distribution (split is
+        # an optimisation, not a semantic change) while actually using
+        # whole-network forwards.
+        with_split = BayesianSegmenter(light_model, num_samples=5,
+                                       rng=11)
+        without = BayesianSegmenter(light_model, num_samples=5, rng=11,
+                                    prefix_split=False)
+        assert with_split._split_fns()[0] is not None
+        assert without._split_fns() == (None, None)
+        assert _dist_equal(with_split.predict_distribution(image),
+                           without.predict_distribution(image))
 
     def test_split_holds_in_training_mode(self, model):
         model.train()
