@@ -12,21 +12,26 @@ termination — the risk reduction that justifies EL as an active-M1
 mitigation in Table III.
 """
 
-from repro.dataset.scene import UrbanScene
+from dataclasses import replace
+
 from repro.eval.reporting import format_table, format_title
+from repro.scenarios import campaign_inputs, get_scenario
 from repro.sora import Severity
-from repro.uav import FailureEvent, FailureType, MissionConfig, run_campaign
+from repro.uav import run_campaign
 
 NUM_MISSIONS = 24
 
+#: Registry scenario supplying scenes, failure schedule and conditions;
+#: the failure onset is re-staggered to this bench's published pattern.
+SCENARIO = "nav_comm_loss_delivery"
+
 
 def test_e2e_ground_risk(benchmark, system, emit):
-    scenes = [UrbanScene.generate(seed=5000 + i)
-              for i in range(NUM_MISSIONS)]
-    failures = [FailureEvent(FailureType.NAVIGATION_AND_COMM_LOSS,
-                             time_s=3.0 + (i % 9))
-                for i in range(NUM_MISSIONS)]
-    config = MissionConfig(camera_shape_px=(96, 128), camera_gsd_m=1.0)
+    spec = get_scenario(SCENARIO).with_camera((96, 128), 1.0)
+    spec = spec.with_failure(replace(spec.failure, time_s=3.0,
+                                     stagger_cycle=9))
+    scenes, failures, config = campaign_inputs(spec, NUM_MISSIONS,
+                                               scene_seed_base=5000)
     policy = system.make_pipeline(monitor_enabled=True,
                                   rng=0).as_mission_policy()
 

@@ -1,0 +1,227 @@
+"""EXT-ENGINE bench: the streaming episode engine vs the sequential loop.
+
+Extension benchmark for the multi-episode workload shape the related
+work evaluates on (continuous streams under named conditions): a fleet
+of concurrent scenario episodes — nominal and OOD, from the registry —
+runs through ``EpisodeScheduler`` and is compared against the paper's
+status quo, one ``LandingPipeline.run`` call per frame.
+
+Measured modes:
+
+* **exact** — cross-episode batched core segmentation, per-episode
+  seeded monitoring; must be *bit-for-bit* identical to the sequential
+  loop (asserted, gated).
+* **joint** — additionally verifies the pending zone checks of all
+  episodes in jointly seeded stacked Bayesian passes (the headline
+  multi-episode throughput number, gated).
+* **workers=2** — whole episode frames sharded over a fork pool; must
+  be bit-for-bit identical to the sequential loop on any worker count
+  (asserted, gated).  Its *speedup* is recorded for information only:
+  it tracks the host's core count (near or below 1x on the single-core
+  CI box, scaling with cores elsewhere).
+
+The fleet runs at the multi-stream scale (48x64 frames — many
+lightweight streams per server); full mode adds the native full-frame
+stream workload for the record.  The EL-scale drift buffer keeps the
+episodes monitor-active, i.e. frames actually reach per-zone Bayesian
+checks, which is where the engine's joint batching earns its keep.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import replace
+
+import numpy as np
+
+from _bench_utils import write_bench_summary
+from repro.core import EngineConfig, EpisodeScheduler, LandingPipeline
+from repro.eval.reporting import format_table, format_title
+from repro.scenarios import scenario_sweep
+from repro.uav.ballistics import DriftModel
+
+BENCH_SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+#: The fleet: nominal + OOD streams from the registry.
+SCENARIOS = ("day_nominal", "overcast_nominal", "sunset_ood",
+             "night_ood", "fog_ood", "night_fog")
+STREAM_SHAPE = (48, 64)
+STREAMS_PER_SCENARIO = 2 if BENCH_SMOKE else 3
+FRAMES_PER_STREAM = 3 if BENCH_SMOKE else 4
+REPEATS = 3 if BENCH_SMOKE else 5
+
+
+def _stream_drift_model() -> DriftModel:
+    """Drift buffer matched to the multi-stream camera scale.
+
+    Chosen so a healthy share of frames clears the buffer and reaches
+    the monitor — the EL regime whose throughput this bench is about.
+    """
+    return DriftModel(wind_speed_ms=2.0, gust_factor=1.2,
+                      release_height_m=18.0, descent_rate_ms=6.0,
+                      position_error_m=1.0, latency_s=0.3,
+                      approach_speed_ms=3.0)
+
+
+def _fleet(system, shape):
+    episodes = [
+        spec.with_camera(shape).episode_request(i, FRAMES_PER_STREAM)
+        for spec in scenario_sweep(*SCENARIOS)
+        for i in range(STREAMS_PER_SCENARIO)
+    ]
+    base = system.pipeline_config()
+    config = replace(base, selector=replace(
+        base.selector, drift_model=_stream_drift_model()))
+    return episodes, config
+
+
+def _sequential(model, config, episodes):
+    """The status quo: one pipeline per episode, one run() per frame."""
+    out = []
+    for ep in episodes:
+        pipeline = LandingPipeline(model, config, rng=ep.seed)
+        out.append([pipeline.run(frame) for frame in ep.frames])
+    return out
+
+
+def _results_equal(a, b) -> bool:
+    """Bit-for-bit comparison of two per-frame pipeline results."""
+    if not np.array_equal(a.predicted_labels, b.predicted_labels):
+        return False
+    da, db = a.decision, b.decision
+    if (da.action is not db.action or da.attempts != db.attempts
+            or da.log != db.log or len(a.verdicts) != len(b.verdicts)):
+        return False
+    return all(
+        va.accepted == vb.accepted
+        and va.unsafe_fraction == vb.unsafe_fraction
+        and np.array_equal(va.distribution.mean, vb.distribution.mean)
+        and np.array_equal(va.distribution.std, vb.distribution.std)
+        for va, vb in zip(a.verdicts, b.verdicts))
+
+
+def _episodes_equal(engine_out, reference) -> bool:
+    return all(
+        len(er.results) == len(ref)
+        and all(_results_equal(fa, fb)
+                for fa, fb in zip(er.results, ref))
+        for er, ref in zip(engine_out, reference))
+
+
+def _measure_modes(model, config, episodes):
+    """Wall times + equality contracts for every engine mode.
+
+    One timing round runs every mode back to back and the minimum per
+    mode wins, so slow drift of the (noisy, single-core) bench host
+    cannot favour whichever mode happened to run first.
+    """
+    reference = _sequential(model, config, episodes)
+    checks = sum(len(r.verdicts) for ep in reference for r in ep)
+
+    exact_out = EpisodeScheduler(model, config).run(episodes)
+    exact_ok = _episodes_equal(exact_out, reference)
+    workers_out = EpisodeScheduler(
+        model, config, engine=EngineConfig(workers=2)).run(episodes)
+    workers_ok = _episodes_equal(workers_out, reference)
+
+    import time
+
+    modes = {
+        "sequential": lambda: _sequential(model, config, episodes),
+        "exact": lambda: EpisodeScheduler(model, config).run(episodes),
+        "joint": lambda: EpisodeScheduler(
+            model, config,
+            engine=EngineConfig(monitor_batching="joint"),
+            rng=0).run(episodes),
+        "workers2": lambda: EpisodeScheduler(
+            model, config,
+            engine=EngineConfig(workers=2)).run(episodes),
+    }
+    times = {}
+    for name, fn in modes.items():
+        fn()  # warm-up
+        times[name] = float("inf")
+    for _ in range(REPEATS):
+        for name, fn in modes.items():
+            start = time.perf_counter()
+            fn()
+            times[name] = min(times[name],
+                              time.perf_counter() - start)
+    return times, checks, exact_ok, workers_ok
+
+
+def test_episode_engine_throughput(system, emit):
+    episodes, config = _fleet(system, STREAM_SHAPE)
+    frames = sum(len(ep.frames) for ep in episodes)
+    times, checks, exact_ok, workers_ok = _measure_modes(
+        system.model, config, episodes)
+    seq = times["sequential"]
+
+    summary = {
+        "scenarios": list(SCENARIOS),
+        "episodes": len(episodes),
+        "frames": frames,
+        "monitor_checks": checks,
+        "cpu_count": os.cpu_count(),
+        "t_sequential_ms": round(seq * 1e3, 3),
+        "t_exact_ms": round(times["exact"] * 1e3, 3),
+        "t_joint_ms": round(times["joint"] * 1e3, 3),
+        "t_workers2_ms": round(times["workers2"] * 1e3, 3),
+        "speedup_exact": round(seq / times["exact"], 3),
+        "speedup_joint": round(seq / times["joint"], 3),
+        "speedup_workers2": round(seq / times["workers2"], 3),
+        "exact_bit_for_bit": bool(exact_ok),
+        "workers_bit_for_bit": bool(workers_ok),
+    }
+
+    if not BENCH_SMOKE:
+        # Native full-frame streams, for the record (the multi-stream
+        # fleet above is the gated workload).
+        shape = system.config.dataset.image_shape
+        episodes_ff, config_ff = _fleet(system, shape)
+        times_ff, checks_ff, _, _ = _measure_modes(
+            system.model, config_ff, episodes_ff)
+        summary["full_frame"] = {
+            "shape": list(shape),
+            "monitor_checks": checks_ff,
+            "t_sequential_ms": round(times_ff["sequential"] * 1e3, 3),
+            "t_joint_ms": round(times_ff["joint"] * 1e3, 3),
+            "speedup_joint": round(
+                times_ff["sequential"] / times_ff["joint"], 3),
+        }
+
+    out = write_bench_summary("BENCH_episode_engine.json", summary,
+                              smoke=BENCH_SMOKE)
+
+    emit("\n" + format_title(
+        "EXT-ENGINE: streaming episode engine throughput"))
+    emit(format_table(
+        ["mode", "wall ms", "speedup", "frames/s"],
+        [[name, f"{t * 1e3:.1f}", f"{seq / t:.2f}x",
+          f"{frames / t:.0f}"]
+         for name, t in times.items()],
+        title=f"{len(episodes)} concurrent scenario episodes x "
+              f"{FRAMES_PER_STREAM} frames at "
+              f"{STREAM_SHAPE[0]}x{STREAM_SHAPE[1]} "
+              f"({checks} monitor checks):"))
+    emit(f"\nexact bit-for-bit vs sequential loop: {exact_ok}; "
+         f"workers=2 bit-for-bit: {workers_ok}")
+    if "full_frame" in summary:
+        ff = summary["full_frame"]
+        emit(f"full-frame streams {ff['shape']}: joint "
+             f"{ff['speedup_joint']:.2f}x "
+             f"({ff['t_sequential_ms']:.0f} -> "
+             f"{ff['t_joint_ms']:.0f} ms)")
+    emit(f"summary -> {out}")
+
+    # Hard contracts: the exact engine and the sharded engine ARE the
+    # sequential loop.
+    assert exact_ok, "exact engine diverged from the sequential loop"
+    assert workers_ok, "worker sharding diverged from the sequential loop"
+    # The joint engine must actually pay off on the fleet workload;
+    # floors are conservative so machine noise cannot flake CI (the
+    # measured numbers are tracked by the regression gate instead).
+    floor = 1.05 if BENCH_SMOKE else 1.3
+    assert summary["speedup_joint"] >= floor, (
+        f"joint engine speedup {summary['speedup_joint']:.2f}x "
+        f"below floor {floor}x")

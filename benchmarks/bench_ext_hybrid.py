@@ -18,13 +18,13 @@ from repro.core import (
     HybridLandingZoneSelector,
     LandingZoneSelector,
 )
-from repro.dataset import BUSY_ROAD_CLASSES, SUNSET, UavidClass
+from repro.dataset import BUSY_ROAD_CLASSES, UavidClass
 from repro.eval.monitor_metrics import zone_truly_unsafe
 from repro.eval.reporting import format_table, format_title
 
 
 def test_hybrid_fusion_ood(benchmark, system, emit):
-    samples = system.ood_samples(SUNSET)
+    samples = system.ood_samples("sunset_ood")
     selector_cfg = system.selector_config()
     learned = LandingZoneSelector(selector_cfg)
     hybrid = HybridLandingZoneSelector(HybridConfig(selector=selector_cfg))

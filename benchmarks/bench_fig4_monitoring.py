@@ -17,7 +17,7 @@ Expectation (shape):
 import numpy as np
 
 from repro.core import LandingZoneSelector, RuntimeMonitor
-from repro.dataset import SUNSET, busy_road_mask
+from repro.dataset import busy_road_mask
 from repro.eval.reporting import format_table, format_title
 from repro.utils.geometry import Box
 
@@ -39,7 +39,7 @@ def test_fig4_quantified(benchmark, system, fig4_results, emit):
     # Per-crop demonstration mirroring the paper's sub-images.
     monitor = RuntimeMonitor(system.make_segmenter(rng=0),
                              system.monitor_config())
-    sample = system.ood_samples(SUNSET)[0]
+    sample = system.ood_samples("sunset_ood")[0]
     selector = LandingZoneSelector(system.selector_config())
     clearance = selector.clearance_map_m(sample.labels)
     h, w = sample.labels.shape

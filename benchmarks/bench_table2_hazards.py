@@ -7,10 +7,12 @@ outcomes from this table, with R1 present — the hazard the paper's EL
 exists to mitigate.
 """
 
-from repro.dataset.scene import UrbanScene
+from dataclasses import replace
+
 from repro.eval.reporting import format_table, format_title
+from repro.scenarios import campaign_inputs, get_scenario
 from repro.sora import OUTCOME_TABLE, Severity
-from repro.uav import FailureEvent, FailureType, run_campaign
+from repro.uav import run_campaign
 
 EXPECTED_SEVERITIES = {"R1": 5, "R2": 4, "R3": 3, "R4": 3, "R5": 2}
 
@@ -28,12 +30,15 @@ def test_table2_rows_exact(benchmark, emit):
 
 def test_table2_outcomes_realised_in_simulation(benchmark, emit):
     """Outcome frequencies measured over blind-FT missions."""
-    scenes = [UrbanScene.generate(seed=3000 + i) for i in range(24)]
-    failures = [FailureEvent(FailureType.NAVIGATION_AND_COMM_LOSS,
-                             time_s=3.0 + (i % 8)) for i in range(24)]
+    spec = get_scenario("nav_comm_loss_delivery")
+    spec = spec.with_failure(replace(spec.failure, time_s=3.0,
+                                     stagger_cycle=8))
+    scenes, failures, config = campaign_inputs(spec, 24,
+                                               scene_seed_base=3000)
 
     def campaign():
-        return run_campaign(scenes, failures, el_policy=None, seed=11)
+        return run_campaign(scenes, failures, config=config,
+                            el_policy=None, seed=11)
 
     stats = benchmark.pedantic(campaign, rounds=1, iterations=1)
 

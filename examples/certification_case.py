@@ -16,14 +16,18 @@ from repro.core import (
     evaluate_assurance,
     evaluate_integrity,
 )
-from repro.dataset import FOG, NIGHT, OVERCAST, SUNSET
 from repro.eval import (
     build_trained_system,
     format_kv,
     format_title,
     zone_acceptance_experiment,
 )
+from repro.scenarios import scenario_sweep
 from repro.sora import RobustnessLevel, assess_medi_delivery
+
+#: The Table IV High-2 condition sweep, named via the registry.
+SWEEP_SCENARIOS = ("overcast_nominal", "sunset_ood", "night_ood",
+                   "fog_ood")
 
 
 def collect_evidence(system) -> EvidenceBundle:
@@ -35,18 +39,20 @@ def collect_evidence(system) -> EvidenceBundle:
     print("[validation 2] in-context (operational conditions) "
           "acceptance ...")
     in_context = zone_acceptance_experiment(
-        system, system.ood_samples(OVERCAST), monitor_enabled=True)
+        system, system.ood_samples("overcast_nominal"),
+        monitor_enabled=True)
 
-    print("[validation 3] condition sweep (Table IV High-2) ...")
+    print("[validation 3] scenario sweep (Table IV High-2) ...")
     conditions_ok = []
-    for condition in (OVERCAST, SUNSET, NIGHT, FOG):
+    for spec in scenario_sweep(*SWEEP_SCENARIOS):
         za = zone_acceptance_experiment(
-            system, system.ood_samples(condition), monitor_enabled=True)
+            system, system.ood_samples(spec.conditions),
+            monitor_enabled=True)
         # A condition counts as validated when no busy-road zone was
         # ever accepted under it (abstaining is safe behaviour).
         if za["road_unsafe_accepted"] == 0:
-            conditions_ok.append(condition.name)
-        print(f"    {condition.name:10s} landed {za['landed']:2d} "
+            conditions_ok.append(spec.conditions.name)
+        print(f"    {spec.name:16s} landed {za['landed']:2d} "
               f"road-unsafe {za['road_unsafe_accepted']}")
 
     return EvidenceBundle(

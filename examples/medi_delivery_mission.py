@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
 """End-to-end MEDI DELIVERY mission campaign with failure injection.
 
-Monte-Carlo missions over procedural city districts: a navigation+
+Monte-Carlo missions over procedural city districts, driven by the
+``nav_comm_loss_delivery`` scenario from the registry: a navigation+
 communication failure strikes mid-flight, the Fig. 1 safety switch
 reacts, and the resulting Table II ground-risk outcome is recorded.
 Three vehicle configurations are compared:
@@ -13,32 +14,37 @@ Three vehicle configurations are compared:
 * **EL + monitor** — the paper's full Fig. 2 architecture.
 
 Run:  python examples/medi_delivery_mission.py
+      REPRO_SMOKE=1 python examples/medi_delivery_mission.py  # CI scale
 """
 
-from repro.dataset import UrbanScene
-from repro.eval import build_trained_system, format_table, format_title
-from repro.sora import Severity
-from repro.uav import (
-    FailureEvent,
-    FailureType,
-    MissionConfig,
-    run_campaign,
-)
+import os
 
-NUM_MISSIONS = 20
+from repro.eval import (
+    build_trained_system,
+    format_table,
+    format_title,
+    tiny_harness_config,
+)
+from repro.scenarios import get_scenario, run_scenario_campaign
+from repro.sora import Severity
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+NUM_MISSIONS = 4 if SMOKE else 20
+SCENARIO = "nav_comm_loss_delivery"
 
 
 def main() -> None:
     print(format_title("MEDI DELIVERY mission campaign (Fig. 1 + Fig. 2)"))
-    system = build_trained_system(verbose=True)
+    system = build_trained_system(
+        tiny_harness_config() if SMOKE else None, verbose=True)
 
-    print(f"\ngenerating {NUM_MISSIONS} city districts ...")
-    scenes = [UrbanScene.generate(seed=1000 + i)
-              for i in range(NUM_MISSIONS)]
-    failures = [FailureEvent(FailureType.NAVIGATION_AND_COMM_LOSS,
-                             time_s=4.0 + (i % 10))
-                for i in range(NUM_MISSIONS)]
-    config = MissionConfig(camera_shape_px=(96, 128), camera_gsd_m=1.0)
+    # The scenario supplies scenes, failure schedule, wind and imaging;
+    # the camera is matched to the trained system's scale.
+    spec = get_scenario(SCENARIO).with_camera(
+        system.config.dataset.image_shape,
+        system.config.dataset.gsd)
+    print(f"\nscenario '{spec.name}': {spec.description}")
+    print(f"running {NUM_MISSIONS} missions per strategy ...")
 
     policies = {
         "FT only (no EL)": None,
@@ -50,8 +56,9 @@ def main() -> None:
 
     rows = []
     for name, policy in policies.items():
-        stats = run_campaign(scenes, failures, config=config,
-                             el_policy=policy, seed=42)
+        stats = run_scenario_campaign(spec, NUM_MISSIONS,
+                                      el_policy=policy, seed=42,
+                                      scene_seed_base=1000)
         severity_cells = [stats.severity_counts.get(s, 0)
                           for s in Severity]
         rows.append([name, *severity_cells,

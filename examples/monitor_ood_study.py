@@ -20,11 +20,14 @@ from pathlib import Path
 import numpy as np
 
 from repro.core import RuntimeMonitor
-from repro.dataset import PALETTE, SUNSET, busy_road_mask
+from repro.dataset import PALETTE, busy_road_mask
 from repro.eval import build_trained_system, fig4_experiment, format_table
 from repro.utils import colorize_labels, write_pgm, write_ppm
 
 OUTPUT_DIR = Path(__file__).parent / "output"
+
+#: The paper's OOD case, named via the scenario registry.
+OOD_SCENARIO = "sunset_ood"
 
 
 def dump_frame(tag: str, system, monitor: RuntimeMonitor, sample) -> None:
@@ -45,7 +48,7 @@ def main() -> None:
     monitor = RuntimeMonitor(system.make_segmenter(rng=0),
                              system.monitor_config())
 
-    results = fig4_experiment(system, condition=SUNSET)
+    results = fig4_experiment(system, condition=OOD_SCENARIO)
     rows = []
     for name, label in (("in_distribution", "Fig.4a day (test set)"),
                         ("ood", "Fig.4b sunset (OOD)")):
@@ -61,7 +64,7 @@ def main() -> None:
         rows, title="Fig. 4 quantified (busy-road pixel statistics):"))
 
     # Per-crop demonstration, mirroring the three sub-images of Fig. 4.
-    sample = system.ood_samples(SUNSET)[0]
+    sample = system.ood_samples(OOD_SCENARIO)[0]
     from repro.core import LandingZoneSelector
     selector = LandingZoneSelector(system.selector_config())
     clearance = selector.clearance_map_m(sample.labels)

@@ -1,24 +1,42 @@
 #!/usr/bin/env python3
-"""Quickstart: run the full Fig. 2 landing pipeline on one camera frame.
+"""Quickstart: the Fig. 2 landing pipeline, frame by frame and streamed.
 
 Trains (or loads from cache) the scaled MSDnet, builds the monitored
 landing pipeline, runs it on an unseen test frame, and prints the
 decision trail — segmentation, zone candidates, monitor verdicts and
-the final land/abort decision.
+the final land/abort decision.  Then demonstrates the streaming episode
+engine: named scenarios from the registry (``day_nominal``,
+``sunset_ood``, ...) run as concurrent frame-stream episodes through
+``EpisodeScheduler``.
 
 Run:  python examples/quickstart.py
+      REPRO_SMOKE=1 python examples/quickstart.py   # tiny CI-scale system
 """
 
+import os
+
 from repro.dataset import CLASS_NAMES, UavidClass, busy_road_mask
-from repro.eval import build_trained_system, format_kv, format_title
+from repro.eval import (
+    build_trained_system,
+    format_kv,
+    format_title,
+    tiny_harness_config,
+)
+from repro.scenarios import scenario_sweep
 from repro.segmentation import evaluate_model
+
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
+#: Scenario sweep for the streaming demo: nominal + the Fig. 4 shifts.
+STREAM_SCENARIOS = ("day_nominal", "sunset_ood", "night_fog")
 
 
 def main() -> None:
     print(format_title("Quickstart - monitored emergency-landing pipeline"))
 
-    print("\n[1/3] building the trained system (cached after first run)...")
-    system = build_trained_system(verbose=True)
+    print("\n[1/4] building the trained system (cached after first run)...")
+    system = build_trained_system(
+        tiny_harness_config() if SMOKE else None, verbose=True)
     report = evaluate_model(system.model, system.test_samples)
     print(format_kv({
         "test mIoU": report.miou,
@@ -27,11 +45,11 @@ def main() -> None:
         "model parameters": system.model.num_parameters(),
     }, title="\nsegmentation model:"))
 
-    print("\n[2/3] assembling the Fig. 2 pipeline "
+    print("\n[2/4] assembling the Fig. 2 pipeline "
           "(core + monitor + decision module)...")
     pipeline = system.make_pipeline(monitor_enabled=True)
 
-    print("\n[3/3] running episodes on unseen frames until one lands...")
+    print("\n[3/4] running episodes on unseen frames until one lands...")
     sample = system.test_samples[0]
     result = pipeline.run(sample.image)
     for candidate_sample in system.test_samples:
@@ -66,6 +84,22 @@ def main() -> None:
     else:
         print("\npipeline aborted -> the safety switch would engage "
               "Flight Termination (parachute).")
+
+    print("\n[4/4] streaming scenario episodes through the engine...")
+    shape = system.config.dataset.image_shape
+    episodes = [
+        spec.with_camera(shape).episode_request(index=0, num_frames=2)
+        for spec in scenario_sweep(*STREAM_SCENARIOS)
+    ]
+    scheduler = system.make_scheduler()
+    for episode in scheduler.run(episodes):
+        outcomes = ", ".join(
+            "land" if r.landed else "abort" for r in episode.results)
+        print(f"  {episode.name:16s} -> {outcomes}")
+    print("\n(workloads at scale: EpisodeScheduler batches the core "
+          "segmentation across\nstreams and can shard or jointly batch "
+          "the per-zone Bayesian checks --\nsee benchmarks/"
+          "bench_episode_engine.py)")
 
 
 if __name__ == "__main__":

@@ -30,6 +30,15 @@ echo "== bench regression gate =="
 # speedup ratio, or a flipped bit-for-bit contract, fails the build.
 python scripts/bench_gate.py
 
+echo
+echo "== example smoke runs =="
+# Examples rot silently unless CI executes them; REPRO_SMOKE=1 points
+# them at the tiny trained system shared with the test suite.
+REPRO_SMOKE=1 python examples/quickstart.py > /dev/null
+echo "quickstart.py ok"
+REPRO_SMOKE=1 python examples/medi_delivery_mission.py > /dev/null
+echo "medi_delivery_mission.py ok"
+
 if [[ "${1:-}" == "--full" ]]; then
     echo
     echo "== full-scale benchmarks =="

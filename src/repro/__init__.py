@@ -6,7 +6,12 @@ Subpackages
 ``repro.core``
     The paper's contribution: landing-zone selection, the MC-dropout
     runtime monitor (Eq. 2), the decision module, the full Fig. 2
-    pipeline, and Tables III/IV as executable requirements.
+    pipeline, the streaming episode engine (``EpisodeScheduler``), and
+    Tables III/IV as executable requirements.
+``repro.scenarios``
+    Named scenario registry: scene + imaging conditions + failure +
+    wind behind one name (``day_nominal``, ``sunset_ood``, ...), with
+    frame-stream, episode and mission-campaign derivations.
 ``repro.segmentation``
     Scaled MSDnet, training loop, Bayesian (MC-dropout) inference.
 ``repro.nn``

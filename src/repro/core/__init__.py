@@ -14,7 +14,14 @@ from repro.core.decision import (
     Decision,
     DecisionAction,
     DecisionConfig,
+    DecisionCursor,
     DecisionModule,
+)
+from repro.core.engine import (
+    EngineConfig,
+    EpisodeRequest,
+    EpisodeResult,
+    EpisodeScheduler,
 )
 from repro.core.evidence import EvidenceBundle
 from repro.core.hybrid import (
@@ -57,7 +64,12 @@ __all__ = [
     "DecisionAction",
     "DecisionConfig",
     "Decision",
+    "DecisionCursor",
     "DecisionModule",
+    "EngineConfig",
+    "EpisodeRequest",
+    "EpisodeResult",
+    "EpisodeScheduler",
     "PipelineConfig",
     "PipelineResult",
     "LandingPipeline",

@@ -38,7 +38,8 @@ from repro.core.landing_zone import ZoneCandidate
 from repro.core.monitor import ZoneVerdict
 from repro.utils.validation import check_positive
 
-__all__ = ["DecisionAction", "DecisionConfig", "Decision", "DecisionModule"]
+__all__ = ["DecisionAction", "DecisionConfig", "Decision",
+           "DecisionCursor", "DecisionModule"]
 
 
 class DecisionAction(Enum):
@@ -83,6 +84,107 @@ class Decision:
     @property
     def landed(self) -> bool:
         return self.action is DecisionAction.LAND
+
+
+class DecisionCursor:
+    """Incremental view of one decision episode.
+
+    The confirm/retry/abort loop, opened up: instead of the decision
+    module calling the monitor itself, a cursor *asks* for the next
+    batch of candidates to check (:meth:`next_batch`, clamped to what
+    the budgets still afford) and is *fed* the resulting verdicts in
+    rank order (:meth:`feed`).  :class:`DecisionModule.decide` drives a
+    cursor synchronously; the streaming episode engine
+    (:class:`repro.core.engine.EpisodeScheduler`) drives one cursor per
+    concurrent episode so it can verify the pending zones of *many*
+    episodes in one jointly seeded Bayesian pass.  Both drivers produce
+    bit-for-bit identical :class:`Decision` objects given the same
+    per-candidate verdicts — every budget rule and log line lives here,
+    once.
+    """
+
+    def __init__(self, module: "DecisionModule",
+                 candidates: list[ZoneCandidate]):
+        self.module = module
+        self.decision = Decision(action=DecisionAction.ABORT, zone=None)
+        self._done = False
+        self._idx = 0
+        self._viable = [c for c in candidates if c.meets_buffer()]
+        skipped = len(candidates) - len(self._viable)
+        if skipped:
+            self.decision.log.append(
+                f"skipped {skipped} candidate(s) failing the drift buffer")
+        if not self._viable:
+            self.decision.log.append("no viable candidate -> abort flight")
+            self._done = True
+
+    @property
+    def done(self) -> bool:
+        """True once the episode reached a terminal land/abort state."""
+        return self._done
+
+    def accept_unmonitored(self) -> None:
+        """The unmonitored ablation: take the best buffered candidate."""
+        if self._done:
+            return
+        self.decision.action = DecisionAction.LAND
+        self.decision.zone = self._viable[0]
+        self.decision.attempts = 1
+        self.decision.log.append(
+            "monitor disabled: accepting best candidate unchecked")
+        self._done = True
+
+    def next_batch(self, k: int = 1) -> list[ZoneCandidate]:
+        """Up to ``k`` candidates the budgets still afford, in rank order.
+
+        Returns ``[]`` when the episode is terminal — either a verdict
+        already landed/aborted it, or the budgets block the next check
+        (which is logged here, exactly like the synchronous loop).
+        Every candidate handed out MUST be fed back via :meth:`feed`.
+        """
+        if self._done:
+            return []
+        if self._idx >= len(self._viable):
+            # Out of candidates: the loop ends without a budget log
+            # line, exactly like the synchronous for-loop does.
+            self._done = True
+            return []
+        reason = self.module._block_reason(self.decision)
+        if reason is not None:
+            self.decision.log.append(reason)
+            self._done = True
+            return []
+        k = min(max(int(k), 1),
+                self.module._affordable_checks(self.decision),
+                len(self._viable) - self._idx)
+        batch = self._viable[self._idx:self._idx + k]
+        self._idx += k
+        return batch
+
+    def feed(self, checked: list[tuple[ZoneCandidate, ZoneVerdict]]
+             ) -> bool:
+        """Consume verdicts in rank order; True when the episode landed.
+
+        Consumption semantics match the sequential loop exactly:
+        budgets are decremented per consumed verdict and any verdicts
+        past the first acceptance are discarded.
+        """
+        for candidate, verdict in checked:
+            if self._done:
+                break
+            if self.module._consume(self.decision, candidate, verdict):
+                self._done = True
+                return True
+        return self.decision.action is DecisionAction.LAND
+
+    def finalize(self) -> Decision:
+        """Close the episode and return the final :class:`Decision`."""
+        self._done = True
+        if self.decision.action is DecisionAction.ABORT and \
+                not any("abort" in line for line in self.decision.log):
+            self.decision.log.append(
+                "all candidates rejected -> abort flight")
+        return self.decision
 
 
 class DecisionModule:
@@ -163,24 +265,13 @@ class DecisionModule:
             ``config.speculative_k > 1``; ignored otherwise.
         """
         cfg = self.config
-        decision = Decision(action=DecisionAction.ABORT, zone=None)
-
-        viable = [c for c in candidates if c.meets_buffer()]
-        skipped = len(candidates) - len(viable)
-        if skipped:
-            decision.log.append(
-                f"skipped {skipped} candidate(s) failing the drift buffer")
-        if not viable:
-            decision.log.append("no viable candidate -> abort flight")
-            return decision
+        cursor = DecisionCursor(self, candidates)
+        if cursor.done:
+            return cursor.finalize()
 
         if check_zone is None and check_zones is None:
-            decision.action = DecisionAction.LAND
-            decision.zone = viable[0]
-            decision.attempts = 1
-            decision.log.append(
-                "monitor disabled: accepting best candidate unchecked")
-            return decision
+            cursor.accept_unmonitored()
+            return cursor.finalize()
 
         if cfg.speculative_k > 1 and check_zones is None:
             # Surface the misconfiguration instead of silently running
@@ -189,8 +280,23 @@ class DecisionModule:
                 f"speculative_k={cfg.speculative_k} requires a "
                 "check_zones batch callable")
 
-        if cfg.speculative_k > 1 and check_zones is not None:
-            self._decide_speculative(decision, viable, check_zones)
+        if cfg.speculative_k > 1:
+            # Speculative check-ahead: batches of up to speculative_k
+            # candidates per jointly seeded monitor pass, clamped by
+            # the cursor so no candidate is monitored that the
+            # sequential loop would have refused.  Speculation is
+            # transparent in the decision record (identical log lines),
+            # so equivalence tests compare whole Decision objects.
+            while True:
+                batch = cursor.next_batch(cfg.speculative_k)
+                if not batch:
+                    break
+                verdicts = list(check_zones(batch))
+                if len(verdicts) != len(batch):
+                    raise ValueError(
+                        f"check_zones returned {len(verdicts)} verdicts "
+                        f"for {len(batch)} candidates")
+                cursor.feed(list(zip(batch, verdicts)))
         else:
             if check_zone is None:
                 # Only a batch callable was supplied but speculation is
@@ -198,54 +304,11 @@ class DecisionModule:
                 # a per-zone monitor by the check_zones contract).
                 def check_zone(candidate, _batch=check_zones):
                     return _batch([candidate])[0]
-            self._decide_sequential(decision, viable, check_zone)
-
-        if decision.action is DecisionAction.ABORT and \
-                not any("abort" in line for line in decision.log):
-            decision.log.append("all candidates rejected -> abort flight")
-        return decision
-
-    def _decide_sequential(self, decision: Decision, viable: list,
-                           check_zone) -> None:
-        """One monitor pass per candidate, in rank order."""
-        for candidate in viable:
-            reason = self._block_reason(decision)
-            if reason is not None:
-                decision.log.append(reason)
-                return
-            if self._consume(decision, candidate, check_zone(candidate)):
-                return
-
-    def _decide_speculative(self, decision: Decision, viable: list,
-                            check_zones) -> None:
-        """Check-ahead batches of up to ``speculative_k`` candidates.
-
-        Each batch is clamped to what the budgets can still afford, so
-        no candidate is monitored that the sequential loop would have
-        refused; verdicts are consumed in rank order and any computed
-        past the first acceptance are discarded — making the resulting
-        :class:`Decision` identical to the sequential path's given the
-        same per-candidate verdicts.
-        """
-        idx = 0
-        while idx < len(viable):
-            reason = self._block_reason(decision)
-            if reason is not None:
-                decision.log.append(reason)
-                return
-            k = min(self.config.speculative_k,
-                    self._affordable_checks(decision),
-                    len(viable) - idx)
-            batch = viable[idx:idx + k]
-            verdicts = list(check_zones(batch))
-            if len(verdicts) != len(batch):
-                raise ValueError(
-                    f"check_zones returned {len(verdicts)} verdicts "
-                    f"for {len(batch)} candidates")
-            # Speculation is transparent in the decision record: the
-            # log lines match the sequential loop's exactly, so the
-            # equivalence tests can compare whole Decision objects.
-            for candidate, verdict in zip(batch, verdicts):
-                if self._consume(decision, candidate, verdict):
-                    return
-            idx += k
+            # The paper's strictly sequential confirm/retry loop: one
+            # monitor pass per candidate, in rank order.
+            while True:
+                batch = cursor.next_batch(1)
+                if not batch:
+                    break
+                cursor.feed([(batch[0], check_zone(batch[0]))])
+        return cursor.finalize()

@@ -1,0 +1,583 @@
+"""The streaming episode engine: many concurrent Fig. 2 episodes.
+
+The paper evaluates its architecture one frame at a time;
+:class:`repro.core.pipeline.LandingPipeline` is that single-episode
+facade.  Production-shaped workloads instead look like *many concurrent
+frame-stream episodes* — continuous video under named scenario
+conditions (see :mod:`repro.scenarios`).  :class:`EpisodeScheduler`
+runs N such episodes through the segment -> select -> monitor -> decide
+stages with cross-episode batching:
+
+* **Core segmentation** of every frame of every episode runs as one
+  chunked batched forward per frame shape (the ``run_batch`` trick
+  extended across streams).  Convolution and friends are
+  batch-element-deterministic, so per-frame labels are bit-for-bit
+  those of single-frame calls.
+* **Monitoring** defaults to ``exact`` mode: each episode keeps its own
+  seeded monitor RNG stream and its checks run in frame order, so with
+  ``workers=1`` the engine's results are bit-for-bit identical to
+  calling ``LandingPipeline.run`` frame by frame per episode (tested in
+  ``tests/core/test_episode_engine.py``).
+* **Zone sharding** (``workers > 1``): the per-zone Bayesian checks of
+  ready episodes are sharded over a ``multiprocessing`` fork pool.
+  Each task carries its episode's RNG state explicitly, so results
+  remain identical to ``workers=1`` regardless of worker count or
+  scheduling — the ROADMAP's "embarrassingly parallel zones" lever.
+* **Joint monitor batching** (``monitor_batching="joint"``): the
+  pending zone checks of *all* ready episodes are stride-padded to a
+  common shape and verified in jointly seeded stacked Bayesian passes
+  driven through :class:`repro.core.decision.DecisionCursor` — the
+  fastest path (see ``benchmarks/bench_episode_engine.py``), seeded and
+  reproducible, but on a different (documented) RNG stream than the
+  per-episode sequence, exactly like
+  ``RuntimeMonitor.check_zones(joint=True)``.
+
+:class:`EngineConfig` is the one documented home for the engine/monitor
+performance knobs that used to be spread over three entry points
+(``BayesianSegmenter(max_batch=...)``, ``check_zones(joint=...)`` +
+``DecisionConfig.speculative_k``, and ``nn.functional.set_conv_engine``).
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.decision import DecisionCursor, DecisionModule
+from repro.core.landing_zone import LandingZoneSelector
+from repro.core.monitor import RuntimeMonitor
+from repro.core.pipeline import (
+    LandingPipeline,
+    PipelineConfig,
+    PipelineResult,
+)
+from repro.nn.functional import get_conv_engine, set_conv_engine
+from repro.segmentation.bayesian import BayesianSegmenter
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import check_image_chw, check_positive
+
+__all__ = [
+    "EngineConfig",
+    "EpisodeRequest",
+    "EpisodeResult",
+    "EpisodeScheduler",
+]
+
+_MONITOR_BATCHING = ("exact", "joint")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """All engine/monitor performance knobs, in one documented place.
+
+    Attributes
+    ----------
+    max_batch:
+        Chunk size of every batched forward (the
+        ``BayesianSegmenter.max_batch`` knob).  Default 6 — the CPU
+        cache sweet spot for full frames.
+    monitor_batching:
+        ``"exact"`` (default): per-episode seeded monitoring,
+        bit-for-bit identical to sequential ``LandingPipeline.run``
+        calls.  ``"joint"``: cross-episode jointly seeded stacked
+        passes — fastest, reproducible, different RNG stream.
+    joint_max_batch:
+        Chunk size for the joint cross-episode passes only.  Zone
+        crops are much smaller than full frames, so their sweet spot
+        is far larger (32 vs 6; measured in
+        ``benchmarks/bench_episode_engine.py``).
+    seg_max_batch:
+        Chunk size for the cross-episode core-segmentation forwards.
+        ``None`` (default) picks it from the frame size: small frames
+        amortise per-forward overhead in big chunks, while full frames
+        blow the cache beyond 2-3 per chunk (measured; chunking never
+        changes labels either way).
+    workers:
+        Fork-pool processes sharding whole episode frames — core
+        segmentation, selection and the per-zone Bayesian checks all
+        run in the worker, so concurrent episodes use every core.
+        ``1`` (default) runs inline; any value produces identical
+        results because each episode's RNG state travels with its
+        tasks.  Requires ``monitor_batching="exact"``.
+    speculative_k:
+        Overrides ``DecisionConfig.speculative_k`` when set (ranked
+        candidates monitored per joint pass; see
+        :mod:`repro.core.decision`).
+    conv_mode / conv_layout / conv_block_kib:
+        Forwarded to :func:`repro.nn.functional.set_conv_engine` when
+        set (process-global, like that function).
+    """
+
+    max_batch: int = 6
+    monitor_batching: str = "exact"
+    joint_max_batch: int = 32
+    seg_max_batch: int | None = None
+    workers: int = 1
+    speculative_k: int | None = None
+    conv_mode: str | None = None
+    conv_layout: str | None = None
+    conv_block_kib: int | None = None
+
+    def __post_init__(self):
+        check_positive("max_batch", self.max_batch)
+        check_positive("joint_max_batch", self.joint_max_batch)
+        if self.seg_max_batch is not None:
+            check_positive("seg_max_batch", self.seg_max_batch)
+        check_positive("workers", self.workers)
+        if self.monitor_batching not in _MONITOR_BATCHING:
+            raise ValueError(
+                f"monitor_batching must be one of {_MONITOR_BATCHING}, "
+                f"got {self.monitor_batching!r}")
+        if self.workers > 1 and self.monitor_batching != "exact":
+            raise ValueError(
+                "worker sharding requires monitor_batching='exact' "
+                "(joint batching is a single-process fast path)")
+        if self.speculative_k is not None:
+            check_positive("speculative_k", self.speculative_k)
+
+    # ------------------------------------------------------------------
+    def apply_conv_engine(self) -> dict:
+        """Apply the conv-engine knobs; returns the active config."""
+        if (self.conv_mode is not None or self.conv_layout is not None
+                or self.conv_block_kib is not None):
+            return set_conv_engine(mode=self.conv_mode,
+                                   layout=self.conv_layout,
+                                   block_kib=self.conv_block_kib)
+        return get_conv_engine()
+
+    def pipeline_config(self, base: PipelineConfig) -> PipelineConfig:
+        """``base`` with this engine's decision overrides applied."""
+        if self.speculative_k is None:
+            return base
+        return replace(base, decision=replace(
+            base.decision, speculative_k=self.speculative_k))
+
+
+@dataclass(frozen=True)
+class EpisodeRequest:
+    """One episode: a frame stream plus its monitor seed.
+
+    Obtained most conveniently from a scenario
+    (:meth:`repro.scenarios.ScenarioSpec.episode_request`), or built
+    directly from any list of CHW frames.
+    """
+
+    frames: tuple
+    seed: object = 0
+    name: str = ""
+
+    def __post_init__(self):
+        object.__setattr__(self, "frames", tuple(self.frames))
+        for k, frame in enumerate(self.frames):
+            check_image_chw(f"frames[{k}]", frame)
+
+
+@dataclass
+class EpisodeResult:
+    """Per-frame pipeline results of one finished episode."""
+
+    name: str
+    results: list[PipelineResult] = field(default_factory=list)
+
+    @property
+    def landed_count(self) -> int:
+        return sum(1 for r in self.results if r.landed)
+
+    @property
+    def aborted_count(self) -> int:
+        return sum(1 for r in self.results if not r.landed)
+
+    @property
+    def decisions(self) -> list:
+        return [r.decision for r in self.results]
+
+
+@dataclass
+class _JointEpisode:
+    """Wavefront bookkeeping of one episode's monitor/decide stage."""
+
+    index: int
+    image: np.ndarray
+    labels: np.ndarray
+    candidates: list
+    cursor: DecisionCursor
+    timings: dict
+    monitoring_s: float = 0.0
+    pending: list = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Worker-pool plumbing (fork start method; the model is inherited
+# copy-on-write, only per-task episode state crosses the pipe).
+# ----------------------------------------------------------------------
+_WORKER_MODEL = None
+
+
+def _worker_episode_frame(task):
+    """Run one full episode frame (all stages) in a worker process.
+
+    Sharding whole frames — segmentation included — lets concurrent
+    episodes use every core instead of parallelising only the monitor.
+    The task carries the episode's monitor RNG state explicitly, so the
+    verdict stream continues the episode's own seeded sequence no
+    matter which worker picks the task up.
+    """
+    index, config, engine, image, rng_state = task
+    pipeline = LandingPipeline(_WORKER_MODEL, config, rng=0,
+                               engine=engine)
+    pipeline.segmenter.rng.bit_generator.state = rng_state
+    result = pipeline.run(image)
+    return index, result, pipeline.segmenter.rng.bit_generator.state
+
+
+class EpisodeScheduler:
+    """Runs many concurrent episodes with cross-episode batching.
+
+    Parameters
+    ----------
+    model:
+        The shared trained segmentation network.
+    config:
+        The per-episode :class:`PipelineConfig` (selector / monitor /
+        decision parameters), identical for every episode in a run.
+    engine:
+        The :class:`EngineConfig` performance knobs.
+    rng:
+        Seed/generator of the *joint* monitor passes only
+        (``monitor_batching="joint"``); exact mode draws exclusively
+        from the per-episode streams.
+    """
+
+    def __init__(self, model, config: PipelineConfig | None = None,
+                 engine: EngineConfig | None = None, rng=None):
+        self.engine = engine or EngineConfig()
+        self.engine.apply_conv_engine()
+        self.config = self.engine.pipeline_config(
+            config or PipelineConfig())
+        self.model = model
+        self.rng = ensure_rng(rng if rng is not None else 0)
+        # Shared deterministic core-function engine (labels only; its
+        # own RNG is never consumed).
+        self._segmenter = BayesianSegmenter(
+            model, num_samples=self.config.monitor.num_samples,
+            rng=0, max_batch=self.engine.max_batch)
+        # Joint-mode monitor: crop geometry + Eq. (2) verdicts on the
+        # engine-seeded segmenter.
+        self._joint_segmenter = BayesianSegmenter(
+            model, num_samples=self.config.monitor.num_samples,
+            rng=self.rng, max_batch=self.engine.joint_max_batch)
+        self._joint_monitor = RuntimeMonitor(self._joint_segmenter,
+                                             self.config.monitor)
+
+    # ------------------------------------------------------------------
+    def run(self, episodes) -> list[EpisodeResult]:
+        """Run all episodes to completion; one result per request."""
+        episodes = [ep if isinstance(ep, EpisodeRequest)
+                    else EpisodeRequest(frames=ep) for ep in episodes]
+        if not episodes:
+            return []
+        results: list[list[PipelineResult]] = [[] for _ in episodes]
+        horizon = max(len(ep.frames) for ep in episodes)
+
+        pool = None
+        try:
+            if self.engine.workers > 1:
+                pool = self._make_pool()
+            if pool is not None:
+                # Whole frames are sharded (segmentation included), so
+                # the parent holds only each episode's monitor RNG and
+                # never pre-segments.  Frames of one episode still
+                # advance one wave at a time: frame t+1's monitor
+                # stream continues frame t's returned RNG state.
+                rngs = [ensure_rng(ep.seed) for ep in episodes]
+                for t in range(horizon):
+                    ready = [(i, episodes[i].frames[t])
+                             for i in range(len(episodes))
+                             if t < len(episodes[i].frames)]
+                    self._wave_workers(pool, ready, rngs, results)
+                return self._collect(episodes, results)
+
+            labels, seg_s = self._segment_all(episodes)
+            if self.engine.monitor_batching == "joint":
+                # Decisions are per frame and the joint pass draws from
+                # the engine's own RNG stream, so every frame of every
+                # episode can join one big wave — the largest stacks,
+                # the best amortisation.
+                items = [(i, episodes[i].frames[t], labels[i][t],
+                          seg_s[i][t])
+                         for i in range(len(episodes))
+                         for t in range(len(episodes[i].frames))]
+                self._wave_joint(items, results)
+            else:
+                # Exact per-episode RNG streams: monitoring runs
+                # inline through per-episode pipelines (sharing the
+                # model and the engine knobs), frame order preserved.
+                for i, ep in enumerate(episodes):
+                    pipeline = LandingPipeline(
+                        self.model, self.config, rng=ep.seed,
+                        engine=self.engine)
+                    for t in range(len(ep.frames)):
+                        results[i].append(
+                            pipeline._finish_episode(
+                                ep.frames[t], labels[i][t],
+                                seg_s[i][t]))
+        finally:
+            if pool is not None:
+                pool.close()
+                pool.join()
+                global _WORKER_MODEL
+                _WORKER_MODEL = None
+        return self._collect(episodes, results)
+
+    def _collect(self, episodes, results) -> list[EpisodeResult]:
+        return [
+            EpisodeResult(name=ep.name or f"episode{i}",
+                          results=results[i])
+            for i, ep in enumerate(episodes)
+        ]
+
+    def run_frames(self, frames, seed=0, name="") -> list[PipelineResult]:
+        """One episode over ``frames``; the ``run_batch`` replacement.
+
+        With the default exact mode this reproduces
+        ``LandingPipeline(model, config, rng=seed)`` running the frames
+        in order, bit for bit — while still getting the one-chunked-
+        forward core segmentation.
+        """
+        out = self.run([EpisodeRequest(frames=list(frames), seed=seed,
+                                       name=name)])
+        return out[0].results if out else []
+
+    # ------------------------------------------------------------------
+    # Stage 1: core segmentation of every frame, batched across streams
+    # ------------------------------------------------------------------
+    #: Auto segmentation chunking targets this many activation elements
+    #: (pixels x model base channels) per chunk; ``max_batch`` stays
+    #: the cap.  Small frames amortise per-forward overhead in big
+    #: chunks, while larger frames/models blow the cache (16ch\@48x64
+    #: -> 6, 24ch\@48x64 -> 4, 24ch\@96x128 -> 1; measured in
+    #: ``benchmarks/bench_episode_engine.py``).
+    _SEG_ELEM_BUDGET = 300_000
+
+    def _seg_chunk(self, shape: tuple) -> int:
+        if self.engine.seg_max_batch is not None:
+            return self.engine.seg_max_batch
+        channels = int(getattr(
+            getattr(self.model, "config", None), "base_channels", 16))
+        elems = int(shape[-2]) * int(shape[-1]) * max(channels, 1)
+        return max(1, min(self.engine.max_batch,
+                          self._SEG_ELEM_BUDGET // max(elems, 1)))
+
+    def _segment_all(self, episodes):
+        """Labels + amortised per-frame seg time for all episode frames.
+
+        Frames are grouped by shape (episodes may carry different
+        camera geometries) and each group runs as one chunked batched
+        forward — each frame's labels are bit-for-bit those of a
+        single-frame ``predict_labels`` call, whatever the chunking.
+        """
+        groups: dict[tuple, list[tuple[int, int]]] = {}
+        for i, ep in enumerate(episodes):
+            for t, frame in enumerate(ep.frames):
+                groups.setdefault(np.shape(frame), []).append((i, t))
+        labels = [[None] * len(ep.frames) for ep in episodes]
+        seg_s = [[0.0] * len(ep.frames) for ep in episodes]
+        for shape, members in groups.items():
+            frames = [episodes[i].frames[t] for i, t in members]
+            t0 = time.perf_counter()
+            out = self._segmenter.predict_labels_batch(
+                frames, max_batch=self._seg_chunk(shape))
+            share = (time.perf_counter() - t0) / len(members)
+            for (i, t), lab in zip(members, out):
+                labels[i][t] = lab
+                seg_s[i][t] = share
+        return labels, seg_s
+
+    # ------------------------------------------------------------------
+    # Stage 2a: worker-sharded monitor/decide (exact semantics)
+    # ------------------------------------------------------------------
+    def _make_pool(self):
+        """A fork pool inheriting the model copy-on-write, or None."""
+        import multiprocessing as mp
+
+        if "fork" not in mp.get_all_start_methods():
+            warnings.warn(
+                "multiprocessing 'fork' start method unavailable; "
+                "EpisodeScheduler runs workers=1 inline",
+                RuntimeWarning, stacklevel=3)
+            return None
+        global _WORKER_MODEL
+        _WORKER_MODEL = self.model
+        ctx = mp.get_context("fork")
+        return ctx.Pool(processes=self.engine.workers)
+
+    def _wave_workers(self, pool, ready, rngs, results) -> None:
+        """Shard one wavefront's episode frames over the pool.
+
+        Each task ships its episode's monitor RNG state and receives
+        the advanced state back, so the per-episode streams are exactly
+        those of the inline path.
+        """
+        tasks = [
+            (i, self.config, self.engine, image,
+             rngs[i].bit_generator.state)
+            for i, image in ready
+        ]
+        for i, result, state in pool.map(_worker_episode_frame, tasks,
+                                         chunksize=1):
+            rngs[i].bit_generator.state = state
+            results[i].append(result)
+
+    # ------------------------------------------------------------------
+    # Stage 2b: joint cross-episode monitor batching
+    # ------------------------------------------------------------------
+    def _wave_joint(self, ready, results) -> None:
+        """Monitor/decide one wavefront via jointly seeded passes.
+
+        Every ready episode's pending zone checks are verified together
+        (grouped by frame shape, stride-padded to a common crop shape)
+        in single stacked Bayesian passes; verdicts stream back into
+        each episode's :class:`DecisionCursor` until all episodes reach
+        a terminal decision.  Selector and decision module are
+        stateless given the shared config, so one of each serves every
+        episode (per-episode state lives in the cursors).
+        """
+        cfg = self.config
+        k = max(cfg.decision.speculative_k, 1)
+        selector = LandingZoneSelector(cfg.selector)
+        decision_module = DecisionModule(cfg.decision)
+        states = []
+        for i, image, lab, s in ready:
+            timings = {"segmentation_s": s}
+            t0 = time.perf_counter()
+            candidates = selector.propose(lab)
+            timings["selection_s"] = time.perf_counter() - t0
+            cursor = DecisionCursor(decision_module, candidates)
+            st = _JointEpisode(index=i, image=image, labels=lab,
+                               candidates=candidates, cursor=cursor,
+                               timings=timings)
+            if not cfg.monitor_enabled:
+                cursor.accept_unmonitored()
+            else:
+                st.pending = cursor.next_batch(k)
+            states.append(st)
+
+        wave_t0 = time.perf_counter()
+        passes_s = 0.0
+        active = [st for st in states if st.pending]
+        while active:
+            # One stacked pass per frame shape present in this round.
+            by_shape: dict[tuple, list] = {}
+            for st in active:
+                entries = by_shape.setdefault(st.image.shape[1:], [])
+                entries.extend((st, cand) for cand in st.pending)
+            for entries in by_shape.values():
+                passes_s += self._joint_pass(entries)
+            nxt = []
+            for st in active:
+                st.pending = st.cursor.next_batch(k)
+                if st.pending:
+                    nxt.append(st)
+            active = nxt
+
+        # Cursor bookkeeping around the stacked passes, attributed
+        # evenly (the decision module's share, like the sequential
+        # path's decision_s).
+        overhead = max(time.perf_counter() - wave_t0 - passes_s, 0.0)
+        overhead /= max(len(states), 1)
+        for st in states:
+            decision = st.cursor.finalize()
+            st.timings["monitoring_s"] = st.monitoring_s
+            st.timings["decision_s"] = overhead
+            results[st.index].append(PipelineResult(
+                decision=decision, predicted_labels=st.labels,
+                candidates=st.candidates,
+                verdicts=list(decision.verdicts),
+                timings_s=st.timings))
+
+    def _joint_distributions(self, stack: np.ndarray) -> list:
+        """MC statistics for a stack of zone crops, chunk-vectorised.
+
+        Same tiles, same jointly seeded mask stream and same chunking
+        as ``predict_distribution_stack`` on the joint segmenter, but
+        sample sums accumulate one *chunk segment* at a time instead of
+        one sample at a time — an order-of-association change in the
+        last float64 ulp, permitted on the joint path (whose RNG stream
+        is already documented as its own) and worth a large slice of
+        Python overhead when many small crops are stacked.
+        """
+        from repro.segmentation.bayesian import PixelDistribution
+
+        seg = self._joint_segmenter
+        t = self.config.monitor.num_samples
+        n = stack.shape[0]
+        acc = acc_sq = None
+        chunks = seg._mc_chunks(stack, t, self.engine.joint_max_batch)
+        try:
+            for owners, scores in chunks:
+                s = scores.astype(np.float64)
+                # Owners arrive sorted; one reduceat segment per owner
+                # present in the chunk (unique within a chunk).
+                starts = np.flatnonzero(
+                    np.r_[True, owners[1:] != owners[:-1]])
+                sums = np.add.reduceat(s, starts, axis=0)
+                sums_sq = np.add.reduceat(s * s, starts, axis=0)
+                seg_owner = owners[starts]
+                if acc is None:
+                    shape = (n,) + s.shape[1:]
+                    acc = np.zeros(shape)
+                    acc_sq = np.zeros(shape)
+                acc[seg_owner] += sums
+                acc_sq[seg_owner] += sums_sq
+        finally:
+            chunks.close()
+        mean = acc / t
+        var = np.maximum(acc_sq / t - mean ** 2, 0.0)
+        std = np.sqrt(var)
+        return [PixelDistribution(mean=mean[i], std=std[i],
+                                  num_samples=t) for i in range(n)]
+
+    def _joint_pass(self, entries) -> float:
+        """One jointly seeded stacked Bayesian pass over zone crops.
+
+        ``entries`` are ``(state, candidate)`` pairs whose images share
+        one frame shape.  Crops are padded to the round's common shape
+        (growing within the frame, so every crop keeps real context),
+        Eq. (2) is evaluated over the whole stack at once, and the wall
+        time is attributed to episodes by crop count.  Returns the
+        pass's wall time.
+        """
+        monitor = self._joint_monitor
+        cfg = self.config.monitor
+        t0 = time.perf_counter()
+        spans = [monitor._padded_spans(st.image, cand.box)
+                 for st, cand in entries]
+        th = max(crop_box.height for crop_box, _ in spans)
+        tw = max(crop_box.width for crop_box, _ in spans)
+        boxes_rois = [
+            monitor._padded_spans(st.image, cand.box, target=(th, tw))
+            for st, cand in entries]
+        stack = np.stack([
+            crop_box.extract(st.image).astype(np.float32)
+            for (st, _), (crop_box, _) in zip(entries, boxes_rois)])
+        distributions = self._joint_distributions(stack)
+        # Eq. (2) over the whole stack at once — both the interval and
+        # the threshold rule live in their single homes.
+        upper = np.stack([d.upper_confidence(cfg.sigma_multiplier)
+                          for d in distributions])
+        unsafe = monitor.unsafe_from_upper(upper)
+        pass_s = time.perf_counter() - t0
+        share = pass_s / len(entries)
+        fed: dict[int, list] = {}
+        for (st, cand), dist, (_, roi), mask in zip(
+                entries, distributions, boxes_rois, unsafe):
+            st.monitoring_s += share
+            verdict = monitor._verdict_from_unsafe(mask, dist,
+                                                   cand.box, roi)
+            fed.setdefault(id(st), [st, []])[1].append((cand, verdict))
+        for st, pairs in fed.values():
+            st.cursor.feed(pairs)
+        return pass_s

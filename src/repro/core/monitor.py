@@ -98,11 +98,22 @@ class RuntimeMonitor:
         condition, which requires the inequality to hold "for the three
         UAVid categories that make up the busy road category".
         """
+        return self.unsafe_from_upper(
+            distribution.upper_confidence(self.config.sigma_multiplier))
+
+    def unsafe_from_upper(self, upper: np.ndarray) -> np.ndarray:
+        """Eq. (2)'s threshold rule on upper-confidence scores.
+
+        ``upper`` is ``(..., C, H, W)`` — a single crop or a stack of
+        crops (the episode engine's joint pass evaluates the rule over
+        all stacked crops at once).  The single home of the rule: any
+        change here reaches every monitoring path.
+        """
         cfg = self.config
-        upper = distribution.upper_confidence(cfg.sigma_multiplier)
-        unsafe = np.zeros(upper.shape[1:], dtype=bool)
+        unsafe = np.zeros(upper.shape[:-3] + upper.shape[-2:],
+                          dtype=bool)
         for cls in cfg.road_classes:
-            unsafe |= upper[int(cls)] > cfg.tau
+            unsafe |= upper[..., int(cls), :, :] > cfg.tau
         return unsafe
 
     def _model_stride(self) -> int:
@@ -186,7 +197,18 @@ class RuntimeMonitor:
     def _verdict(self, distribution: PixelDistribution, box: Box,
                  roi: Box) -> ZoneVerdict:
         """Turn a crop distribution into the zone's accept/reject."""
-        unsafe_crop = self.unsafe_pixels(distribution)
+        return self._verdict_from_unsafe(
+            self.unsafe_pixels(distribution), distribution, box, roi)
+
+    def _verdict_from_unsafe(self, unsafe_crop: np.ndarray,
+                             distribution: PixelDistribution, box: Box,
+                             roi: Box) -> ZoneVerdict:
+        """Accept/reject from a precomputed Eq. (2) crop mask.
+
+        The single home of the acceptance condition; the episode
+        engine's joint pass calls this with masks it evaluated over a
+        whole crop stack at once.
+        """
         unsafe_zone = roi.extract(unsafe_crop)
         fraction = float(unsafe_zone.mean()) if unsafe_zone.size else 1.0
         accepted = fraction <= self.config.max_unsafe_fraction

@@ -17,17 +17,25 @@ reported ``timings_s`` separate ``monitoring_s`` (wall time spent
 inside per-zone Bayesian passes) from ``decision_s`` (the decision
 module's own bookkeeping around them).
 
-``run_batch`` serves multi-frame workloads: the deterministic core
-segmentation of all frames runs as one chunked batched forward on the
-shared :class:`BayesianSegmenter` engine, then selection, monitoring
-and decision proceed per frame in order — so the per-frame outcomes
-(and the monitor's seeded RNG stream) are identical to calling ``run``
-frame by frame.
+``LandingPipeline`` is the *single-episode facade* over the streaming
+episode engine: multi-episode workloads run through
+:class:`repro.core.engine.EpisodeScheduler`, which drives these same
+stage implementations (``_finish_episode`` and the decision cursor)
+across many concurrent frame streams with cross-episode batching and
+optional worker sharding.  The engine's performance knobs live in one
+place, :class:`repro.core.engine.EngineConfig`, which can be handed to
+this class via ``engine=``.
+
+``run_batch`` predates the engine and is deprecated: it serves one
+multi-frame episode with a batched core segmentation, which
+``EpisodeScheduler.run_frames`` reproduces bit for bit (same seeded
+monitor stream) while also handling many concurrent episodes.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -78,12 +86,27 @@ class LandingPipeline:
     """End-to-end landing-zone selection with runtime monitoring."""
 
     def __init__(self, model, config: PipelineConfig | None = None,
-                 rng=None):
-        """``model`` is a trained segmentation network (MSDNet)."""
+                 rng=None, engine=None):
+        """``model`` is a trained segmentation network (MSDNet).
+
+        ``engine`` optionally carries a
+        :class:`repro.core.engine.EngineConfig`, the single documented
+        home of the performance knobs (batched-forward chunk size,
+        speculative check-ahead, conv-engine mode); it is applied here
+        so single-episode and engine-scheduled runs share one config
+        path.
+        """
         self.config = config or PipelineConfig()
+        max_batch = None
+        if engine is not None:
+            engine.apply_conv_engine()
+            self.config = engine.pipeline_config(self.config)
+            max_batch = engine.max_batch
         self.model = model
+        kwargs = {} if max_batch is None else {"max_batch": max_batch}
         self.segmenter = BayesianSegmenter(
-            model, num_samples=self.config.monitor.num_samples, rng=rng)
+            model, num_samples=self.config.monitor.num_samples, rng=rng,
+            **kwargs)
         self.selector = LandingZoneSelector(self.config.selector)
         self.monitor = RuntimeMonitor(self.segmenter, self.config.monitor)
         self.decision_module = DecisionModule(self.config.decision)
@@ -103,11 +126,23 @@ class LandingPipeline:
     def run_batch(self, images) -> list[PipelineResult]:
         """Run one episode per frame, sharing one batched segmentation.
 
+        .. deprecated:: PR 3
+            Superseded by the streaming episode engine:
+            ``EpisodeScheduler(model, config).run_frames(images,
+            seed=...)`` reproduces this bit for bit and scales to many
+            concurrent episodes.  Kept as a working alias for existing
+            call sites.
+
         The core function segments all frames in chunked batched
         forwards (``segmentation_s`` reports the amortised per-frame
         share); monitoring and decisions then run per frame in order,
         so results match ``[run(f) for f in images]`` exactly.
         """
+        warnings.warn(
+            "LandingPipeline.run_batch is deprecated; use "
+            "repro.core.engine.EpisodeScheduler.run_frames (bit-for-bit "
+            "identical) or EpisodeScheduler.run for multi-episode "
+            "workloads", DeprecationWarning, stacklevel=2)
         images = list(images)
         if not images:
             return []

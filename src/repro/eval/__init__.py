@@ -7,8 +7,10 @@ from repro.eval.harness import (
     build_trained_system,
     default_cache_dir,
     fig4_experiment,
+    resolve_condition,
     scaled_drift_model,
     timing_experiment,
+    tiny_harness_config,
     zone_acceptance_experiment,
 )
 from repro.eval.monitor_metrics import (
@@ -25,7 +27,9 @@ __all__ = [
     "TrainedSystem",
     "build_trained_system",
     "default_cache_dir",
+    "resolve_condition",
     "scaled_drift_model",
+    "tiny_harness_config",
     "fig4_experiment",
     "zone_acceptance_experiment",
     "timing_experiment",

@@ -7,10 +7,15 @@ On top of it, each experiment of DESIGN.md's per-experiment index has a
 driver here returning plain dictionaries the benches format and assert
 against.  All drivers run on the batched inference paths:
 ``fig4_experiment`` segments its frame corpora in chunked batched
-forwards, ``zone_acceptance_experiment`` goes through
-``LandingPipeline.run_batch``, and ``timing_experiment`` times the
-batched MC-dropout engine (``sequential=True`` for the per-sample
-reference).
+forwards, ``zone_acceptance_experiment`` goes through the streaming
+episode engine (``EpisodeScheduler.run_frames``), and
+``timing_experiment`` times the batched MC-dropout engine
+(``sequential=True`` for the per-sample reference).
+
+Out-of-distribution conditions are named through the scenario registry
+(:mod:`repro.scenarios`): every driver that takes a ``condition``
+accepts either an :class:`ImagingConditions` or a registered scenario
+name such as ``"sunset_ood"``.
 
 Scale note: the paper's system runs on 3840x2160 frames at ~10 cm/px on
 a GPU; this reproduction runs 96x128 frames at 1 m/px on CPU.  The
@@ -29,6 +34,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.core.decision import DecisionConfig
+from repro.core.engine import EngineConfig, EpisodeScheduler
 from repro.core.landing_zone import LandingZoneConfig
 from repro.core.monitor import MonitorConfig
 from repro.core.pipeline import LandingPipeline, PipelineConfig
@@ -69,6 +75,7 @@ __all__ = [
     "scaled_drift_model",
     "tiny_harness_config",
     "default_cache_dir",
+    "resolve_condition",
     "fig4_experiment",
     "zone_acceptance_experiment",
     "timing_experiment",
@@ -81,6 +88,20 @@ def default_cache_dir() -> Path:
     if env:
         return Path(env)
     return Path(__file__).resolve().parents[3] / ".cache"
+
+
+def resolve_condition(condition: "ImagingConditions | str"
+                      ) -> ImagingConditions:
+    """An :class:`ImagingConditions`, possibly named via the registry.
+
+    Strings resolve through :func:`repro.scenarios.get_scenario`
+    (``"sunset_ood"`` -> the sunset conditions), so experiment drivers
+    can be pointed at registered scenarios by name.
+    """
+    if isinstance(condition, str):
+        from repro.scenarios import get_scenario  # lazy: keeps layering
+        return get_scenario(condition).conditions
+    return condition
 
 
 def tiny_harness_config() -> "HarnessConfig":
@@ -164,25 +185,53 @@ class TrainedSystem:
             kwargs["tau"] = tau
         return MonitorConfig(**kwargs)
 
-    def make_pipeline(self, monitor_enabled: bool = True,
-                      tau: float | None = None,
-                      num_samples: int | None = None,
-                      conservative: bool = True,
-                      speculative_k: int = 1,
-                      rng=0) -> LandingPipeline:
-        """Assemble a Fig. 2 pipeline around the trained model.
-
-        ``speculative_k > 1`` turns on the decision module's
-        speculative check-ahead: up to ``k`` ranked candidates are
-        monitored per jointly seeded batched Bayesian pass.
-        """
-        config = PipelineConfig(
+    def pipeline_config(self, monitor_enabled: bool = True,
+                        tau: float | None = None,
+                        num_samples: int | None = None,
+                        conservative: bool = True,
+                        speculative_k: int = 1) -> PipelineConfig:
+        """The scale-matched Fig. 2 pipeline configuration."""
+        return PipelineConfig(
             selector=self.selector_config(conservative=conservative),
             monitor=self.monitor_config(tau=tau, num_samples=num_samples),
             decision=DecisionConfig(max_attempts=3, time_budget_s=20.0,
                                     speculative_k=speculative_k),
             monitor_enabled=monitor_enabled)
-        return LandingPipeline(self.model, config, rng=rng)
+
+    def make_pipeline(self, monitor_enabled: bool = True,
+                      tau: float | None = None,
+                      num_samples: int | None = None,
+                      conservative: bool = True,
+                      speculative_k: int = 1,
+                      rng=0, engine: EngineConfig | None = None
+                      ) -> LandingPipeline:
+        """Assemble a Fig. 2 pipeline around the trained model.
+
+        ``speculative_k > 1`` turns on the decision module's
+        speculative check-ahead: up to ``k`` ranked candidates are
+        monitored per jointly seeded batched Bayesian pass.  ``engine``
+        optionally carries the coherent knob surface
+        (:class:`repro.core.engine.EngineConfig`).
+        """
+        config = self.pipeline_config(
+            monitor_enabled=monitor_enabled, tau=tau,
+            num_samples=num_samples, conservative=conservative,
+            speculative_k=speculative_k)
+        return LandingPipeline(self.model, config, rng=rng,
+                               engine=engine)
+
+    def make_scheduler(self, monitor_enabled: bool = True,
+                       tau: float | None = None,
+                       num_samples: int | None = None,
+                       conservative: bool = True,
+                       engine: EngineConfig | None = None,
+                       rng=0) -> EpisodeScheduler:
+        """A streaming episode engine around the trained model."""
+        config = self.pipeline_config(
+            monitor_enabled=monitor_enabled, tau=tau,
+            num_samples=num_samples, conservative=conservative)
+        return EpisodeScheduler(self.model, config, engine=engine,
+                                rng=rng)
 
     def make_segmenter(self, rng=0,
                        prefix_split: bool = True) -> BayesianSegmenter:
@@ -190,10 +239,16 @@ class TrainedSystem:
                                  num_samples=self.config.monitor_samples,
                                  rng=rng, prefix_split=prefix_split)
 
-    def ood_samples(self, condition: ImagingConditions = SUNSET,
+    def ood_samples(self, condition: ImagingConditions | str = SUNSET,
                     split: str = "test") -> list[SegmentationSample]:
-        """The same geography re-imaged under an OOD condition."""
-        shifted = reshoot_under_condition(self.config.dataset, condition)
+        """The same geography re-imaged under an OOD condition.
+
+        ``condition`` is an :class:`ImagingConditions` or a registered
+        scenario name (``"sunset_ood"``, ``"night_fog"``, ...), whose
+        conditions are looked up in :mod:`repro.scenarios`.
+        """
+        shifted = reshoot_under_condition(self.config.dataset,
+                                          resolve_condition(condition))
         train, val, test = split_by_scene(shifted, 0.2, 0.25)
         return {"train": train, "val": val, "test": test}[split]
 
@@ -235,15 +290,17 @@ def build_trained_system(config: HarnessConfig | None = None,
 # Experiment drivers
 # ----------------------------------------------------------------------
 def fig4_experiment(system: TrainedSystem,
-                    condition: ImagingConditions = SUNSET,
+                    condition: ImagingConditions | str = SUNSET,
                     max_frames: int | None = None) -> dict:
     """The Fig. 4 protocol, quantified.
 
     Evaluates the deterministic model and the full-frame monitor on the
     in-distribution test split (Fig. 4a) and on the same scenes under an
-    OOD condition (Fig. 4b).  Returns segmentation quality and monitor
+    OOD condition (Fig. 4b) — an :class:`ImagingConditions` or a
+    registered scenario name.  Returns segmentation quality and monitor
     coverage statistics for both.
     """
+    condition = resolve_condition(condition)
     results = {}
     segmenter = system.make_segmenter(rng=0)
     from repro.core.monitor import RuntimeMonitor  # avoid cycle at import
@@ -300,15 +357,19 @@ def zone_acceptance_experiment(system: TrainedSystem,
       footnote (a), people-occupied areas are tolerable when an
       effective M2 mitigation (parachute) is in place, so this looser
       number is reported separately.
+
+    The frames run as one stream through the episode engine
+    (``EpisodeScheduler.run_frames``), bit-for-bit identical to the
+    old per-frame loop on the same seed.
     """
-    pipeline = system.make_pipeline(monitor_enabled=monitor_enabled,
-                                    tau=tau, rng=rng)
+    scheduler = system.make_scheduler(monitor_enabled=monitor_enabled,
+                                      tau=tau)
     landed = 0
     road_unsafe = 0
     high_risk_unsafe = 0
     aborted = 0
     attempts_total = 0
-    results = pipeline.run_batch([s.image for s in samples])
+    results = scheduler.run_frames([s.image for s in samples], seed=rng)
     for sample, result in zip(samples, results):
         attempts_total += result.decision.attempts
         if result.landed:

@@ -1,0 +1,51 @@
+"""Scenario registry: named episode workloads for the whole system.
+
+One :class:`ScenarioSpec` composes scene generation, imaging
+conditions, failure profile, wind and camera geometry behind a single
+registered name (``day_nominal``, ``sunset_ood``, ``night_fog``,
+``motor_failure_descent``, ...), so benches, examples and mission
+campaigns *name* their workload instead of hand-assembling
+``ImagingConditions``/``FailureEvent`` objects.
+
+>>> from repro.scenarios import get_scenario
+>>> spec = get_scenario("sunset_ood")
+>>> frames = spec.frame_stream(index=0)        # labelled episode stream
+>>> episode = spec.episode_request(index=0)    # feed EpisodeScheduler
+"""
+
+from repro.scenarios.campaigns import campaign_inputs, run_scenario_campaign
+from repro.scenarios.presets import (
+    FAILURE_SCENARIOS,
+    MOTOR_FAILURE_T3,
+    NAV_COMM_LOSS,
+    NIGHT_FOG,
+    NOMINAL_SCENARIOS,
+    OOD_SCENARIOS,
+)
+from repro.scenarios.spec import (
+    FailureProfile,
+    ScenarioSpec,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    scenario_names,
+    scenario_sweep,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "FailureProfile",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "list_scenarios",
+    "scenario_sweep",
+    "campaign_inputs",
+    "run_scenario_campaign",
+    "NOMINAL_SCENARIOS",
+    "OOD_SCENARIOS",
+    "FAILURE_SCENARIOS",
+    "NIGHT_FOG",
+    "NAV_COMM_LOSS",
+    "MOTOR_FAILURE_T3",
+]

@@ -1,0 +1,117 @@
+"""The named scenario presets (the registry's contents).
+
+Nominal presets cover the training conditions; OOD presets reproduce
+the Fig. 4 distribution shifts (sunset being the paper's case); failure
+presets add the Belcastro-style events the Fig. 1 safety switch reacts
+to.  ``night_fog`` composes two shifts into a condition harsher than
+either — the kind of compounding the Table IV High-2 sweep is meant to
+cover.
+
+These presets (and registry sweeps over them) are the ONE sanctioned
+way for benches, examples and mission campaigns to obtain imaging
+conditions and failure events; hand-assembled
+``ImagingConditions``/``FailureEvent`` literals belong only here and in
+tests.
+"""
+
+from __future__ import annotations
+
+from repro.dataset.conditions import (
+    BRIGHT_DAY,
+    DAY,
+    FOG,
+    NIGHT,
+    OVERCAST,
+    SUNSET,
+    ImagingConditions,
+)
+from repro.scenarios.spec import (
+    FailureProfile,
+    ScenarioSpec,
+    register_scenario,
+)
+from repro.uav.failures import FailureType
+
+__all__ = [
+    "NIGHT_FOG",
+    "NAV_COMM_LOSS",
+    "MOTOR_FAILURE_T3",
+    "NOMINAL_SCENARIOS",
+    "OOD_SCENARIOS",
+    "FAILURE_SCENARIOS",
+]
+
+#: Compound shift: night lighting *and* haze (beyond any single preset).
+NIGHT_FOG = ImagingConditions(
+    name="night_fog", brightness=0.24, contrast=0.45,
+    color_cast=(0.75, 0.82, 1.12), fog=0.4, blur_sigma=1.0,
+    noise_sigma=0.05, shadow_strength=0.0)
+
+#: The paper's canonical EL trigger, staggered across a campaign.
+NAV_COMM_LOSS = FailureProfile(
+    failure=FailureType.NAVIGATION_AND_COMM_LOSS,
+    time_s=4.0, stagger_s=1.0, stagger_cycle=10)
+
+#: Early propulsion loss: the safety switch answers with FT, so EL
+#: policies are never consulted — the contrast case to NAV_COMM_LOSS.
+MOTOR_FAILURE_T3 = FailureProfile(
+    failure=FailureType.MOTOR_FAILURE, time_s=3.0)
+
+
+def _nominal(name: str, conditions, description: str) -> ScenarioSpec:
+    return register_scenario(ScenarioSpec(
+        name=name, description=description, conditions=conditions,
+        tags=("nominal", "in_distribution")))
+
+
+def _ood(name: str, conditions, description: str) -> ScenarioSpec:
+    return register_scenario(ScenarioSpec(
+        name=name, description=description, conditions=conditions,
+        tags=("ood",)))
+
+
+#: In-distribution streams under each training condition.
+NOMINAL_SCENARIOS = (
+    _nominal("day_nominal", DAY,
+             "midday delivery overflight, no failure"),
+    _nominal("bright_day_nominal", BRIGHT_DAY,
+             "slightly over-exposed midday stream"),
+    _nominal("overcast_nominal", OVERCAST,
+             "diffuse overcast light, soft shadows"),
+)
+
+#: Out-of-distribution streams (the Fig. 4b family and beyond).
+OOD_SCENARIOS = (
+    _ood("sunset_ood", SUNSET,
+         "the paper's OOD case: golden-hour cast, long shadows"),
+    _ood("night_ood", NIGHT,
+         "severe low-light shift"),
+    _ood("fog_ood", FOG,
+         "haze veil with optical blur"),
+    _ood("night_fog", NIGHT_FOG,
+         "compound shift: night lighting plus fog"),
+)
+
+#: Failure-injection campaigns (scene + conditions + failure + wind).
+FAILURE_SCENARIOS = (
+    register_scenario(ScenarioSpec(
+        name="nav_comm_loss_delivery",
+        description="MEDI DELIVERY route; navigation+communication "
+                    "loss mid-flight -> EL engaged (the paper's "
+                    "canonical trigger)",
+        conditions=DAY, failure=NAV_COMM_LOSS,
+        tags=("failure", "el"))),
+    register_scenario(ScenarioSpec(
+        name="motor_failure_descent",
+        description="propulsion loss early in the route -> immediate "
+                    "flight termination, EL unavailable",
+        conditions=DAY, failure=MOTOR_FAILURE_T3,
+        tags=("failure",))),
+    register_scenario(ScenarioSpec(
+        name="sunset_nav_loss",
+        description="nav+comm loss during a sunset flight: the "
+                    "monitored EL pipeline must catch OOD "
+                    "segmentation errors while the clock runs",
+        conditions=SUNSET, failure=NAV_COMM_LOSS,
+        tags=("failure", "el", "ood"))),
+)

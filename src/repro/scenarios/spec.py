@@ -1,0 +1,280 @@
+"""Scenario specifications: one name for scene + imaging + failure + wind.
+
+What the paper evaluates frame-by-frame, related work runs as *streams
+under named conditions*: continuous video episodes at sunset, in fog, at
+night, with a failure striking mid-flight (Guerin et al., "Evaluation of
+Runtime Monitoring for UAV Emergency Landing"; Tovanche-Picon et al.,
+"Visual-based Safe Landing for UAVs in Populated Areas").  A
+:class:`ScenarioSpec` composes everything such a workload needs — scene
+generation, :class:`~repro.dataset.conditions.ImagingConditions`,
+failure profile, wind, camera geometry and frame-stream length — behind
+a single registered name, so benches, examples and mission campaigns
+*name* scenarios instead of hand-assembling conditions and failure
+events.
+
+The registry (:func:`register_scenario` / :func:`get_scenario`) holds
+the named presets defined in :mod:`repro.scenarios.presets`; sweep
+helpers (:func:`scenario_sweep`, :func:`list_scenarios`) drive the
+Table IV High-2 requirement ("validated under a wide range of external
+conditions") across whole scenario families.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.dataset.conditions import DAY, ImagingConditions
+from repro.dataset.generator import SegmentationSample
+from repro.dataset.render import render_scene_window
+from repro.dataset.scene import SceneConfig, UrbanScene
+from repro.uav.failures import FailureEvent, FailureType
+from repro.utils.rng import derive_seed, ensure_rng
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "FailureProfile",
+    "ScenarioSpec",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "list_scenarios",
+    "scenario_sweep",
+]
+
+
+@dataclass(frozen=True)
+class FailureProfile:
+    """A deterministic failure schedule for campaign missions.
+
+    Mission ``i`` of a campaign gets its failure at ``time_s + (i %
+    stagger_cycle) * stagger_s`` — the staggered-onset pattern the
+    Monte-Carlo benches use so one scenario still exercises failures at
+    several route positions.
+    """
+
+    failure: FailureType
+    time_s: float = 4.0
+    stagger_s: float = 1.0
+    stagger_cycle: int = 1
+
+    def __post_init__(self):
+        if self.time_s < 0:
+            raise ValueError("failure time must be non-negative")
+        if self.stagger_s < 0:
+            raise ValueError("stagger_s must be non-negative")
+        check_positive("stagger_cycle", self.stagger_cycle)
+
+    def event(self, index: int = 0) -> FailureEvent:
+        """The :class:`FailureEvent` of campaign mission ``index``."""
+        offset = (int(index) % self.stagger_cycle) * self.stagger_s
+        return FailureEvent(failure=self.failure,
+                            time_s=self.time_s + offset)
+
+    def events(self, count: int) -> list[FailureEvent]:
+        """The failure schedule of a ``count``-mission campaign."""
+        return [self.event(i) for i in range(count)]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything one named episode workload is made of.
+
+    A scenario binds together what used to be scattered across
+    ``dataset/conditions.py`` (imaging), ``uav/failures.py`` (failure
+    injection), ``uav/mission.py`` (wind, camera) and ad-hoc harness
+    code (scene seeds, frame counts).  From a spec you can derive
+
+    * frame-stream episodes for the episode engine
+      (:meth:`frame_stream`, :meth:`episode_request`),
+    * Monte-Carlo mission campaign inputs (:meth:`scenes`,
+      :meth:`failure_events`, :meth:`mission_config`), and
+    * dataset shifts (:attr:`conditions` feeds
+      :func:`repro.dataset.generator.reshoot_under_condition`).
+    """
+
+    name: str
+    description: str = ""
+    conditions: ImagingConditions = DAY
+    failure: FailureProfile | None = None
+    wind_speed_ms: float = 4.0
+    wind_direction_rad: float = 0.8
+    camera_shape_px: tuple[int, int] = (96, 128)
+    camera_gsd_m: float = 1.0
+    num_frames: int = 4
+    scene_config: SceneConfig = field(default_factory=SceneConfig)
+    seed: int = 0
+    tags: tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("scenario name must not be empty")
+        check_positive("num_frames", self.num_frames)
+        check_positive("camera_gsd_m", self.camera_gsd_m)
+        if self.wind_speed_ms < 0:
+            raise ValueError("wind_speed_ms must be non-negative")
+
+    # ------------------------------------------------------------------
+    # Derived variants
+    # ------------------------------------------------------------------
+    def with_camera(self, shape_px: tuple[int, int],
+                    gsd_m: float | None = None) -> "ScenarioSpec":
+        """The same scenario re-shot at a different camera geometry.
+
+        Benches and tests use this to match a scenario to their trained
+        system's scale (e.g. the 48x64 CI-scale model).
+        """
+        return replace(self, camera_shape_px=tuple(shape_px),
+                       camera_gsd_m=(gsd_m if gsd_m is not None
+                                     else self.camera_gsd_m))
+
+    def with_failure(self, failure: FailureProfile | None
+                     ) -> "ScenarioSpec":
+        """The same scenario with a different failure profile."""
+        return replace(self, failure=failure)
+
+    # ------------------------------------------------------------------
+    # Scene / mission derivation
+    # ------------------------------------------------------------------
+    def scene_seed(self, index: int = 0,
+                   seed_base: int | None = None) -> int:
+        """Deterministic per-episode/mission scene seed."""
+        if seed_base is not None:
+            return int(seed_base) + int(index)
+        return derive_seed(self.seed, 11, index)
+
+    def scene(self, index: int = 0,
+              seed_base: int | None = None) -> UrbanScene:
+        """The procedural district of episode/mission ``index``."""
+        return UrbanScene.generate(self.scene_config,
+                                   seed=self.scene_seed(index, seed_base))
+
+    def scenes(self, count: int,
+               seed_base: int | None = None) -> list[UrbanScene]:
+        """One scene per campaign mission."""
+        return [self.scene(i, seed_base) for i in range(count)]
+
+    def failure_event(self, index: int = 0) -> FailureEvent | None:
+        """The failure striking episode/mission ``index`` (or None)."""
+        if self.failure is None:
+            return None
+        return self.failure.event(index)
+
+    def failure_events(self, count: int) -> list[FailureEvent | None]:
+        """The campaign failure schedule (``None`` = uneventful)."""
+        return [self.failure_event(i) for i in range(count)]
+
+    def mission_config(self, **overrides):
+        """A :class:`repro.uav.mission.MissionConfig` for this scenario.
+
+        Imaging conditions, wind and camera geometry come from the
+        spec; any remaining mission parameter can be overridden by
+        keyword.
+        """
+        from repro.uav.mission import MissionConfig  # mission is a consumer
+        kwargs = dict(conditions=self.conditions,
+                      wind_speed_ms=self.wind_speed_ms,
+                      wind_direction_rad=self.wind_direction_rad,
+                      camera_shape_px=self.camera_shape_px,
+                      camera_gsd_m=self.camera_gsd_m)
+        kwargs.update(overrides)
+        return MissionConfig(**kwargs)
+
+    # ------------------------------------------------------------------
+    # Frame streams (episode-engine workloads)
+    # ------------------------------------------------------------------
+    def frame_stream(self, index: int = 0,
+                     num_frames: int | None = None
+                     ) -> list[SegmentationSample]:
+        """Render one episode's labelled camera-frame stream.
+
+        The camera starts at a random valid window centre and drifts
+        with the scenario wind between frames (clamped to the scene),
+        so consecutive frames overlap like a continuous video stream.
+        Fully determined by ``(spec, index)``.
+        """
+        n = int(num_frames) if num_frames is not None else self.num_frames
+        check_positive("num_frames", n)
+        scene = self.scene(index)
+        rng = ensure_rng(derive_seed(self.seed, 23, index))
+        rmin, rmax, cmin, cmax = scene.window_center_bounds(
+            self.camera_shape_px, self.camera_gsd_m)
+        row = float(rng.uniform(rmin, rmax))
+        col = float(rng.uniform(cmin, cmax))
+        # Wind drift per frame, in scene cells (1 s between frames).
+        scale = self.wind_speed_ms / scene.config.gsd
+        drow = scale * math.sin(self.wind_direction_rad)
+        dcol = scale * math.cos(self.wind_direction_rad)
+        samples = []
+        for k in range(n):
+            render_rng = np.random.default_rng(
+                derive_seed(self.seed, 29, index, k))
+            image, labels = render_scene_window(
+                scene, (row, col), self.camera_shape_px,
+                self.camera_gsd_m, self.conditions, rng=render_rng)
+            samples.append(SegmentationSample(
+                image=image, labels=labels.astype(np.int16),
+                condition=self.conditions.name,
+                scene_seed=self.scene_seed(index),
+                center=(row, col), gsd=self.camera_gsd_m))
+            row = float(np.clip(row + drow, rmin, rmax))
+            col = float(np.clip(col + dcol, cmin, cmax))
+        return samples
+
+    def episode_seed(self, index: int = 0) -> int:
+        """The per-episode monitor RNG seed."""
+        return derive_seed(self.seed, 31, index)
+
+    def episode_request(self, index: int = 0,
+                        num_frames: int | None = None):
+        """An :class:`repro.core.engine.EpisodeRequest` for this spec."""
+        from repro.core.engine import EpisodeRequest  # engine is a consumer
+        frames = [s.image for s in self.frame_stream(index, num_frames)]
+        return EpisodeRequest(frames=frames,
+                              seed=self.episode_seed(index),
+                              name=f"{self.name}#{index}")
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec,
+                      overwrite: bool = False) -> ScenarioSpec:
+    """Add ``spec`` to the global registry (returns it for chaining)."""
+    if not overwrite and spec.name in _REGISTRY:
+        raise ValueError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a registered scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    """All registered scenario names, in registration order."""
+    return list(_REGISTRY)
+
+
+def list_scenarios(tag: str | None = None) -> list[ScenarioSpec]:
+    """Registered scenarios, optionally filtered by tag."""
+    specs = list(_REGISTRY.values())
+    if tag is None:
+        return specs
+    return [s for s in specs if tag in s.tags]
+
+
+def scenario_sweep(*names: str) -> list[ScenarioSpec]:
+    """Resolve several scenario names at once (sweep helper)."""
+    return [get_scenario(name) for name in names]

@@ -1,0 +1,224 @@
+"""Tests for the streaming episode engine (EpisodeScheduler).
+
+The load-bearing contract: with the default exact mode (any worker
+count) the engine is *bit-for-bit* identical to the status quo — one
+``LandingPipeline.run`` call per frame per episode, each episode on its
+own seeded monitor RNG stream.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    EngineConfig,
+    EpisodeRequest,
+    EpisodeScheduler,
+    LandingPipeline,
+)
+from repro.nn import functional as F
+from repro.scenarios import scenario_sweep
+
+SCENARIOS = ("day_nominal", "sunset_ood", "motor_failure_descent")
+
+
+def _episodes(system, num=1, frames=2):
+    return [
+        spec.with_camera(system.config.dataset.image_shape)
+        .episode_request(i, num_frames=frames)
+        for spec in scenario_sweep(*SCENARIOS)
+        for i in range(num)
+    ]
+
+
+def _sequential(system, config, episodes):
+    out = []
+    for ep in episodes:
+        pipeline = LandingPipeline(system.model, config, rng=ep.seed)
+        out.append([pipeline.run(frame) for frame in ep.frames])
+    return out
+
+
+def _assert_results_equal(a, b):
+    assert np.array_equal(a.predicted_labels, b.predicted_labels)
+    assert a.decision.action is b.decision.action
+    assert a.decision.attempts == b.decision.attempts
+    assert a.decision.log == b.decision.log
+    assert len(a.verdicts) == len(b.verdicts)
+    for va, vb in zip(a.verdicts, b.verdicts):
+        assert va.accepted == vb.accepted
+        assert va.unsafe_fraction == vb.unsafe_fraction
+        assert np.array_equal(va.distribution.mean, vb.distribution.mean)
+        assert np.array_equal(va.distribution.std, vb.distribution.std)
+
+
+class TestExactMode:
+    def test_bit_for_bit_vs_sequential_loop(self, tiny_system):
+        episodes = _episodes(tiny_system)
+        config = tiny_system.pipeline_config()
+        reference = _sequential(tiny_system, config, episodes)
+        out = EpisodeScheduler(tiny_system.model, config).run(episodes)
+        assert [e.name for e in out] == [ep.name for ep in episodes]
+        for engine_ep, ref_ep in zip(out, reference):
+            assert len(engine_ep.results) == len(ref_ep)
+            for a, b in zip(engine_ep.results, ref_ep):
+                _assert_results_equal(a, b)
+
+    def test_run_frames_matches_run_batch(self, tiny_system):
+        """The deprecated run_batch and its engine replacement agree."""
+        images = [s.image for s in tiny_system.test_samples[:3]]
+        with pytest.deprecated_call():
+            batched = tiny_system.make_pipeline(rng=0).run_batch(images)
+        scheduler = tiny_system.make_scheduler()
+        streamed = scheduler.run_frames(images, seed=0)
+        assert len(streamed) == len(batched)
+        for a, b in zip(streamed, batched):
+            _assert_results_equal(a, b)
+
+    def test_mixed_camera_shapes_in_one_run(self, tiny_system):
+        specs = scenario_sweep("day_nominal", "sunset_ood")
+        episodes = [
+            specs[0].with_camera((48, 64)).episode_request(0, 2),
+            specs[1].with_camera((32, 48)).episode_request(0, 2),
+        ]
+        config = tiny_system.pipeline_config()
+        reference = _sequential(tiny_system, config, episodes)
+        out = EpisodeScheduler(tiny_system.model, config).run(episodes)
+        for engine_ep, ref_ep in zip(out, reference):
+            for a, b in zip(engine_ep.results, ref_ep):
+                _assert_results_equal(a, b)
+
+    def test_unmonitored_episodes(self, tiny_system):
+        episodes = _episodes(tiny_system)
+        config = tiny_system.pipeline_config(monitor_enabled=False)
+        reference = _sequential(tiny_system, config, episodes)
+        out = EpisodeScheduler(tiny_system.model, config).run(episodes)
+        for engine_ep, ref_ep in zip(out, reference):
+            for a, b in zip(engine_ep.results, ref_ep):
+                _assert_results_equal(a, b)
+                assert a.verdicts == []
+
+    def test_empty_inputs(self, tiny_system):
+        scheduler = tiny_system.make_scheduler()
+        assert scheduler.run([]) == []
+        out = scheduler.run([EpisodeRequest(frames=(), name="idle")])
+        assert out[0].name == "idle"
+        assert out[0].results == []
+        assert scheduler.run_frames([]) == []
+
+    def test_episode_result_counters(self, tiny_system):
+        episodes = _episodes(tiny_system)
+        out = tiny_system.make_scheduler().run(episodes)
+        for ep in out:
+            assert ep.landed_count + ep.aborted_count == len(ep.results)
+            assert len(ep.decisions) == len(ep.results)
+
+
+class TestWorkerSharding:
+    def test_workers_bit_for_bit(self, tiny_system):
+        episodes = _episodes(tiny_system)
+        config = tiny_system.pipeline_config()
+        reference = _sequential(tiny_system, config, episodes)
+        out = EpisodeScheduler(
+            tiny_system.model, config,
+            engine=EngineConfig(workers=2)).run(episodes)
+        for engine_ep, ref_ep in zip(out, reference):
+            assert len(engine_ep.results) == len(ref_ep)
+            for a, b in zip(engine_ep.results, ref_ep):
+                _assert_results_equal(a, b)
+
+
+class TestJointMode:
+    def test_seeded_reproducible(self, tiny_system):
+        episodes = _episodes(tiny_system)
+        config = tiny_system.pipeline_config()
+        engine = EngineConfig(monitor_batching="joint")
+        a = EpisodeScheduler(tiny_system.model, config, engine=engine,
+                             rng=0).run(episodes)
+        b = EpisodeScheduler(tiny_system.model, config, engine=engine,
+                             rng=0).run(episodes)
+        for ea, eb in zip(a, b):
+            for ra, rb in zip(ea.results, eb.results):
+                _assert_results_equal(ra, rb)
+
+    def test_labels_and_candidates_match_exact(self, tiny_system):
+        """Joint batching only changes the monitor's RNG stream: the
+        core segmentation and the proposed candidates are those of the
+        exact path, and the decision record stays well-formed."""
+        episodes = _episodes(tiny_system)
+        config = tiny_system.pipeline_config()
+        exact = EpisodeScheduler(tiny_system.model, config).run(episodes)
+        joint = EpisodeScheduler(
+            tiny_system.model, config,
+            engine=EngineConfig(monitor_batching="joint"),
+            rng=0).run(episodes)
+        for ee, je in zip(exact, joint):
+            for re_, rj in zip(ee.results, je.results):
+                assert np.array_equal(re_.predicted_labels,
+                                      rj.predicted_labels)
+                assert [c.box for c in re_.candidates] == \
+                    [c.box for c in rj.candidates]
+                assert len(rj.verdicts) == rj.decision.attempts
+                assert set(rj.timings_s) == {
+                    "segmentation_s", "selection_s", "monitoring_s",
+                    "decision_s"}
+
+    def test_speculative_k_joins_batches(self, tiny_system):
+        episodes = _episodes(tiny_system)
+        config = tiny_system.pipeline_config()
+        engine = EngineConfig(monitor_batching="joint", speculative_k=2)
+        out = EpisodeScheduler(tiny_system.model, config, engine=engine,
+                               rng=0).run(episodes)
+        for ep in out:
+            for r in ep.results:
+                # Budget semantics survive speculation: consumed
+                # verdicts never exceed the attempt budget.
+                assert r.decision.attempts <= \
+                    config.decision.max_attempts
+                assert len(r.verdicts) == r.decision.attempts
+
+
+class TestEngineConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="monitor_batching"):
+            EngineConfig(monitor_batching="telepathic")
+        with pytest.raises(ValueError, match="exact"):
+            EngineConfig(monitor_batching="joint", workers=2)
+        with pytest.raises(ValueError):
+            EngineConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            EngineConfig(workers=0)
+
+    def test_speculative_override_routes_to_decision(self, tiny_system):
+        scheduler = tiny_system.make_scheduler(
+            engine=EngineConfig(speculative_k=3))
+        assert scheduler.config.decision.speculative_k == 3
+        pipeline = tiny_system.make_pipeline(
+            engine=EngineConfig(speculative_k=3))
+        assert pipeline.config.decision.speculative_k == 3
+
+    def test_conv_knobs_applied(self, tiny_system):
+        saved = F.get_conv_engine()
+        try:
+            tiny_system.make_pipeline(
+                engine=EngineConfig(conv_mode="reference"))
+            assert F.get_conv_engine()["mode"] == "reference"
+        finally:
+            F.set_conv_engine(**saved)
+
+    def test_max_batch_routes_to_segmenter(self, tiny_system):
+        pipeline = tiny_system.make_pipeline(
+            engine=EngineConfig(max_batch=4))
+        assert pipeline.segmenter.max_batch == 4
+
+    def test_max_batch_reaches_episode_monitors(self, tiny_system):
+        """The engine's chunk knob governs the per-episode monitor
+        passes too, and chunking never changes results."""
+        episodes = _episodes(tiny_system)
+        config = tiny_system.pipeline_config()
+        reference = _sequential(tiny_system, config, episodes)
+        out = EpisodeScheduler(
+            tiny_system.model, config,
+            engine=EngineConfig(max_batch=3)).run(episodes)
+        for engine_ep, ref_ep in zip(out, reference):
+            for a, b in zip(engine_ep.results, ref_ep):
+                _assert_results_equal(a, b)

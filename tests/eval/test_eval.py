@@ -172,10 +172,13 @@ class TestTrainedSystemFixture:
         assert records[0]["mean_s"] > 0.0
 
     def test_run_batch_matches_run(self, tiny_system):
-        """Batched multi-frame episodes equal frame-by-frame runs."""
+        """The (deprecated) batched episode alias still equals
+        frame-by-frame runs — the contract its engine replacement
+        inherits (see tests/core/test_episode_engine.py)."""
         images = [s.image for s in tiny_system.test_samples[:2]]
         batch_pipeline = tiny_system.make_pipeline(rng=0)
-        batched = batch_pipeline.run_batch(images)
+        with pytest.deprecated_call():
+            batched = batch_pipeline.run_batch(images)
         loop_pipeline = tiny_system.make_pipeline(rng=0)
         looped = [loop_pipeline.run(image) for image in images]
         assert len(batched) == len(looped)

@@ -1,0 +1,163 @@
+"""Tests for the scenario registry (specs, presets, campaigns)."""
+
+import numpy as np
+import pytest
+
+from repro.dataset.conditions import DAY, SUNSET
+from repro.scenarios import (
+    FAILURE_SCENARIOS,
+    NAV_COMM_LOSS,
+    NIGHT_FOG,
+    OOD_SCENARIOS,
+    FailureProfile,
+    ScenarioSpec,
+    campaign_inputs,
+    get_scenario,
+    list_scenarios,
+    register_scenario,
+    run_scenario_campaign,
+    scenario_names,
+    scenario_sweep,
+)
+from repro.uav.failures import FailureType
+
+
+class TestRegistry:
+    def test_presets_registered(self):
+        names = scenario_names()
+        for expected in ("day_nominal", "sunset_ood", "night_fog",
+                         "motor_failure_descent",
+                         "nav_comm_loss_delivery"):
+            assert expected in names
+
+    def test_get_unknown_raises_with_known_names(self):
+        with pytest.raises(KeyError, match="day_nominal"):
+            get_scenario("no_such_scenario")
+
+    def test_sweep_resolves_in_order(self):
+        specs = scenario_sweep("sunset_ood", "day_nominal")
+        assert [s.name for s in specs] == ["sunset_ood", "day_nominal"]
+
+    def test_tag_filtering(self):
+        ood = list_scenarios(tag="ood")
+        assert {s.name for s in OOD_SCENARIOS} <= {s.name for s in ood}
+        assert all("ood" in s.tags for s in ood)
+
+    def test_duplicate_registration_rejected(self):
+        spec = get_scenario("day_nominal")
+        with pytest.raises(ValueError, match="already registered"):
+            register_scenario(spec)
+        # ... unless explicitly overwritten (idempotent re-register).
+        assert register_scenario(spec, overwrite=True) is spec
+
+    def test_failure_presets_wired(self):
+        assert get_scenario("nav_comm_loss_delivery").failure \
+            == NAV_COMM_LOSS
+        assert get_scenario("day_nominal").failure is None
+        assert get_scenario("night_fog").conditions == NIGHT_FOG
+
+
+class TestFailureProfile:
+    def test_staggered_events(self):
+        profile = FailureProfile(
+            failure=FailureType.NAVIGATION_AND_COMM_LOSS,
+            time_s=4.0, stagger_s=1.0, stagger_cycle=3)
+        times = [e.time_s for e in profile.events(5)]
+        assert times == [4.0, 5.0, 6.0, 4.0, 5.0]
+        assert all(e.failure is FailureType.NAVIGATION_AND_COMM_LOSS
+                   for e in profile.events(5))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureProfile(failure=FailureType.MOTOR_FAILURE,
+                           time_s=-1.0)
+        with pytest.raises(ValueError):
+            FailureProfile(failure=FailureType.MOTOR_FAILURE,
+                           stagger_cycle=0)
+
+
+class TestScenarioSpec:
+    def test_frame_stream_deterministic(self):
+        spec = get_scenario("sunset_ood").with_camera((48, 64))
+        a = spec.frame_stream(index=1, num_frames=3)
+        b = spec.frame_stream(index=1, num_frames=3)
+        assert len(a) == 3
+        assert all(np.array_equal(x.image, y.image)
+                   and np.array_equal(x.labels, y.labels)
+                   for x, y in zip(a, b))
+        assert all(s.condition == "sunset" for s in a)
+        assert a[0].image.shape == (3, 48, 64)
+
+    def test_frame_stream_drifts_with_wind(self):
+        spec = get_scenario("day_nominal").with_camera((48, 64))
+        stream = spec.frame_stream(index=0, num_frames=3)
+        centers = [s.center for s in stream]
+        assert centers[0] != centers[1]  # the camera moved
+
+    def test_episodes_differ_by_index(self):
+        spec = get_scenario("day_nominal").with_camera((48, 64))
+        a = spec.frame_stream(index=0, num_frames=1)[0]
+        b = spec.frame_stream(index=1, num_frames=1)[0]
+        assert not np.array_equal(a.image, b.image)
+        assert spec.episode_seed(0) != spec.episode_seed(1)
+
+    def test_episode_request_matches_stream(self):
+        spec = get_scenario("fog_ood").with_camera((48, 64))
+        request = spec.episode_request(index=0, num_frames=2)
+        stream = spec.frame_stream(index=0, num_frames=2)
+        assert request.name == "fog_ood#0"
+        assert len(request.frames) == 2
+        assert all(np.array_equal(f, s.image)
+                   for f, s in zip(request.frames, stream))
+
+    def test_with_camera_and_failure_derivations(self):
+        spec = get_scenario("day_nominal")
+        small = spec.with_camera((48, 64), 2.0)
+        assert small.camera_shape_px == (48, 64)
+        assert small.camera_gsd_m == 2.0
+        failed = spec.with_failure(NAV_COMM_LOSS)
+        assert failed.failure is NAV_COMM_LOSS
+        assert spec.failure is None  # original untouched
+
+    def test_mission_config_carries_scenario(self):
+        spec = get_scenario("sunset_nav_loss")
+        config = spec.mission_config(max_time_s=120.0)
+        assert config.conditions == SUNSET
+        assert config.camera_shape_px == spec.camera_shape_px
+        assert config.max_time_s == 120.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="")
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", num_frames=0)
+        with pytest.raises(ValueError):
+            ScenarioSpec(name="x", wind_speed_ms=-1.0)
+
+
+class TestCampaigns:
+    def test_campaign_inputs_shapes(self):
+        scenes, failures, config = campaign_inputs(
+            "nav_comm_loss_delivery", 4, scene_seed_base=100)
+        assert len(scenes) == len(failures) == 4
+        assert failures[0].time_s == 4.0 and failures[1].time_s == 5.0
+        assert config.conditions == DAY
+
+    def test_uneventful_scenario_has_no_failures(self):
+        _, failures, _ = campaign_inputs("day_nominal", 3)
+        assert failures == [None, None, None]
+
+    def test_run_scenario_campaign_deterministic(self):
+        a = run_scenario_campaign("nav_comm_loss_delivery", 3,
+                                  el_policy=None, seed=7)
+        b = run_scenario_campaign("nav_comm_loss_delivery", 3,
+                                  el_policy=None, seed=7)
+        assert a.num_missions == b.num_missions == 3
+        assert a.severity_counts == b.severity_counts
+        assert a.maneuver_counts == b.maneuver_counts
+
+    def test_failure_scenarios_reach_terminal_outcomes(self):
+        for spec in FAILURE_SCENARIOS:
+            stats = run_scenario_campaign(spec, 2, el_policy=None,
+                                          seed=3)
+            assert stats.num_missions == 2
