@@ -25,7 +25,15 @@ Measured contracts:
   scale its wall-clock is near parity (the joint pass trades
   over-checked zones against amortised fixed costs) — its real win is
   in the paper's latency model, where every avoided sequential attempt
-  is ~5 s of fall time.
+  is ~5 s of fall time;
+* the winograd F(2x2,3x3) mode (PR 4) is measured per layer, across
+  channel widths (the crossover study) and on the full-frame MC pass at
+  1x/2x frames, with a zero-verdict-flip certification smoke — the
+  full seeded gate lives in
+  ``tests/integration/test_winograd_certification.py``.  At this
+  model's 16-24 channel widths the mode sits below blocked parity on
+  this host (crossover ~C=48-96, run-to-run throttling noise); the gated ratio protects the certified
+  path from collapsing further.
 
 The numbers land in ``benchmarks/BENCH_conv_engine.json`` (full mode)
 and ``benchmarks/.smoke/BENCH_conv_engine.json`` (smoke mode, consumed
@@ -35,6 +43,7 @@ by the ``scripts/check.sh`` regression gate).
 import os
 
 import numpy as np
+import pytest
 from _bench_utils import best_of as _best_of
 from _bench_utils import write_bench_summary
 
@@ -42,6 +51,21 @@ from repro.eval.reporting import format_table, format_title
 from repro.nn import functional as F
 
 SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+
+@pytest.fixture(autouse=True)
+def _pin_blocked_ambient():
+    """Pin the ambient engine to blocked for every bench here.
+
+    The blocked-side numbers (bat_s, seq_s, the pipeline timings) are
+    measured under the ambient default; without pinning, running the
+    bench under ``REPRO_CONV_ENGINE=winograd`` would silently record a
+    winograd-vs-winograd ratio as ``speedup_winograd_vs_blocked_*``.
+    Explicit ``conv_engine(...)`` contexts inside the benches still
+    override as intended.
+    """
+    with F.conv_engine(mode="blocked", layout="nchw"):
+        yield
 
 #: End-to-end timings of the PR 1 engine (commit a4bbde9) measured on
 #: this repo's reference container immediately before the conv-engine
@@ -62,7 +86,8 @@ def _conv_case(rng, n, cin, cout, h, w, stride=1, dilation=1):
 
 
 def test_conv_engine_micro(benchmark, emit):
-    """Layer-shape micro-benchmark: reference vs blocked vs NHWC."""
+    """Layer-shape micro-benchmark: reference / blocked / NHWC /
+    winograd."""
     rng = np.random.default_rng(0)
     scale = 2 if SMOKE else 1
     cases = [
@@ -72,13 +97,16 @@ def test_conv_engine_micro(benchmark, emit):
          _conv_case(rng, 6, 24, 24, 96 // scale, 128 // scale, stride=2)),
         ("branch 24->6 d2 N=6",
          _conv_case(rng, 6, 24, 6, 24 // scale, 32 // scale, dilation=2)),
+        ("branch 24->6 d1 N=6",
+         _conv_case(rng, 6, 24, 6, 24 // scale, 32 // scale)),
     ]
     rows = []
     times: dict[str, dict[str, float]] = {}
     for name, fn in cases:
         per_mode = {}
         for mode, layout in (("reference", "nchw"), ("blocked", "nchw"),
-                             ("blocked", "nhwc")):
+                             ("blocked", "nhwc"),
+                             ("winograd", "nchw")):
             with F.conv_engine(mode=mode, layout=layout):
                 per_mode[f"{mode}/{layout}"] = _best_of(fn)
         times[name] = per_mode
@@ -90,7 +118,7 @@ def test_conv_engine_micro(benchmark, emit):
         "CONV-ENGINE: blocked im2col engine, per-layer wall time"))
     emit(format_table(
         ["layer shape", "reference (ms)", "blocked (ms)",
-         "nhwc (ms)"], rows))
+         "nhwc (ms)", "winograd (ms)"], rows))
 
     # Equivalence across engines (reassociation tolerance).
     x = rng.normal(size=(2, 8, 24, 32)).astype(np.float32)
@@ -101,13 +129,56 @@ def test_conv_engine_micro(benchmark, emit):
         blk = F.conv2d_infer(x, wt, None, 1, 1, 1)
     with F.conv_engine(layout="nhwc"):
         nhwc = F.conv2d_infer(x, wt, None, 1, 1, 1)
+    with F.conv_engine(mode="winograd"):
+        wg = F.conv2d_infer(x, wt, None, 1, 1, 1)
     assert np.allclose(ref, blk, atol=1e-5)
     assert np.allclose(ref, nhwc, atol=1e-4)
+    assert np.allclose(ref, wg, atol=1e-4)
 
     # The blocked engine must never regress materially vs reference.
     for name, per_mode in times.items():
         assert per_mode["blocked/nchw"] <= \
             per_mode["reference/nchw"] * (2.0 if SMOKE else 1.4), name
+
+
+def test_winograd_channel_scaling(emit):
+    """Where F(2x2, 3x3) wins and where it cannot (measured).
+
+    The winograd engine trades a 2.25x GEMM-multiply cut against extra
+    staged memory passes through the transform domain.  On this host's
+    single-core roofline that trade only pays once the channel
+    contraction dominates — around C ~ 48-96 — while the repro model's
+    16-24-channel layers remain faster on the cache-fused blocked
+    engine.  This bench pins that crossover so the ROADMAP claim stays
+    measured rather than assumed.
+    """
+    rng = np.random.default_rng(1)
+    h, w = (24, 32) if SMOKE else (48, 64)
+    rows = []
+    ratios = {}
+    for c in (8, 24, 48, 96):
+        n = 2
+        fn = _conv_case(rng, n, c, c, h, w)
+        with F.conv_engine(mode="blocked"):
+            blocked_s = _best_of(fn, repeats=3 if SMOKE else 5)
+        with F.conv_engine(mode="winograd"):
+            wino_s = _best_of(fn, repeats=3 if SMOKE else 5)
+        ratios[c] = blocked_s / wino_s
+        rows.append([f"C={c} {h}x{w} N={n}",
+                     f"{blocked_s * 1000:.3f}",
+                     f"{wino_s * 1000:.3f}",
+                     f"{blocked_s / wino_s:.2f}x"])
+    emit("\n" + format_title(
+        "CONV-ENGINE: winograd channel-width crossover"))
+    emit(format_table(
+        ["shape", "blocked (ms)", "winograd (ms)",
+         "blocked/winograd"], rows))
+    # Sanity floor: winograd must stay in the same performance class
+    # as blocked at repro widths (it is an accuracy-certified option,
+    # not a pathological one), and must approach parity as channels
+    # grow toward the crossover.
+    assert ratios[24] >= (0.35 if SMOKE else 0.5), ratios
+    assert ratios[96] >= (0.55 if SMOKE else 0.75), ratios
 
 
 def test_conv_engine_end_to_end(benchmark, system, emit):
@@ -149,6 +220,35 @@ def test_conv_engine_end_to_end(benchmark, system, emit):
     big_blk_s = _best_of(
         lambda: segmenter.predict_deterministic(big), repeats=3)
 
+    # Winograd engine: the full-frame MC pass at native and 2x frame
+    # size vs blocked — the certified F(2x2,3x3) option.  Measured
+    # honestly: at this model's 16-24 channel widths the staged
+    # transform passes outweigh the 2.25x multiply cut on this host
+    # (see test_winograd_channel_scaling for the crossover), so the
+    # ratio sits below 1.0; the gate protects the ratio from a further
+    # collapse of the winograd path.
+    with F.conv_engine(mode="blocked"):
+        big_mc_blk_s = _best_of(lambda: segmenter.predict_distribution(
+            big, num_samples=t), repeats=3)
+    with F.conv_engine(mode="winograd"):
+        wg_mc_s = _best_of(lambda: segmenter.predict_distribution(
+            image, num_samples=t))
+        wg_big_mc_s = _best_of(lambda: segmenter.predict_distribution(
+            big, num_samples=t), repeats=3)
+
+    # Certification smoke: zero verdict flips between engines on the
+    # bench episodes (the full seeded gate lives in
+    # tests/integration/test_winograd_certification.py).
+    def _fingerprints(mode):
+        pipeline = system.make_pipeline(rng=0)
+        with F.conv_engine(mode=mode):
+            runs = [pipeline.run(im) for im in monitored]
+        return [(r.decision.action, r.decision.attempts,
+                 tuple(v.accepted for v in r.verdicts)) for r in runs]
+
+    winograd_verdicts_identical = \
+        _fingerprints("blocked") == _fingerprints("winograd")
+
     # Seeded equivalence: the engine must not change a single verdict.
     seq = system.make_segmenter(rng=7).predict_distribution_sequential(
         image, num_samples=t)
@@ -186,6 +286,14 @@ def test_conv_engine_end_to_end(benchmark, system, emit):
          f"{big_blk_s * 1000:.2f} ms "
          f"({big_ref_s / big_blk_s:.2f}x)")
     emit(f"bit-for-bit batched == sequential: {bit_for_bit}")
+    emit(f"winograd full-frame MC pass T={t}: blocked "
+         f"{bat_s * 1000:.2f} ms -> winograd {wg_mc_s * 1000:.2f} ms "
+         f"({bat_s / wg_mc_s:.2f}x); 2x frame {big_mc_blk_s * 1000:.2f}"
+         f" -> {wg_big_mc_s * 1000:.2f} ms "
+         f"({big_mc_blk_s / wg_big_mc_s:.2f}x) — below parity at this "
+         "model's channel widths (measured crossover ~C=48-96, see the "
+         "channel-scaling bench); verdicts identical: "
+         f"{winograd_verdicts_identical}")
 
     summary = {
         "image_shape": list(image.shape),
@@ -199,17 +307,25 @@ def test_conv_engine_end_to_end(benchmark, system, emit):
         "predict_distribution_sequential_ms": seq_s * 1000,
         "big_frame_det_reference_ms": big_ref_s * 1000,
         "big_frame_det_blocked_ms": big_blk_s * 1000,
+        "winograd_mc_ms": wg_mc_s * 1000,
+        "winograd_big_frame_mc_ms": wg_big_mc_s * 1000,
+        "big_frame_mc_blocked_ms": big_mc_blk_s * 1000,
         "speedup_monitored_vs_pr1": mon_speedup,
         "speedup_all_frames_vs_pr1": all_speedup,
         "speedup_distribution_vs_pr1": dist_speedup,
         "speedup_batched_vs_sequential": seq_s / bat_s,
         "speedup_big_frame_blocked_vs_reference": big_ref_s / big_blk_s,
+        "speedup_winograd_vs_blocked_mc": bat_s / wg_mc_s,
+        "speedup_winograd_vs_blocked_mc_2x": big_mc_blk_s / wg_big_mc_s,
+        "winograd_verdicts_identical": winograd_verdicts_identical,
         "bit_for_bit_equal": bit_for_bit,
         "conv_engine": F.get_conv_engine(),
     }
     write_bench_summary("BENCH_conv_engine.json", summary, smoke=SMOKE)
 
     assert bit_for_bit, "conv engine diverged from sequential reference"
+    assert winograd_verdicts_identical, \
+        "winograd engine flipped a monitor verdict on the bench episodes"
     assert seq_s / bat_s >= (1.0 if SMOKE else 2.0), (
         f"batched engine only {seq_s / bat_s:.2f}x vs sequential")
     if not SMOKE:

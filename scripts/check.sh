@@ -15,6 +15,16 @@ echo "== tier-1 tests =="
 python -m pytest tests -q -x
 
 echo
+echo "== tier-1 smoke under the winograd conv engine =="
+# The winograd engine is tolerance-certified, not bit-for-bit; the
+# certification harness plus the conv-adjacent suites must also hold
+# with winograd as the process-default engine (REPRO_CONV_ENGINE is
+# honoured by nn.functional.reset_conv_engine at import).  Smoke form:
+# the suites that actually exercise convolution end to end.
+REPRO_CONV_ENGINE=winograd python -m pytest \
+    tests/nn tests/segmentation tests/core tests/integration -q -x
+
+echo
 echo "== benchmark smoke (BENCH_SMOKE=1) =="
 # bench_*.py does not match pytest's default test-file glob; explicit
 # paths collect regardless.  Smoke summaries land in benchmarks/.smoke/

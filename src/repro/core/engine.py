@@ -54,7 +54,12 @@ from repro.core.pipeline import (
     PipelineConfig,
     PipelineResult,
 )
-from repro.nn.functional import get_conv_engine, set_conv_engine
+from repro.nn.functional import (
+    CONV_ENGINE_LAYOUTS,
+    CONV_ENGINE_MODES,
+    get_conv_engine,
+    set_conv_engine,
+)
 from repro.segmentation.bayesian import BayesianSegmenter
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_image_chw, check_positive
@@ -108,7 +113,12 @@ class EngineConfig:
         :mod:`repro.core.decision`).
     conv_mode / conv_layout / conv_block_kib:
         Forwarded to :func:`repro.nn.functional.set_conv_engine` when
-        set (process-global, like that function).
+        set (process-global, like that function).  ``mode="winograd"``
+        selects the F(2x2, 3x3) engine — tolerance-certified rather
+        than bit-for-bit against reference/blocked (see the accuracy
+        contracts in :mod:`repro.nn.functional` and the certification
+        harness in ``tests/nn/test_winograd_equivalence.py`` /
+        ``tests/integration/test_winograd_certification.py``).
     """
 
     max_batch: int = 6
@@ -137,6 +147,21 @@ class EngineConfig:
                 "(joint batching is a single-process fast path)")
         if self.speculative_k is not None:
             check_positive("speculative_k", self.speculative_k)
+        # Conv-engine knobs are validated eagerly so a bad mode fails
+        # at construction, not at the first forward pass deep inside a
+        # scheduler run.
+        if self.conv_mode is not None and \
+                self.conv_mode not in CONV_ENGINE_MODES:
+            raise ValueError(
+                f"conv_mode must be one of {CONV_ENGINE_MODES}, "
+                f"got {self.conv_mode!r}")
+        if self.conv_layout is not None and \
+                self.conv_layout not in CONV_ENGINE_LAYOUTS:
+            raise ValueError(
+                f"conv_layout must be one of {CONV_ENGINE_LAYOUTS}, "
+                f"got {self.conv_layout!r}")
+        if self.conv_block_kib is not None and int(self.conv_block_kib) < 1:
+            raise ValueError("conv_block_kib must be >= 1")
 
     # ------------------------------------------------------------------
     def apply_conv_engine(self) -> dict:

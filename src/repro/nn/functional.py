@@ -29,10 +29,42 @@ engine's bit-for-bit contract intact (OpenBLAS GEMM is deterministic per
 slice, but *not* across different column splits, so the splits must
 match).  Everything is float32-contiguous end to end; see
 :func:`set_conv_engine` for the knobs.
+
+Winograd engine and accuracy contracts
+--------------------------------------
+``mode="winograd"`` runs eligible convolutions (3x3, stride 1,
+dilation 1, output at least 2x2) through Winograd F(2x2, 3x3): the
+input is cut into overlapping 4x4 tiles, both tiles and filters move to
+a transform domain where each 2x2 output patch costs 16 multiplies
+instead of 36 (2.25x fewer GEMM flops), and a short inverse transform
+brings the result back.  Filter transforms are precomputed once per
+weight array and cached (:data:`_WINOGRAD_FILTER_CACHE`).  Ineligible
+shapes (1x1/5x5 kernels, strided, dilated, or degenerate sub-2x2
+outputs) fall back to the blocked engine transparently.
+
+Accuracy contract: ``reference`` and ``blocked`` (single-block regime)
+are *bit-for-bit* identical; ``winograd`` is the first engine mode that
+is not — the transform reassociates the float32 arithmetic, so outputs
+agree with the reference path only to within a documented tolerance
+(see ``tests/nn/test_winograd_equivalence.py`` for the error analysis;
+at this repo's layer widths the observed deviation stays below
+``~1e-5`` relative to the output scale, certified in the test
+tolerances).  What *is* preserved exactly: the batched == sequential
+invariant.  The transform-domain contraction runs as one GEMM per
+``(sample, transform-coefficient)`` slice whose shape never depends on
+the batch size, so a ``T``-tiled batched forward reproduces ``T``
+sequential forwards bit for bit — winograd mode composes with the
+batched MC-dropout engine exactly like the blocked engine does.
+
+The default mode can be overridden per process with the
+``REPRO_CONV_ENGINE`` environment variable (read at import and by
+:func:`reset_conv_engine`), which is how CI runs the tier-1 suite once
+more under ``winograd``.
 """
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 
 import numpy as np
@@ -44,8 +76,11 @@ __all__ = [
     "conv2d_forward",
     "conv2d_backward",
     "conv2d_infer",
+    "CONV_ENGINE_MODES",
+    "CONV_ENGINE_LAYOUTS",
     "set_conv_engine",
     "get_conv_engine",
+    "reset_conv_engine",
     "conv_engine",
     "clear_conv_buffers",
     "maxpool2d_forward",
@@ -206,26 +241,41 @@ def conv2d_backward(dy: np.ndarray, cache: tuple
 # ----------------------------------------------------------------------
 #: Engine knobs.  ``mode``: "blocked" (default) tiles the im2col matrix
 #: into cache-sized row blocks reused from a scratch pool; "reference"
-#: materialises the full im2col matrix exactly like the training path.
+#: materialises the full im2col matrix exactly like the training path;
+#: "winograd" routes eligible 3x3/stride-1/dilation-1 convolutions
+#: through F(2x2, 3x3) tile transforms (2.25x fewer GEMM flops,
+#: tolerance-certified rather than bit-for-bit — see the module
+#: docstring) and everything else through the blocked engine.
 #: ``layout``: "nchw" (default) or "nhwc" — the NHWC path packs columns
 #: channel-minor and contracts against a (kh*kw*C, C_out) weight; its
 #: GEMM reduction order differs, so outputs can differ from NCHW in the
 #: last ulp (benchmarked in benchmarks/bench_conv_engine.py; NCHW wins
 #: at this repo's layer shapes, NHWC is kept as a measured option).
+#: The layout knob applies to the blocked engine only; winograd is
+#: NCHW-internal and its fallback path always uses blocked/NCHW.
 #: ``block_kib``: per-sample im2col block budget in KiB.  The block
 #: geometry is derived from per-sample quantities only (K, out_w,
 #: itemsize) so batched and sequential forwards split columns
 #: identically — the bit-for-bit contract of the batched MC engine.
-_ENGINE = {"mode": "blocked", "layout": "nchw", "block_kib": 384}
+CONV_ENGINE_MODES = ("blocked", "reference", "winograd")
+CONV_ENGINE_LAYOUTS = ("nchw", "nhwc")
 
-_VALID_MODES = ("blocked", "reference")
-_VALID_LAYOUTS = ("nchw", "nhwc")
+_VALID_MODES = CONV_ENGINE_MODES
+_VALID_LAYOUTS = CONV_ENGINE_LAYOUTS
+
+#: Environment variable overriding the default engine mode per process
+#: (e.g. ``REPRO_CONV_ENGINE=winograd`` re-runs a whole suite on the
+#: winograd engine without touching call sites).
+CONV_ENGINE_ENV = "REPRO_CONV_ENGINE"
+
+_ENGINE_DEFAULTS = {"mode": "blocked", "layout": "nchw", "block_kib": 384}
+_ENGINE: dict = {}
 
 #: Scratch-buffer pool for blocked im2col, keyed by required capacity
 #: class.  Bounded; single-threaded use assumed (the whole substrate
 #: is).  Cleared via :func:`clear_conv_buffers`.
 _COL_BUFFERS: dict[tuple, np.ndarray] = {}
-_COL_BUFFER_CAP = 8
+_COL_BUFFER_CAP = 32
 
 
 def set_conv_engine(mode: str | None = None, layout: str | None = None,
@@ -251,6 +301,30 @@ def get_conv_engine() -> dict:
     return dict(_ENGINE)
 
 
+def reset_conv_engine() -> dict:
+    """Restore the process-default engine configuration.
+
+    The default mode honours the ``REPRO_CONV_ENGINE`` environment
+    variable (validated against :data:`CONV_ENGINE_MODES`); everything
+    else returns to the built-in defaults.  Called once at import, and
+    by test fixtures that must not leak engine state across tests.
+    Returns the active configuration (a copy).
+    """
+    _ENGINE.clear()
+    _ENGINE.update(_ENGINE_DEFAULTS)
+    env_mode = os.environ.get(CONV_ENGINE_ENV)
+    if env_mode:
+        if env_mode not in _VALID_MODES:
+            raise ValueError(
+                f"{CONV_ENGINE_ENV}={env_mode!r} is not a valid conv "
+                f"engine mode (choose from {_VALID_MODES})")
+        _ENGINE["mode"] = env_mode
+    return dict(_ENGINE)
+
+
+reset_conv_engine()
+
+
 @contextmanager
 def conv_engine(mode: str | None = None, layout: str | None = None,
                 block_kib: int | None = None):
@@ -264,21 +338,26 @@ def conv_engine(mode: str | None = None, layout: str | None = None,
 
 
 def clear_conv_buffers() -> None:
-    """Drop all pooled im2col scratch buffers."""
+    """Drop all pooled conv scratch buffers and cached filter
+    transforms."""
     _COL_BUFFERS.clear()
+    _WINOGRAD_FILTER_CACHE.clear()
 
 
-def _col_buffer(capacity: int, dtype) -> np.ndarray:
+def _col_buffer(capacity: int, dtype, tag: str = "col") -> np.ndarray:
     """A flat scratch array of at least ``capacity`` elements.
 
     Keyed by the rounded-up capacity so repeated layer geometries reuse
     one allocation instead of paying a multi-MB ``np.empty`` (and the
-    page faults behind it) per conv call.
+    page faults behind it) per conv call.  ``tag`` separates pools that
+    may be live simultaneously within one conv call (the winograd
+    engine holds its tile and product scratch at once; sharing a
+    capacity class across them would alias the arrays).
     """
     # Round capacity up to the next power of two so nearby geometries
     # share an entry and the pool stays small.
     cap = 1 << (int(capacity) - 1).bit_length()
-    key = (cap, np.dtype(dtype).str)
+    key = (tag, cap, np.dtype(dtype).str)
     buf = _COL_BUFFERS.get(key)
     if buf is None:
         if len(_COL_BUFFERS) >= _COL_BUFFER_CAP:
@@ -387,6 +466,200 @@ def _conv2d_infer_nhwc(x: np.ndarray, weight: np.ndarray,
         n, c_out, out_h, out_w)
 
 
+# ----------------------------------------------------------------------
+# Winograd F(2x2, 3x3) engine
+# ----------------------------------------------------------------------
+#: Filter-transform matrix G of F(2, 3): ``U = G g G^T`` maps a 3x3
+#: filter tap into the 4x4 transform domain.  Held in float64 — the
+#: (cached, off-hot-path) filter transform is computed at full
+#: precision and rounded to the working dtype once.
+_WINOGRAD_G = np.array([[1.0, 0.0, 0.0],
+                        [0.5, 0.5, 0.5],
+                        [0.5, -0.5, 0.5],
+                        [0.0, 0.0, 1.0]])
+
+#: Cached filter transforms, keyed by ``id(weight)``.  Each entry holds
+#: a defensive copy of the weight it was computed from, so in-place
+#: weight updates (or an id() reused after garbage collection) are
+#: detected by value comparison and trigger a recompute instead of
+#: serving a stale transform.  Bounded; cleared by
+#: :func:`clear_conv_buffers`.
+_WINOGRAD_FILTER_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+_WINOGRAD_FILTER_CACHE_CAP = 32
+
+
+def _winograd_filter_transform(weight: np.ndarray) -> np.ndarray:
+    """``(16, C_out, C_in)`` transform-domain filters for 3x3 weights.
+
+    ``U = G g G^T`` per (c_out, c_in) tap, computed in float64 and
+    rounded once to the weight dtype, laid out coefficient-major so the
+    transform-domain contraction is a contiguous batched GEMM.  Cached
+    per weight array (see :data:`_WINOGRAD_FILTER_CACHE`).
+    """
+    key = id(weight)
+    hit = _WINOGRAD_FILTER_CACHE.get(key)
+    if hit is not None:
+        saved, u = hit
+        if saved.shape == weight.shape and saved.dtype == weight.dtype \
+                and np.array_equal(saved, weight):
+            return u
+    c_out, c_in = weight.shape[:2]
+    u64 = _WINOGRAD_G @ weight.astype(np.float64) @ _WINOGRAD_G.T
+    u = np.ascontiguousarray(
+        u64.transpose(2, 3, 0, 1).reshape(16, c_out, c_in)
+        .astype(weight.dtype))
+    u.setflags(write=False)
+    if len(_WINOGRAD_FILTER_CACHE) >= _WINOGRAD_FILTER_CACHE_CAP:
+        _WINOGRAD_FILTER_CACHE.pop(next(iter(_WINOGRAD_FILTER_CACHE)))
+    _WINOGRAD_FILTER_CACHE[key] = (weight.copy(), u)
+    return u
+
+
+#: Minimum per-sample tile count for the winograd engine.  Below this
+#: the fixed transform overhead (six staged passes over the tile
+#: domain) dwarfs the GEMM it accelerates, so small-tile shapes — tiny
+#: monitor crops, mostly — fall back to the blocked engine, which is
+#: the faster engine there by a wide measured margin.
+_WINOGRAD_MIN_TILES = 16
+
+
+def _winograd_eligible(kh: int, kw: int, stride: int, dilation: int,
+                       out_h: int, out_w: int) -> bool:
+    """Whether a conv geometry can run on the F(2x2, 3x3) engine.
+
+    Only the canonical 3x3 / stride-1 / dilation-1 case has a Winograd
+    form here; degenerate sub-2x2 outputs and small-tile shapes (fewer
+    than :data:`_WINOGRAD_MIN_TILES` 2x2 output tiles, where the
+    transform overhead cannot amortise) fall back as well.
+    """
+    if not (kh == 3 and kw == 3 and stride == 1 and dilation == 1
+            and out_h >= 2 and out_w >= 2):
+        return False
+    tiles = ((out_h + 1) // 2) * ((out_w + 1) // 2)
+    return tiles >= _WINOGRAD_MIN_TILES
+
+
+def _conv2d_infer_winograd(x: np.ndarray, weight: np.ndarray,
+                           bias: np.ndarray | None,
+                           padding: int) -> np.ndarray:
+    """Winograd F(2x2, 3x3) convolution (stride 1, dilation 1).
+
+    The padded input is split once into its four row/column *parity
+    planes* (``q[pr, pc][i, j] = xpad[2i + pr, 2j + pc]``) so that both
+    halves of the tile transform ``V = B^T d B`` — whose matrices hold
+    only 0/±1 — become plain adds/subtracts of *contiguous* plane
+    slices (strided tile gathers measured ~6x slower on the CI host).
+    The channel contraction then runs in the transform domain, where
+    each 2x2 output patch costs 16 multiplies instead of im2col's 36,
+    and ``Y = A^T M A`` folds the products back onto the interleaved
+    output grid.  All scratch lives in the pooled buffers.
+
+    Determinism contract: the contraction is one GEMM per
+    ``(transform coefficient, sample)`` pair — ``np.matmul`` with batch
+    shape ``(16, N)`` — so every GEMM slice has shape
+    ``(C_out, C_in) @ (C_in, P)`` with ``P`` the per-sample tile count,
+    never a function of the batch size.  Batched forwards therefore
+    reproduce sequential forwards bit for bit by construction, exactly
+    like the blocked engine (the batched MC-dropout engine's
+    invariant).  Accuracy vs the reference path is tolerance-certified,
+    not bit-for-bit — see the module docstring.
+    """
+    n, c, h, w = x.shape
+    c_out = weight.shape[0]
+    out_h = h + 2 * padding - 2
+    out_w = w + 2 * padding - 2
+    th = (out_h + 1) // 2
+    tw = (out_w + 1) // 2
+    p = th * tw
+    dt = x.dtype
+
+    # Parity planes of the padded input, (2, 2, N, C, th+1, tw+1):
+    # plane (pr, pc) holds padded pixel (2i+pr, 2j+pc) at (i, j).  Tile
+    # (i, j) covers padded rows/cols 2i..2i+3 x 2j..2j+3, i.e. plane
+    # entries (i, j) and (i+1, j+1) — one slice shift instead of a
+    # strided 4x4 tile gather.
+    q = _col_buffer(4 * n * c * (th + 1) * (tw + 1), dt, tag="wg_q")[
+        :4 * n * c * (th + 1) * (tw + 1)].reshape(
+        2, 2, n, c, th + 1, tw + 1)
+    for pr in range(2):
+        i0 = (padding - pr + 1) // 2
+        i1 = (padding + h - pr - 1) // 2
+        r0 = 2 * i0 + pr - padding
+        for pc in range(2):
+            j0 = (padding - pc + 1) // 2
+            j1 = (padding + w - pc - 1) // 2
+            s0 = 2 * j0 + pc - padding
+            plane = q[pr, pc]
+            # Zero only the padding halo (the buffer is pooled, hence
+            # dirty): the interior is value-assigned right below, and
+            # the halo is at most a row/column strip per side, so this
+            # skips a full memory pass over the largest scratch.
+            plane[:, :, :i0].fill(0)
+            plane[:, :, i1 + 1:].fill(0)
+            plane[:, :, i0:i1 + 1, :j0].fill(0)
+            plane[:, :, i0:i1 + 1, j1 + 1:].fill(0)
+            plane[:, :, i0:i1 + 1, j0:j1 + 1] = x[:, :, r0::2, s0::2]
+
+    # Row half of B^T d B: tile row-coefficients a = 0..3 combine plane
+    # rows (i, i+1) of matching parity — all contiguous slices.
+    r_ = _col_buffer(8 * n * c * th * (tw + 1), dt, tag="wg_r")[
+        :8 * n * c * th * (tw + 1)].reshape(4, 2, n, c, th, tw + 1)
+    for pc in range(2):
+        q0a, q0b = q[0, pc, :, :, :-1], q[0, pc, :, :, 1:]
+        q1a, q1b = q[1, pc, :, :, :-1], q[1, pc, :, :, 1:]
+        np.subtract(q0a, q0b, out=r_[0, pc])
+        np.add(q1a, q0b, out=r_[1, pc])
+        np.subtract(q0b, q1a, out=r_[2, pc])
+        np.subtract(q1a, q1b, out=r_[3, pc])
+
+    # Column half, written straight into the GEMM operand layout
+    # (16, N, C, P) — coefficient-major so every slot is contiguous.
+    v = _col_buffer(16 * n * c * p, dt, tag="wg_v")[
+        :16 * n * c * p].reshape(16, n, c, th, tw)
+    for a in range(4):
+        e0, e1 = r_[a, 0][..., :-1], r_[a, 0][..., 1:]
+        o0, o1 = r_[a, 1][..., :-1], r_[a, 1][..., 1:]
+        np.subtract(e0, e1, out=v[4 * a + 0])
+        np.add(o0, e1, out=v[4 * a + 1])
+        np.subtract(e1, o0, out=v[4 * a + 2])
+        np.subtract(o0, o1, out=v[4 * a + 3])
+
+    # Transform-domain contraction, batch shape (16, N): one
+    # N-independent (C_out, C_in) @ (C_in, P) GEMM per slice (the
+    # determinism contract above).
+    u = _winograd_filter_transform(weight)
+    m = np.matmul(u[:, None], v.reshape(16, n, c, p), out=_col_buffer(
+        16 * n * c_out * p, dt, tag="wg_m")[
+        :16 * n * c_out * p].reshape(16, n, c_out, p))
+
+    # Inverse transform Y = A^T M A with A^T = [[1,1,1,0],[0,1,-1,-1]]:
+    # row half into pooled scratch, column half scattered onto the
+    # interleaved output positions.
+    mm = m.reshape(16, n, c_out, th, tw)
+    s = _col_buffer(8 * n * c_out * p, dt, tag="wg_s")[
+        :8 * n * c_out * p].reshape(2, 4, n, c_out, th, tw)
+    for b in range(4):
+        np.add(mm[b], mm[4 + b], out=s[0, b])
+        s[0, b] += mm[8 + b]
+        np.subtract(mm[4 + b], mm[8 + b], out=s[1, b])
+        s[1, b] -= mm[12 + b]
+    y = np.empty((n, c_out, 2 * th, 2 * tw), dtype=dt)
+    t = _col_buffer(n * c_out * p, dt, tag="wg_t")[
+        :n * c_out * p].reshape(n, c_out, th, tw)
+    for r in range(2):
+        np.add(s[r, 0], s[r, 1], out=t)
+        t += s[r, 2]
+        y[:, :, r::2, 0::2] = t
+        np.subtract(s[r, 1], s[r, 2], out=t)
+        t -= s[r, 3]
+        y[:, :, r::2, 1::2] = t
+    if (2 * th, 2 * tw) != (out_h, out_w):
+        y = np.ascontiguousarray(y[:, :, :out_h, :out_w])
+    if bias is not None:
+        y += bias[None, :, None, None]
+    return y
+
+
 def conv2d_infer(x: np.ndarray, weight: np.ndarray,
                  bias: np.ndarray | None, stride: int = 1,
                  padding: int = 0, dilation: int = 1) -> np.ndarray:
@@ -412,6 +685,17 @@ def conv2d_infer(x: np.ndarray, weight: np.ndarray,
         if bias is not None:
             out = out + bias[None, :, None]
         return out.reshape(x.shape[0], c_out, geom[5], geom[6])
+    if _ENGINE["mode"] == "winograd":
+        out_h = conv_output_size(x.shape[2], kh, stride, padding,
+                                 dilation)
+        out_w = conv_output_size(x.shape[3], kw, stride, padding,
+                                 dilation)
+        if _winograd_eligible(kh, kw, stride, dilation, out_h, out_w):
+            return _conv2d_infer_winograd(x, weight, bias, padding)
+        # Ineligible geometry: transparent blocked/NCHW fallback (the
+        # layout knob documents itself as blocked-mode-only).
+        return _conv2d_infer_blocked(x, weight, bias, stride, padding,
+                                     dilation)
     if _ENGINE["layout"] == "nhwc":
         return _conv2d_infer_nhwc(x, weight, bias, stride, padding,
                                   dilation)

@@ -74,6 +74,30 @@ class TestExactMode:
         for a, b in zip(streamed, batched):
             _assert_results_equal(a, b)
 
+    def test_run_batch_deprecation_contract(self, tiny_system):
+        """run_batch is deprecated but pinned: it must warn with a
+        message pointing at the replacement AND stay bit-identical to
+        both ``EpisodeScheduler.run_frames`` and the per-frame
+        ``LandingPipeline.run`` loop on the same seed.  This is the
+        regression net under the eventual removal."""
+        images = [s.image for s in tiny_system.test_samples[:3]]
+        with pytest.warns(DeprecationWarning,
+                          match="EpisodeScheduler.run_frames"):
+            batched = tiny_system.make_pipeline(rng=0).run_batch(images)
+        # vs the engine replacement.
+        streamed = tiny_system.make_scheduler().run_frames(images,
+                                                           seed=0)
+        # vs the sequential facade.
+        loop_pipeline = tiny_system.make_pipeline(rng=0)
+        looped = [loop_pipeline.run(im) for im in images]
+        for a, b, c in zip(batched, streamed, looped):
+            _assert_results_equal(a, b)
+            _assert_results_equal(a, c)
+        # Empty input short-circuits without warning noise semantics
+        # changing shape.
+        with pytest.deprecated_call():
+            assert tiny_system.make_pipeline(rng=0).run_batch([]) == []
+
     def test_mixed_camera_shapes_in_one_run(self, tiny_system):
         specs = scenario_sweep("day_nominal", "sunset_ood")
         episodes = [
@@ -187,6 +211,26 @@ class TestEngineConfig:
             EngineConfig(max_batch=0)
         with pytest.raises(ValueError):
             EngineConfig(workers=0)
+
+    def test_conv_knob_validation_is_eager(self):
+        """A bad conv mode/layout fails at construction with a clear
+        message, not at the first forward deep inside a run."""
+        with pytest.raises(ValueError, match="conv_mode"):
+            EngineConfig(conv_mode="fft")
+        with pytest.raises(ValueError, match="conv_layout"):
+            EngineConfig(conv_layout="chwn")
+        with pytest.raises(ValueError, match="conv_block_kib"):
+            EngineConfig(conv_block_kib=0)
+        # Every registered engine mode must be accepted, winograd
+        # included.
+        for mode in F.CONV_ENGINE_MODES:
+            assert EngineConfig(conv_mode=mode).conv_mode == mode
+
+    def test_invalid_knobs_do_not_touch_global_state(self):
+        before = F.get_conv_engine()
+        with pytest.raises(ValueError):
+            EngineConfig(conv_mode="fft")
+        assert F.get_conv_engine() == before
 
     def test_speculative_override_routes_to_decision(self, tiny_system):
         scheduler = tiny_system.make_scheduler(

@@ -1,0 +1,181 @@
+"""Winograd certification gate: Fig. 4 catch behaviour and verdicts.
+
+The system-level half of the winograd certification harness (the
+layer-level tolerance suite is ``tests/nn/test_winograd_equivalence.py``).
+Per "Evaluation of Runtime Monitoring for UAV Emergency Landing"
+(Guerin et al., 2022), the monitor's catch rate is the certification
+currency: an engine change that is "only" off in the last float may
+still flip a borderline Eq. (2) verdict, so the gate asserts —
+seeded, on the real trained tiny system, across the scenario-campaign
+presets — that switching the conv engine from ``blocked`` to
+``winograd`` changes *zero* monitor verdicts, decisions, campaign
+outcomes or Fig. 4 catch statistics.
+
+These are empirical seeded contracts, exactly like the repo's other
+bit-for-bit gates: a future change that breaks them (a sloppier
+transform, a loosened tolerance) fails here before it reaches a bench.
+The structure is deliberately reusable for the next non-bit-exact
+modes (quantised / reduced-T monitors): parametrize ``ENGINE`` and the
+same assertions apply.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EngineConfig
+from repro.eval.harness import fig4_experiment, zone_acceptance_experiment
+from repro.nn import functional as F
+from repro.scenarios import NAV_COMM_LOSS, get_scenario, run_scenario_campaign
+
+#: The mode under certification vs the bit-for-bit baseline engine.
+BASELINE = "blocked"
+ENGINE = "winograd"
+
+OOD_PRESETS = ("sunset_ood", "night_ood", "fog_ood")
+CAMPAIGN_PRESETS = ("nav_comm_loss_delivery", "sunset_nav_loss")
+
+
+def _images(system, count=None):
+    images = [s.image for s in system.test_samples]
+    return images if count is None else images[:count]
+
+
+# ----------------------------------------------------------------------
+# Monitor statistics: the Bayesian pass feeding Eq. (2)
+# ----------------------------------------------------------------------
+class TestMonitorStatistics:
+    def test_mc_statistics_within_envelope_and_labels_identical(
+            self, tiny_system):
+        """Same seed, same frame: the winograd MC pass must reproduce
+        the blocked engine's mean/std within the certified envelope and
+        the posterior-mean arg-max labels exactly."""
+        from tests.nn.test_winograd_equivalence import (
+            WINOGRAD_MAXNORM_REL,
+        )
+
+        image = _images(tiny_system)[0]
+        dists = {}
+        for mode in (BASELINE, ENGINE):
+            with F.conv_engine(mode=mode):
+                dists[mode] = tiny_system.make_segmenter(
+                    rng=7).predict_distribution(image)
+        base, wg = dists[BASELINE], dists[ENGINE]
+        # The monitor thresholds mu + 3*sigma against tau; certify the
+        # statistics themselves, widened for model depth (see the
+        # layer-level suite for the derivation).
+        scale = float(np.abs(base.mean).max())
+        assert float(np.abs(wg.mean - base.mean).max()) <= \
+            16 * WINOGRAD_MAXNORM_REL * scale
+        assert float(np.abs(wg.std - base.std).max()) <= \
+            16 * WINOGRAD_MAXNORM_REL * max(scale, 1.0)
+        assert np.array_equal(base.predicted_labels, wg.predicted_labels)
+
+    def test_deterministic_labels_identical(self, tiny_system):
+        """The core function's full-frame labels (argmax over logits)
+        must not flip a single pixel under winograd."""
+        seg = tiny_system.make_segmenter(rng=0)
+        for image in _images(tiny_system):
+            with F.conv_engine(mode=BASELINE):
+                base = seg.predict_labels(image)
+            with F.conv_engine(mode=ENGINE):
+                wg = seg.predict_labels(image)
+            assert np.array_equal(base, wg)
+
+
+# ----------------------------------------------------------------------
+# Episode decisions: zero verdict flips
+# ----------------------------------------------------------------------
+def _episode_fingerprint(result):
+    """Everything a certification reviewer would diff between runs."""
+    zone = result.selected_zone
+    return (
+        result.decision.action,
+        result.decision.attempts,
+        tuple(v.accepted for v in result.verdicts),
+        tuple(round(v.unsafe_fraction, 12) for v in result.verdicts),
+        None if zone is None else
+        (zone.box.row, zone.box.col, zone.box.height, zone.box.width),
+    )
+
+
+class TestDecisionVerdictGate:
+    def test_zero_verdict_flips_on_monitored_episodes(self, tiny_system):
+        """Pipeline decisions over the seeded test split, engine
+        selected through the EngineConfig plumbing: identical verdict
+        streams, decisions and selected zones."""
+        runs = {}
+        for mode in (BASELINE, ENGINE):
+            pipeline = tiny_system.make_pipeline(
+                rng=0, engine=EngineConfig(conv_mode=mode))
+            runs[mode] = [pipeline.run(im)
+                          for im in _images(tiny_system)]
+        for base, wg in zip(runs[BASELINE], runs[ENGINE]):
+            assert _episode_fingerprint(base) == _episode_fingerprint(wg)
+            assert np.array_equal(base.predicted_labels,
+                                  wg.predicted_labels)
+
+    def test_episode_scheduler_runs_winograd_identically(self,
+                                                         tiny_system):
+        """The streaming engine accepts the winograd EngineConfig and
+        reproduces the blocked engine's decision stream."""
+        images = _images(tiny_system, 4)
+        streams = {}
+        for mode in (BASELINE, ENGINE):
+            scheduler = tiny_system.make_scheduler(
+                engine=EngineConfig(conv_mode=mode))
+            streams[mode] = scheduler.run_frames(images, seed=3)
+        for base, wg in zip(streams[BASELINE], streams[ENGINE]):
+            assert _episode_fingerprint(base) == _episode_fingerprint(wg)
+
+    @pytest.mark.parametrize("preset", OOD_PRESETS)
+    def test_ood_catch_behaviour_unchanged(self, tiny_system, preset):
+        """The Fig. 4 catch behaviour on each OOD preset — acceptance,
+        aborts, truly-unsafe accept counts — is identical under the
+        winograd engine (zero flips, not merely 'still safe')."""
+        samples = tiny_system.ood_samples(preset)
+        stats = {}
+        for mode in (BASELINE, ENGINE):
+            with F.conv_engine(mode=mode):
+                stats[mode] = zone_acceptance_experiment(
+                    tiny_system, samples, monitor_enabled=True, rng=0)
+        assert stats[BASELINE] == stats[ENGINE]
+
+
+# ----------------------------------------------------------------------
+# Fig. 4 catch-rate gate and campaign verdicts
+# ----------------------------------------------------------------------
+class TestFig4AndCampaignGate:
+    def test_fig4_catch_rates_identical(self, tiny_system):
+        """The full Fig. 4 protocol (in-distribution + OOD, model miss
+        rate / monitor catch rate / false alarms) run on both engines:
+        every statistic must agree exactly — the monitor's catch rate
+        is the certification currency and may not move."""
+        results = {}
+        for mode in (BASELINE, ENGINE):
+            with F.conv_engine(mode=mode):
+                results[mode] = fig4_experiment(
+                    tiny_system, "sunset_ood", max_frames=4)
+        assert results[BASELINE] == results[ENGINE]
+
+    @pytest.mark.parametrize("preset", CAMPAIGN_PRESETS)
+    def test_campaign_verdicts_identical(self, tiny_system, preset):
+        """Seeded mission campaigns on the scenario presets, EL policy
+        on each conv engine: outcome, severity and maneuver counts and
+        the EL attempt/abort book must not change under winograd."""
+        spec = get_scenario(preset).with_failure(NAV_COMM_LOSS) \
+            .with_camera(tiny_system.config.dataset.image_shape,
+                         tiny_system.config.dataset.gsd)
+        stats = {}
+        for mode in (BASELINE, ENGINE):
+            policy = tiny_system.make_pipeline(
+                monitor_enabled=True, rng=0,
+                engine=EngineConfig(conv_mode=mode)).as_mission_policy()
+            stats[mode] = run_scenario_campaign(
+                spec, 3, el_policy=policy, seed=11)
+        base, wg = stats[BASELINE], stats[ENGINE]
+        assert base.num_missions == wg.num_missions
+        assert base.severity_counts == wg.severity_counts
+        assert base.outcome_counts == wg.outcome_counts
+        assert base.maneuver_counts == wg.maneuver_counts
+        assert (base.el_attempts, base.el_aborts) == \
+            (wg.el_attempts, wg.el_aborts)

@@ -7,10 +7,18 @@ Contracts:
   reassociation tolerance when the column matrix is split;
 * blocking depends only on per-sample geometry, so batched forwards
   equal per-sample forwards bit for bit (the batched MC engine's
-  invariant);
+  invariant) — and the winograd engine preserves the same invariant by
+  construction (one N-independent GEMM slice per sample/coefficient);
 * the NHWC-internal option matches to reassociation tolerance (its GEMM
   reduction order differs by construction);
+* the winograd engine matches reference/blocked to a documented
+  tolerance on eligible 3x3/stride-1/dilation-1 geometries and falls
+  back to the blocked engine *bit for bit* everywhere else (the deeper
+  numerical certification lives in ``test_winograd_equivalence.py``);
 * stride-0 broadcast batches are computed once and re-broadcast.
+
+Engine state isolation is provided suite-wide by the autouse
+``_conv_engine_isolation`` fixture in ``tests/conftest.py``.
 """
 
 import numpy as np
@@ -18,13 +26,6 @@ import pytest
 
 from repro import nn
 from repro.nn import functional as F
-
-
-@pytest.fixture(autouse=True)
-def _restore_engine():
-    saved = F.get_conv_engine()
-    yield
-    F.set_conv_engine(**saved)
 
 
 def _case(rng, n, cin, cout, h, w, k=3, stride=1, padding=1, dilation=1):
@@ -41,6 +42,68 @@ CASES = [
     dict(n=3, cin=8, cout=8, h=9, w=11),                       # odd sizes
     dict(n=2, cin=4, cout=6, h=8, w=8, k=1, padding=0),        # 1x1
 ]
+
+#: The engine matrix: every geometry below runs on every inference
+#: engine mode.  Reference <-> blocked must agree bit for bit (all
+#: these geometries fit one im2col block at the default budget);
+#: winograd is tolerance-bound on its eligible geometries and falls
+#: back to blocked (hence bit-exact again) on the rest.  The sweep
+#: deliberately includes the degenerate corners: 1x1 spatial output,
+#: single channel in/out, batch 1 vs N, kernels {1, 3, 5}, strides,
+#: paddings and dilation.
+ENGINE_MATRIX = [
+    dict(n=1, cin=3, cout=8, h=16, w=24),                     # stem-like
+    dict(n=5, cin=3, cout=8, h=16, w=24),                     # batch N
+    dict(n=2, cin=8, cout=6, h=12, w=16, k=1, padding=0),     # 1x1 kernel
+    dict(n=2, cin=8, cout=6, h=12, w=16, k=5, padding=2),     # 5x5 kernel
+    dict(n=3, cin=8, cout=8, h=13, w=9),                      # odd spatial
+    dict(n=2, cin=8, cout=8, h=12, w=16, stride=2),           # strided
+    dict(n=2, cin=8, cout=8, h=12, w=16, padding=2,
+         dilation=2),                                         # dilated
+    dict(n=2, cin=1, cout=1, h=10, w=10),                     # 1 channel
+    dict(n=1, cin=4, cout=4, h=3, w=3, padding=0),            # 1x1 output
+    dict(n=4, cin=6, cout=3, h=8, w=8, padding=2),            # fat padding
+]
+
+
+class TestEngineMatrix:
+    """Reference / blocked / winograd over the full geometry sweep."""
+
+    @pytest.mark.parametrize("kw", ENGINE_MATRIX)
+    def test_engine_matrix_equivalence(self, kw):
+        seed = sum(kw.values())  # randomized-but-seeded per geometry
+        x, wt, b, s, p, d = _case(np.random.default_rng(seed), **kw)
+        with F.conv_engine(mode="reference"):
+            ref = F.conv2d_infer(x, wt, b, s, p, d)
+        with F.conv_engine(mode="blocked"):
+            blk = F.conv2d_infer(x, wt, b, s, p, d)
+        with F.conv_engine(mode="winograd"):
+            wg = F.conv2d_infer(x, wt, b, s, p, d)
+        # Single-block regime: blocked degenerates to the reference
+        # GEMM exactly.
+        assert np.array_equal(blk, ref)
+        # Winograd: tolerance-bound where the F(2x2,3x3) form applies,
+        # bit-exact blocked fallback everywhere else.
+        kh = kw.get("k", 3)
+        out_h, out_w = ref.shape[2:]
+        eligible = F._winograd_eligible(kh, kh, s, d, out_h, out_w)
+        if eligible:
+            np.testing.assert_allclose(wg, ref, rtol=1e-4, atol=1e-4)
+        else:
+            assert np.array_equal(wg, blk)
+
+    @pytest.mark.parametrize("kw", ENGINE_MATRIX)
+    def test_engine_matrix_batched_equals_per_sample(self, kw):
+        """Batch 1 vs N bit-for-bit, on every engine mode."""
+        seed = sum(kw.values()) + 1
+        x, wt, b, s, p, d = _case(np.random.default_rng(seed), **kw)
+        for mode in ("reference", "blocked", "winograd"):
+            with F.conv_engine(mode=mode):
+                batched = F.conv2d_infer(x, wt, b, s, p, d)
+                singles = np.concatenate([
+                    F.conv2d_infer(x[i:i + 1], wt, b, s, p, d)
+                    for i in range(x.shape[0])])
+            assert np.array_equal(batched, singles), mode
 
 
 class TestBlockedEngine:
@@ -120,6 +183,125 @@ class TestNhwcOption:
         np.testing.assert_allclose(nhwc, nchw, rtol=1e-4, atol=1e-4)
 
 
+class TestWinogradDispatch:
+    """Mode selection, fallback and filter-cache behaviour.
+
+    The numerical certification of the winograd engine itself lives in
+    ``test_winograd_equivalence.py``; these tests pin the dispatch
+    plumbing.
+    """
+
+    def _data(self, seed, n=2, cin=8, cout=8, h=12, w=16, k=3):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, cin, h, w)).astype(np.float32)
+        wt = rng.normal(size=(cout, cin, k, k)).astype(np.float32)
+        return x, wt
+
+    def test_winograd_mode_changes_bits_on_eligible_shapes(self):
+        # The mode must actually engage: an eligible conv under
+        # winograd differs from blocked in the low bits (same values to
+        # tolerance, different reassociation).
+        x, wt = self._data(0)
+        with F.conv_engine(mode="blocked"):
+            blk = F.conv2d_infer(x, wt, None, 1, 1, 1)
+        with F.conv_engine(mode="winograd"):
+            wg = F.conv2d_infer(x, wt, None, 1, 1, 1)
+        np.testing.assert_allclose(wg, blk, rtol=1e-4, atol=1e-4)
+        assert not np.array_equal(wg, blk), \
+            "winograd mode silently routed an eligible conv to blocked"
+
+    @pytest.mark.parametrize("kw", [
+        dict(k=1),                       # non-3x3
+        dict(k=5),                       # non-3x3
+        dict(stride=2),                  # strided
+        dict(dilation=2, padding=2),     # dilated
+        dict(h=6, w=6),                  # small-tile (9 tiles < minimum)
+        dict(h=4, w=3),                  # sub-2x2 output column count
+    ])
+    def test_ineligible_geometries_fall_back_bit_exact(self, kw):
+        k = kw.pop("k", 3)
+        h, w = kw.pop("h", 12), kw.pop("w", 16)
+        stride = kw.pop("stride", 1)
+        dilation = kw.pop("dilation", 1)
+        padding = kw.pop("padding", 1 if k == 3 else k // 2)
+        x, wt = self._data(1, h=h, w=w, k=k)
+        with F.conv_engine(mode="blocked"):
+            blk = F.conv2d_infer(x, wt, None, stride, padding, dilation)
+        with F.conv_engine(mode="winograd"):
+            wg = F.conv2d_infer(x, wt, None, stride, padding, dilation)
+        assert np.array_equal(wg, blk)
+
+    def test_broadcast_batch_computed_once_under_winograd(self):
+        rng = np.random.default_rng(2)
+        one = rng.normal(size=(1, 8, 16, 16)).astype(np.float32)
+        wt = rng.normal(size=(8, 8, 3, 3)).astype(np.float32)
+        tiled = np.broadcast_to(one, (6,) + one.shape[1:])
+        with F.conv_engine(mode="winograd"):
+            y = F.conv2d_infer(tiled, wt, None, padding=1)
+            ref = F.conv2d_infer(one, wt, None, padding=1)
+        assert y.strides[0] == 0
+        for i in range(6):
+            assert np.array_equal(y[i], ref[0])
+
+    def test_filter_transform_cached_and_invalidated(self):
+        _, wt = self._data(3)
+        F.clear_conv_buffers()
+        u1 = F._winograd_filter_transform(wt)
+        assert F._winograd_filter_transform(wt) is u1  # cache hit
+        # In-place weight update (what an optimiser step does) must
+        # invalidate by value, not serve the stale transform.
+        wt *= 2.0
+        u2 = F._winograd_filter_transform(wt)
+        assert u2 is not u1
+        np.testing.assert_allclose(u2, 2.0 * u1, rtol=1e-6)
+
+    def test_filter_transform_is_exact_for_exact_weights(self):
+        # G's entries are 0/0.5/1: transforms of power-of-two weights
+        # are exact in float32 (computed in float64, rounded once).
+        wt = np.full((2, 2, 3, 3), 4.0, dtype=np.float32)
+        u = F._winograd_filter_transform(wt)
+        # U = G g G^T of an all-4 filter: corner rows of G sum to 1 or
+        # 3... simply check against the float64 ground truth.
+        g64 = F._WINOGRAD_G @ wt.astype(np.float64) @ F._WINOGRAD_G.T
+        expect = g64.transpose(2, 3, 0, 1).reshape(16, 2, 2)
+        assert np.array_equal(u, expect.astype(np.float32))
+
+    def test_conv_layer_runs_winograd_in_eval(self):
+        layer = nn.Conv2d(4, 4, 3, padding=1, rng=0)
+        x = np.random.default_rng(4).normal(
+            size=(2, 4, 12, 16)).astype(np.float32)
+        layer.train()
+        y_train = layer(x)
+        layer.eval()
+        with F.conv_engine(mode="winograd"):
+            y_eval = layer(x)
+        np.testing.assert_allclose(y_eval, y_train, rtol=1e-4,
+                                   atol=1e-4)
+        assert layer._cache is None
+
+
+class TestEnvOverride:
+    """``REPRO_CONV_ENGINE`` seeds the default engine mode."""
+
+    def test_env_override_applies_on_reset(self, monkeypatch):
+        monkeypatch.setenv(F.CONV_ENGINE_ENV, "winograd")
+        cfg = F.reset_conv_engine()
+        assert cfg["mode"] == "winograd"
+        assert F.get_conv_engine()["mode"] == "winograd"
+
+    def test_no_env_resets_to_builtin_default(self, monkeypatch):
+        monkeypatch.delenv(F.CONV_ENGINE_ENV, raising=False)
+        F.set_conv_engine(mode="reference", block_kib=7)
+        cfg = F.reset_conv_engine()
+        assert cfg == {"mode": "blocked", "layout": "nchw",
+                       "block_kib": 384}
+
+    def test_invalid_env_mode_raises(self, monkeypatch):
+        monkeypatch.setenv(F.CONV_ENGINE_ENV, "fft")
+        with pytest.raises(ValueError, match="REPRO_CONV_ENGINE"):
+            F.reset_conv_engine()
+
+
 class TestEngineConfig:
     def test_invalid_knobs_rejected(self):
         with pytest.raises(ValueError):
@@ -128,6 +310,17 @@ class TestEngineConfig:
             F.set_conv_engine(layout="chwn")
         with pytest.raises(ValueError):
             F.set_conv_engine(block_kib=0)
+
+    def test_winograd_is_a_valid_mode(self):
+        assert "winograd" in F.CONV_ENGINE_MODES
+        with F.conv_engine(mode="winograd"):
+            assert F.get_conv_engine()["mode"] == "winograd"
+
+    def test_set_conv_engine_restores_prior_state_via_reset(self):
+        before = F.get_conv_engine()
+        F.set_conv_engine(mode="winograd", block_kib=64)
+        F.set_conv_engine(**before)
+        assert F.get_conv_engine() == before
 
     def test_context_manager_restores(self):
         before = F.get_conv_engine()
