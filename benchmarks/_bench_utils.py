@@ -7,11 +7,33 @@ Importable from any bench file (pytest puts ``benchmarks/`` on
 from __future__ import annotations
 
 import json
+import os
+import platform
 import time
 from pathlib import Path
 
 BENCH_DIR = Path(__file__).resolve().parent
 SMOKE_DIR = BENCH_DIR / ".smoke"
+
+#: Version of the ``BENCH_*.json`` summary layout.  Bump when the
+#: shared structure changes (key renames, envelope changes), so the
+#: perf trajectory stays machine-diffable across PRs.
+#:
+#: 1 — bare metric dicts (PR 1-4).
+#: 2 — every summary carries ``schema_version`` plus a ``host``
+#:     fingerprint (PR 5), so numbers from different machines are
+#:     never compared as if they came from one box.
+SCHEMA_VERSION = 2
+
+
+def host_fingerprint() -> dict:
+    """A small, stable description of the measuring host."""
+    return {
+        "cpu_count": os.cpu_count(),
+        "machine": platform.machine(),
+        "system": platform.system(),
+        "python": platform.python_version(),
+    }
 
 
 def best_of(fn, repeats: int = 5) -> float:
@@ -35,11 +57,19 @@ def write_bench_summary(filename: str, summary: dict,
     ``benchmarks/.smoke/<filename>`` where the ``scripts/check.sh``
     regression gate (``scripts/bench_gate.py``) picks them up.  The CI
     smoke pass must never clobber the tracked trajectory.
+
+    Every summary is stamped with ``schema_version`` and a ``host``
+    fingerprint so the perf trajectory is machine-diffable across PRs
+    (a regression on one host and an upgrade of the host look the same
+    in a bare number).
     """
+    stamped = {"schema_version": SCHEMA_VERSION,
+               "host": host_fingerprint()}
+    stamped.update(summary)
     if smoke:
         SMOKE_DIR.mkdir(exist_ok=True)
         out = SMOKE_DIR / filename
     else:
         out = BENCH_DIR / filename
-    out.write_text(json.dumps(summary, indent=2) + "\n")
+    out.write_text(json.dumps(stamped, indent=2) + "\n")
     return out

@@ -12,6 +12,14 @@ smoke mode (``BENCH_SMOKE=1``) write their summaries to
 * a gated file or metric is missing (the bench silently stopped
   reporting it).
 
+A baseline value may also be a spec object ``{"baseline": <number>,
+"min_cores": <n>}``: the metric is then gated only on hosts with at
+least ``min_cores`` CPU cores (read from the summary's ``host``
+fingerprint, falling back to the local ``os.cpu_count()``) and
+reported as *skipped* elsewhere.  This is how worker-scaling ratios —
+which track the host's core count by design — are gated on multi-core
+hosts without flaking the 1-core CI box.
+
 Baselines are updated deliberately in the PR that changes a
 performance characteristic — never to quiet a failing gate.
 """
@@ -19,6 +27,7 @@ performance characteristic — never to quiet a failing gate.
 from __future__ import annotations
 
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -43,12 +52,23 @@ def main() -> int:
                             f"{fresh_path} (did the bench run?)")
             continue
         fresh = json.loads(fresh_path.read_text())
+        host_cores = (fresh.get("host") or {}).get("cpu_count") \
+            or os.cpu_count() or 1
         for metric, baseline in metrics.items():
+            min_cores = 1
+            if isinstance(baseline, dict):
+                min_cores = int(baseline.get("min_cores", 1))
+                baseline = baseline["baseline"]
             if metric not in fresh:
                 failures.append(f"{filename}: metric {metric!r} missing "
                                 "from smoke output")
                 continue
             value = fresh[metric]
+            if host_cores < min_cores:
+                rows.append((filename, metric, f"{baseline}",
+                             f"{value}",
+                             f"skip (<{min_cores} cores)"))
+                continue
             if isinstance(baseline, bool):
                 ok = bool(value) == baseline
                 rows.append((filename, metric, str(baseline),

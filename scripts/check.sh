@@ -25,6 +25,17 @@ REPRO_CONV_ENGINE=winograd python -m pytest \
     tests/nn tests/segmentation tests/core tests/integration -q -x
 
 echo
+echo "== tier-1 monitor suites under the shared-context engine =="
+# Shared-context monitoring (union-crop planning + temporal stem
+# reuse) is the second non-bit-exact mode; REPRO_MONITOR_SHARED=1
+# reroutes every joint monitoring path through the union planner
+# (repro.core.monitor honours it per call), so the monitor-touching
+# suites — certification harness included — must also hold with the
+# shared engine as the process default.
+REPRO_MONITOR_SHARED=1 python -m pytest \
+    tests/core tests/segmentation tests/integration -q -x
+
+echo
 echo "== benchmark smoke (BENCH_SMOKE=1) =="
 # bench_*.py does not match pytest's default test-file glob; explicit
 # paths collect regardless.  Smoke summaries land in benchmarks/.smoke/

@@ -34,7 +34,12 @@ from repro.core.landing_zone import (
     LandingZoneSelector,
     ZoneCandidate,
 )
-from repro.core.monitor import MonitorConfig, RuntimeMonitor, ZoneVerdict
+from repro.core.monitor import (
+    MonitorConfig,
+    RuntimeMonitor,
+    UnionWindow,
+    ZoneVerdict,
+)
 from repro.core.pipeline import LandingPipeline, PipelineConfig, PipelineResult
 from repro.core.requirements import (
     EL_ASSURANCE_CRITERIA,
@@ -60,6 +65,7 @@ __all__ = [
     "ZoneCandidate",
     "MonitorConfig",
     "RuntimeMonitor",
+    "UnionWindow",
     "ZoneVerdict",
     "DecisionAction",
     "DecisionConfig",

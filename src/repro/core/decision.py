@@ -27,6 +27,16 @@ clamped so no candidate is ever speculated that the sequential loop
 could not have afforded.  Given the same per-candidate verdicts, both
 paths produce bit-for-bit identical :class:`Decision` objects (tested
 in ``tests/core/test_speculative_decision.py``).
+
+Speculative batches are also what the *shared-context* monitor feeds
+on: the ``k`` pending crops of one batch overlap heavily (neighbouring
+ranked zones plus their context margins), so
+``RuntimeMonitor.check_zones(..., shared=True)`` and the episode
+engine's ``monitor_batching="shared"`` cluster them into union windows
+and segment each window once.  Nothing changes on this side of the
+contract — the cursor hands out rank-ordered batches clamped to the
+budgets and consumes rank-ordered verdicts, however the monitor chose
+to share pixels while producing them.
 """
 
 from __future__ import annotations

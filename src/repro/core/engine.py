@@ -26,11 +26,29 @@ stages with cross-episode batching:
 * **Joint monitor batching** (``monitor_batching="joint"``): the
   pending zone checks of *all* ready episodes are stride-padded to a
   common shape and verified in jointly seeded stacked Bayesian passes
-  driven through :class:`repro.core.decision.DecisionCursor` — the
-  fastest path (see ``benchmarks/bench_episode_engine.py``), seeded and
-  reproducible, but on a different (documented) RNG stream than the
-  per-episode sequence, exactly like
-  ``RuntimeMonitor.check_zones(joint=True)``.
+  driven through :class:`repro.core.decision.DecisionCursor` (see
+  ``benchmarks/bench_episode_engine.py``), seeded and reproducible, but
+  on a different (documented) RNG stream than the per-episode sequence,
+  exactly like ``RuntimeMonitor.check_zones(joint=True)``.
+* **Shared-context monitoring** (``monitor_batching="shared"``): the
+  joint pass, minus the redundant pixels.  Each episode's pending crops
+  are clustered into stride-aligned union windows
+  (:meth:`repro.core.monitor.RuntimeMonitor.plan_union_windows`), one
+  jointly seeded stacked pass runs per window *shape group* across all
+  ready episodes, and every zone's mean/std moments are sliced out of
+  its window's per-pixel maps — K overlapping zones cost one
+  segmentation of their union.  Episodes advance frame-wavefront by
+  frame-wavefront so the engine can additionally reuse the
+  *deterministic-stem activations* of a window whose pixels are
+  unchanged since the episode's previous frame (wind-drift streams
+  re-see almost the same pixels; the expected shift comes from the
+  scenario drift model via :attr:`EpisodeRequest.drift_px` and is
+  verified by exact pixel comparison, so stem reuse is bit-exact and
+  only the stochastic suffix is recomputed).  The fastest monitoring
+  path on overlap-heavy fleets; certified against the exact engine by
+  ``tests/integration/test_shared_context_certification.py`` (moment
+  envelope + zero verdict/decision flips on the seeded presets,
+  following the PR 4 winograd template).
 
 :class:`EngineConfig` is the one documented home for the engine/monitor
 performance knobs that used to be spread over three entry points
@@ -48,7 +66,12 @@ import numpy as np
 
 from repro.core.decision import DecisionCursor, DecisionModule
 from repro.core.landing_zone import LandingZoneSelector
-from repro.core.monitor import RuntimeMonitor
+from repro.core.monitor import (
+    RuntimeMonitor,
+    UnionWindow,
+    pad_span,
+    shared_context_default,
+)
 from repro.core.pipeline import (
     LandingPipeline,
     PipelineConfig,
@@ -61,6 +84,7 @@ from repro.nn.functional import (
     set_conv_engine,
 )
 from repro.segmentation.bayesian import BayesianSegmenter
+from repro.utils.geometry import Box
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import check_image_chw, check_positive
 
@@ -71,7 +95,7 @@ __all__ = [
     "EpisodeScheduler",
 ]
 
-_MONITOR_BATCHING = ("exact", "joint")
+_MONITOR_BATCHING = ("exact", "joint", "shared")
 
 
 @dataclass(frozen=True)
@@ -88,7 +112,14 @@ class EngineConfig:
         ``"exact"`` (default): per-episode seeded monitoring,
         bit-for-bit identical to sequential ``LandingPipeline.run``
         calls.  ``"joint"``: cross-episode jointly seeded stacked
-        passes — fastest, reproducible, different RNG stream.
+        passes — reproducible, different RNG stream.  ``"shared"``:
+        the joint pass through the shared-context union-crop planner
+        plus temporal stem reuse — the fastest path when zones
+        overlap (see the module docstring and
+        ``benchmarks/bench_episode_engine.py``).  The
+        ``REPRO_MONITOR_SHARED=1`` environment toggle upgrades
+        ``"joint"`` to ``"shared"`` at run time (mirroring
+        ``REPRO_CONV_ENGINE``).
     joint_max_batch:
         Chunk size for the joint cross-episode passes only.  Zone
         crops are much smaller than full frames, so their sweet spot
@@ -110,7 +141,20 @@ class EngineConfig:
     speculative_k:
         Overrides ``DecisionConfig.speculative_k`` when set (ranked
         candidates monitored per joint pass; see
-        :mod:`repro.core.decision`).
+        :mod:`repro.core.decision`).  Shared-context monitoring earns
+        its keep when several pending crops share pixels, i.e. with
+        ``speculative_k > 1``.
+    overlap_budget:
+        Overrides ``MonitorConfig.overlap_budget`` when set (the
+        union-crop planner's merge criterion; see
+        :mod:`repro.core.monitor`).
+    temporal_reuse:
+        Shared-context mode only: reuse the deterministic-stem
+        activations of union windows whose pixels are unchanged since
+        the episode's previous frame (verified by exact pixel
+        comparison, so reuse is bit-exact given the same window
+        stream).  On by default; ``False`` recomputes every stem — the
+        reference the reuse is benchmarked and tested against.
     conv_mode / conv_layout / conv_block_kib:
         Forwarded to :func:`repro.nn.functional.set_conv_engine` when
         set (process-global, like that function).  ``mode="winograd"``
@@ -127,6 +171,8 @@ class EngineConfig:
     seg_max_batch: int | None = None
     workers: int = 1
     speculative_k: int | None = None
+    overlap_budget: float | None = None
+    temporal_reuse: bool = True
     conv_mode: str | None = None
     conv_layout: str | None = None
     conv_block_kib: int | None = None
@@ -144,9 +190,11 @@ class EngineConfig:
         if self.workers > 1 and self.monitor_batching != "exact":
             raise ValueError(
                 "worker sharding requires monitor_batching='exact' "
-                "(joint batching is a single-process fast path)")
+                "(joint/shared batching is a single-process fast path)")
         if self.speculative_k is not None:
             check_positive("speculative_k", self.speculative_k)
+        if self.overlap_budget is not None and self.overlap_budget <= 0:
+            raise ValueError("overlap_budget must be positive")
         # Conv-engine knobs are validated eagerly so a bad mode fails
         # at construction, not at the first forward pass deep inside a
         # scheduler run.
@@ -173,12 +221,27 @@ class EngineConfig:
                                    block_kib=self.conv_block_kib)
         return get_conv_engine()
 
+    def effective_monitor_batching(self) -> str:
+        """The batching mode after the environment toggle.
+
+        ``REPRO_MONITOR_SHARED=1`` upgrades ``"joint"`` to ``"shared"``
+        — the hook ``scripts/check.sh`` uses to re-run the
+        monitor-touching suites under the shared-context engine.
+        Explicit ``"exact"``/``"shared"`` choices are never rewritten.
+        """
+        if self.monitor_batching == "joint" and shared_context_default():
+            return "shared"
+        return self.monitor_batching
+
     def pipeline_config(self, base: PipelineConfig) -> PipelineConfig:
-        """``base`` with this engine's decision overrides applied."""
-        if self.speculative_k is None:
-            return base
-        return replace(base, decision=replace(
-            base.decision, speculative_k=self.speculative_k))
+        """``base`` with this engine's decision/monitor overrides."""
+        if self.speculative_k is not None:
+            base = replace(base, decision=replace(
+                base.decision, speculative_k=self.speculative_k))
+        if self.overlap_budget is not None:
+            base = replace(base, monitor=replace(
+                base.monitor, overlap_budget=self.overlap_budget))
+        return base
 
 
 @dataclass(frozen=True)
@@ -188,16 +251,31 @@ class EpisodeRequest:
     Obtained most conveniently from a scenario
     (:meth:`repro.scenarios.ScenarioSpec.episode_request`), or built
     directly from any list of CHW frames.
+
+    ``drift_px`` is the expected per-frame image shift in pixels
+    (``(rows, cols)``, frame ``t``'s content reappearing shifted in
+    frame ``t+1``), derived from the scenario wind-drift model by
+    :meth:`repro.scenarios.ScenarioSpec.episode_request`.  It is only a
+    *hint*: the shared-context engine uses it to guess where a union
+    window's pixels sat in the previous frame and always verifies the
+    guess by exact pixel comparison before reusing any cached stem, so
+    a wrong or missing hint costs reuse opportunities, never
+    correctness.
     """
 
     frames: tuple
     seed: object = 0
     name: str = ""
+    drift_px: tuple[int, int] | None = None
 
     def __post_init__(self):
         object.__setattr__(self, "frames", tuple(self.frames))
         for k, frame in enumerate(self.frames):
             check_image_chw(f"frames[{k}]", frame)
+        if self.drift_px is not None:
+            object.__setattr__(
+                self, "drift_px",
+                (int(self.drift_px[0]), int(self.drift_px[1])))
 
 
 @dataclass
@@ -232,6 +310,10 @@ class _JointEpisode:
     timings: dict
     monitoring_s: float = 0.0
     pending: list = field(default_factory=list)
+    #: Shared-context rounds only: verdicts of this round's pending
+    #: zones, keyed by pending index, collected across the round's
+    #: shape-grouped passes and fed to the cursor in rank order.
+    round_verdicts: dict = field(default_factory=dict)
 
 
 # ----------------------------------------------------------------------
@@ -296,6 +378,11 @@ class EpisodeScheduler:
             rng=self.rng, max_batch=self.engine.joint_max_batch)
         self._joint_monitor = RuntimeMonitor(self._joint_segmenter,
                                              self.config.monitor)
+        #: Shared-context bookkeeping of the most recent ``run``:
+        #: zone checks served, union windows segmented, merged windows
+        #: among them, and temporal stem-cache hits/misses.  Purely
+        #: observational (benches and tests read it).
+        self.last_shared_stats: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def run(self, episodes) -> list[EpisodeResult]:
@@ -326,7 +413,8 @@ class EpisodeScheduler:
                 return self._collect(episodes, results)
 
             labels, seg_s = self._segment_all(episodes)
-            if self.engine.monitor_batching == "joint":
+            mode = self.engine.effective_monitor_batching()
+            if mode == "joint":
                 # Decisions are per frame and the joint pass draws from
                 # the engine's own RNG stream, so every frame of every
                 # episode can join one big wave — the largest stacks,
@@ -336,6 +424,21 @@ class EpisodeScheduler:
                          for i in range(len(episodes))
                          for t in range(len(episodes[i].frames))]
                 self._wave_joint(items, results)
+            elif mode == "shared":
+                # Frame wavefronts in stream order, so frame t's window
+                # stems are cached before frame t+1 looks for them (the
+                # temporal half of shared-context monitoring).
+                self.last_shared_stats = {
+                    "zone_checks": 0, "union_windows": 0,
+                    "merged_windows": 0, "stem_hits": 0,
+                    "stem_misses": 0}
+                caches: dict[int, dict] = {}
+                for t in range(horizon):
+                    ready = [(i, episodes[i].frames[t], labels[i][t],
+                              seg_s[i][t])
+                             for i in range(len(episodes))
+                             if t < len(episodes[i].frames)]
+                    self._wave_shared(ready, results, episodes, caches)
             else:
                 # Exact per-episode RNG streams: monitoring runs
                 # inline through per-episode pipelines (sharing the
@@ -459,16 +562,12 @@ class EpisodeScheduler:
     # ------------------------------------------------------------------
     # Stage 2b: joint cross-episode monitor batching
     # ------------------------------------------------------------------
-    def _wave_joint(self, ready, results) -> None:
-        """Monitor/decide one wavefront via jointly seeded passes.
+    def _prepare_wave(self, ready) -> tuple[list, int]:
+        """Selector/cursor state for one wavefront of ready frames.
 
-        Every ready episode's pending zone checks are verified together
-        (grouped by frame shape, stride-padded to a common crop shape)
-        in single stacked Bayesian passes; verdicts stream back into
-        each episode's :class:`DecisionCursor` until all episodes reach
-        a terminal decision.  Selector and decision module are
-        stateless given the shared config, so one of each serves every
-        episode (per-episode state lives in the cursors).
+        Selector and decision module are stateless given the shared
+        config, so one of each serves every episode (per-episode state
+        lives in the cursors).
         """
         cfg = self.config
         k = max(cfg.decision.speculative_k, 1)
@@ -489,7 +588,38 @@ class EpisodeScheduler:
             else:
                 st.pending = cursor.next_batch(k)
             states.append(st)
+        return states, k
 
+    def _finish_wave(self, states, results, wave_t0: float,
+                     passes_s: float) -> None:
+        """Finalize cursors and attribute the wave's bookkeeping time.
+
+        Cursor bookkeeping around the stacked passes is attributed
+        evenly (the decision module's share, like the sequential
+        path's decision_s).
+        """
+        overhead = max(time.perf_counter() - wave_t0 - passes_s, 0.0)
+        overhead /= max(len(states), 1)
+        for st in states:
+            decision = st.cursor.finalize()
+            st.timings["monitoring_s"] = st.monitoring_s
+            st.timings["decision_s"] = overhead
+            results[st.index].append(PipelineResult(
+                decision=decision, predicted_labels=st.labels,
+                candidates=st.candidates,
+                verdicts=list(decision.verdicts),
+                timings_s=st.timings))
+
+    def _wave_joint(self, ready, results) -> None:
+        """Monitor/decide one wavefront via jointly seeded passes.
+
+        Every ready episode's pending zone checks are verified together
+        (grouped by frame shape, stride-padded to a common crop shape)
+        in single stacked Bayesian passes; verdicts stream back into
+        each episode's :class:`DecisionCursor` until all episodes reach
+        a terminal decision.
+        """
+        states, k = self._prepare_wave(ready)
         wave_t0 = time.perf_counter()
         passes_s = 0.0
         active = [st for st in states if st.pending]
@@ -507,23 +637,10 @@ class EpisodeScheduler:
                 if st.pending:
                     nxt.append(st)
             active = nxt
+        self._finish_wave(states, results, wave_t0, passes_s)
 
-        # Cursor bookkeeping around the stacked passes, attributed
-        # evenly (the decision module's share, like the sequential
-        # path's decision_s).
-        overhead = max(time.perf_counter() - wave_t0 - passes_s, 0.0)
-        overhead /= max(len(states), 1)
-        for st in states:
-            decision = st.cursor.finalize()
-            st.timings["monitoring_s"] = st.monitoring_s
-            st.timings["decision_s"] = overhead
-            results[st.index].append(PipelineResult(
-                decision=decision, predicted_labels=st.labels,
-                candidates=st.candidates,
-                verdicts=list(decision.verdicts),
-                timings_s=st.timings))
-
-    def _joint_distributions(self, stack: np.ndarray) -> list:
+    def _joint_distributions(self, stack: np.ndarray,
+                             base: np.ndarray | None = None) -> list:
         """MC statistics for a stack of zone crops, chunk-vectorised.
 
         Same tiles, same jointly seeded mask stream and same chunking
@@ -532,7 +649,11 @@ class EpisodeScheduler:
         one sample at a time — an order-of-association change in the
         last float64 ulp, permitted on the joint path (whose RNG stream
         is already documented as its own) and worth a large slice of
-        Python overhead when many small crops are stacked.
+        Python overhead when many small crops are stacked.  ``base``
+        optionally carries precomputed deterministic-stem activations
+        (the shared-context engine's temporal reuse); stems are
+        deterministic, so a cached stem is bit-identical to a
+        recomputed one.
         """
         from repro.segmentation.bayesian import PixelDistribution
 
@@ -540,7 +661,8 @@ class EpisodeScheduler:
         t = self.config.monitor.num_samples
         n = stack.shape[0]
         acc = acc_sq = None
-        chunks = seg._mc_chunks(stack, t, self.engine.joint_max_batch)
+        chunks = seg._mc_chunks(stack, t, self.engine.joint_max_batch,
+                                base=base)
         try:
             for owners, scores in chunks:
                 s = scores.astype(np.float64)
@@ -605,4 +727,206 @@ class EpisodeScheduler:
             fed.setdefault(id(st), [st, []])[1].append((cand, verdict))
         for st, pairs in fed.values():
             st.cursor.feed(pairs)
+        return pass_s
+
+    # ------------------------------------------------------------------
+    # Stage 2c: shared-context monitoring (union windows + stem reuse)
+    # ------------------------------------------------------------------
+    def _wave_shared(self, ready, results, episodes, caches) -> None:
+        """Monitor/decide one frame wavefront via union-window passes.
+
+        Each active episode's pending crops are clustered into
+        stride-aligned union windows; windows are grouped *across*
+        episodes by window shape and each group runs as one jointly
+        seeded stacked Bayesian pass (chunk-vectorised moments, like
+        the joint path) with per-zone moments sliced from the window
+        maps.  ``caches`` maps episode index to the previous frame's
+        ``{window box: (pixels, stem)}`` entries; windows whose pixels
+        are unchanged (same box, or the box shifted by the episode's
+        ``drift_px`` hint — always verified by exact pixel comparison)
+        reuse the cached deterministic stem and recompute only the
+        stochastic suffix.
+        """
+        states, k = self._prepare_wave(ready)
+        wave_t0 = time.perf_counter()
+        passes_s = 0.0
+        new_caches: dict[int, dict] = {st.index: {} for st in states}
+        active = [st for st in states if st.pending]
+        while active:
+            # Plan this round's union windows per episode, then group
+            # them across episodes by window shape (first-occurrence
+            # order keeps the jointly seeded stream deterministic).
+            # Window spans are quantised up to a coarse grid first:
+            # union windows are naturally ragged, and a handful of
+            # round shapes batches across episodes where exact shapes
+            # would fragment into single-window passes.
+            groups: dict[tuple, list] = {}
+            for st in active:
+                st.round_verdicts = {}
+                monitor = self._joint_monitor
+                spans = [monitor._padded_spans(st.image, cand.box)
+                         for cand in st.pending]
+                windows = monitor.plan_union_windows(
+                    st.image.shape[1:],
+                    [crop_box for crop_box, _ in spans])
+                windows = [
+                    UnionWindow(box=self._quantize_window(
+                        wnd.box, st.image.shape[1:]),
+                        members=wnd.members)
+                    for wnd in windows]
+                stats = self.last_shared_stats
+                stats["zone_checks"] += len(st.pending)
+                stats["union_windows"] += len(windows)
+                stats["merged_windows"] += sum(
+                    1 for w in windows if not w.is_single)
+                for wnd in windows:
+                    groups.setdefault(
+                        (wnd.box.height, wnd.box.width), []).append(
+                        (st, wnd, spans))
+            for entries in groups.values():
+                passes_s += self._shared_pass(entries, episodes, caches,
+                                              new_caches)
+            nxt = []
+            for st in active:
+                st.cursor.feed([
+                    (cand, st.round_verdicts[j])
+                    for j, cand in enumerate(st.pending)])
+                st.pending = st.cursor.next_batch(k)
+                if st.pending:
+                    nxt.append(st)
+            active = nxt
+        # Only the *previous* frame's windows are matchable: replace
+        # each episode's cache with this wavefront's entries (bounded
+        # memory — one frame's windows per live episode).
+        caches.update(new_caches)
+        self._finish_wave(states, results, wave_t0, passes_s)
+
+    #: Window spans are quantised up to this many model strides, so
+    #: the ragged union windows of a round collapse into a handful of
+    #: batchable shape groups (measured: exact shapes fragment the
+    #: stacked passes badly enough to cancel the union win).
+    _WINDOW_QUANTUM_STRIDES = 2
+
+    def _quantize_window(self, box: Box,
+                         frame_hw: tuple[int, int]) -> Box:
+        """Grow a window to quantised spans within the frame."""
+        monitor = self._joint_monitor
+        stride = monitor._model_stride()
+        q = self._WINDOW_QUANTUM_STRIDES * stride
+        spans = []
+        for start, extent, limit in (
+                (box.row, box.height, frame_hw[0]),
+                (box.col, box.width, frame_hw[1])):
+            full = limit - limit % stride
+            want = min(-(-extent // q) * q, full)
+            spans.append(pad_span(start, extent, limit, stride,
+                                  want=max(want, extent)))
+        (r0, rh), (c0, cw) = spans
+        return Box(r0, c0, rh, cw)
+
+    def _stem_lookup(self, pixels: np.ndarray, box, drift,
+                     prev_cache: dict, cur_cache: dict):
+        """A cached deterministic stem for ``pixels``, or ``None``.
+
+        Tries the same window in the current frame (retry rounds), then
+        the previous frame's window at the same box and at the box
+        shifted by the drift hint (both signs — the hint's orientation
+        is not trusted, the pixel comparison is).  Reuse requires exact
+        pixel equality, so a hit is bit-identical to recomputation.
+        """
+        candidates = [(cur_cache, box), (prev_cache, box)]
+        if drift is not None and drift != (0, 0):
+            dr, dc = drift
+            for sign in (1, -1):
+                candidates.append((prev_cache, Box(
+                    box.row + sign * dr, box.col + sign * dc,
+                    box.height, box.width)))
+        for cache, key in candidates:
+            if key.row < 0 or key.col < 0:
+                continue
+            entry = cache.get(key)
+            if entry is not None and entry[0].shape == pixels.shape \
+                    and np.array_equal(entry[0], pixels):
+                return entry[1]
+        return None
+
+    def _shared_pass(self, entries, episodes, caches,
+                     new_caches) -> float:
+        """One jointly seeded stacked pass over same-shape union windows.
+
+        ``entries`` are ``(state, window, spans)`` triples whose
+        windows share one shape.  Stems come from the temporal cache
+        where pixels allow, from chunked prefix forwards otherwise;
+        the stochastic suffix always runs fresh.  Per-zone verdicts
+        are sliced from the window moments into each state's
+        ``round_verdicts`` (fed to the cursors by the caller once the
+        whole round is complete, preserving rank order).
+        """
+        from repro.segmentation.bayesian import PixelDistribution
+
+        monitor = self._joint_monitor
+        cfg = self.config.monitor
+        seg = self._joint_segmenter
+        stats = self.last_shared_stats
+        t0 = time.perf_counter()
+        crops = [wnd.box.extract(st.image).astype(np.float32)
+                 for st, wnd, _ in entries]
+        stack = np.stack(crops)
+
+        base = None
+        if self.engine.temporal_reuse:
+            bases = [None] * len(entries)
+            misses = []
+            for j, (st, wnd, _) in enumerate(entries):
+                drift = episodes[st.index].drift_px
+                hit = self._stem_lookup(
+                    crops[j], wnd.box, drift,
+                    caches.get(st.index, {}),
+                    new_caches.get(st.index, {}))
+                if hit is not None:
+                    bases[j] = hit
+                else:
+                    misses.append(j)
+            if len(misses) == len(entries):
+                # Nothing cached: one chunked prefix pass over the
+                # whole stack, no per-window restacking.
+                base = seg.compute_prefix(stack,
+                                          self.engine.joint_max_batch)
+            elif misses:
+                computed = seg.compute_prefix(
+                    stack[misses], self.engine.joint_max_batch)
+                if computed is not None:
+                    for jj, j in enumerate(misses):
+                        bases[j] = computed[jj]
+                    base = np.stack(bases)
+            else:
+                base = np.stack(bases)
+            if base is not None:
+                stats["stem_hits"] += len(entries) - len(misses)
+                stats["stem_misses"] += len(misses)
+                for j, (st, wnd, _) in enumerate(entries):
+                    new_caches[st.index][wnd.box] = (crops[j], base[j])
+
+        distributions = self._joint_distributions(stack, base=base)
+        upper = np.stack([d.upper_confidence(cfg.sigma_multiplier)
+                          for d in distributions])
+        unsafe = monitor.unsafe_from_upper(upper)
+        pass_s = time.perf_counter() - t0
+        zones = sum(len(wnd.members) for _, wnd, _ in entries)
+        share = pass_s / max(zones, 1)
+        for (st, wnd, spans), dist, mask in zip(entries, distributions,
+                                                unsafe):
+            for idx in wnd.members:
+                crop_box, roi = spans[idx]
+                rel = Box(crop_box.row - wnd.box.row,
+                          crop_box.col - wnd.box.col,
+                          crop_box.height, crop_box.width)
+                sliced = PixelDistribution(
+                    mean=rel.extract(dist.mean),
+                    std=rel.extract(dist.std),
+                    num_samples=dist.num_samples)
+                st.round_verdicts[idx] = monitor._verdict_from_unsafe(
+                    rel.extract(mask), sliced,
+                    st.pending[idx].box, roi)
+                st.monitoring_s += share
         return pass_s

@@ -22,15 +22,45 @@ one call: by default each zone keeps its own dropout seeding, so the
 verdicts are bit-for-bit identical to ``N`` separate
 :meth:`RuntimeMonitor.check_zone` calls; with ``joint=True`` the crops
 are stride-padded to a common shape and verified in a single jointly
-seeded ``(zones * T)``-batched pass — the fastest path, still
-seeded-reproducible, but on a different (documented) RNG stream.  The
-joint pass is how the decision module's speculative check-ahead
+seeded ``(zones * T)``-batched pass — still seeded-reproducible, but on
+a different (documented) RNG stream.  The joint pass is how the
+decision module's speculative check-ahead
 (``DecisionConfig.speculative_k > 1``, see :mod:`repro.core.decision`)
 vets the top-k ranked candidates in one go.
+
+Shared-context monitoring
+-------------------------
+Neighbouring candidate zones crop overlapping pixels (each crop is the
+zone plus context margin plus stride padding), yet the joint pass above
+still re-segments every crop from scratch.  ``check_zones(...,
+shared=True)`` instead *plans union windows*: the pending crops are
+greedily clustered into stride-aligned union windows
+(:meth:`RuntimeMonitor.plan_union_windows`; a crop joins a window while
+``union_area <= overlap_budget * sum(member_areas)``), **one** jointly
+seeded Bayesian pass runs per union window
+(:meth:`repro.segmentation.bayesian.BayesianSegmenter
+.predict_distribution_ragged`), and each zone's per-pixel mean/std
+moments are *sliced* out of its window's stacked moments — so K
+overlapping zones cost one segmentation of their union instead of K
+crops.  Moment slicing is exact per pixel, but the dropout masks are
+drawn over window activations instead of per-crop activations, so
+merged-window verdicts sit on a different (documented, seeded) RNG
+stream.  A union window containing a **single** zone is that zone's
+natural crop box untouched: a single-box shared call reproduces
+:meth:`RuntimeMonitor.check_zone` bit for bit, and a merge-free plan
+over one common crop shape reproduces the joint pass bit for bit —
+sharing only ever changes results through *merged* windows (tested in
+``tests/core/test_union_geometry.py``, certified system-level in
+``tests/integration/test_shared_context_certification.py`` following
+the PR 4 template).  ``REPRO_MONITOR_SHARED=1`` reroutes
+every ``joint=True`` call through the shared-context planner — the
+environment toggle ``scripts/check.sh`` uses to re-run the
+monitor-touching suites under this mode.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -40,7 +70,73 @@ from repro.segmentation.bayesian import BayesianSegmenter, PixelDistribution
 from repro.utils.geometry import Box
 from repro.utils.validation import check_image_chw, check_probability
 
-__all__ = ["MonitorConfig", "ZoneVerdict", "RuntimeMonitor"]
+__all__ = ["MonitorConfig", "ZoneVerdict", "UnionWindow",
+           "RuntimeMonitor", "pad_span", "shared_context_default"]
+
+#: Environment toggle: ``REPRO_MONITOR_SHARED=1`` makes every
+#: ``joint=True`` monitoring path run through the shared-context
+#: union-crop planner instead of the per-crop joint pass.
+_SHARED_ENV = "REPRO_MONITOR_SHARED"
+
+
+def shared_context_default() -> bool:
+    """Whether ``joint`` monitoring defaults to shared-context mode.
+
+    Read per call (not at import), so test suites and
+    ``scripts/check.sh`` can flip the mode for a whole process without
+    re-importing.
+    """
+    return os.environ.get(_SHARED_ENV, "") == "1"
+
+
+def pad_span(start: int, extent: int, limit: int, stride: int,
+             want: int | None = None) -> tuple[int, int]:
+    """Grow one axis span to a stride-aligned window inside the frame.
+
+    The segmentation model needs spatial extents divisible by its
+    output ``stride``; this is the single home of the alignment
+    arithmetic used by every crop-window and union-window computation.
+    Returns ``(lo, span)`` with ``span % stride == 0``, ``span >= 1``
+    stride, and ``[lo, lo + span)`` inside ``[0, limit)``, grown
+    symmetrically around ``[start, start + extent)`` where the frame
+    allows.  ``want`` forces the exact span (already stride-aligned, at
+    most ``limit``); spans that cannot fit are centred/trimmed exactly
+    as the natural path trims them.
+    """
+    if limit < stride:
+        raise ValueError(
+            f"frame extent {limit} is smaller than the model's "
+            f"output stride {stride}; the Bayesian monitor "
+            "cannot run on this frame")
+    if want is None:
+        need = (-extent) % stride
+    else:
+        if want % stride or want > limit:
+            raise ValueError(
+                f"target span {want} must be stride-aligned "
+                f"({stride}) and fit the frame extent {limit}")
+        if extent >= want:
+            # The grown crop exceeds the target span (the frame
+            # itself was not stride-divisible, so every natural
+            # span got trimmed below the grown extent): centre a
+            # want-sized window on it, exactly as the natural
+            # path effectively does when it trims.
+            lo = max(0, start + (extent - want) // 2)
+            lo = min(lo, limit - want)
+            return lo, want
+        need = want - extent
+    lo = max(0, start - need // 2)
+    hi = min(limit, lo + extent + need)
+    lo = max(0, hi - (extent + need))
+    span = hi - lo
+    span -= span % stride
+    # A degenerate zero-extent span (tiny crop in a tiny frame)
+    # would produce an empty crop and crash the model; clamp to
+    # one full stride instead.
+    if span == 0:
+        span = stride
+        lo = min(lo, limit - stride)
+    return lo, span
 
 
 @dataclass(frozen=True)
@@ -53,6 +149,13 @@ class MonitorConfig:
     road_classes: tuple = BUSY_ROAD_CLASSES
     max_unsafe_fraction: float = 0.0  # zone accepted iff <= this
     context_margin_px: int = 2      # extra context around the crop
+    #: Shared-context union planning: a crop joins a union window only
+    #: while ``union_area <= overlap_budget * sum(member_crop_areas)``.
+    #: The default of 1.0 means a merged window never segments more
+    #: pixels than its member crops would separately — merging is a
+    #: pure win (overlap pixels computed once, fewer forwards); raise
+    #: it to trade extra pixels for fewer, larger passes.
+    overlap_budget: float = 1.0
 
     def __post_init__(self):
         check_probability("tau", self.tau)
@@ -63,6 +166,8 @@ class MonitorConfig:
             raise ValueError("num_samples must be >= 1")
         if not self.road_classes:
             raise ValueError("road_classes must not be empty")
+        if self.overlap_budget <= 0:
+            raise ValueError("overlap_budget must be positive")
 
 
 @dataclass(frozen=True)
@@ -79,6 +184,24 @@ class ZoneVerdict:
     @property
     def num_unsafe_pixels(self) -> int:
         return int(self.unsafe_mask.sum())
+
+
+@dataclass(frozen=True)
+class UnionWindow:
+    """One planned union window of a shared-context monitoring pass.
+
+    ``box`` is the stride-aligned window in frame coordinates;
+    ``members`` are indices into the planned zone list whose natural
+    crop boxes the window contains (a single-member window *is* that
+    zone's natural crop box).
+    """
+
+    box: Box
+    members: tuple[int, ...]
+
+    @property
+    def is_single(self) -> bool:
+        return len(self.members) == 1
 
 
 class RuntimeMonitor:
@@ -142,46 +265,9 @@ class RuntimeMonitor:
         grown = box.expand(cfg.context_margin_px).clip_to(h, w)
         stride = self._model_stride()
 
-        def pad_span(start: int, extent: int, limit: int,
-                     want: int | None) -> tuple[int, int]:
-            if limit < stride:
-                raise ValueError(
-                    f"frame extent {limit} is smaller than the model's "
-                    f"output stride {stride}; the Bayesian monitor "
-                    "cannot run on this frame")
-            if want is None:
-                need = (-extent) % stride
-            else:
-                if want % stride or want > limit:
-                    raise ValueError(
-                        f"target span {want} must be stride-aligned "
-                        f"({stride}) and fit the frame extent {limit}")
-                if extent >= want:
-                    # The grown crop exceeds the target span (the frame
-                    # itself was not stride-divisible, so every natural
-                    # span got trimmed below the grown extent): centre a
-                    # want-sized window on it, exactly as the natural
-                    # path effectively does when it trims.
-                    lo = max(0, start + (extent - want) // 2)
-                    lo = min(lo, limit - want)
-                    return lo, want
-                need = want - extent
-            lo = max(0, start - need // 2)
-            hi = min(limit, lo + extent + need)
-            lo = max(0, hi - (extent + need))
-            span = hi - lo
-            span -= span % stride
-            # A degenerate zero-extent span (tiny crop in a tiny frame)
-            # would produce an empty crop and crash the model; clamp to
-            # one full stride instead.
-            if span == 0:
-                span = stride
-                lo = min(lo, limit - stride)
-            return lo, span
-
         th, tw = target if target is not None else (None, None)
-        r0, rh = pad_span(grown.row, grown.height, h, th)
-        c0, cw = pad_span(grown.col, grown.width, w, tw)
+        r0, rh = pad_span(grown.row, grown.height, h, stride, th)
+        c0, cw = pad_span(grown.col, grown.width, w, stride, tw)
         crop_box = Box(r0, c0, rh, cw)
         roi = Box(box.row - r0, box.col - c0, box.height, box.width)
         roi = roi.clip_to(rh, cw)
@@ -193,6 +279,96 @@ class RuntimeMonitor:
         """:meth:`_padded_spans` plus the pixel extraction."""
         crop_box, roi = self._padded_spans(image, box, target)
         return crop_box.extract(image), roi
+
+    # ------------------------------------------------------------------
+    # Shared-context union-crop planning
+    # ------------------------------------------------------------------
+    def _aligned_union(self, a: Box, b: Box, h: int, w: int) -> Box:
+        """Stride-aligned bounding window of two crop boxes, in-frame."""
+        stride = self._model_stride()
+        row = min(a.row, b.row)
+        col = min(a.col, b.col)
+        height = max(a.bottom, b.bottom) - row
+        width = max(a.right, b.right) - col
+        r0, rh = pad_span(row, height, h, stride)
+        c0, cw = pad_span(col, width, w, stride)
+        return Box(r0, c0, rh, cw)
+
+    def plan_union_windows(self, image_shape: tuple[int, int],
+                           crop_boxes: list[Box]) -> list[UnionWindow]:
+        """Cluster natural crop boxes into stride-aligned union windows.
+
+        Greedy merge in input (rank) order: each crop joins the first
+        existing window whose stride-aligned union with it satisfies
+        ``union_area <= overlap_budget * sum(member_crop_areas)`` and
+        still contains every member crop (a union near the frame edge
+        of a non-stride-divisible frame can be forced to trim below its
+        bounding box — such a merge is rejected rather than letting a
+        member stick out).  Unmerged crops become single-member windows
+        that are *exactly* their natural crop box, which is what makes
+        the single-zone shared pass bit-for-bit equal to the per-zone
+        pass.  Geometry only — no pixels are touched.
+        """
+        h, w = int(image_shape[0]), int(image_shape[1])
+        budget = self.config.overlap_budget
+        # Mutable accumulation: [window_box, member_ids, member_area_sum]
+        windows: list[list] = []
+        for idx, crop in enumerate(crop_boxes):
+            placed = False
+            for wnd in windows:
+                area_sum = wnd[2] + crop.area
+                merged = self._aligned_union(wnd[0], crop, h, w)
+                if merged.area > budget * area_sum:
+                    continue
+                if not (merged.contains_box(wnd[0])
+                        and merged.contains_box(crop)):
+                    continue
+                wnd[0] = merged
+                wnd[1].append(idx)
+                wnd[2] = area_sum
+                placed = True
+                break
+            if not placed:
+                windows.append([crop, [idx], crop.area])
+        return [UnionWindow(box=box, members=tuple(members))
+                for box, members, _ in windows]
+
+    def _check_zones_shared(self, image: np.ndarray, boxes: list[Box],
+                            max_batch: int | None) -> list[ZoneVerdict]:
+        """The shared-context joint pass (see the module docstring).
+
+        Natural crop spans are planned into union windows; one jointly
+        seeded ragged Bayesian pass covers all windows (mask stream:
+        window-major, sample-minor, in planning order); each zone's
+        mean/std moments and Eq. (2) mask are sliced out of its
+        window's per-pixel maps.
+        """
+        from repro.segmentation.bayesian import PixelDistribution
+
+        spans = [self._padded_spans(image, box) for box in boxes]
+        windows = self.plan_union_windows(
+            image.shape[1:], [crop_box for crop_box, _ in spans])
+        crops = [wnd.box.extract(image).astype(np.float32)
+                 for wnd in windows]
+        distributions = self.segmenter.predict_distribution_ragged(
+            crops, num_samples=self.config.num_samples,
+            max_batch=max_batch)
+        verdicts: list[ZoneVerdict | None] = [None] * len(boxes)
+        sig = self.config.sigma_multiplier
+        for wnd, dist in zip(windows, distributions):
+            unsafe = self.unsafe_from_upper(dist.upper_confidence(sig))
+            for idx in wnd.members:
+                crop_box, roi = spans[idx]
+                rel = Box(crop_box.row - wnd.box.row,
+                          crop_box.col - wnd.box.col,
+                          crop_box.height, crop_box.width)
+                sliced = PixelDistribution(
+                    mean=rel.extract(dist.mean),
+                    std=rel.extract(dist.std),
+                    num_samples=dist.num_samples)
+                verdicts[idx] = self._verdict_from_unsafe(
+                    rel.extract(unsafe), sliced, boxes[idx], roi)
+        return verdicts
 
     def _verdict(self, distribution: PixelDistribution, box: Box,
                  roi: Box) -> ZoneVerdict:
@@ -238,6 +414,7 @@ class RuntimeMonitor:
 
     def check_zones(self, image: np.ndarray, boxes,
                     joint: bool = False,
+                    shared: bool | None = None,
                     max_batch: int | None = None) -> list[ZoneVerdict]:
         """Verify several candidate zones in one batched call.
 
@@ -248,9 +425,26 @@ class RuntimeMonitor:
         are stride-padded to a common shape (growing within the frame,
         so every crop still shows real context) and verified in a
         single jointly seeded ``(len(boxes) * T)``-batched Bayesian
-        pass: the fastest path, seeded and reproducible, but its mask
-        stream — and the extra context smaller crops gain — mean the
-        verdicts can differ marginally from per-zone calls.
+        pass — seeded and reproducible, but its mask stream — and the
+        extra context smaller crops gain — mean the verdicts can differ
+        marginally from per-zone calls.  Exactly identical crop windows
+        inside a joint pass (duplicate candidate boxes, or distinct
+        boxes whose padded windows coincide) are segmented once and
+        share one distribution: identical pixels get identical moments
+        (no numerical approximation, and re-checking the same pixels
+        is deliberately idempotent), though duplicates therefore share
+        one MC estimate rather than drawing independent ones, and when
+        duplicates are present the joint mask stream is consumed at
+        the deduplicated positions — the joint stream is documented
+        per release, never a cross-version contract.
+
+        ``shared=True`` (implies joint) runs the shared-context
+        union-crop planner instead: overlapping crops are merged into
+        stride-aligned union windows, one jointly seeded pass per
+        window, per-zone moments sliced from the window stack (see the
+        module docstring).  ``shared=None`` (default) resolves from the
+        ``REPRO_MONITOR_SHARED`` environment toggle for ``joint=True``
+        calls and stays off otherwise.
         """
         check_image_chw("image", image)
         boxes = list(boxes)
@@ -259,6 +453,10 @@ class RuntimeMonitor:
                 raise ValueError("cannot check an empty zone box")
         if not boxes:
             return []
+        if shared is None:
+            shared = joint and shared_context_default()
+        if shared:
+            return self._check_zones_shared(image, boxes, max_batch)
         if not joint:
             return [self.check_zone(image, box, max_batch=max_batch)
                     for box in boxes]
@@ -268,14 +466,23 @@ class RuntimeMonitor:
         spans = [self._padded_spans(image, box) for box in boxes]
         th = max(crop_box.height for crop_box, _ in spans)
         tw = max(crop_box.width for crop_box, _ in spans)
-        crops, rois = zip(*[
-            self._stride_padded_crop(image, box, target=(th, tw))
-            for box in boxes])
+        targets = [self._padded_spans(image, box, target=(th, tw))
+                   for box in boxes]
+        # Identical (crop_box, target) windows crop identical pixels;
+        # segment each distinct window once (first-occurrence order
+        # keeps the pass seeded-deterministic) and fan the shared
+        # distribution back out to every zone that uses the window.
+        order: dict[Box, int] = {}
+        for crop_box, _ in targets:
+            order.setdefault(crop_box, len(order))
+        stack = np.stack([
+            crop_box.extract(image).astype(np.float32)
+            for crop_box in order])
         distributions = self.segmenter.predict_distribution_stack(
-            np.stack([c.astype(np.float32) for c in crops]),
-            num_samples=self.config.num_samples, max_batch=max_batch)
-        return [self._verdict(dist, box, roi)
-                for dist, box, roi in zip(distributions, boxes, rois)]
+            stack, num_samples=self.config.num_samples,
+            max_batch=max_batch)
+        return [self._verdict(distributions[order[crop_box]], box, roi)
+                for box, (crop_box, roi) in zip(boxes, targets)]
 
     def full_frame_unsafe(self, image: np.ndarray) -> np.ndarray:
         """Eq. (2) evaluated over the whole frame.

@@ -98,10 +98,16 @@ class LandingPipeline:
         """
         self.config = config or PipelineConfig()
         max_batch = None
+        # ``None`` defers to the REPRO_MONITOR_SHARED environment
+        # toggle at call time; an explicit shared engine forces the
+        # union-crop planner for the speculative joint passes.
+        self._shared_checks: bool | None = None
         if engine is not None:
             engine.apply_conv_engine()
             self.config = engine.pipeline_config(self.config)
             max_batch = engine.max_batch
+            if engine.monitor_batching == "shared":
+                self._shared_checks = True
         self.model = model
         kwargs = {} if max_batch is None else {"max_batch": max_batch}
         self.segmenter = BayesianSegmenter(
@@ -176,10 +182,13 @@ class LandingPipeline:
             # The speculative joint pass: all crops in one jointly
             # seeded stacked Bayesian pass.  A single-candidate batch
             # degenerates to the per-zone seeding, i.e. check_zone.
+            # With a shared engine (or REPRO_MONITOR_SHARED=1) the
+            # pass runs through the union-crop planner instead.
             nonlocal monitoring_s
             t1 = time.perf_counter()
             out = self.monitor.check_zones(
-                image, [c.box for c in batch], joint=True)
+                image, [c.box for c in batch], joint=True,
+                shared=self._shared_checks)
             monitoring_s += time.perf_counter() - t1
             return out
 

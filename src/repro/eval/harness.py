@@ -344,7 +344,9 @@ def zone_acceptance_experiment(system: TrainedSystem,
                                samples: list[SegmentationSample],
                                monitor_enabled: bool = True,
                                tau: float | None = None,
-                               rng=0) -> dict:
+                               rng=0,
+                               engine: EngineConfig | None = None
+                               ) -> dict:
     """Run the pipeline over frames and score accepted zones on GT.
 
     Two safety numbers, among frames where the pipeline decided to land:
@@ -360,10 +362,12 @@ def zone_acceptance_experiment(system: TrainedSystem,
 
     The frames run as one stream through the episode engine
     (``EpisodeScheduler.run_frames``), bit-for-bit identical to the
-    old per-frame loop on the same seed.
+    old per-frame loop on the same seed.  ``engine`` optionally
+    selects the engine knobs (e.g. ``monitor_batching="shared"`` for
+    the shared-context certification runs).
     """
     scheduler = system.make_scheduler(monitor_enabled=monitor_enabled,
-                                      tau=tau)
+                                      tau=tau, engine=engine)
     landed = 0
     road_unsafe = 0
     high_risk_unsafe = 0
@@ -429,6 +433,10 @@ def timing_experiment(system: TrainedSystem,
         w = max(w - w % stride, stride)
         crop = sample.image[:, :h, :w]
         for t in num_samples_list:
+            # One unmeasured warm-up: the first pass on a new crop
+            # shape pays scratch-buffer allocation that is not part of
+            # the steady-state monitoring cost being reported.
+            predict(crop, num_samples=t)
             times = []
             for _ in range(repeats):
                 start = time.perf_counter()

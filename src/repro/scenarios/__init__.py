@@ -15,6 +15,8 @@ campaigns *name* their workload instead of hand-assembling
 
 from repro.scenarios.campaigns import campaign_inputs, run_scenario_campaign
 from repro.scenarios.presets import (
+    CALM_CLEAR,
+    DENSE_ZONE_SCENARIOS,
     FAILURE_SCENARIOS,
     MOTOR_FAILURE_T3,
     NAV_COMM_LOSS,
@@ -45,7 +47,9 @@ __all__ = [
     "NOMINAL_SCENARIOS",
     "OOD_SCENARIOS",
     "FAILURE_SCENARIOS",
+    "DENSE_ZONE_SCENARIOS",
     "NIGHT_FOG",
+    "CALM_CLEAR",
     "NAV_COMM_LOSS",
     "MOTOR_FAILURE_T3",
 ]

@@ -34,11 +34,13 @@ from repro.uav.failures import FailureType
 
 __all__ = [
     "NIGHT_FOG",
+    "CALM_CLEAR",
     "NAV_COMM_LOSS",
     "MOTOR_FAILURE_T3",
     "NOMINAL_SCENARIOS",
     "OOD_SCENARIOS",
     "FAILURE_SCENARIOS",
+    "DENSE_ZONE_SCENARIOS",
 ]
 
 #: Compound shift: night lighting *and* haze (beyond any single preset).
@@ -56,6 +58,11 @@ NAV_COMM_LOSS = FailureProfile(
 #: policies are never consulted — the contrast case to NAV_COMM_LOSS.
 MOTOR_FAILURE_T3 = FailureProfile(
     failure=FailureType.MOTOR_FAILURE, time_s=3.0)
+
+#: Calm clear air for survey/hover work (in-distribution lighting,
+#: sensor noise off — the rendered stream is limited only by texture
+#: seeding, which the dense-zone presets make per-episode).
+CALM_CLEAR = ImagingConditions(name="calm_clear", noise_sigma=0.0)
 
 
 def _nominal(name: str, conditions, description: str) -> ScenarioSpec:
@@ -90,6 +97,31 @@ OOD_SCENARIOS = (
          "haze veil with optical blur"),
     _ood("night_fog", NIGHT_FOG,
          "compound shift: night lighting plus fog"),
+)
+
+#: Overlap-heavy monitoring workloads: many closely ranked candidate
+#: zones whose stride-padded crops share pixels — the streams the
+#: shared-context monitor engine (``monitor_batching="shared"``, see
+#: ``repro.core.engine``) is benchmarked and certified on.
+DENSE_ZONE_SCENARIOS = (
+    register_scenario(ScenarioSpec(
+        name="dense_zones_hover",
+        description="calm hover survey: zero wind and per-episode "
+                    "texture seeding, so every frame re-sees "
+                    "bit-identical pixels (temporal stem reuse) and "
+                    "neighbouring candidate crops overlap heavily "
+                    "(union-crop sharing)",
+        conditions=CALM_CLEAR, wind_speed_ms=0.0, static_texture=True,
+        tags=("nominal", "dense_zones"))),
+    register_scenario(ScenarioSpec(
+        name="dense_zones_drift",
+        description="slow survey drift: the same overlap-heavy zone "
+                    "layout sliding under a 2 m/s wind — exercises "
+                    "the union planner under motion and the drift_px "
+                    "shift hint",
+        conditions=CALM_CLEAR, wind_speed_ms=2.0,
+        wind_direction_rad=0.0, static_texture=True,
+        tags=("nominal", "dense_zones"))),
 )
 
 #: Failure-injection campaigns (scene + conditions + failure + wind).

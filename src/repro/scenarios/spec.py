@@ -107,6 +107,13 @@ class ScenarioSpec:
     scene_config: SceneConfig = field(default_factory=SceneConfig)
     seed: int = 0
     tags: tuple[str, ...] = ()
+    #: Derive the rendering RNG once per *episode* instead of once per
+    #: frame: surface texture and sensor noise then repeat exactly from
+    #: frame to frame, so a hovering (zero-wind) stream re-sees
+    #: bit-identical pixels — the static-scene workload the episode
+    #: engine's temporal stem reuse is built for.  Default ``False``
+    #: keeps the historical per-frame streams byte-identical.
+    static_texture: bool = False
 
     def __post_init__(self):
         if not self.name:
@@ -210,7 +217,8 @@ class ScenarioSpec:
         samples = []
         for k in range(n):
             render_rng = np.random.default_rng(
-                derive_seed(self.seed, 29, index, k))
+                derive_seed(self.seed, 29, index) if self.static_texture
+                else derive_seed(self.seed, 29, index, k))
             image, labels = render_scene_window(
                 scene, (row, col), self.camera_shape_px,
                 self.camera_gsd_m, self.conditions, rng=render_rng)
@@ -227,6 +235,22 @@ class ScenarioSpec:
         """The per-episode monitor RNG seed."""
         return derive_seed(self.seed, 31, index)
 
+    def drift_px(self) -> tuple[int, int]:
+        """Expected per-frame image drift in camera pixels.
+
+        The wind moves the window centre by ``wind / scene_gsd`` cells
+        per frame (see :meth:`frame_stream`); on the rendered frame
+        that is a content shift of ``wind / camera_gsd`` pixels along
+        the wind direction.  Rounded to integers — the shared-context
+        engine treats it as a shift *hint* and verifies candidate
+        windows by exact pixel comparison.
+        """
+        dr = self.wind_speed_ms * math.sin(self.wind_direction_rad) \
+            / self.camera_gsd_m
+        dc = self.wind_speed_ms * math.cos(self.wind_direction_rad) \
+            / self.camera_gsd_m
+        return (int(round(dr)), int(round(dc)))
+
     def episode_request(self, index: int = 0,
                         num_frames: int | None = None):
         """An :class:`repro.core.engine.EpisodeRequest` for this spec."""
@@ -234,7 +258,8 @@ class ScenarioSpec:
         frames = [s.image for s in self.frame_stream(index, num_frames)]
         return EpisodeRequest(frames=frames,
                               seed=self.episode_seed(index),
-                              name=f"{self.name}#{index}")
+                              name=f"{self.name}#{index}",
+                              drift_px=self.drift_px())
 
 
 # ----------------------------------------------------------------------

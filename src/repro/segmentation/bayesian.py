@@ -41,6 +41,9 @@ The public batched surface is:
   different — documented — RNG stream).
 * :meth:`BayesianSegmenter.predict_distribution_stack` — the raw engine
   over an ``(N, C, H, W)`` stack.
+* :meth:`BayesianSegmenter.predict_distribution_ragged` — one jointly
+  seeded pass over *different-shaped* crops (the shared-context
+  monitor's union windows; same-shape runs are batched).
 * :meth:`BayesianSegmenter.predict_deterministic_batch` — the standard
   (dropout-off) model over a stack of frames in chunked forwards.
 """
@@ -302,46 +305,88 @@ class BayesianSegmenter:
     # ------------------------------------------------------------------
     # Monte-Carlo inference: the batched engine
     # ------------------------------------------------------------------
+    def compute_prefix(self, stack: np.ndarray,
+                       max_batch: int | None = None) -> np.ndarray | None:
+        """Deterministic-stem activations for an NCHW stack.
+
+        Returns the model's ``forward_prefix`` output computed in
+        chunked dropout-off forwards (batch-element-deterministic, so
+        ``compute_prefix(stack)[i]`` equals the single-image prefix bit
+        for bit), or ``None`` when the model offers no prefix/suffix
+        split.  The episode engine's shared-context mode caches these
+        activations across wind-drift frames and replays only the
+        stochastic suffix when a window's pixels are unchanged.
+        """
+        prefix, _ = self._split_fns()
+        if prefix is None:
+            return None
+        b_max = self._resolve_max_batch(max_batch)
+        self._ensure_eval()
+        self._set_mc(False)
+        return np.concatenate(
+            [prefix(stack[lo:lo + b_max])
+             for lo in range(0, stack.shape[0], b_max)], axis=0)
+
+    def _suffix_forward(self):
+        """The stochastic-remainder callable matching ``compute_prefix``."""
+        _, suffix = self._split_fns()
+        return suffix if suffix is not None else self.model.forward
+
+    def _mc_tiles(self, base: np.ndarray, forward, num_samples: int,
+                  max_batch: int):
+        """Yield ``(owners, scores)`` chunks of one seeded tile stream.
+
+        Assumes MC dropout is already active; pushes the ``N * T``
+        tiles (image-major, sample-minor) through ``forward`` in
+        ``max_batch`` chunks.  ``owners[k]`` is the image index of
+        ``scores[k]``.  Because every dropout layer draws an
+        independent mask per batch element, the per-tile mask stream is
+        identical whatever the chunk boundaries.
+        """
+        n = base.shape[0]
+        total = n * num_samples
+        done = 0
+        while done < total:
+            b = min(max_batch, total - done)
+            owners = np.arange(done, done + b) // num_samples
+            if n == 1:
+                # Tiling one image: a stride-0 broadcast view avoids
+                # materialising the batch.
+                batch = np.broadcast_to(base, (b,) + base.shape[1:])
+            else:
+                batch = base[owners]
+            yield owners, softmax(forward(batch), axis=1)
+            done += b
+
     def _mc_chunks(self, stack: np.ndarray, num_samples: int,
-                   max_batch: int):
+                   max_batch: int, base: np.ndarray | None = None):
         """Yield ``(owners, scores)`` chunks of the batched MC pass.
 
         The single engine loop shared by every MC entry point: computes
-        the model's deterministic prefix once per image, seeds MC
-        dropout once, then pushes the ``N * T`` tiles (image-major,
-        sample-minor) through the stochastic remainder in ``max_batch``
-        chunks.  ``owners[k]`` is the image index of ``scores[k]``.
-        MC dropout is switched off again when the generator closes
-        (consumers iterate inside ``try/finally gen.close()``).
+        the model's deterministic prefix once per image (or reuses a
+        caller-provided ``base`` of prefix activations — the episode
+        engine's temporal stem reuse), seeds MC dropout once, then
+        pushes the ``N * T`` tiles through the stochastic remainder in
+        ``max_batch`` chunks.  MC dropout is switched off again when
+        the generator closes (consumers iterate inside ``try/finally
+        gen.close()``).
         """
-        n = stack.shape[0]
         self._ensure_eval()
-        prefix, suffix = self._split_fns()
-        if prefix is not None:
-            # Deterministic prefix: once per image, not once per sample.
-            self._set_mc(False)
-            base = np.concatenate(
-                [prefix(stack[lo:lo + max_batch])
-                 for lo in range(0, n, max_batch)], axis=0)
-            forward = suffix
+        if base is not None:
+            forward = self._suffix_forward()
         else:
-            base = stack
-            forward = self.model.forward
+            prefix, suffix = self._split_fns()
+            if prefix is not None:
+                # Deterministic prefix: once per image, not per sample.
+                base = self.compute_prefix(stack, max_batch)
+                forward = suffix
+            else:
+                base = stack
+                forward = self.model.forward
         self._set_mc(True, rng=self.rng)
-        total = n * num_samples
         try:
-            done = 0
-            while done < total:
-                b = min(max_batch, total - done)
-                owners = np.arange(done, done + b) // num_samples
-                if n == 1:
-                    # Tiling one image: a stride-0 broadcast view avoids
-                    # materialising the batch.
-                    batch = np.broadcast_to(base, (b,) + base.shape[1:])
-                else:
-                    batch = base[owners]
-                yield owners, softmax(forward(batch), axis=1)
-                done += b
+            yield from self._mc_tiles(base, forward, num_samples,
+                                      max_batch)
         finally:
             self._set_mc(False)
 
@@ -421,6 +466,64 @@ class BayesianSegmenter:
                     moments[int(owners[k])].update(scores[k])
         finally:
             chunks.close()
+        return [m.finalize() for m in moments]
+
+    def predict_distribution_ragged(self, crops,
+                                    num_samples: int | None = None,
+                                    max_batch: int | None = None
+                                    ) -> list[PixelDistribution]:
+        """Jointly seeded MC statistics over *different-shaped* crops.
+
+        The ragged extension of :meth:`predict_distribution_stack` the
+        shared-context monitor runs over union windows: all crops share
+        **one** dropout seeding, with the mask stream consumed
+        crop-major, sample-minor in input order.  Runs of consecutive
+        same-shape crops are stacked and pushed through the engine as
+        chunked batched forwards (deterministic prefixes first, then
+        the stochastic tiles), so shape raggedness only limits
+        batching, never changes the stream.  For a single crop — or
+        any same-shape run — this is bit-for-bit
+        :meth:`predict_distribution_stack` on the same seed, which is
+        what makes a merge-free shared monitoring plan reproduce the
+        joint pass exactly (and a single-window call reproduce
+        :meth:`predict_distribution`).
+        """
+        crops = [np.asarray(c, dtype=np.float32) for c in crops]
+        for i, crop in enumerate(crops):
+            check_image_chw(f"crops[{i}]", crop)
+        if not crops:
+            return []
+        t = self._resolve_samples(num_samples)
+        b_max = self._resolve_max_batch(max_batch)
+        self._ensure_eval()
+
+        # Runs of consecutive same-shape crops, stacked.
+        runs: list[tuple[int, np.ndarray]] = []
+        start = 0
+        for i in range(1, len(crops) + 1):
+            if i == len(crops) or crops[i].shape != crops[start].shape:
+                runs.append((start, np.stack(crops[start:i])))
+                start = i
+
+        # Deterministic prefixes for every run first (dropout off),
+        # then one seeding for the whole ragged tile stream.
+        prepared = []
+        for start, stack in runs:
+            base = self.compute_prefix(stack, b_max)
+            prepared.append(
+                (start, stack if base is None else base))
+        forward = self._suffix_forward()
+
+        moments = [_RunningMoments() for _ in crops]
+        self._set_mc(True, rng=self.rng)
+        try:
+            for start, base in prepared:
+                for owners, scores in self._mc_tiles(base, forward, t,
+                                                     b_max):
+                    for k in range(len(owners)):
+                        moments[start + int(owners[k])].update(scores[k])
+        finally:
+            self._set_mc(False)
         return [m.finalize() for m in moments]
 
     def predict_distribution_batch(self, images,

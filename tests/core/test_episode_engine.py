@@ -266,3 +266,201 @@ class TestEngineConfig:
         for engine_ep, ref_ep in zip(out, reference):
             for a, b in zip(engine_ep.results, ref_ep):
                 _assert_results_equal(a, b)
+
+
+class TestSharedMode:
+    """The shared-context engine: union windows + temporal stem reuse."""
+
+    def _dense_episodes(self, num=2, frames=3):
+        return [
+            spec.with_camera((48, 64)).episode_request(i, frames)
+            for spec in scenario_sweep("dense_zones_hover",
+                                       "dense_zones_drift")
+            for i in range(num)
+        ]
+
+    def _config(self, system):
+        from dataclasses import replace
+
+        from repro.uav.ballistics import DriftModel
+
+        base = system.pipeline_config()
+        drift = DriftModel(wind_speed_ms=2.0, gust_factor=1.2,
+                           release_height_m=18.0, descent_rate_ms=6.0,
+                           position_error_m=1.0, latency_s=0.3,
+                           approach_speed_ms=3.0)
+        return replace(
+            base,
+            selector=replace(base.selector, drift_model=drift),
+            monitor=replace(base.monitor, context_margin_px=9))
+
+    def test_seeded_reproducible(self, tiny_system):
+        episodes = self._dense_episodes()
+        config = self._config(tiny_system)
+        engine = EngineConfig(monitor_batching="shared", speculative_k=3)
+        a = EpisodeScheduler(tiny_system.model, config, engine=engine,
+                             rng=0).run(episodes)
+        b = EpisodeScheduler(tiny_system.model, config, engine=engine,
+                             rng=0).run(episodes)
+        for ea, eb in zip(a, b):
+            for ra, rb in zip(ea.results, eb.results):
+                _assert_results_equal(ra, rb)
+
+    def test_labels_candidates_and_budgets_match_exact(self, tiny_system):
+        """Sharing only changes the monitor's RNG stream: the core
+        segmentation, the proposed candidates, the timing keys and the
+        budget bookkeeping are those of the exact path."""
+        episodes = self._dense_episodes()
+        config = self._config(tiny_system)
+        exact = EpisodeScheduler(tiny_system.model, config).run(episodes)
+        shared = EpisodeScheduler(
+            tiny_system.model, config,
+            engine=EngineConfig(monitor_batching="shared",
+                                speculative_k=3),
+            rng=0).run(episodes)
+        for ee, se in zip(exact, shared):
+            for re_, rs in zip(ee.results, se.results):
+                assert np.array_equal(re_.predicted_labels,
+                                      rs.predicted_labels)
+                assert [c.box for c in re_.candidates] == \
+                    [c.box for c in rs.candidates]
+                assert rs.decision.attempts <= \
+                    config.decision.max_attempts
+                assert len(rs.verdicts) == rs.decision.attempts
+                assert set(rs.timings_s) == {
+                    "segmentation_s", "selection_s", "monitoring_s",
+                    "decision_s"}
+
+    def test_temporal_reuse_is_bit_exact(self, tiny_system):
+        """Stem reuse replays cached *deterministic* activations, so
+        switching it off must not change a single bit of any verdict,
+        decision or distribution."""
+        episodes = self._dense_episodes()
+        config = self._config(tiny_system)
+        on = EpisodeScheduler(
+            tiny_system.model, config,
+            engine=EngineConfig(monitor_batching="shared",
+                                speculative_k=3, temporal_reuse=True),
+            rng=0).run(episodes)
+        off = EpisodeScheduler(
+            tiny_system.model, config,
+            engine=EngineConfig(monitor_batching="shared",
+                                speculative_k=3, temporal_reuse=False),
+            rng=0).run(episodes)
+        for ea, eb in zip(on, off):
+            for ra, rb in zip(ea.results, eb.results):
+                _assert_results_equal(ra, rb)
+
+    def test_stem_cache_hits_on_static_streams(self, tiny_system):
+        """A hovering (identical-frame) episode must reuse its window
+        stems for every frame after the first."""
+        frame = tiny_system.test_samples[0].image
+        episodes = [EpisodeRequest(frames=[frame] * 3, seed=1,
+                                   name="static", drift_px=(0, 0))]
+        config = self._config(tiny_system)
+        scheduler = EpisodeScheduler(
+            tiny_system.model, config,
+            engine=EngineConfig(monitor_batching="shared",
+                                speculative_k=3), rng=0)
+        scheduler.run(episodes)
+        stats = scheduler.last_shared_stats
+        assert stats["zone_checks"] > 0
+        assert stats["stem_hits"] > 0
+
+    def test_drift_hint_shift_detection(self, tiny_system):
+        """_stem_lookup finds a previous-frame window shifted by the
+        drift hint (either sign), and rejects content mismatches."""
+        scheduler = EpisodeScheduler(
+            tiny_system.model, self._config(tiny_system),
+            engine=EngineConfig(monitor_batching="shared"), rng=0)
+        from repro.utils.geometry import Box
+
+        pixels = np.random.default_rng(0).random((3, 16, 16))\
+            .astype(np.float32)
+        stem = np.ones((4, 4, 4), dtype=np.float32)
+        prev = {Box(8, 24, 16, 16): (pixels, stem)}
+        # Same box.
+        assert scheduler._stem_lookup(
+            pixels, Box(8, 24, 16, 16), None, prev, {}) is stem
+        # Shifted by the drift hint (content moved 2 px east).
+        assert scheduler._stem_lookup(
+            pixels, Box(8, 26, 16, 16), (0, 2), prev, {}) is stem
+        assert scheduler._stem_lookup(
+            pixels, Box(8, 22, 16, 16), (0, 2), prev, {}) is stem
+        # Wrong shift, or right box with different pixels: miss.
+        assert scheduler._stem_lookup(
+            pixels, Box(8, 30, 16, 16), (0, 2), prev, {}) is None
+        assert scheduler._stem_lookup(
+            pixels + 1.0, Box(8, 24, 16, 16), None, prev, {}) is None
+
+    def test_quantized_windows_contain_naturals(self, tiny_system):
+        """Engine window quantisation only ever grows windows, within
+        the frame, to spans aligned to the quantum grid."""
+        scheduler = EpisodeScheduler(
+            tiny_system.model, self._config(tiny_system),
+            engine=EngineConfig(monitor_batching="shared"), rng=0)
+        from repro.utils.geometry import Box
+
+        rng = np.random.default_rng(5)
+        stride = tiny_system.model.config.output_stride
+        for _ in range(200):
+            h, w = 48, 64
+            bh = stride * int(rng.integers(1, h // stride + 1))
+            bw = stride * int(rng.integers(1, w // stride + 1))
+            box = Box(int(rng.integers(0, h - bh + 1)),
+                      int(rng.integers(0, w - bw + 1)), bh, bw)
+            q = scheduler._quantize_window(box, (h, w))
+            assert q.contains_box(box)
+            assert q.height % stride == 0 and q.width % stride == 0
+            assert q.row >= 0 and q.col >= 0
+            assert q.bottom <= h and q.right <= w
+
+    def test_env_toggle_upgrades_joint(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MONITOR_SHARED", "1")
+        assert EngineConfig(monitor_batching="joint")\
+            .effective_monitor_batching() == "shared"
+        assert EngineConfig(monitor_batching="exact")\
+            .effective_monitor_batching() == "exact"
+        monkeypatch.delenv("REPRO_MONITOR_SHARED")
+        assert EngineConfig(monitor_batching="joint")\
+            .effective_monitor_batching() == "joint"
+
+    def test_engine_config_validation(self):
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError, match="exact"):
+            EngineConfig(monitor_batching="shared", workers=2)
+        with _pytest.raises(ValueError, match="overlap_budget"):
+            EngineConfig(overlap_budget=0.0)
+        cfg = EngineConfig(monitor_batching="shared")
+        assert cfg.temporal_reuse is True
+
+    def test_overlap_budget_override_reaches_monitor(self, tiny_system):
+        scheduler = tiny_system.make_scheduler(
+            engine=EngineConfig(monitor_batching="shared",
+                                overlap_budget=1.7))
+        assert scheduler.config.monitor.overlap_budget == 1.7
+        pipeline = tiny_system.make_pipeline(
+            engine=EngineConfig(overlap_budget=2.0))
+        assert pipeline.config.monitor.overlap_budget == 2.0
+
+    def test_pipeline_shared_engine_routes_speculative_batches(
+            self, tiny_system):
+        """A LandingPipeline built with a shared engine verifies its
+        speculative batches through the union-crop planner."""
+        pipeline = LandingPipeline(
+            tiny_system.model, self._config(tiny_system), rng=0,
+            engine=EngineConfig(monitor_batching="shared",
+                                speculative_k=3))
+        assert pipeline._shared_checks is True
+        calls = []
+        original = pipeline.monitor.check_zones
+
+        def spy(image, boxes, **kwargs):
+            calls.append(kwargs)
+            return original(image, boxes, **kwargs)
+
+        pipeline.monitor.check_zones = spy
+        pipeline.run(tiny_system.test_samples[0].image)
+        assert calls, "speculative batches should hit check_zones"
+        assert all(c.get("shared") is True for c in calls)
