@@ -22,6 +22,13 @@ hosts without flaking the 1-core CI box.
 
 Baselines are updated deliberately in the PR that changes a
 performance characteristic — never to quiet a failing gate.
+
+The gate also audits the *committed* full-scale summaries
+(``benchmarks/BENCH_*.json``): every one must carry
+``schema_version >= 2`` and a host fingerprint
+(``benchmarks/_bench_utils.write_bench_summary`` stamps both), so a
+committed number can always be traced to the machine class that
+produced it.
 """
 
 from __future__ import annotations
@@ -33,14 +40,45 @@ from pathlib import Path
 
 TOLERANCE = 0.75  # fail when fresh < baseline * TOLERANCE
 
+#: Minimum schema for committed summaries; matches
+#: ``benchmarks/_bench_utils.SCHEMA_VERSION`` when they regenerate.
+MIN_COMMITTED_SCHEMA = 2
+
 ROOT = Path(__file__).resolve().parents[1]
-SMOKE_DIR = ROOT / "benchmarks" / ".smoke"
-BASELINES = ROOT / "benchmarks" / "smoke_baselines.json"
+BENCH_DIR = ROOT / "benchmarks"
+SMOKE_DIR = BENCH_DIR / ".smoke"
+BASELINES = BENCH_DIR / "smoke_baselines.json"
+
+
+def check_committed_summaries(failures: list[str]) -> None:
+    """Committed BENCH_*.json must be schema >= 2 with a host stamp."""
+    for path in sorted(BENCH_DIR.glob("BENCH_*.json")):
+        name = path.name
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            failures.append(f"{name}: unreadable committed summary "
+                            f"({exc})")
+            continue
+        version = data.get("schema_version")
+        if not isinstance(version, int) \
+                or version < MIN_COMMITTED_SCHEMA:
+            failures.append(
+                f"{name}: schema_version={version!r} < "
+                f"{MIN_COMMITTED_SCHEMA} — regenerate with the "
+                "current bench (write_bench_summary stamps the "
+                "schema)")
+        host = data.get("host")
+        if not isinstance(host, dict) or "cpu_count" not in host:
+            failures.append(
+                f"{name}: missing host fingerprint — committed "
+                "numbers must say which machine class produced them")
 
 
 def main() -> int:
     baselines = json.loads(BASELINES.read_text())
     failures: list[str] = []
+    check_committed_summaries(failures)
     rows: list[tuple[str, str, str, str, str]] = []
 
     for filename, metrics in baselines.items():

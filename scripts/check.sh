@@ -11,6 +11,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+echo "== static analysis (repro-lint, strict) =="
+# First stage by design: the AST linter fails in seconds on a
+# certification-contract violation (global-state RNG, float64 on the
+# inference path, unrestored engine flips, fork-task global writes,
+# undocumented knobs) before any test runs.
+python -m repro.analysis --strict
+
+echo
 echo "== tier-1 tests =="
 python -m pytest tests -q -x
 

@@ -1,0 +1,169 @@
+"""Checker framework: rule metadata, context and shared AST helpers.
+
+Checkers subclass :class:`BaseChecker`, declare their :class:`Rule`
+catalogue, and yield :class:`repro.analysis.findings.Finding` objects
+from :meth:`BaseChecker.check`.  The helpers here centralise the two
+pieces of AST plumbing every checker needs: resolving local names to
+canonical dotted paths through the file's imports (so ``np.random.seed``
+and ``from numpy import random; random.seed`` flag identically), and
+tracking the enclosing class/function qualname while visiting.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "Rule",
+    "CheckContext",
+    "BaseChecker",
+    "ScopedVisitor",
+    "resolve_imports",
+    "dotted_name",
+]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Identity and documentation of one lint rule."""
+
+    id: str
+    summary: str
+    #: Which PR's certification contract the rule protects — surfaced
+    #: by ``--list-rules`` and the README rule table.
+    contract: str = ""
+
+
+@dataclass
+class CheckContext:
+    """Everything a checker may look at for one file.
+
+    ``rel_path`` is the repo-relative posix path the scope rules match
+    against; tests fabricate it freely via
+    :func:`repro.analysis.runner.lint_source` (a snippet can be linted
+    *as if* it lived at ``src/repro/nn/foo.py``).  ``root`` is the
+    repository root — checkers that consult sibling files (the README
+    knob table, conftest guard fixtures) resolve them against it.
+    """
+
+    root: Path
+    rel_path: str
+    tree: ast.Module
+    source: str
+    lines: list[str] = field(default_factory=list)
+    _imports: dict | None = None
+
+    def __post_init__(self):
+        if not self.lines:
+            self.lines = self.source.splitlines()
+
+    @property
+    def imports(self) -> dict[str, str]:
+        if self._imports is None:
+            self._imports = resolve_imports(self.tree)
+        return self._imports
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+
+class BaseChecker:
+    """One invariant, expressed as a family of rules over one file."""
+
+    #: Human name shown by ``--list-rules``.
+    name: str = ""
+    rules: tuple[Rule, ...] = ()
+
+    def check(self, ctx: CheckContext):
+        """Yield findings for ``ctx``; default checks nothing."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def rule(self, rule_id: str) -> Rule:
+        for r in self.rules:
+            if r.id == rule_id:
+                return r
+        raise KeyError(rule_id)
+
+    def finding(self, ctx: CheckContext, node: ast.AST, rule_id: str,
+                message: str, hint: str = "") -> Finding:
+        self.rule(rule_id)  # typo guard: unknown ids fail loudly
+        return Finding(path=ctx.rel_path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       rule=rule_id, message=message, hint=hint)
+
+
+class ScopedVisitor(ast.NodeVisitor):
+    """Node visitor that tracks the enclosing class/function qualname."""
+
+    def __init__(self):
+        self._scope: list[str] = []
+
+    @property
+    def qualname(self) -> str:
+        return ".".join(self._scope)
+
+    def _visit_scope(self, node):
+        self._scope.append(node.name)
+        try:
+            self.generic_visit(node)
+        finally:
+            self._scope.pop()
+
+    visit_FunctionDef = _visit_scope
+    visit_AsyncFunctionDef = _visit_scope
+    visit_ClassDef = _visit_scope
+
+
+def resolve_imports(tree: ast.Module) -> dict[str, str]:
+    """Map local names to the canonical dotted paths they import.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy import
+    random as npr`` maps ``npr -> numpy.random``; ``from numpy.random
+    import default_rng`` maps ``default_rng -> numpy.random
+    .default_rng``.  Relative imports keep their leading dots — the
+    repo's own modules always import absolutely, so canonical matching
+    against ``repro.*`` still works.
+    """
+    names: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+                names[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            module = ("." * node.level) + (node.module or "")
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                names[local] = f"{module}.{alias.name}" if module \
+                    else alias.name
+    return names
+
+
+def dotted_name(node: ast.AST, imports: dict[str, str]) -> str | None:
+    """Canonical dotted path of a Name/Attribute chain, or ``None``.
+
+    ``np.random.seed`` with ``np -> numpy`` resolves to
+    ``numpy.random.seed``; chains rooted in anything but a plain name
+    (calls, subscripts) resolve to ``None``.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    base = imports.get(node.id, node.id)
+    parts.append(base)
+    return ".".join(reversed(parts))

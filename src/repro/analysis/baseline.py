@@ -1,0 +1,72 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline entry matches on ``(path, rule, stripped line text)`` —
+*not* on line numbers — so edits elsewhere in a file never invalidate
+a grandfathered finding, while editing the flagged line itself (the
+moment to fix it properly) does.  Entries carry counts: two identical
+violations on textually identical lines need two entries' worth of
+budget.
+
+The committed file lives at ``scripts/repro_lint_baseline.json`` and
+is maintained exclusively with ``python -m repro.analysis
+--update-baseline`` — never by hand, and never to quiet a *new*
+finding (new code gets fixed or an inline justified suppression).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_RELPATH"]
+
+DEFAULT_BASELINE_RELPATH = "scripts/repro_lint_baseline.json"
+
+
+class Baseline:
+    """In-memory view of the baseline file's entry budget."""
+
+    def __init__(self, entries: Counter | None = None):
+        self._budget: Counter = Counter(entries or {})
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        data = json.loads(path.read_text())
+        budget: Counter = Counter()
+        for entry in data.get("entries", []):
+            key = (entry["path"], entry["rule"], entry["text"])
+            budget[key] += int(entry.get("count", 1))
+        return cls(budget)
+
+    @staticmethod
+    def write(path: Path, findings: list[tuple[Finding, str]]) -> None:
+        """Serialise ``(finding, line_text)`` pairs as the new baseline."""
+        budget: Counter = Counter(
+            f.baseline_key(text) for f, text in findings)
+        entries = [
+            {"path": p, "rule": r, "text": t, "count": n}
+            for (p, r, t), n in sorted(budget.items())
+        ]
+        path.write_text(json.dumps(
+            {"comment": "grandfathered repro-lint findings; maintained "
+                        "by `python -m repro.analysis "
+                        "--update-baseline`, never by hand",
+             "entries": entries}, indent=2) + "\n")
+
+    # ------------------------------------------------------------------
+    def absorb(self, finding: Finding, line_text: str) -> bool:
+        """Consume baseline budget for ``finding`` if an entry matches."""
+        key = finding.baseline_key(line_text)
+        if self._budget.get(key, 0) > 0:
+            self._budget[key] -= 1
+            return True
+        return False
+
+    def __len__(self) -> int:
+        return sum(n for n in self._budget.values() if n > 0)

@@ -1,0 +1,97 @@
+"""Knob-surface drift: every config field is documented where promised.
+
+``EngineConfig`` is sold (module docstring, README, ROADMAP) as *the*
+one documented home of the engine/monitor performance knobs, with
+``MonitorConfig`` and ``DecisionConfig`` carrying the paper-semantics
+parameters.  A field added to one of these dataclasses without a
+docstring entry and a README mention is a knob users cannot discover —
+exactly the drift that accumulates one innocent PR at a time.
+
+Two rules, checked against the *live* class definitions:
+
+* ``KNOB-DOCSTRING`` — a config field does not appear in its class
+  docstring.
+* ``KNOB-README`` — a config field does not appear anywhere in the
+  repo-root ``README.md``.
+
+Fields are the class's annotated assignments; leading-underscore names
+are private and exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+from repro.analysis.base import BaseChecker, CheckContext, Rule
+
+#: The knob surfaces under contract: class name -> repo-relative file.
+CONFIG_CLASSES = {
+    "EngineConfig": "src/repro/core/engine.py",
+    "MonitorConfig": "src/repro/core/monitor.py",
+    "DecisionConfig": "src/repro/core/decision.py",
+}
+
+#: Per-root cache of the README text ('' when absent).
+_README_CACHE: dict[Path, str] = {}
+
+
+def _readme_text(root: Path) -> str:
+    text = _README_CACHE.get(root)
+    if text is None:
+        path = root / "README.md"
+        text = path.read_text() if path.exists() else ""
+        _README_CACHE[root] = text
+    return text
+
+
+class KnobSurfaceChecker(BaseChecker):
+    name = "knob-surface"
+    rules = (
+        Rule("KNOB-DOCSTRING",
+             "config field missing from its class docstring",
+             contract="EngineConfig as the single documented knob "
+                      "surface (PR 3)"),
+        Rule("KNOB-README",
+             "config field missing from the README",
+             contract="EngineConfig as the single documented knob "
+                      "surface (PR 3)"),
+    )
+
+    def check(self, ctx: CheckContext):
+        for node in ctx.tree.body:
+            if not isinstance(node, ast.ClassDef):
+                continue
+            expected = CONFIG_CLASSES.get(node.name)
+            if expected is None or ctx.rel_path != expected:
+                continue
+            yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: CheckContext, node: ast.ClassDef):
+        fields = [
+            (stmt, stmt.target.id)
+            for stmt in node.body
+            if isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and not stmt.target.id.startswith("_")
+        ]
+        docstring = ast.get_docstring(node) or ""
+        readme = _readme_text(ctx.root)
+        for stmt, field in fields:
+            pattern = rf"\b{re.escape(field)}\b"
+            if not re.search(pattern, docstring):
+                yield self.finding(
+                    ctx, stmt, "KNOB-DOCSTRING",
+                    f"{node.name}.{field} is not documented in the "
+                    "class docstring",
+                    hint="add the field to the docstring's "
+                         "Attributes section — the class is the "
+                         "single documented knob surface")
+            if readme and not re.search(pattern, readme):
+                yield self.finding(
+                    ctx, stmt, "KNOB-README",
+                    f"{node.name}.{field} is not mentioned in "
+                    "README.md",
+                    hint="add the knob to the README configuration "
+                         "table (see 'Static analysis & invariants')")

@@ -1,0 +1,109 @@
+"""Command-line front end: ``python -m repro.analysis``.
+
+Usage::
+
+    python -m repro.analysis [--strict] [--baseline PATH]
+                             [--update-baseline] [--list-rules]
+                             [--root DIR] [paths ...]
+
+Default paths are the repo tree (``src benchmarks examples tests
+scripts``).  Without ``--strict`` the run is advisory (findings are
+printed, exit 0); with ``--strict`` any active — non-suppressed,
+non-baselined — finding exits 1, which is how ``scripts/check.sh``
+fails fast at diff time before the test suite runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import (
+    Baseline,
+    DEFAULT_BASELINE_RELPATH,
+)
+from repro.analysis.runner import (
+    DEFAULT_PATHS,
+    all_checkers,
+    lint_tree,
+)
+
+__all__ = ["main"]
+
+
+def _list_rules() -> int:
+    print("repro-lint rules (suppress inline with "
+          "`# repro-lint: disable=RULE  <why>`):\n")
+    for checker in all_checkers():
+        print(f"{checker.name}:")
+        for rule in checker.rules:
+            print(f"  {rule.id:<22s} {rule.summary}")
+            if rule.contract:
+                print(f"  {'':<22s} protects: {rule.contract}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="AST-based invariant linter enforcing the "
+                    "repro's certification contracts.")
+    parser.add_argument("paths", nargs="*",
+                        help="files/directories to lint "
+                             f"(default: {' '.join(DEFAULT_PATHS)})")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on any active finding")
+    parser.add_argument("--root", default=".",
+                        help="repository root (default: cwd)")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline file (default: "
+                             f"{DEFAULT_BASELINE_RELPATH} when it "
+                             "exists)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to grandfather "
+                             "the current findings")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--no-hints", action="store_true",
+                        help="omit remediation hints")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        return _list_rules()
+
+    root = Path(args.root).resolve()
+    baseline_path = Path(args.baseline) if args.baseline \
+        else root / DEFAULT_BASELINE_RELPATH
+    baseline = Baseline.load(baseline_path)
+
+    result = lint_tree(root, paths=args.paths or None,
+                       baseline=baseline)
+
+    if args.update_baseline:
+        pairs = []
+        for finding in result.active + result.baselined:
+            try:
+                lines = (root / finding.path).read_text().splitlines()
+                text = lines[finding.line - 1] \
+                    if 0 < finding.line <= len(lines) else ""
+            except OSError:
+                text = ""
+            pairs.append((finding, text))
+        baseline_path.parent.mkdir(parents=True, exist_ok=True)
+        Baseline.write(baseline_path, pairs)
+        print(f"baseline updated: {len(pairs)} entr"
+              f"{'y' if len(pairs) == 1 else 'ies'} -> "
+              f"{baseline_path}")
+        return 0
+
+    for finding in result.active:
+        print(finding.format(show_hint=not args.no_hints))
+    summary = (f"repro-lint: {len(result.active)} finding(s) "
+               f"({len(result.baselined)} baselined, "
+               f"{len(result.suppressed)} suppressed) "
+               f"across {result.files} file(s)")
+    print(summary, file=sys.stderr)
+    if args.strict and result.active:
+        return 1
+    return 0

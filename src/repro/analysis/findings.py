@@ -1,0 +1,38 @@
+"""The linter's currency: one :class:`Finding` per rule violation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source location.
+
+    ``path`` is repo-relative with forward slashes, so findings sort
+    and diff stably across hosts.  ``hint`` is the remediation — what
+    to write instead, or where the sanctioned home of the pattern is.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    hint: str = field(default="", compare=False)
+
+    def format(self, show_hint: bool = True) -> str:
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule}: " \
+               f"{self.message}"
+        if show_hint and self.hint:
+            text += f"\n    hint: {self.hint}"
+        return text
+
+    def baseline_key(self, line_text: str) -> tuple[str, str, str]:
+        """Line-number-independent identity used by the baseline file.
+
+        Keyed on the *text* of the flagged line rather than its number,
+        so unrelated edits above a grandfathered finding do not
+        invalidate its baseline entry.
+        """
+        return (self.path, self.rule, line_text.strip())

@@ -1,0 +1,144 @@
+"""File collection, checker execution, suppression + baseline filtering.
+
+Two entry points:
+
+* :func:`lint_tree` — what the CLI runs: walk the default (or given)
+  paths under a repo root, lint every ``*.py``, partition findings
+  into active / suppressed / baselined.
+* :func:`lint_source` — what the meta-tests use: lint a source
+  *string* as if it lived at an arbitrary repo-relative path, so every
+  rule's path-scoping is exercised without touching the real tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.base import BaseChecker, CheckContext
+from repro.analysis.baseline import Baseline
+from repro.analysis.checkers import CHECKER_CLASSES
+from repro.analysis.findings import Finding
+from repro.analysis.suppress import is_suppressed, suppressed_rules
+
+__all__ = [
+    "DEFAULT_PATHS",
+    "LintResult",
+    "all_checkers",
+    "lint_source",
+    "lint_file",
+    "lint_tree",
+]
+
+#: Directories linted when the CLI gets no explicit paths.
+DEFAULT_PATHS = ("src", "benchmarks", "examples", "tests", "scripts")
+
+#: Directory names never descended into.
+EXCLUDE_DIRS = frozenset({
+    "__pycache__", ".git", ".smoke", ".pytest_cache", ".venv",
+    "node_modules", ".eggs", "build", "dist",
+})
+
+
+def all_checkers() -> list[BaseChecker]:
+    return [cls() for cls in CHECKER_CLASSES]
+
+
+@dataclass
+class LintResult:
+    """Partitioned outcome of one lint run."""
+
+    #: Findings that fail a ``--strict`` run.
+    active: list[Finding] = field(default_factory=list)
+    #: Findings silenced by an inline ``# repro-lint: disable=``.
+    suppressed: list[Finding] = field(default_factory=list)
+    #: Findings absorbed by the committed baseline.
+    baselined: list[Finding] = field(default_factory=list)
+    files: int = 0
+
+    def extend(self, other: "LintResult") -> None:
+        self.active.extend(other.active)
+        self.suppressed.extend(other.suppressed)
+        self.baselined.extend(other.baselined)
+        self.files += other.files
+
+    def sort(self) -> None:
+        self.active.sort()
+        self.suppressed.sort()
+        self.baselined.sort()
+
+
+def lint_source(source: str, rel_path: str, root: Path,
+                checkers: list[BaseChecker] | None = None,
+                baseline: Baseline | None = None) -> LintResult:
+    """Lint ``source`` as if it lived at ``root/rel_path``."""
+    checkers = all_checkers() if checkers is None else checkers
+    result = LintResult(files=1)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        result.active.append(Finding(
+            path=rel_path, line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1, rule="PARSE-ERROR",
+            message=f"file does not parse: {exc.msg}"))
+        return result
+    ctx = CheckContext(root=root, rel_path=rel_path, tree=tree,
+                       source=source)
+    table = suppressed_rules(ctx.lines)
+    for checker in checkers:
+        for finding in checker.check(ctx) or ():
+            if is_suppressed(finding.rule, finding.line, table):
+                result.suppressed.append(finding)
+            elif baseline is not None and baseline.absorb(
+                    finding, ctx.line_text(finding.line)):
+                result.baselined.append(finding)
+            else:
+                result.active.append(finding)
+    return result
+
+
+def lint_file(root: Path, path: Path,
+              checkers: list[BaseChecker] | None = None,
+              baseline: Baseline | None = None) -> LintResult:
+    rel = path.resolve().relative_to(root.resolve()).as_posix()
+    try:
+        source = path.read_text()
+    except (OSError, UnicodeDecodeError) as exc:
+        result = LintResult(files=1)
+        result.active.append(Finding(
+            path=rel, line=1, col=1, rule="PARSE-ERROR",
+            message=f"file is unreadable: {exc}"))
+        return result
+    return lint_source(source, rel, root, checkers=checkers,
+                       baseline=baseline)
+
+
+def collect_files(root: Path, paths: list[str]) -> list[Path]:
+    """All ``*.py`` files under ``paths`` (repo-relative), sorted."""
+    files: set[Path] = set()
+    for entry in paths:
+        target = (root / entry).resolve()
+        if target.is_file() and target.suffix == ".py":
+            files.add(target)
+            continue
+        if not target.is_dir():
+            continue
+        for candidate in target.rglob("*.py"):
+            if not any(part in EXCLUDE_DIRS
+                       for part in candidate.parts):
+                files.add(candidate)
+    return sorted(files)
+
+
+def lint_tree(root: Path, paths: list[str] | None = None,
+              checkers: list[BaseChecker] | None = None,
+              baseline: Baseline | None = None) -> LintResult:
+    """Lint every python file under ``paths`` (default tree)."""
+    checkers = all_checkers() if checkers is None else checkers
+    result = LintResult()
+    for path in collect_files(root, list(paths or DEFAULT_PATHS)):
+        result.extend(lint_file(root, path, checkers=checkers,
+                                baseline=baseline))
+    result.sort()
+    return result

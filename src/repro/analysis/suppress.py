@@ -1,0 +1,49 @@
+"""Per-line ``# repro-lint: disable=RULE`` suppression comments.
+
+Two placements are honoured, mirroring the common linter idiom:
+
+* a trailing comment suppresses its own line::
+
+      x = np.zeros(n)  # repro-lint: disable=FP32-DTYPELESS  int indices
+
+* a standalone comment line suppresses the next line (useful when the
+  flagged line has no room for a justification)::
+
+      # repro-lint: disable=RNG-UNSEEDED  interactive demo path
+      rng = np.random.default_rng()
+
+``disable=all`` suppresses every rule on the target line.  Multiple
+rules are comma-separated.  Suppressions are deliberate, reviewed
+escapes — each one should carry a short justification after the rule
+list (free text; the parser ignores it).
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["suppressed_rules", "is_suppressed"]
+
+_DIRECTIVE = re.compile(
+    r"#\s*repro-lint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)")
+
+
+def suppressed_rules(lines: list[str]) -> dict[int, frozenset[str]]:
+    """Map 1-based line numbers to the rule ids suppressed there."""
+    out: dict[int, set[str]] = {}
+    for i, line in enumerate(lines, start=1):
+        match = _DIRECTIVE.search(line)
+        if not match:
+            continue
+        rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+        # A comment-only line aims at the line below it; a trailing
+        # comment aims at its own line.
+        target = i + 1 if line.lstrip().startswith("#") else i
+        out.setdefault(target, set()).update(rules)
+    return {line: frozenset(rules) for line, rules in out.items()}
+
+
+def is_suppressed(rule_id: str, line: int,
+                  table: dict[int, frozenset[str]]) -> bool:
+    rules = table.get(line)
+    return bool(rules) and (rule_id in rules or "all" in rules)

@@ -61,7 +61,27 @@ class DecisionAction(Enum):
 
 @dataclass(frozen=True)
 class DecisionConfig:
-    """Budgets bounding the retry loop."""
+    """Budgets bounding the retry loop.
+
+    Attributes
+    ----------
+    max_attempts:
+        Maximum candidate zones tried before the episode aborts.
+    time_budget_s:
+        Wall-clock budget for the whole decision episode; attempts
+        stop once the *projected* time of the next attempt would
+        exceed it.
+    seconds_per_attempt:
+        Modelled cost of one monitored attempt (Sec. V-B: ~5 s per
+        1024x1024 crop), used to project the next attempt's finish
+        time against ``time_budget_s``.
+    speculative_k:
+        Number of ranked candidates monitored per joint Bayesian
+        pass.  1 (default) is the paper's strictly sequential
+        confirm/retry loop; k > 1 enables speculative check-ahead
+        (see the module docstring) when the caller supplies a
+        ``check_zones`` batch callable.
+    """
 
     max_attempts: int = 3
     time_budget_s: float = 20.0

@@ -675,8 +675,8 @@ class EpisodeScheduler:
                 seg_owner = owners[starts]
                 if acc is None:
                     shape = (n,) + s.shape[1:]
-                    acc = np.zeros(shape)
-                    acc_sq = np.zeros(shape)
+                    acc = np.zeros(shape, dtype=np.float64)
+                    acc_sq = np.zeros(shape, dtype=np.float64)
                 acc[seg_owner] += sums
                 acc_sq[seg_owner] += sums_sq
         finally:

@@ -141,7 +141,37 @@ def pad_span(start: int, extent: int, limit: int, stride: int,
 
 @dataclass(frozen=True)
 class MonitorConfig:
-    """Parameters of the conservative monitor rule."""
+    """Parameters of the conservative monitor rule.
+
+    Attributes
+    ----------
+    tau:
+        Per-pixel probability threshold of Eq. (2); a pixel is unsafe
+        when the lower confidence bound of its busy-road probability
+        exceeds ``tau``.  Default ``1/NUM_CLASSES`` (0.125), the
+        paper's choice.
+    sigma_multiplier:
+        Width of the confidence bound in standard deviations — the
+        "3 sigma" of Eq. (2).
+    num_samples:
+        MC-dropout forward passes per monitored zone (paper: 10).
+    road_classes:
+        Class indices pooled into the busy-road probability mass.
+    max_unsafe_fraction:
+        A zone is accepted iff its unsafe-pixel fraction is at or
+        below this; 0.0 reproduces the paper's zero-tolerance rule.
+    context_margin_px:
+        Extra context (pixels, pre-stride-alignment) added around
+        each zone crop before segmentation.
+    overlap_budget:
+        Shared-context union planning: a crop joins a union window
+        only while ``union_area <= overlap_budget *
+        sum(member_crop_areas)``.  The default of 1.0 means a merged
+        window never segments more pixels than its member crops would
+        separately — merging is a pure win (overlap pixels computed
+        once, fewer forwards); raise it to trade extra pixels for
+        fewer, larger passes.
+    """
 
     tau: float = 1.0 / NUM_CLASSES  # 0.125, the paper's choice
     sigma_multiplier: float = 3.0   # the "3 sigma" of Eq. (2)

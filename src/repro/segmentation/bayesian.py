@@ -348,7 +348,8 @@ class BayesianSegmenter:
         done = 0
         while done < total:
             b = min(max_batch, total - done)
-            owners = np.arange(done, done + b) // num_samples
+            owners = np.arange(done, done + b, dtype=np.intp) \
+                // num_samples
             if n == 1:
                 # Tiling one image: a stride-0 broadcast view avoids
                 # materialising the batch.

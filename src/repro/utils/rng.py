@@ -5,13 +5,27 @@ a :class:`numpy.random.Generator`.  Centralising the coercion here keeps
 experiments reproducible: the same seed always produces the same scene,
 the same rendered image, the same Monte-Carlo dropout masks and the same
 mission outcomes.
+
+Setting ``REPRO_REQUIRE_SEED=1`` turns the one nondeterministic escape
+hatch — ``ensure_rng(None)`` — into an error, so CI and certification
+runs can prove no component fell back to an unseeded stream.  The
+static side of the same contract is the ``rng-discipline`` lint rules
+(``python -m repro.analysis --list-rules``), which ban global-state
+``np.random.*`` calls everywhere and bare ``default_rng()`` outside
+this module.
 """
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 __all__ = ["ensure_rng", "spawn", "derive_seed"]
+
+#: When this env variable is ``"1"``, ``ensure_rng(None)`` raises
+#: instead of returning an OS-entropy generator.
+_REQUIRE_SEED_ENV = "REPRO_REQUIRE_SEED"
 
 # Arbitrary odd constant used to decorrelate derived seed streams.
 _MIX = 0x9E3779B97F4A7C15
@@ -29,8 +43,19 @@ def ensure_rng(seed_or_rng=None) -> np.random.Generator:
     Returns
     -------
     numpy.random.Generator
+
+    Raises
+    ------
+    RuntimeError
+        If ``seed_or_rng`` is ``None`` while ``REPRO_REQUIRE_SEED=1``
+        — strict mode for runs that must prove end-to-end seeding.
     """
     if seed_or_rng is None:
+        if os.environ.get(_REQUIRE_SEED_ENV) == "1":
+            raise RuntimeError(
+                f"{_REQUIRE_SEED_ENV}=1: ensure_rng(None) is "
+                "forbidden in strict seeding mode — pass an explicit "
+                "seed or a numpy.random.Generator")
         return np.random.default_rng()
     if isinstance(seed_or_rng, np.random.Generator):
         return seed_or_rng

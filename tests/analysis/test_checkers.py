@@ -1,0 +1,420 @@
+"""Per-checker meta-tests: a bad fixture flags, its good twin is silent.
+
+Every fixture is linted as a source *string* at a virtual repo-relative
+path (``lint_source``), so the path-scoping of each rule is exercised
+without planting files in the real tree.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.analysis import lint_source
+from repro.analysis.checkers.engine_mode import EngineModeChecker
+from repro.analysis.checkers.fork_purity import ForkPurityChecker
+from repro.analysis.checkers.fp32 import Fp32FirewallChecker
+from repro.analysis.checkers.knobs import KnobSurfaceChecker
+from repro.analysis.checkers.rng import RngDisciplineChecker
+
+
+def rules_of(result):
+    return {f.rule for f in result.active}
+
+
+def run(source, rel_path, root, checker):
+    return lint_source(textwrap.dedent(source), rel_path, root,
+                       checkers=[checker])
+
+
+class TestRngDiscipline:
+    def test_legacy_numpy_calls_flag(self, tmp_path):
+        result = run(
+            """
+            import numpy as np
+            np.random.seed(0)
+            x = np.random.rand(3)
+            y = np.random.RandomState(1)
+            """,
+            "src/repro/foo.py", tmp_path, RngDisciplineChecker())
+        assert len(result.active) == 3
+        assert rules_of(result) == {"RNG-GLOBAL-STATE"}
+        assert all(f.line in (3, 4, 5) for f in result.active)
+
+    def test_import_from_alias_resolves(self, tmp_path):
+        result = run(
+            """
+            from numpy import random as nr
+            nr.shuffle([1, 2, 3])
+            """,
+            "src/repro/foo.py", tmp_path, RngDisciplineChecker())
+        assert rules_of(result) == {"RNG-GLOBAL-STATE"}
+
+    def test_stdlib_random_flags(self, tmp_path):
+        result = run(
+            """
+            import random
+            random.choice([1, 2])
+            """,
+            "benchmarks/foo.py", tmp_path, RngDisciplineChecker())
+        assert rules_of(result) == {"RNG-GLOBAL-STATE"}
+
+    def test_local_name_random_without_import_silent(self, tmp_path):
+        result = run(
+            """
+            def f(random):
+                return random.choice([1, 2])
+            """,
+            "src/repro/foo.py", tmp_path, RngDisciplineChecker())
+        assert not result.active
+
+    def test_unseeded_default_rng_flags(self, tmp_path):
+        result = run(
+            """
+            import numpy as np
+            a = np.random.default_rng()
+            b = np.random.default_rng(None)
+            c = np.random.default_rng(seed=None)
+            """,
+            "src/repro/foo.py", tmp_path, RngDisciplineChecker())
+        assert len(result.active) == 3
+        assert rules_of(result) == {"RNG-UNSEEDED"}
+
+    def test_good_twin_silent(self, tmp_path):
+        result = run(
+            """
+            import numpy as np
+            from repro.utils.rng import ensure_rng, spawn
+            rng = ensure_rng(3)
+            child, = spawn(rng, 1)
+            other = np.random.default_rng(7)
+            keyed = np.random.default_rng(seed=11)
+            gen = np.random.Generator(np.random.PCG64(5))
+            """,
+            "src/repro/foo.py", tmp_path, RngDisciplineChecker())
+        assert not result.active
+
+    def test_sanctioned_unseeded_home_silent(self, tmp_path):
+        result = run(
+            """
+            import numpy as np
+            def ensure_rng(seed_or_rng=None):
+                if seed_or_rng is None:
+                    return np.random.default_rng()
+            """,
+            "src/repro/utils/rng.py", tmp_path, RngDisciplineChecker())
+        assert not result.active
+
+
+class TestFp32Firewall:
+    BAD = """
+        import numpy as np
+        acc = np.zeros((4, 4))
+        idx = np.arange(10)
+        wide = acc.astype(np.float64)
+        builtin = acc.astype(float)
+        named = acc.astype("float64")
+        scalar = np.float64(1.5)
+        """
+
+    def test_bad_fixture_flags_all_three_rules(self, tmp_path):
+        result = run(self.BAD, "src/repro/nn/foo.py", tmp_path,
+                     Fp32FirewallChecker())
+        assert rules_of(result) == {
+            "FP32-DTYPELESS", "FP32-ASTYPE-WIDEN", "FP32-FLOAT64"}
+        dtypeless = [f for f in result.active
+                     if f.rule == "FP32-DTYPELESS"]
+        widen = [f for f in result.active
+                 if f.rule == "FP32-ASTYPE-WIDEN"]
+        assert len(dtypeless) == 2   # zeros + arange
+        assert len(widen) == 3       # np.float64 / float / "float64"
+
+    @pytest.mark.parametrize("prefix", [
+        "src/repro/nn/", "src/repro/segmentation/", "src/repro/core/"])
+    def test_all_firewall_packages_in_scope(self, tmp_path, prefix):
+        result = run(self.BAD, prefix + "foo.py", tmp_path,
+                     Fp32FirewallChecker())
+        assert result.active
+
+    def test_outside_scope_silent(self, tmp_path):
+        result = run(self.BAD, "src/repro/eval/foo.py", tmp_path,
+                     Fp32FirewallChecker())
+        assert not result.active
+
+    def test_good_twin_silent(self, tmp_path):
+        result = run(
+            """
+            import numpy as np
+            acc = np.zeros((4, 4), dtype=np.float32)
+            idx = np.arange(10, dtype=np.intp)
+            narrow = acc.astype(np.float32)
+            same = acc.astype(acc.dtype)
+            """,
+            "src/repro/nn/foo.py", tmp_path, Fp32FirewallChecker())
+        assert not result.active
+
+    def test_documented_island_silent(self, tmp_path):
+        # gradcheck.py is a whole-module float64 island.
+        result = run(self.BAD, "src/repro/nn/gradcheck.py", tmp_path,
+                     Fp32FirewallChecker())
+        assert not result.active
+
+    def test_island_qualname_scoping(self, tmp_path):
+        # _RunningMoments is an island inside bayesian.py; a sibling
+        # class in the same file is not.
+        source = """
+            import numpy as np
+            class _RunningMoments:
+                def update(self, scores):
+                    self.s = scores.astype(np.float64)
+            class Other:
+                def update(self, scores):
+                    self.s = scores.astype(np.float64)
+            """
+        result = run(source, "src/repro/segmentation/bayesian.py",
+                     tmp_path, Fp32FirewallChecker())
+        assert len(result.active) == 2  # WIDEN + FLOAT64, Other only
+        assert {f.line for f in result.active} == {8}
+
+
+class TestEngineModeHygiene:
+    def test_env_read_outside_sanctioned_sites_flags(self, tmp_path):
+        result = run(
+            """
+            import os
+            mode = os.environ.get("REPRO_CONV_ENGINE")
+            other = os.getenv("REPRO_MONITOR_SHARED")
+            """,
+            "src/repro/core/new_module.py", tmp_path,
+            EngineModeChecker())
+        assert rules_of(result) == {"ENG-ENV-READ"}
+        assert len(result.active) == 2
+
+    def test_env_read_in_sanctioned_site_silent(self, tmp_path):
+        result = run(
+            """
+            import os
+            strict = os.environ.get("REPRO_REQUIRE_SEED") == "1"
+            """,
+            "src/repro/utils/rng.py", tmp_path, EngineModeChecker())
+        assert not result.active
+
+    def test_env_read_outside_src_silent(self, tmp_path):
+        result = run(
+            """
+            import os
+            mode = os.environ.get("REPRO_CONV_ENGINE")
+            """,
+            "benchmarks/foo.py", tmp_path, EngineModeChecker())
+        assert not result.active
+
+    def test_env_writes_flag_everywhere(self, tmp_path):
+        result = run(
+            """
+            import os
+            os.environ["REPRO_CONV_ENGINE"] = "winograd"
+            del os.environ["REPRO_CONV_ENGINE"]
+            os.environ.update({"A": "1"})
+            os.environ.pop("A", None)
+            os.putenv("B", "2")
+            """,
+            "benchmarks/foo.py", tmp_path, EngineModeChecker())
+        assert rules_of(result) == {"ENG-ENV-WRITE"}
+        assert len(result.active) == 5
+
+    def test_set_without_restore_flags(self, tmp_path):
+        result = run(
+            """
+            from repro.nn.functional import set_conv_engine
+            def configure():
+                set_conv_engine(mode="winograd")
+            """,
+            "benchmarks/foo.py", tmp_path, EngineModeChecker())
+        assert rules_of(result) == {"ENG-SET-NO-RESTORE"}
+
+    def test_save_restore_idiom_silent(self, tmp_path):
+        result = run(
+            """
+            from repro.nn import functional as F
+            def configure():
+                saved = F.get_conv_engine()
+                try:
+                    F.set_conv_engine(mode="winograd")
+                finally:
+                    F.set_conv_engine(**saved)
+            def ctx_manager_user():
+                from repro.nn.functional import conv_engine
+                with conv_engine(mode="reference"):
+                    pass
+            """,
+            "benchmarks/foo.py", tmp_path, EngineModeChecker())
+        assert not result.active
+
+    def test_sanctioned_setter_site_silent(self, tmp_path):
+        result = run(
+            """
+            def apply(self):
+                set_conv_engine(mode=self.conv_mode)
+            """,
+            "src/repro/core/pipeline.py", tmp_path,
+            EngineModeChecker())
+        assert not result.active
+
+    def test_conftest_guard_fixture_covers_subtree(self, tmp_path):
+        (tmp_path / "tests").mkdir()
+        (tmp_path / "tests" / "conftest.py").write_text(
+            "def _conv_engine_isolation():\n    pass\n")
+        source = """
+            from repro.nn.functional import set_conv_engine
+            def test_mode():
+                set_conv_engine(mode="winograd")
+            """
+        guarded = run(source, "tests/nn/test_foo.py", tmp_path,
+                      EngineModeChecker())
+        assert not guarded.active
+        unguarded = run(source, "examples/foo.py", tmp_path,
+                        EngineModeChecker())
+        assert rules_of(unguarded) == {"ENG-SET-NO-RESTORE"}
+
+
+class TestForkPoolPurity:
+    def test_task_global_assignment_flags(self, tmp_path):
+        result = run(
+            """
+            _COUNT = 0
+            def task(x):
+                global _COUNT
+                _COUNT = _COUNT + 1
+                return x
+            def run(pool, items):
+                return pool.map(task, items)
+            """,
+            "src/repro/core/foo.py", tmp_path, ForkPurityChecker())
+        assert rules_of(result) == {"FORK-GLOBAL-WRITE"}
+
+    def test_task_mutates_module_container_flags(self, tmp_path):
+        result = run(
+            """
+            _CACHE = {}
+            _LOG = []
+            def task(x):
+                _CACHE[x] = x * 2
+                _LOG.append(x)
+                return x
+            def run(pool, items):
+                return pool.map(task, items)
+            """,
+            "src/repro/core/foo.py", tmp_path, ForkPurityChecker())
+        assert len(result.active) == 2
+        assert rules_of(result) == {"FORK-GLOBAL-WRITE"}
+
+    def test_same_module_callee_checked(self, tmp_path):
+        result = run(
+            """
+            _STATE = {}
+            def helper(x):
+                _STATE["last"] = x
+            def task(x):
+                helper(x)
+                return x
+            def run(pool, items):
+                return pool.map(task, items)
+            """,
+            "src/repro/core/foo.py", tmp_path, ForkPurityChecker())
+        assert rules_of(result) == {"FORK-GLOBAL-WRITE"}
+
+    def test_process_target_counts_as_root(self, tmp_path):
+        result = run(
+            """
+            import multiprocessing as mp
+            _SEEN = []
+            def worker(q):
+                _SEEN.append(q.get())
+            def run(q):
+                p = mp.Process(target=worker, args=(q,))
+                p.start()
+            """,
+            "src/repro/core/foo.py", tmp_path, ForkPurityChecker())
+        assert rules_of(result) == {"FORK-GLOBAL-WRITE"}
+
+    def test_good_twin_silent(self, tmp_path):
+        # Reading a module global (the copy-on-write model) and
+        # returning mutated state with the result is the sanctioned
+        # pattern (_worker_episode_frame's RNG round-trip).
+        result = run(
+            """
+            _WORKER_MODEL = None
+            def task(payload):
+                state, frame = payload
+                local = {"state": state}
+                local["state"] = advance(local["state"])
+                return _WORKER_MODEL, local["state"]
+            def advance(state):
+                return state + 1
+            def run(pool, items):
+                return pool.map(task, items)
+            """,
+            "src/repro/core/foo.py", tmp_path, ForkPurityChecker())
+        assert not result.active
+
+    def test_non_task_functions_not_checked(self, tmp_path):
+        result = run(
+            """
+            _CACHE = {}
+            def memoise(x):
+                _CACHE[x] = x
+                return x
+            """,
+            "src/repro/core/foo.py", tmp_path, ForkPurityChecker())
+        assert not result.active
+
+
+class TestKnobSurface:
+    CONFIG = """
+        class EngineConfig:
+            '''Engine knobs.
+
+            Attributes
+            ----------
+            max_batch:
+                Documented knob.
+            '''
+
+            max_batch: int = 8
+            new_knob: int = 1
+            _private: int = 0
+        """
+
+    def test_undocumented_field_flags(self, tmp_path):
+        (tmp_path / "README.md").write_text(
+            "Knobs: `max_batch` only.\n")
+        result = run(self.CONFIG, "src/repro/core/engine.py",
+                     tmp_path, KnobSurfaceChecker())
+        assert rules_of(result) == {"KNOB-DOCSTRING", "KNOB-README"}
+        assert all("new_knob" in f.message for f in result.active)
+
+    def test_documented_twin_silent(self, tmp_path):
+        (tmp_path / "README.md").write_text(
+            "Knobs: `max_batch`, `new_knob`.\n")
+        source = self.CONFIG.replace(
+            "Documented knob.",
+            "Documented knob.\n            new_knob:\n"
+            "                Also documented.")
+        result = run(source, "src/repro/core/engine.py", tmp_path,
+                     KnobSurfaceChecker())
+        assert not result.active
+
+    def test_private_fields_exempt(self, tmp_path):
+        (tmp_path / "README.md").write_text("`max_batch` `new_knob`\n")
+        result = run(self.CONFIG, "src/repro/core/engine.py",
+                     tmp_path, KnobSurfaceChecker())
+        assert not any("_private" in f.message for f in result.active)
+
+    def test_other_classes_and_paths_ignored(self, tmp_path):
+        (tmp_path / "README.md").write_text("nothing\n")
+        elsewhere = run(self.CONFIG, "src/repro/core/other.py",
+                        tmp_path, KnobSurfaceChecker())
+        assert not elsewhere.active
+        other_class = run(self.CONFIG.replace("EngineConfig", "Cfg"),
+                          "src/repro/core/engine.py", tmp_path,
+                          KnobSurfaceChecker())
+        assert not other_class.active

@@ -39,6 +39,23 @@ class TestRng:
         with pytest.raises(TypeError):
             ensure_rng("seed")
 
+    def test_require_seed_forbids_none(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REQUIRE_SEED", "1")
+        with pytest.raises(RuntimeError, match="REPRO_REQUIRE_SEED"):
+            ensure_rng(None)
+
+    def test_require_seed_allows_explicit_seeding(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REQUIRE_SEED", "1")
+        gen = np.random.default_rng(7)
+        assert ensure_rng(gen) is gen
+        a = ensure_rng(42).integers(0, 1000, 10)
+        b = ensure_rng(42).integers(0, 1000, 10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_require_seed_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_REQUIRE_SEED", raising=False)
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
     def test_spawn_children_independent(self):
         children = spawn(ensure_rng(0), 3)
         draws = [c.integers(0, 10**9) for c in children]
