@@ -44,6 +44,17 @@ REPRO_MONITOR_SHARED=1 python -m pytest \
     tests/core tests/segmentation tests/integration -q -x
 
 echo
+echo "== tier-1 monitor suites under the adaptive early-exit engine =="
+# Adaptive-T early-exit monitoring is the third non-bit-exact mode:
+# REPRO_MONITOR_ADAPTIVE=1 turns the certified sequential stopping
+# rule on for every monitoring path (repro.core.monitor honours it per
+# call), so the monitor-touching suites — certification harness
+# included — must also hold with adaptive sampling as the process
+# default.
+REPRO_MONITOR_ADAPTIVE=1 python -m pytest \
+    tests/core tests/integration -q -x
+
+echo
 echo "== benchmark smoke (BENCH_SMOKE=1) =="
 # bench_*.py does not match pytest's default test-file glob; explicit
 # paths collect regardless.  Smoke summaries land in benchmarks/.smoke/

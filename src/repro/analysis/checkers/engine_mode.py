@@ -1,21 +1,29 @@
 """Engine-mode hygiene: process-global engine state is always restored.
 
-``set_conv_engine`` is process-global by design, and two environment
-variables (``REPRO_CONV_ENGINE``, ``REPRO_MONITOR_SHARED``) reroute
-whole engine families at run time — that is how ``scripts/check.sh``
-re-runs the tier-1 suites under the winograd and shared-context
-engines.  The flip side: a test or bench that flips the mode and fails
-to restore it silently changes what every *later* test measures, and an
-``os.environ`` read scattered outside the sanctioned sites turns the
-environment into an undocumented knob surface.
+``set_conv_engine`` is process-global by design, and three environment
+variables (``REPRO_CONV_ENGINE``, ``REPRO_MONITOR_SHARED``,
+``REPRO_MONITOR_ADAPTIVE``) reroute whole engine families at run
+time — that is how ``scripts/check.sh`` re-runs the tier-1 suites
+under the winograd, shared-context, and adaptive early-exit engines.
+``REPRO_MONITOR_ADAPTIVE`` is sanctioned for the same reason the
+shared toggle is: the certification rerun needs a process-default
+switch that flips *every* joint monitoring call without editing each
+``MonitorConfig``, and the read lives at the single documented site in
+``core/monitor.py`` (``adaptive_default``), consulted per call so
+tests can monkeypatch it.  The flip side: a test or bench that flips
+the mode and fails to restore it silently changes what every *later*
+test measures, and an ``os.environ`` read scattered outside the
+sanctioned sites turns the environment into an undocumented knob
+surface.
 
 Three rules:
 
 * ``ENG-ENV-READ`` — inside ``src/repro``, ``os.environ``/
   ``os.getenv`` may only be consulted at the sanctioned sites (the
-  conv-engine default in ``nn/functional.py``, the shared-context
-  toggle in ``core/monitor.py``, the trained-system cache root in
-  ``eval/harness.py``, and the strict-seed switch in ``utils/rng.py``).
+  conv-engine default in ``nn/functional.py``, the shared-context and
+  adaptive early-exit toggles in ``core/monitor.py``, the
+  trained-system cache root in ``eval/harness.py``, and the
+  strict-seed switch in ``utils/rng.py``).
 * ``ENG-ENV-WRITE`` — nobody mutates ``os.environ`` directly; tests
   use ``monkeypatch.setenv`` (auto-restoring) and subprocesses get an
   explicit ``env=`` mapping.
@@ -44,7 +52,8 @@ from repro.analysis.base import (
 #: The sanctioned ``os.environ`` readers inside ``src/repro``.
 SANCTIONED_ENV_READERS = frozenset({
     "src/repro/nn/functional.py",   # REPRO_CONV_ENGINE default mode
-    "src/repro/core/monitor.py",    # REPRO_MONITOR_SHARED toggle
+    "src/repro/core/monitor.py",    # REPRO_MONITOR_SHARED +
+                                    # REPRO_MONITOR_ADAPTIVE toggles
     "src/repro/eval/harness.py",    # REPRO_CACHE weight-cache root
     "src/repro/utils/rng.py",       # REPRO_REQUIRE_SEED strict mode
 })
@@ -100,13 +109,13 @@ class EngineModeChecker(BaseChecker):
              "os.environ consulted outside the sanctioned sites in "
              "src/repro",
              contract="engine-mode certification reruns "
-                      "(REPRO_CONV_ENGINE / REPRO_MONITOR_SHARED, "
-                      "PRs 4-5)"),
+                      "(REPRO_CONV_ENGINE / REPRO_MONITOR_SHARED / "
+                      "REPRO_MONITOR_ADAPTIVE, PRs 4-7)"),
         Rule("ENG-ENV-WRITE",
              "direct os.environ mutation (leaks process-wide)",
              contract="engine-mode certification reruns "
-                      "(REPRO_CONV_ENGINE / REPRO_MONITOR_SHARED, "
-                      "PRs 4-5)"),
+                      "(REPRO_CONV_ENGINE / REPRO_MONITOR_SHARED / "
+                      "REPRO_MONITOR_ADAPTIVE, PRs 4-7)"),
         Rule("ENG-SET-NO-RESTORE",
              "set_conv_engine without a visible restore",
              contract="conv-engine accuracy contracts (PRs 2 & 4)"),

@@ -50,6 +50,17 @@ stages with cross-episode batching:
   envelope + zero verdict/decision flips on the seeded presets,
   following the PR 4 winograd template).
 
+* **Adaptive early-exit monitoring** (``MonitorConfig.adaptive`` or
+  ``REPRO_MONITOR_ADAPTIVE=1``) composes with the joint and shared
+  paths: stacked passes run on the segmenter's adaptive engine, the
+  monitor's sequential stopping rule
+  (:meth:`repro.core.monitor.RuntimeMonitor._zone_decided`) gates
+  each crop between sampling rounds, and a shared union window drops
+  out of the remaining rounds **only when every member zone is
+  decided**.  Temporal stem reuse still applies (cached stems feed the
+  adaptive pass as precomputed bases).  Per-run savings are reported
+  in :attr:`EpisodeScheduler.last_adaptive_stats`.
+
 :class:`EngineConfig` is the one documented home for the engine/monitor
 performance knobs that used to be spread over three entry points
 (``BayesianSegmenter(max_batch=...)``, ``check_zones(joint=...)`` +
@@ -383,6 +394,17 @@ class EpisodeScheduler:
         #: among them, and temporal stem-cache hits/misses.  Purely
         #: observational (benches and tests read it).
         self.last_shared_stats: dict[str, int] = {}
+        #: Adaptive-mode bookkeeping of the most recent ``run``,
+        #: mirroring ``last_shared_stats``: windows sampled, early
+        #: exits vs full-budget fallbacks, aggregate samples used vs
+        #: budget, and the samples-used histogram (see
+        #: :attr:`repro.core.monitor.RuntimeMonitor
+        #: .last_adaptive_stats`).  Aggregated across the engine's
+        #: stacked passes and — in exact mode — the per-episode
+        #: pipelines; the fork-pool path reports nothing (stats stay
+        #: in the workers).
+        self.last_adaptive_stats: dict = \
+            RuntimeMonitor._empty_adaptive_stats()
 
     # ------------------------------------------------------------------
     def run(self, episodes) -> list[EpisodeResult]:
@@ -393,6 +415,8 @@ class EpisodeScheduler:
             return []
         results: list[list[PipelineResult]] = [[] for _ in episodes]
         horizon = max(len(ep.frames) for ep in episodes)
+        self._joint_monitor.reset_adaptive_stats()
+        self.last_adaptive_stats = RuntimeMonitor._empty_adaptive_stats()
 
         pool = None
         try:
@@ -452,6 +476,12 @@ class EpisodeScheduler:
                             pipeline._finish_episode(
                                 ep.frames[t], labels[i][t],
                                 seg_s[i][t]))
+                    self._merge_adaptive_stats(
+                        self.last_adaptive_stats,
+                        pipeline.monitor.last_adaptive_stats)
+            self._merge_adaptive_stats(
+                self.last_adaptive_stats,
+                self._joint_monitor.last_adaptive_stats)
         finally:
             if pool is not None:
                 pool.close()
@@ -459,6 +489,17 @@ class EpisodeScheduler:
                 global _WORKER_MODEL
                 _WORKER_MODEL = None
         return self._collect(episodes, results)
+
+    @staticmethod
+    def _merge_adaptive_stats(dst: dict, src: dict) -> None:
+        """Accumulate one monitor's adaptive stats into ``dst``."""
+        for key, val in src.items():
+            if key == "samples_histogram":
+                hist = dst.setdefault("samples_histogram", {})
+                for used, count in val.items():
+                    hist[used] = hist.get(used, 0) + count
+            else:
+                dst[key] = dst.get(key, 0) + val
 
     def _collect(self, episodes, results) -> list[EpisodeResult]:
         return [
@@ -707,10 +748,16 @@ class EpisodeScheduler:
         boxes_rois = [
             monitor._padded_spans(st.image, cand.box, target=(th, tw))
             for st, cand in entries]
-        stack = np.stack([
-            crop_box.extract(st.image).astype(np.float32)
-            for (st, _), (crop_box, _) in zip(entries, boxes_rois)])
-        distributions = self._joint_distributions(stack)
+        crops = [crop_box.extract(st.image).astype(np.float32)
+                 for (st, _), (crop_box, _) in zip(entries, boxes_rois)]
+        if monitor._adaptive_active():
+            # Sequential stopping rule per crop (one zone each); the
+            # monitor records the samples-used stats.
+            distributions = monitor._adaptive_window_pass(
+                crops, [[roi] for _, roi in boxes_rois],
+                self.engine.joint_max_batch)
+        else:
+            distributions = self._joint_distributions(np.stack(crops))
         # Eq. (2) over the whole stack at once — both the interval and
         # the threshold rule live in their single homes.
         upper = np.stack([d.upper_confidence(cfg.sigma_multiplier)
@@ -907,7 +954,19 @@ class EpisodeScheduler:
                 for j, (st, wnd, _) in enumerate(entries):
                     new_caches[st.index][wnd.box] = (crops[j], base[j])
 
-        distributions = self._joint_distributions(stack, base=base)
+        if monitor._adaptive_active():
+            # A window leaves the sampling rounds only when every
+            # member zone is decided; cached stems feed the adaptive
+            # engine as precomputed bases (stems are deterministic, so
+            # temporal reuse composes unchanged).
+            member_rois = [
+                monitor._window_zone_rois([wnd], spans)[0]
+                for _, wnd, spans in entries]
+            distributions = monitor._adaptive_window_pass(
+                crops, member_rois, self.engine.joint_max_batch,
+                bases=None if base is None else list(base))
+        else:
+            distributions = self._joint_distributions(stack, base=base)
         upper = np.stack([d.upper_confidence(cfg.sigma_multiplier)
                           for d in distributions])
         unsafe = monitor.unsafe_from_upper(upper)

@@ -81,6 +81,17 @@ def test_require_seed_documented_in_rng_rule():
     assert "rng-discipline" in rng_module.read_text()
 
 
+def test_adaptive_toggle_documented_in_engine_mode_rule():
+    # Satellite contract (PR 7): the adaptive early-exit toggle is a
+    # sanctioned environment read, and the checker module says so —
+    # with the monitor module pointing back at the knob surface.
+    from repro.analysis.checkers import engine_mode
+
+    assert "REPRO_MONITOR_ADAPTIVE" in (engine_mode.__doc__ or "")
+    monitor_module = REPO_ROOT / "src/repro/core/monitor.py"
+    assert "REPRO_MONITOR_ADAPTIVE" in monitor_module.read_text()
+
+
 def test_check_sh_runs_strict_lint_first():
     script = (REPO_ROOT / "scripts" / "check.sh").read_text()
     lint_pos = script.find("python -m repro.analysis --strict")

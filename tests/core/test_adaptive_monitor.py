@@ -1,0 +1,282 @@
+"""Adaptive early-exit monitoring: stopping rule, degenerate
+contracts, and observability.
+
+The certified claims under test:
+
+* disabled configurations (``adaptive=False``, ``adaptive_margin=0``,
+  duck-typed segmenters) route through the unchanged full-``T`` paths
+  bit for bit;
+* a single full-budget round (``adaptive_check_every >= T``) is bit
+  for bit the non-adaptive stream, and the worst case consumes exactly
+  ``T`` samples;
+* the stopping rule only certifies verdicts that no completion of the
+  remaining samples can flip, and never on a sliver of evidence;
+* ``last_adaptive_stats`` faithfully records samples used per window.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engine import EpisodeScheduler
+from repro.core.monitor import (
+    MonitorConfig,
+    RuntimeMonitor,
+    adaptive_default,
+)
+from repro.dataset.classes import NUM_CLASSES, UavidClass
+from repro.segmentation.bayesian import BayesianSegmenter, PixelDistribution
+from repro.utils.geometry import Box
+
+
+@pytest.fixture(autouse=True)
+def _no_process_default(monkeypatch):
+    """These tests compare adaptive runs against plain full-``T``
+    references, so the process-default toggle (set by the check.sh
+    adaptive rerun stage) must not upgrade the references."""
+    monkeypatch.delenv("REPRO_MONITOR_ADAPTIVE", raising=False)
+
+
+def _distribution(mean_road, std_road, num_samples, h=8, w=8):
+    """Synthetic running-moment snapshot with controllable road scores."""
+    mean = np.full((NUM_CLASSES, h, w), 0.01, dtype=np.float32)
+    std = np.full((NUM_CLASSES, h, w), 0.001, dtype=np.float32)
+    for cls in (UavidClass.ROAD, UavidClass.MOVING_CAR,
+                UavidClass.STATIC_CAR):
+        mean[int(cls)] = mean_road
+        std[int(cls)] = std_road
+    return PixelDistribution(mean=mean, std=std,
+                             num_samples=num_samples)
+
+
+class _FakeSegmenter:
+    """No adaptive engine on purpose: exercises the duck-type gate."""
+
+    def __init__(self):
+        self.model = None
+
+    def predict_distribution(self, image, num_samples=None,
+                             max_batch=None):
+        raise AssertionError("not used by these tests")
+
+
+def _verdict_key(v):
+    return (v.accepted, v.unsafe_fraction, v.unsafe_mask.tobytes(),
+            v.distribution.mean.tobytes(), v.distribution.std.tobytes())
+
+
+class TestKnobValidation:
+    def test_defaults_are_off(self):
+        cfg = MonitorConfig()
+        assert cfg.adaptive is False
+        assert cfg.adaptive_check_every == 2
+        assert cfg.adaptive_margin == 1.0
+
+    def test_check_every_must_be_positive(self):
+        with pytest.raises(ValueError, match="adaptive_check_every"):
+            MonitorConfig(adaptive_check_every=0)
+
+    def test_margin_must_be_nonnegative(self):
+        with pytest.raises(ValueError, match="adaptive_margin"):
+            MonitorConfig(adaptive_margin=-0.5)
+
+    def test_fake_segmenter_disables_adaptive(self):
+        # Duck-typed substitutes without the adaptive engine fall back
+        # to the exact paths instead of crashing mid-pass.
+        monitor = RuntimeMonitor(_FakeSegmenter(),
+                                 MonitorConfig(adaptive=True))
+        assert not monitor._adaptive_active()
+
+    def test_margin_zero_disables_adaptive(self, tiny_system):
+        segmenter = BayesianSegmenter(tiny_system.model,
+                                      num_samples=6, rng=5)
+        monitor = RuntimeMonitor(segmenter, MonitorConfig(
+            num_samples=6, adaptive=True, adaptive_margin=0.0))
+        assert not monitor._adaptive_active()
+
+    def test_env_toggle_upgrades_default(self, monkeypatch, tiny_system):
+        monkeypatch.delenv("REPRO_MONITOR_ADAPTIVE", raising=False)
+        assert not adaptive_default()
+        monkeypatch.setenv("REPRO_MONITOR_ADAPTIVE", "1")
+        assert adaptive_default()
+        segmenter = BayesianSegmenter(tiny_system.model,
+                                      num_samples=6, rng=5)
+        monitor = RuntimeMonitor(segmenter, MonitorConfig(num_samples=6))
+        assert monitor._adaptive_active()
+
+
+class TestStoppingRule:
+    """``_zone_decided`` on synthetic running-moment snapshots."""
+
+    ROI = Box(0, 0, 8, 8)
+
+    def _monitor(self, **kwargs):
+        cfg = MonitorConfig(num_samples=6, adaptive=True, **kwargs)
+        return RuntimeMonitor(_FakeSegmenter(), cfg)
+
+    def test_exhausted_budget_is_decided(self):
+        monitor = self._monitor()
+        dist = _distribution(0.1, 0.05, num_samples=6)
+        assert monitor._zone_decided(dist, self.ROI)
+
+    def test_sliver_of_evidence_never_certifies(self):
+        monitor = self._monitor()
+        # t = 1 < 2, and well under a third of the budget: even a
+        # perfectly clean snapshot must not exit.
+        dist = _distribution(0.0, 0.0, num_samples=1)
+        assert not monitor._zone_decided(dist, self.ROI)
+
+    def test_third_of_budget_floor(self):
+        monitor = RuntimeMonitor(_FakeSegmenter(), MonitorConfig(
+            num_samples=12, adaptive=True))
+        clean = _distribution(0.0, 0.0, num_samples=3)
+        assert not monitor._zone_decided(clean, self.ROI)  # 3*3 < 12
+        clean4 = _distribution(0.0, 0.0, num_samples=4)
+        assert monitor._zone_decided(clean4, self.ROI)
+
+    def test_clean_zone_decides_early(self):
+        monitor = self._monitor()
+        dist = _distribution(0.02, 0.001, num_samples=2)
+        assert monitor._zone_decided(dist, self.ROI)
+
+    def test_clearly_unsafe_zone_decides_early(self):
+        monitor = self._monitor()
+        dist = _distribution(0.6, 0.01, num_samples=2)
+        assert monitor._zone_decided(dist, self.ROI)
+
+    def test_borderline_zone_keeps_sampling(self):
+        monitor = self._monitor()
+        # mu + margin*(sigma + floor) straddles tau = 0.125: neither
+        # bound can certify, the pass must continue.
+        dist = _distribution(0.1, 0.02, num_samples=2)
+        assert not monitor._zone_decided(dist, self.ROI)
+
+    def test_wider_margin_is_more_conservative(self):
+        dist = _distribution(0.05, 0.01, num_samples=2)
+        tight = self._monitor(adaptive_margin=0.05)
+        wide = self._monitor(adaptive_margin=50.0)
+        assert tight._zone_decided(dist, self.ROI)
+        assert not wide._zone_decided(dist, self.ROI)
+
+
+class TestDegenerateStreams:
+    """Disabled / single-round configurations are bit for bit the
+    certified full-``T`` reference stream."""
+
+    def _monitor(self, tiny_system, seed=5, **cfg):
+        segmenter = BayesianSegmenter(tiny_system.model,
+                                      num_samples=6, rng=seed)
+        return RuntimeMonitor(segmenter,
+                              MonitorConfig(num_samples=6, **cfg))
+
+    BOXES = [Box(4, 4, 10, 10), Box(8, 20, 12, 12), Box(20, 40, 9, 11)]
+
+    def test_margin_zero_bit_for_bit(self, tiny_system):
+        image = tiny_system.test_samples[0].image
+        plain = self._monitor(tiny_system)
+        disabled = self._monitor(tiny_system, adaptive=True,
+                                 adaptive_margin=0.0)
+        for box in self.BOXES:
+            assert _verdict_key(plain.check_zone(image, box)) \
+                == _verdict_key(disabled.check_zone(image, box))
+        assert disabled.last_adaptive_stats["windows"] == 0
+
+    def test_single_round_bit_for_bit_check_zone(self, tiny_system):
+        image = tiny_system.test_samples[0].image
+        plain = self._monitor(tiny_system)
+        single = self._monitor(tiny_system, adaptive=True,
+                               adaptive_check_every=6)
+        for box in self.BOXES:
+            assert _verdict_key(plain.check_zone(image, box)) \
+                == _verdict_key(single.check_zone(image, box))
+
+    def test_single_round_bit_for_bit_joint(self, tiny_system):
+        image = tiny_system.test_samples[0].image
+        plain = self._monitor(tiny_system).check_zones(
+            image, self.BOXES, joint=True)
+        single_monitor = self._monitor(tiny_system, adaptive=True,
+                                       adaptive_check_every=6)
+        single = single_monitor.check_zones(image, self.BOXES,
+                                            joint=True)
+        for a, b in zip(plain, single):
+            assert _verdict_key(a) == _verdict_key(b)
+        # Worst case provably consumes exactly the full budget.
+        stats = single_monitor.last_adaptive_stats
+        assert stats["windows"] == len(self.BOXES)
+        assert stats["early_exits"] == 0
+        assert stats["fallbacks"] == len(self.BOXES)
+        assert stats["samples_used"] == 6 * len(self.BOXES)
+        assert stats["samples_budget"] == 6 * len(self.BOXES)
+        assert stats["samples_histogram"] == {6: len(self.BOXES)}
+
+
+class TestAdaptivePasses:
+    """Real early-exit runs: reproducibility, dedup, stats shape."""
+
+    def _monitor(self, tiny_system, seed=5):
+        segmenter = BayesianSegmenter(tiny_system.model,
+                                      num_samples=6, rng=seed)
+        return RuntimeMonitor(segmenter, MonitorConfig(
+            num_samples=6, adaptive=True, adaptive_check_every=2))
+
+    BOXES = [Box(4, 4, 10, 10), Box(8, 20, 12, 12), Box(20, 40, 9, 11)]
+
+    def test_seeded_reproducible(self, tiny_system):
+        image = tiny_system.test_samples[0].image
+        ma = self._monitor(tiny_system)
+        mb = self._monitor(tiny_system)
+        va = ma.check_zones(image, self.BOXES, joint=True)
+        vb = mb.check_zones(image, self.BOXES, joint=True)
+        for a, b in zip(va, vb):
+            assert _verdict_key(a) == _verdict_key(b)
+        assert ma.last_adaptive_stats == mb.last_adaptive_stats
+
+    def test_stats_shape_and_exit_floor(self, tiny_system):
+        image = tiny_system.test_samples[0].image
+        monitor = self._monitor(tiny_system)
+        monitor.check_zones(image, self.BOXES, joint=True)
+        stats = monitor.last_adaptive_stats
+        assert stats["windows"] == len(self.BOXES)
+        assert stats["early_exits"] + stats["fallbacks"] \
+            == stats["windows"]
+        assert stats["samples_used"] \
+            == sum(k * n for k, n in
+                   stats["samples_histogram"].items())
+        assert stats["samples_budget"] == 6 * len(self.BOXES)
+        # Exits land on checkpoint boundaries, never before the
+        # third-of-budget floor (3*t >= T with T=6 -> t >= 2).
+        for used in stats["samples_histogram"]:
+            assert used == 6 or (used % 2 == 0 and 3 * used >= 6)
+
+    def test_joint_dedup_fans_out(self, tiny_system):
+        image = tiny_system.test_samples[0].image
+        box = Box(4, 4, 10, 10)
+        monitor = self._monitor(tiny_system)
+        verdicts = monitor.check_zones(
+            image, [box, box, Box(20, 40, 9, 11)], joint=True)
+        assert len(verdicts) == 3
+        assert _verdict_key(verdicts[0]) == _verdict_key(verdicts[1])
+        # The duplicate box shares one segmentation unit.
+        assert monitor.last_adaptive_stats["windows"] == 2
+
+    def test_reset_clears_stats(self, tiny_system):
+        image = tiny_system.test_samples[0].image
+        monitor = self._monitor(tiny_system)
+        monitor.check_zone(image, Box(4, 4, 10, 10))
+        assert monitor.last_adaptive_stats["windows"] == 1
+        monitor.reset_adaptive_stats()
+        assert monitor.last_adaptive_stats \
+            == RuntimeMonitor._empty_adaptive_stats()
+
+
+class TestSchedulerAggregation:
+    def test_merge_sums_counters_and_histograms(self):
+        dst = {"windows": 2, "early_exits": 1, "fallbacks": 1,
+               "samples_used": 8, "samples_budget": 12,
+               "samples_histogram": {2: 1, 6: 1}}
+        src = {"windows": 1, "early_exits": 1, "fallbacks": 0,
+               "samples_used": 4, "samples_budget": 6,
+               "samples_histogram": {4: 1, 2: 2}}
+        EpisodeScheduler._merge_adaptive_stats(dst, src)
+        assert dst == {"windows": 3, "early_exits": 2, "fallbacks": 1,
+                       "samples_used": 12, "samples_budget": 18,
+                       "samples_histogram": {2: 3, 4: 1, 6: 1}}
