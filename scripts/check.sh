@@ -33,6 +33,15 @@ REPRO_CONV_ENGINE=winograd python -m pytest \
     tests/nn tests/segmentation tests/core tests/integration -q -x
 
 echo
+echo "== tier-1 smoke under the int8 conv engine =="
+# The quantised engine's envelope is ~1e-2 (vs winograd's ~1e-5), so
+# this stage is the strongest ambient-engine soak: every conv-adjacent
+# suite — the decision-level certification harness included — must
+# hold with int8 as the process-default engine.
+REPRO_CONV_ENGINE=int8 python -m pytest \
+    tests/nn tests/segmentation tests/core tests/integration -q -x
+
+echo
 echo "== tier-1 monitor suites under the shared-context engine =="
 # Shared-context monitoring (union-crop planning + temporal stem
 # reuse) is the second non-bit-exact mode; REPRO_MONITOR_SHARED=1

@@ -9,7 +9,7 @@ promotion silently doubles memory traffic and invalidates the
 certified error models without failing a single seeded test.
 
 Scope: the inference-path packages ``repro.nn``, ``repro.segmentation``
-and ``repro.core``.  Three rules:
+and ``repro.core``.  Four rules:
 
 * ``FP32-FLOAT64`` — any direct use of ``np.float64``.
 * ``FP32-DTYPELESS`` — ``np.zeros/ones/empty/arange/linspace`` without
@@ -17,10 +17,20 @@ and ``repro.core``.  Three rules:
   firewall wants the choice written down).
 * ``FP32-ASTYPE-WIDEN`` — ``.astype(float)`` / ``.astype(np.float64)``
   / ``.astype("float64")``.
+* ``FP32-INT8-QUANT`` — ``np.int8`` / ``np.int16`` / ``np.int32`` (as
+  attributes or ``.astype`` strings).  Quantised-integer tensors on
+  the inference path change the certified working precision exactly
+  like a float64 promotion does — an int8 engine is only as
+  trustworthy as its documented error model, so every use must sit in
+  a declared quantisation island.  (``np.uint8`` pool-count masks and
+  ``np.int64``/``np.intp`` index vectors are not value quantisation
+  and stay legal.)
 
-The *documented float64 islands* — places that deliberately compute in
-float64 and cast once at a boundary — are allowlisted below with their
-justification; anything new either stays float32 or earns an inline
+The *documented islands* — places that deliberately leave float32 and
+cast (or carry a certified error model) at a single boundary — are
+allowlisted below with their justification: ``FLOAT64_ISLANDS`` for
+full-precision computation, ``INT8_ISLANDS`` for deliberate
+quantisation.  Anything new either stays float32 or earns an inline
 ``# repro-lint: disable=...`` with a one-line reason.
 """
 
@@ -57,9 +67,14 @@ FLOAT64_ISLANDS: tuple[tuple[str, str | None, str], ...] = (
     ("src/repro/nn/losses.py", "class_weights_from_frequencies",
      "class-frequency statistics (training-time, off the inference "
      "path); the loss itself casts back to the logit dtype"),
-    ("src/repro/nn/functional.py", "_winograd_filter_transform",
+    ("src/repro/nn/functional.py", "_winograd_filter_compute",
      "the cached, off-hot-path filter transform is computed at full "
      "precision and rounded to the working dtype once"),
+    ("src/repro/nn/quant.py", None,
+     "int8 weight scales/codes are computed off the hot path at full "
+     "precision and cast once, like the winograd filter transform; "
+     "error_bound is evaluation-time analysis, never on the tensor "
+     "path"),
     ("src/repro/nn/functional.py", "linear_resize_weights",
      "resize weights: fractional coordinates in float64, single cast "
      "on the final memoised weight matrix"),
@@ -80,6 +95,19 @@ FLOAT64_ISLANDS: tuple[tuple[str, str | None, str], ...] = (
      "scipy's distance transform returns float64"),
 )
 
+#: The documented int8 islands, same shape as :data:`FLOAT64_ISLANDS`:
+#: the places allowed to create quantised-integer tensors, because the
+#: quantisation they perform is the one certified by the int8 engine's
+#: error model (repro.nn.quant module docstring; envelope pinned in
+#: tests/nn/test_int8_equivalence.py).  An int8 array anywhere else on
+#: the inference path is an undeclared precision change and flags.
+INT8_ISLANDS: tuple[tuple[str, str | None, str], ...] = (
+    ("src/repro/nn/quant.py", None,
+     "the quantisation module itself: per-channel symmetric weight "
+     "codes and the saturating int8 cast — the certified error model "
+     "documents exactly these casts"),
+)
+
 #: Constructors whose numpy default dtype is not float32.
 DTYPELESS_CTORS = frozenset(
     {"zeros", "ones", "empty", "arange", "linspace"})
@@ -90,6 +118,13 @@ _DTYPE_POS = {"zeros": 1, "ones": 1, "empty": 1, "arange": 3,
 
 _WIDENING_STRINGS = frozenset({"float64", "f8", "<f8", ">f8", "d",
                                "double"})
+
+#: Quantised-integer dtype spellings caught by ``FP32-INT8-QUANT``.
+_QUANT_INT_ATTRS = frozenset(
+    {"numpy.int8", "numpy.int16", "numpy.int32"})
+_QUANT_INT_STRINGS = frozenset(
+    {"int8", "int16", "int32", "i1", "i2", "i4",
+     "<i1", "<i2", "<i4", ">i1", ">i2", ">i4", "b"})
 
 
 class Fp32FirewallChecker(BaseChecker):
@@ -109,6 +144,11 @@ class Fp32FirewallChecker(BaseChecker):
              ".astype to float64/builtin float on the inference path",
              contract="fp32 error envelopes (PR 2 discipline, PR 4 "
                       "winograd, PR 5 moments)"),
+        Rule("FP32-INT8-QUANT",
+             "quantised-integer dtype (np.int8/int16/int32) on the "
+             "inference path outside a documented quantisation island",
+             contract="int8 engine error model (repro.nn.quant; "
+                      "envelope in tests/nn/test_int8_equivalence.py)"),
     )
 
     def check(self, ctx: CheckContext):
@@ -118,9 +158,10 @@ class Fp32FirewallChecker(BaseChecker):
         visitor.visit(ctx.tree)
         yield from visitor.findings
 
-    def island_for(self, rel_path: str, qualname: str) -> str | None:
+    def island_for(self, rel_path: str, qualname: str,
+                   islands=FLOAT64_ISLANDS) -> str | None:
         """Justification text if the location is an allowlisted island."""
-        for path, prefix, why in FLOAT64_ISLANDS:
+        for path, prefix, why in islands:
             if rel_path != path:
                 continue
             if prefix is None or qualname == prefix \
@@ -136,16 +177,19 @@ class _Fp32Visitor(ScopedVisitor):
         self.ctx = ctx
         self.findings = []
 
-    def _report(self, node, rule_id, message, hint=""):
-        if self.checker.island_for(self.ctx.rel_path, self.qualname):
+    def _report(self, node, rule_id, message, hint="",
+                islands=FLOAT64_ISLANDS):
+        if self.checker.island_for(self.ctx.rel_path, self.qualname,
+                                   islands=islands):
             return
         self.findings.append(
             self.checker.finding(self.ctx, node, rule_id, message,
                                  hint=hint))
 
-    # -- np.float64 anywhere ------------------------------------------
+    # -- np.float64 / quantised int dtypes anywhere -------------------
     def visit_Attribute(self, node: ast.Attribute):
-        if dotted_name(node, self.ctx.imports) == "numpy.float64":
+        name = dotted_name(node, self.ctx.imports)
+        if name == "numpy.float64":
             self._report(
                 node, "FP32-FLOAT64",
                 "np.float64 on the inference path",
@@ -153,6 +197,17 @@ class _Fp32Visitor(ScopedVisitor):
                      "precision), or document the island in "
                      "repro.analysis.checkers.fp32.FLOAT64_ISLANDS / "
                      "add an inline justified disable")
+        elif name in _QUANT_INT_ATTRS:
+            self._report(
+                node, "FP32-INT8-QUANT",
+                f"{name.replace('numpy.', 'np.')} on the inference "
+                "path outside a quantisation island",
+                hint="quantised tensors belong to the certified int8 "
+                     "engine — route through repro.nn.quant, or "
+                     "document the island in repro.analysis.checkers."
+                     "fp32.INT8_ISLANDS / add an inline justified "
+                     "disable",
+                islands=INT8_ISLANDS)
         self.generic_visit(node)
 
     # -- dtype-less constructors and astype ---------------------------
@@ -184,6 +239,22 @@ class _Fp32Visitor(ScopedVisitor):
                     ".astype to float64 on the inference path",
                     hint="cast to np.float32, or keep the input "
                          "dtype (dtype-preserving kernels)")
+            # The np.int8-as-attribute form is caught by
+            # visit_Attribute; only the string spellings need a hook
+            # here.
+            if isinstance(target, ast.Constant) \
+                    and isinstance(target.value, str) \
+                    and target.value in _QUANT_INT_STRINGS:
+                self._report(
+                    node, "FP32-INT8-QUANT",
+                    f".astype({target.value!r}) on the inference path "
+                    "outside a quantisation island",
+                    hint="quantised tensors belong to the certified "
+                         "int8 engine — route through repro.nn.quant, "
+                         "or document the island in repro.analysis."
+                         "checkers.fp32.INT8_ISLANDS / add an inline "
+                         "justified disable",
+                    islands=INT8_ISLANDS)
         self.generic_visit(node)
 
     @staticmethod

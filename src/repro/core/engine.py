@@ -174,6 +174,17 @@ class EngineConfig:
         contracts in :mod:`repro.nn.functional` and the certification
         harness in ``tests/nn/test_winograd_equivalence.py`` /
         ``tests/integration/test_winograd_certification.py``).
+        ``mode="int8"`` selects the quantised engine — per-channel
+        int8 weights, dynamic per-sample activations, exact integer
+        accumulation; its own certification harness lives in
+        ``tests/nn/test_int8_equivalence.py`` /
+        ``tests/integration/test_int8_certification.py``.
+    conv_int8_min_kernel:
+        Minimum kernel footprint ``kh*kw`` the int8 engine accepts,
+        forwarded to :func:`repro.nn.functional.set_conv_engine` when
+        set.  The engine default (2) excludes 1x1 convolutions, where
+        the quantise/dequant passes dominate (measured 0.3-0.6x);
+        ``1`` opts them in, e.g. under a future integer-GEMM backend.
     """
 
     max_batch: int = 6
@@ -187,6 +198,7 @@ class EngineConfig:
     conv_mode: str | None = None
     conv_layout: str | None = None
     conv_block_kib: int | None = None
+    conv_int8_min_kernel: int | None = None
 
     def __post_init__(self):
         check_positive("max_batch", self.max_batch)
@@ -221,15 +233,20 @@ class EngineConfig:
                 f"got {self.conv_layout!r}")
         if self.conv_block_kib is not None and int(self.conv_block_kib) < 1:
             raise ValueError("conv_block_kib must be >= 1")
+        if self.conv_int8_min_kernel is not None \
+                and int(self.conv_int8_min_kernel) < 1:
+            raise ValueError("conv_int8_min_kernel must be >= 1")
 
     # ------------------------------------------------------------------
     def apply_conv_engine(self) -> dict:
         """Apply the conv-engine knobs; returns the active config."""
         if (self.conv_mode is not None or self.conv_layout is not None
-                or self.conv_block_kib is not None):
-            return set_conv_engine(mode=self.conv_mode,
-                                   layout=self.conv_layout,
-                                   block_kib=self.conv_block_kib)
+                or self.conv_block_kib is not None
+                or self.conv_int8_min_kernel is not None):
+            return set_conv_engine(
+                mode=self.conv_mode, layout=self.conv_layout,
+                block_kib=self.conv_block_kib,
+                int8_min_kernel=self.conv_int8_min_kernel)
         return get_conv_engine()
 
     def effective_monitor_batching(self) -> str:

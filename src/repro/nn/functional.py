@@ -56,10 +56,36 @@ the batch size, so a ``T``-tiled batched forward reproduces ``T``
 sequential forwards bit for bit — winograd mode composes with the
 batched MC-dropout engine exactly like the blocked engine does.
 
+Int8 engine
+-----------
+``mode="int8"`` runs eligible convolutions quantised: per-channel
+symmetric int8 weights (cached per weight array, same invalidation
+story as the winograd filter cache), dynamic per-*sample* activation
+scales computed on every call, integer accumulation over the existing
+blocked-im2col tiling, and dequantisation fused with the conv bias into
+one in-place scale/shift over the GEMM output (the shape of the fused
+eval batch-norm fold) — the fp32 surface appears in one pass with no
+extra full-size intermediate.  Because this numpy build has no BLAS
+integer GEMM, the int32 accumulation is carried *exactly* inside the
+float32 GEMM over operands holding the integer codes; the eligibility
+bound ``C_in*kh*kw <= 1040`` guarantees every partial sum stays an
+exactly representable float32 integer (``K * 127^2 < 2^24``), making
+the accumulation bit-for-bit the int32 result and the batched ==
+sequential / block-size-invariance contracts *exact by construction* —
+stronger than winograd's.  Ineligible geometries (1x1 kernels by
+default — measured 0.3-0.6x under quantise/dequant overhead — and
+over-deep reductions) fall back to blocked bit-identically.  Accuracy
+vs the fp32 engines is tolerance-certified by a documented error model
+(:mod:`repro.nn.quant`) with an a-priori elementwise bound and a
+pinned empirical envelope (``tests/nn/test_int8_equivalence.py``,
+observed ~1e-2 max-norm relative per layer at this repo's widths);
+decision-level surfaces are zero-flip gated in
+``tests/integration/test_int8_certification.py``.
+
 The default mode can be overridden per process with the
 ``REPRO_CONV_ENGINE`` environment variable (read at import and by
 :func:`reset_conv_engine`), which is how CI runs the tier-1 suite once
-more under ``winograd``.
+more under ``winograd`` and once more under ``int8``.
 """
 
 from __future__ import annotations
@@ -68,6 +94,8 @@ import os
 from contextlib import contextmanager
 
 import numpy as np
+
+from repro.nn import quant
 
 __all__ = [
     "conv_output_size",
@@ -257,7 +285,15 @@ def conv2d_backward(dy: np.ndarray, cache: tuple
 #: geometry is derived from per-sample quantities only (K, out_w,
 #: itemsize) so batched and sequential forwards split columns
 #: identically — the bit-for-bit contract of the batched MC engine.
-CONV_ENGINE_MODES = ("blocked", "reference", "winograd")
+#: ``int8_min_kernel``: minimum kernel footprint ``kh*kw`` the int8
+#: engine accepts; below it the quantise/dequant passes dominate
+#: (1x1 convs measured 0.3-0.6x) and the geometry falls back to
+#: blocked.  Default 2 — exactly the measured 1x1 exclusion; set 1 to
+#: opt 1x1 in (e.g. under a future integer-GEMM backend).
+#: "int8" quantises eligible convolutions (per-channel symmetric int8
+#: weights, dynamic per-sample activations, exact integer accumulation
+#: — see the module docstring) and routes the rest through blocked.
+CONV_ENGINE_MODES = ("blocked", "reference", "winograd", "int8")
 CONV_ENGINE_LAYOUTS = ("nchw", "nhwc")
 
 _VALID_MODES = CONV_ENGINE_MODES
@@ -268,7 +304,8 @@ _VALID_LAYOUTS = CONV_ENGINE_LAYOUTS
 #: winograd engine without touching call sites).
 CONV_ENGINE_ENV = "REPRO_CONV_ENGINE"
 
-_ENGINE_DEFAULTS = {"mode": "blocked", "layout": "nchw", "block_kib": 384}
+_ENGINE_DEFAULTS = {"mode": "blocked", "layout": "nchw", "block_kib": 384,
+                    "int8_min_kernel": 2}
 _ENGINE: dict = {}
 
 #: Scratch-buffer pool for blocked im2col, keyed by required capacity
@@ -279,7 +316,8 @@ _COL_BUFFER_CAP = 32
 
 
 def set_conv_engine(mode: str | None = None, layout: str | None = None,
-                    block_kib: int | None = None) -> dict:
+                    block_kib: int | None = None,
+                    int8_min_kernel: int | None = None) -> dict:
     """Configure the inference conv engine; returns the active config."""
     if mode is not None:
         if mode not in _VALID_MODES:
@@ -293,6 +331,10 @@ def set_conv_engine(mode: str | None = None, layout: str | None = None,
         if int(block_kib) < 1:
             raise ValueError("block_kib must be >= 1")
         _ENGINE["block_kib"] = int(block_kib)
+    if int8_min_kernel is not None:
+        if int(int8_min_kernel) < 1:
+            raise ValueError("int8_min_kernel must be >= 1")
+        _ENGINE["int8_min_kernel"] = int(int8_min_kernel)
     return dict(_ENGINE)
 
 
@@ -327,21 +369,72 @@ reset_conv_engine()
 
 @contextmanager
 def conv_engine(mode: str | None = None, layout: str | None = None,
-                block_kib: int | None = None):
+                block_kib: int | None = None,
+                int8_min_kernel: int | None = None):
     """Temporarily reconfigure the inference conv engine."""
     saved = dict(_ENGINE)
     try:
-        set_conv_engine(mode=mode, layout=layout, block_kib=block_kib)
+        set_conv_engine(mode=mode, layout=layout, block_kib=block_kib,
+                        int8_min_kernel=int8_min_kernel)
         yield dict(_ENGINE)
     finally:
         _ENGINE.update(saved)
 
 
+class _PerWeightCache:
+    """Keyed cache of arrays derived from a weight tensor.
+
+    The shared infrastructure behind every engine that precomputes a
+    per-weight transform — the winograd filter transform and the int8
+    quantised weights both live on instances of this class.  Entries
+    are keyed by ``id(weight)`` and hold a defensive copy of the source
+    array, so in-place weight updates (what an optimiser step does) and
+    ``id()`` reuse after garbage collection are detected by value
+    comparison and recomputed instead of served stale.  Bounded FIFO;
+    every instance registers itself so :func:`clear_conv_buffers`
+    empties them all through one hook.
+    """
+
+    _instances: list["_PerWeightCache"] = []
+
+    def __init__(self, compute, cap: int = 32):
+        self._compute = compute
+        self._cap = cap
+        self._entries: dict[int, tuple[np.ndarray, object]] = {}
+        _PerWeightCache._instances.append(self)
+
+    def get(self, weight: np.ndarray):
+        key = id(weight)
+        hit = self._entries.get(key)
+        if hit is not None:
+            saved, value = hit
+            if saved.shape == weight.shape \
+                    and saved.dtype == weight.dtype \
+                    and np.array_equal(saved, weight):
+                return value
+        value = self._compute(weight)
+        if len(self._entries) >= self._cap:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = (weight.copy(), value)
+        return value
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @classmethod
+    def clear_all(cls) -> None:
+        for cache in cls._instances:
+            cache.clear()
+
+
 def clear_conv_buffers() -> None:
-    """Drop all pooled conv scratch buffers and cached filter
-    transforms."""
+    """Drop all pooled conv scratch buffers and every cached per-weight
+    transform (winograd filter transforms, int8 quantised weights)."""
     _COL_BUFFERS.clear()
-    _WINOGRAD_FILTER_CACHE.clear()
+    _PerWeightCache.clear_all()
 
 
 def _col_buffer(capacity: int, dtype, tag: str = "col") -> np.ndarray:
@@ -478,41 +571,32 @@ _WINOGRAD_G = np.array([[1.0, 0.0, 0.0],
                         [0.5, -0.5, 0.5],
                         [0.0, 0.0, 1.0]])
 
-#: Cached filter transforms, keyed by ``id(weight)``.  Each entry holds
-#: a defensive copy of the weight it was computed from, so in-place
-#: weight updates (or an id() reused after garbage collection) are
-#: detected by value comparison and trigger a recompute instead of
-#: serving a stale transform.  Bounded; cleared by
-#: :func:`clear_conv_buffers`.
-_WINOGRAD_FILTER_CACHE: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-_WINOGRAD_FILTER_CACHE_CAP = 32
-
-
-def _winograd_filter_transform(weight: np.ndarray) -> np.ndarray:
+def _winograd_filter_compute(weight: np.ndarray) -> np.ndarray:
     """``(16, C_out, C_in)`` transform-domain filters for 3x3 weights.
 
     ``U = G g G^T`` per (c_out, c_in) tap, computed in float64 and
     rounded once to the weight dtype, laid out coefficient-major so the
-    transform-domain contraction is a contiguous batched GEMM.  Cached
-    per weight array (see :data:`_WINOGRAD_FILTER_CACHE`).
+    transform-domain contraction is a contiguous batched GEMM.
     """
-    key = id(weight)
-    hit = _WINOGRAD_FILTER_CACHE.get(key)
-    if hit is not None:
-        saved, u = hit
-        if saved.shape == weight.shape and saved.dtype == weight.dtype \
-                and np.array_equal(saved, weight):
-            return u
     c_out, c_in = weight.shape[:2]
     u64 = _WINOGRAD_G @ weight.astype(np.float64) @ _WINOGRAD_G.T
     u = np.ascontiguousarray(
         u64.transpose(2, 3, 0, 1).reshape(16, c_out, c_in)
         .astype(weight.dtype))
     u.setflags(write=False)
-    if len(_WINOGRAD_FILTER_CACHE) >= _WINOGRAD_FILTER_CACHE_CAP:
-        _WINOGRAD_FILTER_CACHE.pop(next(iter(_WINOGRAD_FILTER_CACHE)))
-    _WINOGRAD_FILTER_CACHE[key] = (weight.copy(), u)
     return u
+
+
+#: Cached winograd filter transforms: a :class:`_PerWeightCache` over
+#: :func:`_winograd_filter_compute` (defensive-copy invalidation on
+#: in-place weight updates; cleared by :func:`clear_conv_buffers`).
+_WINOGRAD_FILTER_CACHE = _PerWeightCache(_winograd_filter_compute)
+
+
+def _winograd_filter_transform(weight: np.ndarray) -> np.ndarray:
+    """The cached transform of ``weight`` (see
+    :data:`_WINOGRAD_FILTER_CACHE`)."""
+    return _WINOGRAD_FILTER_CACHE.get(weight)
 
 
 #: Minimum per-sample tile count for the winograd engine.  Below this
@@ -660,6 +744,92 @@ def _conv2d_infer_winograd(x: np.ndarray, weight: np.ndarray,
     return y
 
 
+# ----------------------------------------------------------------------
+# Int8 quantised engine
+# ----------------------------------------------------------------------
+#: Maximum reduction depth ``K = C_in*kh*kw`` the int8 engine accepts.
+#: The int32 accumulation is carried *exactly* inside the float32 GEMM
+#: (this numpy build has no BLAS integer kernel; a literal int32 matmul
+#: measures ~50x slower): products of int8 codes are <= 127^2, so every
+#: partial sum stays an exactly representable float32 integer as long
+#: as K * 127^2 < 2^24.  Deeper reductions fall back to blocked rather
+#: than silently lose exactness (see repro.nn.quant for the full
+#: argument).
+_INT8_MAX_EXACT_K = (1 << 24) // (127 * 127)   # = 1040
+
+#: Cached per-channel int8 weight quantisations: a
+#: :class:`_PerWeightCache` over :func:`repro.nn.quant.quantize_weight`
+#: (same invalidation/clearing story as the winograd filter cache).
+_INT8_WEIGHT_CACHE = _PerWeightCache(quant.quantize_weight)
+
+
+def _int8_eligible(c_in: int, kh: int, kw: int) -> bool:
+    """Whether a conv geometry can run on the int8 engine.
+
+    Unlike winograd, eligibility does not depend on stride or dilation
+    — the quantised GEMM reuses the blocked engine's packing, which
+    handles both (dilated 3x3 measured the same int8 overhead as
+    dense 3x3).  Two exclusions: kernel footprints below the
+    ``int8_min_kernel`` knob (1x1 by default — quantise/dequant passes
+    dominate there, measured 0.3-0.6x) and reductions deeper than
+    :data:`_INT8_MAX_EXACT_K` (where the exact-accumulation guarantee
+    would break).
+    """
+    if kh * kw < _ENGINE["int8_min_kernel"]:
+        return False
+    return c_in * kh * kw <= _INT8_MAX_EXACT_K
+
+
+def _conv2d_infer_int8(x: np.ndarray, weight: np.ndarray,
+                       bias: np.ndarray | None, stride: int,
+                       padding: int, dilation: int) -> np.ndarray:
+    """Quantised convolution: int8 codes, exact accumulation, fused
+    dequant.
+
+    Three passes.  (1) *Quantise*: per-sample symmetric absmax scales
+    (two reductions, no ``|x|`` temporary), then the codes are written
+    into a pooled scratch buffer — float32, but holding exactly the
+    integer values ``rint(x / s_a)`` in ``[-127, 127]``.  (2) *GEMM*:
+    the code tensor runs through the unmodified blocked-im2col engine
+    against the cached float32 copy of the int8 weight codes; by the
+    exactness bound gating :func:`_int8_eligible` every partial sum is
+    an exact integer, so the result is bit-for-bit the int32
+    accumulation regardless of block splits.  (3) *Dequant*: one
+    per-``(sample, channel)`` scale and the bias shift are applied in
+    place on the GEMM output — the same scale/shift structure as the
+    fused eval batch-norm, so the fp32 surface appears in one pass
+    with no extra full-size intermediate.
+
+    Contracts: batched == sequential holds bit for bit *by
+    construction* — scales are per sample, and exact integer sums are
+    immune to the reassociation that makes winograd tolerance-only.
+    Accuracy vs the fp32 engines is certified by the a-priori error
+    bound of :func:`repro.nn.quant.error_bound` and the pinned envelope
+    in ``tests/nn/test_int8_equivalence.py``.
+    """
+    n = x.shape[0]
+    qw = _INT8_WEIGHT_CACHE.get(weight)
+    # Per-sample dynamic scales: max of x and of -x instead of a full
+    # |x| temporary.
+    flat_x = x.reshape(n, -1)
+    amax = np.maximum(flat_x.max(axis=1), -flat_x.min(axis=1))
+    s_a = np.where(amax > 0, amax * np.float32(1.0 / 127.0),
+                   np.float32(1.0))
+    inv = np.float32(1.0) / s_a
+    # |x| * inv <= 127 * (1 + few ulp) < 127.5, so rint never exceeds
+    # the int8 grid — no clip pass needed on the hot path.
+    codes = _col_buffer(x.size, x.dtype, tag="i8_act")[
+        :x.size].reshape(x.shape)
+    np.multiply(x, inv[:, None, None, None], out=codes)
+    np.rint(codes, out=codes)
+    acc = _conv2d_infer_blocked(codes, qw.gemm, None, stride, padding,
+                                dilation)
+    acc *= (s_a[:, None] * qw.scale[None, :])[:, :, None, None]
+    if bias is not None:
+        acc += bias[None, :, None, None]
+    return acc
+
+
 def conv2d_infer(x: np.ndarray, weight: np.ndarray,
                  bias: np.ndarray | None, stride: int = 1,
                  padding: int = 0, dilation: int = 1) -> np.ndarray:
@@ -694,6 +864,14 @@ def conv2d_infer(x: np.ndarray, weight: np.ndarray,
             return _conv2d_infer_winograd(x, weight, bias, padding)
         # Ineligible geometry: transparent blocked/NCHW fallback (the
         # layout knob documents itself as blocked-mode-only).
+        return _conv2d_infer_blocked(x, weight, bias, stride, padding,
+                                     dilation)
+    if _ENGINE["mode"] == "int8":
+        if _int8_eligible(c_in, kh, kw):
+            return _conv2d_infer_int8(x, weight, bias, stride, padding,
+                                      dilation)
+        # Ineligible geometry (1x1 footprint / too-deep reduction):
+        # bit-identical blocked/NCHW fallback, mirroring winograd.
         return _conv2d_infer_blocked(x, weight, bias, stride, padding,
                                      dilation)
     if _ENGINE["layout"] == "nhwc":

@@ -1,0 +1,199 @@
+"""Int8 quantisation for the inference conv engine: scales, casts, error model.
+
+The ``"int8"`` conv engine mode (:func:`repro.nn.functional.conv2d_infer`)
+approximates the float32 convolution
+
+    y[n, c] = sum_k x[n, k] * w[c, k] + b[c]
+
+by per-channel symmetric weight quantisation and dynamic per-sample
+activation quantisation:
+
+    w[c, k]  ~=  s_w[c] * q_w[c, k]      q_w in [-127, 127]   (static, cached)
+    x[n, k]  ~=  s_a[n] * q_a[n, k]      q_a in [-127, 127]   (per forward)
+
+    y_hat[n, c] = s_a[n] * s_w[c] * sum_k q_a[n, k] * q_w[c, k] + b[c]
+
+The scales are *symmetric absmax* scales (``s = absmax / 127``; the code
+``-128`` is never produced), so zero maps to zero exactly and the dequant
+step is a single per-``(sample, channel)`` multiply — the same
+scale/shift structure the fused eval batch-norm already applies, which is
+what lets the engine fold dequantisation and bias into one in-place pass
+over the GEMM output.
+
+Exact int32 accumulation, carried in float32
+--------------------------------------------
+This numpy build has no BLAS integer GEMM — a literal int32 ``matmul``
+runs ~50x slower than the float32 BLAS path on the CI host.  The engine
+therefore performs the integer accumulation *inside the float32 GEMM*,
+over operands that hold exactly the integer codes: every elementwise
+product of two codes is at most ``127^2``, and every partial sum of
+``K = C_in*kh*kw`` such products stays below ``K * 127^2``.  As long as
+
+    K * 127^2  <  2^24     (float32 integer-exactness threshold)
+
+every intermediate is an exactly representable float32 integer and the
+accumulation is *bit-for-bit the int32 result*, independent of GEMM
+blocking or summation order.  Geometries beyond that depth
+(``K > 1040``) are ineligible and fall back to the blocked engine.  This
+is why the int8 engine's batched == sequential contract is exact *by
+construction* — reassociation cannot change an exact integer sum —
+rather than certified-by-tolerance like winograd's.
+
+Quantisation error model
+------------------------
+Writing ``x = s_a q_a + e_a`` and ``w = s_w q_w + e_w`` with rounding
+errors ``|e_a| <= s_a * r`` and ``|e_w| <= s_w * r`` (``r`` barely above
+1/2: round-to-nearest contributes 1/2, the float32 scale multiply adds a
+few ulp — :data:`ROUND_SLACK` = 0.51 covers both), the output error of
+one conv reduction of depth ``K`` is
+
+    |y - y_hat| = |sum_k (x w - s_a s_w q_a q_w)|
+                = |sum_k (s_a q_a e_w + s_w q_w e_a + e_a e_w)|
+               <=  K * s_a * s_w * (2 * 127 * r + r^2)      (~ K * s * 130)
+
+plus float32 rounding of the final dequant multiply and bias add, which
+is relative to the output and covered by a ``1e-5 * |y|`` term.  This
+*a-priori* bound is what :func:`error_bound` returns and what
+``tests/nn/test_int8_equivalence.py`` asserts elementwise; the empirical
+max-norm deviation at this repo's layer shapes sits near ``1e-2``
+relative to the output scale (recorded per layer by
+``benchmarks/bench_conv_engine.py``), certified with headroom by the
+pinned envelope in the same test module.
+
+Everything here is scale computation on weights/activations — the hot
+quantise/GEMM/dequant passes live in :mod:`repro.nn.functional`.  Weight
+scales are computed in float64 and cast once (the same off-hot-path
+full-precision island as the winograd filter transform); the canonical
+``np.int8`` code arrays are the deliberate, documented exception to the
+fp32 firewall (see ``INT8_ISLANDS`` in
+:mod:`repro.analysis.checkers.fp32`).
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+__all__ = [
+    "QMAX",
+    "ROUND_SLACK",
+    "QuantizedWeight",
+    "saturating_int8",
+    "weight_scales",
+    "quantize_weight",
+    "activation_scales",
+    "quantize_activation",
+    "error_bound",
+]
+
+#: Largest magnitude a symmetric int8 code takes: codes live in
+#: ``[-127, 127]`` (the asymmetric ``-128`` is never produced, so
+#: negating a quantised tensor is always representable).
+QMAX = 127.0
+
+#: Per-element rounding slack of one quantisation, in units of the
+#: scale: 1/2 from round-to-nearest plus a few float32 ulp from the
+#: scale multiply (see the module error model).
+ROUND_SLACK = 0.51
+
+
+class QuantizedWeight(NamedTuple):
+    """A per-channel symmetric int8 quantisation of a conv weight.
+
+    ``q`` holds the canonical int8 codes; ``gemm`` holds *exactly the
+    same integer values* widened to float32 — the operand the engine
+    feeds to BLAS so the int32 accumulation runs exactly (module
+    docstring).  Both are read-only views of one quantisation:
+    ``gemm == q`` elementwise by construction.
+    """
+
+    q: np.ndarray        #: ``(C_out, C_in, kh, kw)`` int8 codes.
+    gemm: np.ndarray     #: same shape/values, float32, BLAS operand.
+    scale: np.ndarray    #: ``(C_out,)`` float32 per-channel scales.
+
+
+def saturating_int8(values: np.ndarray) -> np.ndarray:
+    """Round to nearest and saturate to the symmetric int8 grid.
+
+    The clip runs *before* the integer cast — a plain ``astype(np.int8)``
+    of an out-of-range float wraps modulo 256, which is exactly the
+    silent-corruption mode a saturating cast exists to prevent.
+    """
+    return np.clip(np.rint(values), -QMAX, QMAX).astype(np.int8)
+
+
+def weight_scales(weight: np.ndarray) -> np.ndarray:
+    """Per-output-channel symmetric absmax scales, float64.
+
+    All-zero channels get scale 1.0 (their codes are all zero either
+    way; a zero scale would poison the dequant multiply with NaN).
+    """
+    c_out = weight.shape[0]
+    absmax = np.abs(weight.astype(np.float64).reshape(c_out, -1)).max(axis=1)
+    return np.where(absmax > 0.0, absmax / QMAX, 1.0)
+
+
+def quantize_weight(weight: np.ndarray) -> QuantizedWeight:
+    """Quantise a ``(C_out, C_in, kh, kw)`` conv weight per channel.
+
+    Off the hot path (cached per weight array by the engine): scales and
+    codes are computed in float64 and cast once, like the winograd
+    filter transform.  Returned arrays are read-only — they are shared
+    through the cache.
+    """
+    s64 = weight_scales(weight)
+    codes = weight.astype(np.float64)
+    codes /= s64[:, None, None, None]
+    q = saturating_int8(codes)
+    gemm = q.astype(np.float32)
+    scale = s64.astype(np.float32)
+    for arr in (q, gemm, scale):
+        arr.setflags(write=False)
+    return QuantizedWeight(q=q, gemm=gemm, scale=scale)
+
+
+def activation_scales(x: np.ndarray) -> np.ndarray:
+    """Per-sample symmetric absmax scales of an NCHW batch, float32.
+
+    Per *sample* — never per batch — so a ``T``-tiled batched forward
+    quantises each sample exactly as a sequential forward would: the
+    engine's batched == sequential contract depends on this granularity.
+    """
+    n = x.shape[0]
+    flat = x.reshape(n, -1)
+    amax = np.maximum(flat.max(axis=1), -flat.min(axis=1))
+    return np.where(amax > 0, amax * np.float32(1.0 / QMAX),
+                    np.float32(1.0))
+
+
+def quantize_activation(x: np.ndarray
+                        ) -> tuple[np.ndarray, np.ndarray]:
+    """Reference dynamic activation quantisation: ``(codes, scales)``.
+
+    Returns int8 codes and per-sample float32 scales.  The engine's hot
+    path computes the same values into a pooled float32 scratch buffer
+    (:func:`repro.nn.functional._conv2d_infer_int8`); this reference
+    form exists for tests and for inspecting a quantisation.
+    """
+    s = activation_scales(x)
+    inv = np.float32(1.0) / s
+    codes = saturating_int8(x * inv[:, None, None, None])
+    return codes, s
+
+
+def error_bound(k: int, act_scale: np.ndarray, weight_scale: np.ndarray,
+                y_ref: np.ndarray) -> np.ndarray:
+    """A-priori elementwise bound on ``|y_int8 - y_fp32|``.
+
+    ``k`` is the reduction depth ``C_in*kh*kw``; ``act_scale`` is
+    ``(N,)``, ``weight_scale`` is ``(C_out,)``, ``y_ref`` the float32
+    reference output the bound is anchored to (its magnitude carries
+    the final-rounding term).  Derivation in the module docstring.
+    """
+    per_pair = 2.0 * QMAX * ROUND_SLACK + ROUND_SLACK * ROUND_SLACK
+    grid = (act_scale.astype(np.float64)[:, None]
+            * weight_scale.astype(np.float64)[None, :])
+    bound = grid * (float(k) * per_pair)
+    return bound[:, :, None, None] + 1e-5 * np.abs(
+        y_ref.astype(np.float64))

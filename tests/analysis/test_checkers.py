@@ -175,6 +175,57 @@ class TestFp32Firewall:
         assert len(result.active) == 2  # WIDEN + FLOAT64, Other only
         assert {f.line for f in result.active} == {8}
 
+    # -- FP32-INT8-QUANT: quantised-integer tensors ------------------
+    BAD_INT8 = """
+        import numpy as np
+        codes = np.rint(x).astype(np.int8)
+        acc = codes.astype(np.int32)
+        named = x.astype("int8")
+        short = x.astype("i1")
+        scalar = np.int16(7)
+        """
+
+    def test_int8_bad_fixture_flags_every_spelling(self, tmp_path):
+        result = run(self.BAD_INT8, "src/repro/nn/foo.py", tmp_path,
+                     Fp32FirewallChecker())
+        assert rules_of(result) == {"FP32-INT8-QUANT"}
+        # np.int8 / np.int32 / np.int16 attrs + "int8" + "i1" strings.
+        assert len(result.active) == 5
+
+    def test_int8_good_twin_silent(self, tmp_path):
+        # Pool-count masks (uint8) and index vectors (int64/intp) are
+        # not value quantisation; they stay legal in scope.
+        result = run(
+            """
+            import numpy as np
+            mask = counts.astype(np.uint8)
+            idx = rows.astype(np.int64)
+            pos = cols.astype(np.intp)
+            named = rows.astype("int64")
+            """,
+            "src/repro/nn/foo.py", tmp_path, Fp32FirewallChecker())
+        assert not result.active
+
+    def test_int8_island_quant_module_silent(self, tmp_path):
+        # repro.nn.quant is the documented quantisation island (and a
+        # float64 island for scale computation): the same fixture that
+        # flags five findings elsewhere is silent there.
+        result = run(self.BAD_INT8, "src/repro/nn/quant.py", tmp_path,
+                     Fp32FirewallChecker())
+        assert not result.active
+
+    def test_int8_island_lists_are_separate(self, tmp_path):
+        # gradcheck.py is a *float64* island; int8 rules still apply
+        # there — the allowlists do not bleed into each other.
+        result = run(self.BAD_INT8, "src/repro/nn/gradcheck.py",
+                     tmp_path, Fp32FirewallChecker())
+        assert rules_of(result) == {"FP32-INT8-QUANT"}
+
+    def test_int8_outside_scope_silent(self, tmp_path):
+        result = run(self.BAD_INT8, "src/repro/eval/foo.py", tmp_path,
+                     Fp32FirewallChecker())
+        assert not result.active
+
 
 class TestEngineModeHygiene:
     def test_env_read_outside_sanctioned_sites_flags(self, tmp_path):
