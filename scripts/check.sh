@@ -64,6 +64,15 @@ REPRO_MONITOR_ADAPTIVE=1 python -m pytest \
     tests/core tests/integration -q -x
 
 echo
+echo "== serving self-check (repro.serve doctor) =="
+# The doctor exercises the serving stack end to end on the tiny
+# trained system: fork availability, shared-memory frame round trip,
+# broker admission/drain, and typed overload shedding.  It exits 1 on
+# any failed check, so a broken serving path dies here before the
+# bench pass.
+python -m repro.serve.doctor --system tiny
+
+echo
 echo "== benchmark smoke (BENCH_SMOKE=1) =="
 # bench_*.py does not match pytest's default test-file glob; explicit
 # paths collect regardless.  Smoke summaries land in benchmarks/.smoke/

@@ -1,20 +1,27 @@
 """Engine-mode hygiene: process-global engine state is always restored.
 
-``set_conv_engine`` is process-global by design, and three environment
+``set_conv_engine`` is process-global by design, and four environment
 variables (``REPRO_CONV_ENGINE``, ``REPRO_MONITOR_SHARED``,
-``REPRO_MONITOR_ADAPTIVE``) reroute whole engine families at run
-time — that is how ``scripts/check.sh`` re-runs the tier-1 suites
-under the winograd, shared-context, and adaptive early-exit engines.
-``REPRO_MONITOR_ADAPTIVE`` is sanctioned for the same reason the
-shared toggle is: the certification rerun needs a process-default
-switch that flips *every* joint monitoring call without editing each
-``MonitorConfig``, and the read lives at the single documented site in
-``core/monitor.py`` (``adaptive_default``), consulted per call so
-tests can monkeypatch it.  The flip side: a test or bench that flips
-the mode and fails to restore it silently changes what every *later*
-test measures, and an ``os.environ`` read scattered outside the
-sanctioned sites turns the environment into an undocumented knob
-surface.
+``REPRO_MONITOR_ADAPTIVE``, ``REPRO_SERVE_WORKERS``) reroute whole
+engine families at run time — that is how ``scripts/check.sh`` re-runs
+the tier-1 suites under the winograd, shared-context, and adaptive
+early-exit engines.  ``REPRO_MONITOR_ADAPTIVE`` is sanctioned for the
+same reason the shared toggle is: the certification rerun needs a
+process-default switch that flips *every* joint monitoring call
+without editing each ``MonitorConfig``, and the read lives at the
+single documented site in ``core/monitor.py`` (``adaptive_default``),
+consulted per call so tests can monkeypatch it.
+``REPRO_SERVE_WORKERS`` is sanctioned as the serving layer's
+deployment-time sizing toggle: the broker process is launched by an
+operator, not constructed in code, so the worker count needs a
+process-default the way the conv engine does — the read lives at the
+single documented site in ``serve/broker.py``
+(``serve_workers_default``), consulted only when
+``ServeConfig.workers`` is unset so explicit configuration always
+wins.  The flip side: a test or bench that flips a mode and fails to
+restore it silently changes what every *later* test measures, and an
+``os.environ`` read scattered outside the sanctioned sites turns the
+environment into an undocumented knob surface.
 
 Three rules:
 
@@ -22,8 +29,9 @@ Three rules:
   ``os.getenv`` may only be consulted at the sanctioned sites (the
   conv-engine default in ``nn/functional.py``, the shared-context and
   adaptive early-exit toggles in ``core/monitor.py``, the
-  trained-system cache root in ``eval/harness.py``, and the
-  strict-seed switch in ``utils/rng.py``).
+  trained-system cache root in ``eval/harness.py``, the strict-seed
+  switch in ``utils/rng.py``, and the serve worker-count default in
+  ``serve/broker.py``).
 * ``ENG-ENV-WRITE`` — nobody mutates ``os.environ`` directly; tests
   use ``monkeypatch.setenv`` (auto-restoring) and subprocesses get an
   explicit ``env=`` mapping.
@@ -56,6 +64,8 @@ SANCTIONED_ENV_READERS = frozenset({
                                     # REPRO_MONITOR_ADAPTIVE toggles
     "src/repro/eval/harness.py",    # REPRO_CACHE weight-cache root
     "src/repro/utils/rng.py",       # REPRO_REQUIRE_SEED strict mode
+    "src/repro/serve/broker.py",    # REPRO_SERVE_WORKERS sizing
+                                    # default (serve_workers_default)
 })
 
 #: Files allowed to call ``set_conv_engine`` without a local restore:

@@ -1,14 +1,15 @@
 """Fork-pool purity: worker tasks never write module-level state.
 
 ``EpisodeScheduler(workers=N)`` shards whole episode frames over a
-``multiprocessing`` fork pool, and its bit-for-bit contract — any
-worker count identical to inline execution — holds because each task
-carries *all* of its mutable state explicitly (the episode's RNG state
-travels with the task and returns with the result).  A worker function
-that mutates a module-level global or closure cell instead would fork
-into N silently diverging copies: results would depend on which worker
-ran which task, a race the seeded test matrix cannot reliably sample
-(on the 1-core CI box it cannot sample it at all).
+persistent fork-worker pool (``repro.serve.pool``), and its
+bit-for-bit contract — any worker count identical to inline execution
+— holds because each task carries *all* of its mutable state
+explicitly (the episode's RNG state travels with the task and returns
+with the result).  A worker function that mutates a module-level
+global or closure cell instead would fork into N silently diverging
+copies: results would depend on which worker ran which task, a race
+the seeded test matrix cannot reliably sample (on the 1-core CI box it
+cannot sample it at all).
 
 ``FORK-GLOBAL-WRITE`` statically walks the task surface: any function
 passed to a pool dispatch method (``.map``/``.imap``/``.apply_async``/
@@ -20,10 +21,13 @@ everything it calls *in the same module*, must not
 * call a known mutator method (``append``/``update``/``pop``/...) on a
   module-level name.
 
-Reading module globals is fine — that is exactly how the fork pool
-inherits the model copy-on-write (``_WORKER_MODEL``).  Cross-module
-calls are not followed; keep worker tasks thin and local, which the
-engine's ``_worker_episode_frame`` already models.
+Reading module globals is fine — forked workers inherit read-only
+state copy-on-write (that is how the persistent pool ships the model
+once, as ``_pool_worker``'s inherited arguments).  Cross-module calls
+are not followed; keep worker tasks thin and local, which
+``repro.serve.pool._pool_worker`` models: one pipeline built from
+inherited arguments, every mutable value in locals, RNG state and
+monitor stats round-tripped through the reply.
 """
 
 from __future__ import annotations
@@ -108,8 +112,8 @@ class ForkPurityChecker(BaseChecker):
                         "worker mutates its own forked copy",
                         hint="carry the state in the task tuple and "
                              "return it with the result (see "
-                             "_worker_episode_frame's RNG-state "
-                             "round-trip)")
+                             "repro.serve.pool._pool_worker's "
+                             "RNG-state round-trip)")
 
     def _check_store(self, ctx, fn, role, target, module_names,
                      globals_declared):

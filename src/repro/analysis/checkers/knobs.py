@@ -31,6 +31,7 @@ CONFIG_CLASSES = {
     "EngineConfig": "src/repro/core/engine.py",
     "MonitorConfig": "src/repro/core/monitor.py",
     "DecisionConfig": "src/repro/core/decision.py",
+    "ServeConfig": "src/repro/serve/broker.py",
 }
 
 #: Per-root cache of the README text ('' when absent).

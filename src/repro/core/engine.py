@@ -18,11 +18,21 @@ stages with cross-episode batching:
   ``workers=1`` the engine's results are bit-for-bit identical to
   calling ``LandingPipeline.run`` frame by frame per episode (tested in
   ``tests/core/test_episode_engine.py``).
-* **Zone sharding** (``workers > 1``): the per-zone Bayesian checks of
-  ready episodes are sharded over a ``multiprocessing`` fork pool.
-  Each task carries its episode's RNG state explicitly, so results
-  remain identical to ``workers=1`` regardless of worker count or
-  scheduling — the ROADMAP's "embarrassingly parallel zones" lever.
+* **Frame sharding** (``workers > 1``): whole episode frames of ready
+  episodes are sharded over a **persistent** fork-worker pool
+  (:class:`repro.serve.pool.PersistentWorkerPool`): workers fork once
+  per scheduler and are reused across runs, the model ships once
+  (inherited copy-on-write at fork), and frames cross the process
+  boundary through shared memory as zero-copy views — no per-call
+  fork, no per-task model pickle.  Each task still carries its
+  episode's RNG state explicitly, so results remain identical to
+  ``workers=1`` regardless of worker count or scheduling, and each
+  reply carries the episode's monitor stats so observability is
+  mode-independent.  :meth:`EpisodeScheduler.close` (or using the
+  scheduler as a context manager) shuts the pool down
+  deterministically; :attr:`EpisodeScheduler.effective_workers`
+  reports the degree actually in use (1 where ``fork`` is
+  unavailable).
 * **Joint monitor batching** (``monitor_batching="joint"``): the
   pending zone checks of *all* ready episodes are stride-padded to a
   common shape and verified in jointly seeded stacked Bayesian passes
@@ -71,6 +81,7 @@ from __future__ import annotations
 
 import time
 import warnings
+import weakref
 from dataclasses import dataclass, field, replace
 
 import numpy as np
@@ -143,12 +154,19 @@ class EngineConfig:
         blow the cache beyond 2-3 per chunk (measured; chunking never
         changes labels either way).
     workers:
-        Fork-pool processes sharding whole episode frames — core
-        segmentation, selection and the per-zone Bayesian checks all
-        run in the worker, so concurrent episodes use every core.
-        ``1`` (default) runs inline; any value produces identical
-        results because each episode's RNG state travels with its
-        tasks.  Requires ``monitor_batching="exact"``.
+        Persistent fork-worker processes sharding whole episode frames
+        — core segmentation, selection and the per-zone Bayesian
+        checks all run in the worker, so concurrent episodes use every
+        core.  ``1`` (default) runs inline; any value produces
+        identical results because each episode's RNG state travels
+        with its tasks.  Workers fork once per scheduler (model
+        shipped once, frames via shared memory; see
+        :class:`repro.serve.pool.PersistentWorkerPool`) and live until
+        :meth:`EpisodeScheduler.close`.  Requires
+        ``monitor_batching="exact"``.  Where the ``fork`` start method
+        does not exist the scheduler warns and runs inline —
+        :attr:`EpisodeScheduler.effective_workers` reports the real
+        degree.
     speculative_k:
         Overrides ``DecisionConfig.speculative_k`` when set (ranked
         candidates monitored per joint pass; see
@@ -344,30 +362,6 @@ class _JointEpisode:
     round_verdicts: dict = field(default_factory=dict)
 
 
-# ----------------------------------------------------------------------
-# Worker-pool plumbing (fork start method; the model is inherited
-# copy-on-write, only per-task episode state crosses the pipe).
-# ----------------------------------------------------------------------
-_WORKER_MODEL = None
-
-
-def _worker_episode_frame(task):
-    """Run one full episode frame (all stages) in a worker process.
-
-    Sharding whole frames — segmentation included — lets concurrent
-    episodes use every core instead of parallelising only the monitor.
-    The task carries the episode's monitor RNG state explicitly, so the
-    verdict stream continues the episode's own seeded sequence no
-    matter which worker picks the task up.
-    """
-    index, config, engine, image, rng_state = task
-    pipeline = LandingPipeline(_WORKER_MODEL, config, rng=0,
-                               engine=engine)
-    pipeline.segmenter.rng.bit_generator.state = rng_state
-    result = pipeline.run(image)
-    return index, result, pipeline.segmenter.rng.bit_generator.state
-
-
 class EpisodeScheduler:
     """Runs many concurrent episodes with cross-episode batching.
 
@@ -418,10 +412,17 @@ class EpisodeScheduler:
         #: :attr:`repro.core.monitor.RuntimeMonitor
         #: .last_adaptive_stats`).  Aggregated across the engine's
         #: stacked passes and — in exact mode — the per-episode
-        #: pipelines; the fork-pool path reports nothing (stats stay
-        #: in the workers).
+        #: pipelines; worker replies carry their episode's stats back,
+        #: so the sharded path aggregates to the same totals as inline
+        #: (the sums are order-independent).
         self.last_adaptive_stats: dict = \
             RuntimeMonitor._empty_adaptive_stats()
+        # Persistent fork-worker pool (workers > 1): created lazily on
+        # the first sharded run, reused across runs, shut down by
+        # close(); a weakref finalizer backstops abandoned schedulers.
+        self._pool = None
+        self._pool_finalizer = None
+        self._fork_warned = False
 
     # ------------------------------------------------------------------
     def run(self, episodes) -> list[EpisodeResult]:
@@ -435,76 +436,67 @@ class EpisodeScheduler:
         self._joint_monitor.reset_adaptive_stats()
         self.last_adaptive_stats = RuntimeMonitor._empty_adaptive_stats()
 
-        pool = None
-        try:
-            if self.engine.workers > 1:
-                pool = self._make_pool()
-            if pool is not None:
-                # Whole frames are sharded (segmentation included), so
-                # the parent holds only each episode's monitor RNG and
-                # never pre-segments.  Frames of one episode still
-                # advance one wave at a time: frame t+1's monitor
-                # stream continues frame t's returned RNG state.
-                rngs = [ensure_rng(ep.seed) for ep in episodes]
-                for t in range(horizon):
-                    ready = [(i, episodes[i].frames[t])
-                             for i in range(len(episodes))
-                             if t < len(episodes[i].frames)]
-                    self._wave_workers(pool, ready, rngs, results)
-                return self._collect(episodes, results)
+        pool = self._ensure_pool() if self.engine.workers > 1 else None
+        if pool is not None:
+            # Whole frames are sharded (segmentation included), so
+            # the parent holds only each episode's monitor RNG and
+            # never pre-segments.  Frames of one episode still
+            # advance one wave at a time: frame t+1's monitor
+            # stream continues frame t's returned RNG state.
+            rngs = [ensure_rng(ep.seed) for ep in episodes]
+            for t in range(horizon):
+                ready = [(i, episodes[i].frames[t])
+                         for i in range(len(episodes))
+                         if t < len(episodes[i].frames)]
+                self._wave_workers(pool, ready, rngs, results)
+            return self._collect(episodes, results)
 
-            labels, seg_s = self._segment_all(episodes)
-            mode = self.engine.effective_monitor_batching()
-            if mode == "joint":
-                # Decisions are per frame and the joint pass draws from
-                # the engine's own RNG stream, so every frame of every
-                # episode can join one big wave — the largest stacks,
-                # the best amortisation.
-                items = [(i, episodes[i].frames[t], labels[i][t],
+        labels, seg_s = self._segment_all(episodes)
+        mode = self.engine.effective_monitor_batching()
+        if mode == "joint":
+            # Decisions are per frame and the joint pass draws from
+            # the engine's own RNG stream, so every frame of every
+            # episode can join one big wave — the largest stacks,
+            # the best amortisation.
+            items = [(i, episodes[i].frames[t], labels[i][t],
+                      seg_s[i][t])
+                     for i in range(len(episodes))
+                     for t in range(len(episodes[i].frames))]
+            self._wave_joint(items, results)
+        elif mode == "shared":
+            # Frame wavefronts in stream order, so frame t's window
+            # stems are cached before frame t+1 looks for them (the
+            # temporal half of shared-context monitoring).
+            self.last_shared_stats = {
+                "zone_checks": 0, "union_windows": 0,
+                "merged_windows": 0, "stem_hits": 0,
+                "stem_misses": 0}
+            caches: dict[int, dict] = {}
+            for t in range(horizon):
+                ready = [(i, episodes[i].frames[t], labels[i][t],
                           seg_s[i][t])
                          for i in range(len(episodes))
-                         for t in range(len(episodes[i].frames))]
-                self._wave_joint(items, results)
-            elif mode == "shared":
-                # Frame wavefronts in stream order, so frame t's window
-                # stems are cached before frame t+1 looks for them (the
-                # temporal half of shared-context monitoring).
-                self.last_shared_stats = {
-                    "zone_checks": 0, "union_windows": 0,
-                    "merged_windows": 0, "stem_hits": 0,
-                    "stem_misses": 0}
-                caches: dict[int, dict] = {}
-                for t in range(horizon):
-                    ready = [(i, episodes[i].frames[t], labels[i][t],
-                              seg_s[i][t])
-                             for i in range(len(episodes))
-                             if t < len(episodes[i].frames)]
-                    self._wave_shared(ready, results, episodes, caches)
-            else:
-                # Exact per-episode RNG streams: monitoring runs
-                # inline through per-episode pipelines (sharing the
-                # model and the engine knobs), frame order preserved.
-                for i, ep in enumerate(episodes):
-                    pipeline = LandingPipeline(
-                        self.model, self.config, rng=ep.seed,
-                        engine=self.engine)
-                    for t in range(len(ep.frames)):
-                        results[i].append(
-                            pipeline._finish_episode(
-                                ep.frames[t], labels[i][t],
-                                seg_s[i][t]))
-                    self._merge_adaptive_stats(
-                        self.last_adaptive_stats,
-                        pipeline.monitor.last_adaptive_stats)
-            self._merge_adaptive_stats(
-                self.last_adaptive_stats,
-                self._joint_monitor.last_adaptive_stats)
-        finally:
-            if pool is not None:
-                pool.close()
-                pool.join()
-                global _WORKER_MODEL
-                _WORKER_MODEL = None
+                         if t < len(episodes[i].frames)]
+                self._wave_shared(ready, results, episodes, caches)
+        else:
+            # Exact per-episode RNG streams: monitoring runs
+            # inline through per-episode pipelines (sharing the
+            # model and the engine knobs), frame order preserved.
+            for i, ep in enumerate(episodes):
+                pipeline = LandingPipeline(
+                    self.model, self.config, rng=ep.seed,
+                    engine=self.engine)
+                for t in range(len(ep.frames)):
+                    results[i].append(
+                        pipeline._finish_episode(
+                            ep.frames[t], labels[i][t],
+                            seg_s[i][t]))
+                self._merge_adaptive_stats(
+                    self.last_adaptive_stats,
+                    pipeline.monitor.last_adaptive_stats)
+        self._merge_adaptive_stats(
+            self.last_adaptive_stats,
+            self._joint_monitor.last_adaptive_stats)
         return self._collect(episodes, results)
 
     @staticmethod
@@ -585,37 +577,89 @@ class EpisodeScheduler:
     # ------------------------------------------------------------------
     # Stage 2a: worker-sharded monitor/decide (exact semantics)
     # ------------------------------------------------------------------
-    def _make_pool(self):
-        """A fork pool inheriting the model copy-on-write, or None."""
-        import multiprocessing as mp
+    @property
+    def effective_workers(self) -> int:
+        """Worker processes ``run`` actually uses.
 
-        if "fork" not in mp.get_all_start_methods():
-            warnings.warn(
-                "multiprocessing 'fork' start method unavailable; "
-                "EpisodeScheduler runs workers=1 inline",
-                RuntimeWarning, stacklevel=3)
+        Equals ``engine.workers`` when sharding is live, and ``1``
+        when the engine is configured inline *or* the platform has no
+        ``fork`` start method — in the latter case a sharded config
+        degrades to inline with a ``RuntimeWarning``, and this
+        property (surfaced by the serve doctor) is how operators tell
+        inline-degraded apart from genuinely sharded.
+        """
+        from repro.serve.pool import fork_available
+
+        if self.engine.workers <= 1 or not fork_available():
+            return 1
+        return self.engine.workers
+
+    def _ensure_pool(self):
+        """The scheduler's persistent worker pool, or None (inline).
+
+        Created once, on the first sharded ``run``, and reused by
+        every later run: workers fork exactly once, inheriting the
+        model copy-on-write — the model is shipped once, never
+        pickled per call.  ``close()`` tears the pool down.
+        """
+        if self._pool is not None:
+            return self._pool
+        if self.effective_workers <= 1:
+            if not self._fork_warned:
+                warnings.warn(
+                    "multiprocessing 'fork' start method unavailable; "
+                    "EpisodeScheduler runs workers=1 inline (see "
+                    "EpisodeScheduler.effective_workers)",
+                    RuntimeWarning, stacklevel=3)
+                self._fork_warned = True
             return None
-        global _WORKER_MODEL
-        _WORKER_MODEL = self.model
-        ctx = mp.get_context("fork")
-        return ctx.Pool(processes=self.engine.workers)
+        from repro.serve.pool import PersistentWorkerPool
+
+        self._pool = PersistentWorkerPool(
+            self.model, self.config, self.engine, self.engine.workers)
+        # Backstop for abandoned schedulers; close() is the real API.
+        self._pool_finalizer = weakref.finalize(
+            self, PersistentWorkerPool.close, self._pool)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the persistent worker pool down deterministically.
+
+        Joins the workers and unlinks the shared-memory frame ring.
+        Idempotent, and the scheduler remains usable — the next
+        sharded ``run`` forks a fresh pool.  The scheduler is also a
+        context manager (``with EpisodeScheduler(...) as sched:``),
+        which calls this on exit.
+        """
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "EpisodeScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def _wave_workers(self, pool, ready, rngs, results) -> None:
         """Shard one wavefront's episode frames over the pool.
 
         Each task ships its episode's monitor RNG state and receives
-        the advanced state back, so the per-episode streams are exactly
-        those of the inline path.
+        the advanced state back, so the per-episode streams are
+        exactly those of the inline path.  Replies also carry the
+        episode's adaptive-monitor stats, merged here into
+        :attr:`last_adaptive_stats` — the sums are order-independent,
+        so the sharded totals equal the inline totals.
         """
-        tasks = [
-            (i, self.config, self.engine, image,
-             rngs[i].bit_generator.state)
-            for i, image in ready
-        ]
-        for i, result, state in pool.map(_worker_episode_frame, tasks,
-                                         chunksize=1):
+        for i, image in ready:
+            pool.submit(i, image, rngs[i].bit_generator.state)
+        for i, result, state, stats in pool.collect(len(ready)):
             rngs[i].bit_generator.state = state
             results[i].append(result)
+            self._merge_adaptive_stats(self.last_adaptive_stats, stats)
 
     # ------------------------------------------------------------------
     # Stage 2b: joint cross-episode monitor batching
@@ -792,6 +836,62 @@ class EpisodeScheduler:
         for st, pairs in fed.values():
             st.cursor.feed(pairs)
         return pass_s
+
+    def check_zones_wave(self, items) -> list:
+        """Verdicts for one admitted wave of ``(image, box)`` checks.
+
+        The serving layer's entry point
+        (:class:`repro.serve.ServeBroker` feeds each admitted wave
+        here): zone checks from many independent clients are grouped
+        by frame shape in first-occurrence order, each group's crops
+        are stride-padded to the group's common shape, and every group
+        runs as one jointly seeded stacked Bayesian pass on the
+        scheduler's joint monitor — exactly the ``_joint_pass``
+        machinery, minus the episode cursors.  Verdicts return in
+        ``items`` order.
+
+        Draws from the scheduler's *joint* RNG stream (like
+        ``monitor_batching="joint"``): seeded and reproducible for a
+        fixed wave sequence, independent of the engine's
+        ``monitor_batching`` knob, and composing with adaptive
+        early-exit monitoring when that is active.
+        """
+        if not items:
+            return []
+        for k, (image, _) in enumerate(items):
+            check_image_chw(f"items[{k}]", image)
+        monitor = self._joint_monitor
+        cfg = self.config.monitor
+        verdicts: list = [None] * len(items)
+        groups: dict[tuple, list[int]] = {}
+        for k, (image, _) in enumerate(items):
+            groups.setdefault(np.shape(image), []).append(k)
+        for members in groups.values():
+            spans = [monitor._padded_spans(items[k][0], items[k][1])
+                     for k in members]
+            th = max(crop_box.height for crop_box, _ in spans)
+            tw = max(crop_box.width for crop_box, _ in spans)
+            boxes_rois = [
+                monitor._padded_spans(items[k][0], items[k][1],
+                                      target=(th, tw))
+                for k in members]
+            crops = [crop_box.extract(items[k][0]).astype(np.float32)
+                     for k, (crop_box, _) in zip(members, boxes_rois)]
+            if monitor._adaptive_active():
+                distributions = monitor._adaptive_window_pass(
+                    crops, [[roi] for _, roi in boxes_rois],
+                    self.engine.joint_max_batch)
+            else:
+                distributions = self._joint_distributions(
+                    np.stack(crops))
+            upper = np.stack([d.upper_confidence(cfg.sigma_multiplier)
+                              for d in distributions])
+            unsafe = monitor.unsafe_from_upper(upper)
+            for k, dist, (_, roi), mask in zip(
+                    members, distributions, boxes_rois, unsafe):
+                verdicts[k] = monitor._verdict_from_unsafe(
+                    mask, dist, items[k][1], roi)
+        return verdicts
 
     # ------------------------------------------------------------------
     # Stage 2c: shared-context monitoring (union windows + stem reuse)

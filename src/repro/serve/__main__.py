@@ -1,0 +1,8 @@
+"""``python -m repro.serve`` runs the serving self-check (doctor)."""
+
+import sys
+
+from repro.serve.doctor import main
+
+if __name__ == "__main__":
+    sys.exit(main())

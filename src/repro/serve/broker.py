@@ -1,0 +1,393 @@
+"""Asyncio admission broker: many clients, one episode engine.
+
+:class:`ServeBroker` is the front door of the serving layer.  Clients
+submit zone checks (``await broker.check_zone(image, box)``) or whole
+episode steps (``await broker.run_episode(frames, seed=...)``) from any
+number of concurrent coroutines; the broker micro-batches everything
+that arrives within a short **admission window** (a few milliseconds)
+into one *wave* and feeds the wave to a single shared
+:class:`repro.core.engine.EpisodeScheduler` — zone checks as one
+jointly seeded stacked pass (:meth:`EpisodeScheduler.check_zones_wave`),
+episode steps as one ``scheduler.run`` — so concurrency buys stacked
+batched forwards instead of contention.
+
+**Backpressure is explicit and typed.**  The admission queue is
+bounded (``ServeConfig.queue_depth``); a request that arrives while
+the queue is full is shed immediately with :class:`AdmissionRejected`
+(``reason="queue_full"``), and a request after shutdown began gets
+``reason="shutdown"``.  A safety check is never silently dropped or
+partially answered: every admitted request's future resolves with a
+verdict, an episode result, or the wave's exception, and
+:meth:`ServeBroker.stop` drains all in-flight checks before returning.
+
+Waves execute on a dedicated single worker thread so the event loop
+stays responsive for admission while numpy crunches; multi-core scaling
+comes from the scheduler's persistent worker pool
+(``ServeConfig.workers`` / ``REPRO_SERVE_WORKERS``), not from thread
+fan-out.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from repro.core.engine import (
+    _MONITOR_BATCHING,
+    EngineConfig,
+    EpisodeRequest,
+    EpisodeScheduler,
+)
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "AdmissionRejected",
+    "ServeBroker",
+    "ServeConfig",
+    "serve_workers_default",
+]
+
+#: Admission-queue sentinel that tells the broker loop to drain + exit.
+_SHUTDOWN = object()
+
+
+def serve_workers_default() -> int | None:
+    """Worker count requested via ``REPRO_SERVE_WORKERS``, or None.
+
+    The serving layer's deployment-time sizing toggle (sanctioned env
+    read site, mirroring ``REPRO_CONV_ENGINE``): ``ServeConfig`` reads
+    it only when its ``workers`` field is left unset, so explicit
+    configuration always wins.
+    """
+    raw = os.environ.get("REPRO_SERVE_WORKERS", "").strip()
+    if not raw:
+        return None
+    value = int(raw)
+    if value < 1:
+        raise ValueError(
+            f"REPRO_SERVE_WORKERS must be >= 1, got {raw!r}")
+    return value
+
+
+class AdmissionRejected(RuntimeError):
+    """Typed backpressure rejection — the shed half of the contract.
+
+    Raised synchronously at submission time, never after a request was
+    admitted, so a client always knows whether its safety check is in
+    flight.  ``reason`` is ``"queue_full"`` (admission queue at
+    ``queue_depth``) or ``"shutdown"`` (broker stopping/stopped);
+    ``queue_depth`` echoes the configured bound.
+    """
+
+    def __init__(self, reason: str, queue_depth: int):
+        super().__init__(
+            f"request rejected at admission ({reason}, "
+            f"queue_depth={queue_depth}) — resubmit or back off")
+        self.reason = reason
+        self.queue_depth = queue_depth
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Admission-control and backend knobs of :class:`ServeBroker`.
+
+    Attributes
+    ----------
+    admission_window_ms:
+        How long (milliseconds) the broker keeps collecting requests
+        into the current wave after the first one arrives.  Default
+        2.0 — a couple of milliseconds buys most of the stacking win
+        (a stacked pass amortises per-forward overhead) while staying
+        far below a frame interval; ``0`` serves every request the
+        moment it is dequeued (no batching, lowest latency).
+    queue_depth:
+        Bound of the admission queue — the *explicit backpressure*
+        knob.  A request arriving while ``queue_depth`` requests are
+        already waiting is shed with a typed
+        :class:`AdmissionRejected` (``reason="queue_full"``) instead
+        of queueing unboundedly or being dropped silently.  Default
+        64.
+    max_wave:
+        Cap on requests admitted into one wave, whatever the window
+        collects.  Default 32 — matches the joint pass's measured
+        chunk sweet spot (``EngineConfig.joint_max_batch``); larger
+        waves only grow per-wave latency without stacking better.
+    monitor_batching:
+        ``EngineConfig.monitor_batching`` for the broker's scheduler
+        when it runs single-process: ``"joint"`` (default; episode
+        steps share the stacked-pass machinery), ``"shared"`` or
+        ``"exact"``.  Ignored when the resolved worker count is > 1 —
+        worker sharding requires exact mode, so the broker switches to
+        it (zone-check waves always run jointly stacked either way,
+        via :meth:`EpisodeScheduler.check_zones_wave`).
+    workers:
+        Persistent worker processes for the backing scheduler
+        (``EngineConfig.workers``).  ``None`` (default) defers to the
+        ``REPRO_SERVE_WORKERS`` environment toggle and falls back to
+        ``1``; an explicit value always wins.  See
+        :attr:`ServeBroker.effective_workers` for the degree actually
+        achieved on this platform.
+    """
+
+    admission_window_ms: float = 2.0
+    queue_depth: int = 64
+    max_wave: int = 32
+    monitor_batching: str = "joint"
+    workers: int | None = None
+
+    def __post_init__(self):
+        if self.admission_window_ms < 0:
+            raise ValueError(
+                f"admission_window_ms must be >= 0, "
+                f"got {self.admission_window_ms}")
+        check_positive("queue_depth", self.queue_depth)
+        check_positive("max_wave", self.max_wave)
+        if self.monitor_batching not in _MONITOR_BATCHING:
+            raise ValueError(
+                f"monitor_batching must be one of {_MONITOR_BATCHING}, "
+                f"got {self.monitor_batching!r}")
+        if self.workers is not None:
+            check_positive("workers", self.workers)
+
+    def resolved_workers(self) -> int:
+        """The worker count after the environment fallback."""
+        if self.workers is not None:
+            return self.workers
+        return serve_workers_default() or 1
+
+    def engine_config(self, base: EngineConfig | None = None) -> EngineConfig:
+        """``base`` rewritten for this serve configuration.
+
+        Worker sharding requires ``monitor_batching="exact"`` (the
+        engine validates this), so a multi-worker broker always runs
+        its scheduler in exact mode; otherwise the broker's
+        ``monitor_batching`` choice is applied.
+        """
+        from dataclasses import replace
+
+        base = base if base is not None else EngineConfig()
+        workers = self.resolved_workers()
+        if workers > 1:
+            return replace(base, workers=workers,
+                           monitor_batching="exact")
+        return replace(base, workers=1,
+                       monitor_batching=self.monitor_batching)
+
+
+@dataclass
+class _Pending:
+    """One admitted request waiting in the broker queue."""
+
+    kind: str  # "zone" | "episode"
+    payload: object
+    future: asyncio.Future = field(repr=False)
+
+
+class ServeBroker:
+    """Micro-batching admission broker over one episode scheduler.
+
+    Usage::
+
+        async with ServeBroker(model, config=pipeline_config) as broker:
+            verdict = await broker.check_zone(image, box)
+            episode = await broker.run_episode(frames, seed=7)
+
+    Construction builds the backing :class:`EpisodeScheduler` from
+    ``serve.engine_config(engine)``; ``start``/``stop`` (or the async
+    context manager) run the admission loop.  ``stats`` counts
+    admissions, typed rejections, waves and served checks — the
+    no-silent-drop ledger the serve bench audits.
+    """
+
+    def __init__(self, model, config=None, engine: EngineConfig | None = None,
+                 serve: ServeConfig | None = None, rng=None):
+        self.serve = serve or ServeConfig()
+        self.scheduler = EpisodeScheduler(
+            model, config=config, engine=self.serve.engine_config(engine),
+            rng=rng)
+        self.stats: dict[str, int] = {
+            "admitted": 0,
+            "rejected_queue_full": 0,
+            "rejected_shutdown": 0,
+            "waves": 0,
+            "max_wave": 0,
+            "zone_checks": 0,
+            "episode_steps": 0,
+            "wave_errors": 0,
+        }
+        self._queue: asyncio.Queue | None = None
+        self._runner: asyncio.Task | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._accepting = False
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def effective_workers(self) -> int:
+        """Worker processes the backing scheduler actually uses."""
+        return self.scheduler.effective_workers
+
+    @property
+    def running(self) -> bool:
+        return self._runner is not None and not self._runner.done()
+
+    async def start(self) -> "ServeBroker":
+        """Start the admission loop (idempotent while running)."""
+        if self.running:
+            return self
+        self._queue = asyncio.Queue(maxsize=self.serve.queue_depth)
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-wave")
+        self._accepting = True
+        self._runner = asyncio.create_task(
+            self._run(), name="repro-serve-broker")
+        return self
+
+    async def stop(self) -> None:
+        """Graceful shutdown: reject new work, drain in-flight checks.
+
+        Every request admitted before ``stop`` resolves (served or
+        failed with its wave's exception) before this returns; later
+        submissions get ``AdmissionRejected(reason="shutdown")``.
+        """
+        self._accepting = False
+        if self._runner is not None:
+            await self._queue.put(_SHUTDOWN)
+            try:
+                await self._runner
+            finally:
+                self._runner = None
+                self._executor.shutdown(wait=True)
+                self._executor = None
+        self.scheduler.close()
+
+    async def __aenter__(self) -> "ServeBroker":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    # -- client surface ------------------------------------------------
+    async def check_zone(self, image, box):
+        """One zone safety check; resolves to a ``ZoneVerdict``.
+
+        Raises :class:`AdmissionRejected` (typed, immediate) when the
+        admission queue is full or the broker is shutting down.
+        """
+        return await self._admit("zone", (image, box))
+
+    async def check_zones(self, image, boxes) -> list:
+        """All of one frame's zones, admitted together."""
+        return list(await asyncio.gather(
+            *(self.check_zone(image, box) for box in boxes)))
+
+    async def run_episode(self, frames, seed=0, name=""):
+        """One full episode step; resolves to an ``EpisodeResult``."""
+        request = EpisodeRequest(frames=tuple(frames), seed=seed,
+                                 name=name)
+        return await self._admit("episode", request)
+
+    def _admit(self, kind: str, payload) -> asyncio.Future:
+        if not self._accepting or self._queue is None:
+            self.stats["rejected_shutdown"] += 1
+            raise AdmissionRejected("shutdown", self.serve.queue_depth)
+        item = _Pending(kind, payload,
+                        asyncio.get_running_loop().create_future())
+        try:
+            self._queue.put_nowait(item)
+        except asyncio.QueueFull:
+            self.stats["rejected_queue_full"] += 1
+            raise AdmissionRejected(
+                "queue_full", self.serve.queue_depth) from None
+        self.stats["admitted"] += 1
+        return item.future
+
+    # -- admission loop ------------------------------------------------
+    async def _run(self) -> None:
+        window_s = self.serve.admission_window_ms / 1000.0
+        loop = asyncio.get_running_loop()
+        draining = False
+        while not draining:
+            item = await self._queue.get()
+            if item is _SHUTDOWN:
+                break
+            wave = [item]
+            deadline = loop.time() + window_s
+            while len(wave) < self.serve.max_wave:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    nxt = await asyncio.wait_for(self._queue.get(),
+                                                 remaining)
+                except asyncio.TimeoutError:
+                    break
+                if nxt is _SHUTDOWN:
+                    draining = True
+                    break
+                wave.append(nxt)
+            await self._serve_wave(wave)
+        # Shutdown sentinel seen: serve whatever was already admitted —
+        # an admitted safety check is never dropped.
+        leftovers = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+            if item is not _SHUTDOWN:
+                leftovers.append(item)
+        while leftovers:
+            wave = leftovers[:self.serve.max_wave]
+            leftovers = leftovers[self.serve.max_wave:]
+            await self._serve_wave(wave)
+
+    async def _serve_wave(self, wave: list) -> None:
+        """Serve one admitted wave: zones stacked, episodes batched.
+
+        Zone checks run first (one ``check_zones_wave``), episode
+        steps second (one ``scheduler.run``) — a fixed order, so a
+        fixed request trace replays the scheduler's joint RNG stream
+        identically.  Waves execute on the broker's dedicated worker
+        thread; every member future resolves here, with the result or
+        with the wave's exception.
+        """
+        self.stats["waves"] += 1
+        self.stats["max_wave"] = max(self.stats["max_wave"], len(wave))
+        loop = asyncio.get_running_loop()
+        zones = [p for p in wave if p.kind == "zone"]
+        episodes = [p for p in wave if p.kind == "episode"]
+        if zones:
+            items = [p.payload for p in zones]
+            try:
+                verdicts = await loop.run_in_executor(
+                    self._executor, self.scheduler.check_zones_wave,
+                    items)
+            except Exception as exc:  # noqa: BLE001 - resolves futures
+                self.stats["wave_errors"] += 1
+                self._fail(zones, exc)
+            else:
+                self.stats["zone_checks"] += len(zones)
+                for p, verdict in zip(zones, verdicts):
+                    if not p.future.done():
+                        p.future.set_result(verdict)
+        if episodes:
+            requests = [p.payload for p in episodes]
+            try:
+                out = await loop.run_in_executor(
+                    self._executor, self.scheduler.run, requests)
+            except Exception as exc:  # noqa: BLE001 - resolves futures
+                self.stats["wave_errors"] += 1
+                self._fail(episodes, exc)
+            else:
+                self.stats["episode_steps"] += len(episodes)
+                for p, result in zip(episodes, out):
+                    if not p.future.done():
+                        p.future.set_result(result)
+
+    @staticmethod
+    def _fail(pending: list, exc: BaseException) -> None:
+        for p in pending:
+            if not p.future.done():
+                p.future.set_exception(exc)

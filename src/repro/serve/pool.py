@@ -1,0 +1,211 @@
+"""Persistent fork-worker pool behind ``EpisodeScheduler(workers=N)``.
+
+This replaces the fork-per-call ``multiprocessing.Pool`` the engine
+used to build inside every ``run()``: that design paid fork + model
+pickling per wavefront (the ROADMAP measured ``workers=2`` at 0.72x),
+parked the model in a module global (``_WORKER_MODEL``) that was only
+cleared on the happy path, and threw away all monitor statistics.
+
+The persistent pool fixes the economics and the hygiene:
+
+* **Workers fork once** per pool.  The model, pipeline config and
+  engine config travel to the children as inherited copy-on-write
+  memory at fork time — shipped once, never pickled again.
+* **Frames travel through shared memory** (:class:`repro.serve.shm.
+  FrameRing`): the per-task message is a tiny ticket + RNG state, and
+  the worker reads the frame as a zero-copy numpy view.  The ring
+  segment itself is inherited at fork, so ring-slot tasks never even
+  re-attach.
+* **Determinism is unchanged**: every task carries its episode's
+  monitor RNG state and returns the advanced state, exactly like the
+  old pool, so ``workers=N`` stays bit-for-bit identical to inline for
+  any worker count.
+* **Observability round-trips**: each reply carries the episode's
+  adaptive-monitor stats so the scheduler can merge them — the old
+  pool silently reported nothing.
+* **Deterministic lifecycle**: ``close()`` (also via context manager)
+  sends shutdown sentinels, joins the workers and unlinks the shared
+  segment.  No module-global model reference exists at all.
+
+Workers are daemonic, so an abandoned pool cannot outlive its parent
+even if ``close()`` is never called.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_module
+
+from repro.serve.shm import FrameRing, attach_frame, detach_frame
+
+__all__ = ["PersistentWorkerPool", "fork_available"]
+
+_SHUTDOWN = None
+_JOIN_TIMEOUT_S = 5.0
+_COLLECT_POLL_S = 1.0
+
+
+def fork_available() -> bool:
+    """True when the ``fork`` start method exists on this platform."""
+    return "fork" in mp.get_all_start_methods()
+
+
+def _pool_worker(tasks, results, ring_shm, model, config, engine):
+    """Worker loop: one pipeline built at startup, then task -> reply.
+
+    ``model``/``config``/``engine`` arrive by fork inheritance — this
+    function runs only in the child, and all mutable state lives in
+    locals (fork-task purity: no module-level writes).
+
+    Task: ``(index, ticket, rng_state)``.  Reply: ``(index, result,
+    new_rng_state, adaptive_stats)`` on success, or ``(index, exc,
+    None, None)`` where ``exc`` is the exception — the parent re-raises
+    instead of hanging.
+    """
+    from repro.core.pipeline import LandingPipeline
+
+    pipeline = LandingPipeline(model, config, rng=0, engine=engine)
+    segments = {ring_shm.name: ring_shm}
+    while True:
+        task = tasks.get()
+        if task is _SHUTDOWN:
+            break
+        index, ticket, rng_state = task
+        try:
+            frame = attach_frame(ticket, segments)
+            pipeline.segmenter.rng.bit_generator.state = rng_state
+            pipeline.monitor.reset_adaptive_stats()
+            result = pipeline.run(frame)
+            del frame  # drop the buffer export before any segment close
+            detach_frame(ticket, segments)
+            reply = (
+                index,
+                result,
+                pipeline.segmenter.rng.bit_generator.state,
+                dict(pipeline.monitor.last_adaptive_stats),
+            )
+        except BaseException as exc:  # noqa: BLE001 - forwarded to parent
+            reply = (index, exc, None, None)
+        results.put(reply)
+
+
+class PersistentWorkerPool:
+    """A fixed set of long-lived fork workers executing episode frames.
+
+    Construction forks ``workers`` daemon processes that each build one
+    :class:`~repro.core.pipeline.LandingPipeline` from the inherited
+    ``(model, config, engine)`` and then serve tasks until ``close()``.
+    ``submit`` parks the frame in the shared-memory ring and enqueues a
+    ticket; ``collect`` gathers replies (in completion order — callers
+    key on the submitted index) and recycles the ring slots.
+
+    The pool snapshots the process state at fork, which is exactly what
+    the model-shipped-once contract wants; if the parent mutates the
+    model or flips the global conv engine afterwards, build a new pool.
+    """
+
+    def __init__(self, model, config, engine, workers: int, ring_slots: int | None = None):
+        if workers < 1:
+            raise ValueError(f"PersistentWorkerPool needs workers >= 1, got {workers}")
+        if not fork_available():
+            raise RuntimeError(
+                "PersistentWorkerPool requires the 'fork' start method; "
+                "check repro.serve.pool.fork_available() first"
+            )
+        self.workers = int(workers)
+        ctx = mp.get_context("fork")
+        slots = ring_slots if ring_slots is not None else max(16, 4 * self.workers)
+        self._ring = FrameRing(slots=slots)
+        self._tasks = ctx.Queue()
+        self._results = ctx.Queue()
+        self._pending: dict[int, object] = {}
+        self._closed = False
+        self._procs = [
+            ctx.Process(
+                target=_pool_worker,
+                args=(self._tasks, self._results, self._ring.segment, model, config, engine),
+                daemon=True,
+                name=f"repro-serve-worker-{i}",
+            )
+            for i in range(self.workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def submit(self, index: int, frame, rng_state) -> None:
+        """Park ``frame`` in shared memory and enqueue one task."""
+        if self._closed:
+            raise RuntimeError("PersistentWorkerPool is closed")
+        ticket = self._ring.put(frame)
+        self._pending[index] = ticket
+        self._tasks.put((index, ticket, rng_state))
+
+    def collect(self, count: int) -> list:
+        """Return ``count`` replies ``(index, result, rng_state, stats)``.
+
+        Replies are returned in completion order — callers key on the
+        submitted index.  All ``count`` replies are drained (and their
+        ring slots recycled) before any worker-side exception is
+        re-raised, so one failing task cannot strand the others' replies
+        in the queue; a dead worker raises instead of hanging forever.
+        """
+        replies = []
+        for _ in range(count):
+            while True:
+                try:
+                    replies.append(self._results.get(timeout=_COLLECT_POLL_S))
+                    break
+                except queue_module.Empty:
+                    dead = [p.name for p in self._procs if not p.is_alive()]
+                    if dead:
+                        raise RuntimeError(
+                            f"worker process(es) died while tasks were in flight: {dead}"
+                        ) from None
+        out = []
+        failure = None
+        for index, result, rng_state, stats in replies:
+            ticket = self._pending.pop(index, None)
+            if ticket is not None:
+                self._ring.release(ticket)
+            if rng_state is None and isinstance(result, BaseException):
+                if failure is None:
+                    failure = (index, result)
+            else:
+                out.append((index, result, rng_state, stats))
+        if failure is not None:
+            raise RuntimeError(
+                f"episode frame task {failure[0]} failed in worker: {failure[1]!r}"
+            ) from failure[1]
+        return out
+
+    def close(self) -> None:
+        """Shut workers down deterministically and unlink shared memory."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            for _ in self._procs:
+                self._tasks.put(_SHUTDOWN)
+        except (OSError, ValueError):
+            pass  # queue already torn down (interpreter shutdown)
+        for proc in self._procs:
+            proc.join(timeout=_JOIN_TIMEOUT_S)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=_JOIN_TIMEOUT_S)
+        for ticket in self._pending.values():
+            self._ring.release(ticket)
+        self._pending.clear()
+        self._tasks.close()
+        self._results.close()
+        self._ring.close()
+
+    def __enter__(self) -> "PersistentWorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

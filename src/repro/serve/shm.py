@@ -1,0 +1,195 @@
+"""Shared-memory frame transport for the persistent worker pool.
+
+A :class:`FrameRing` owns one ``multiprocessing.shared_memory`` segment
+carved into fixed-size slots.  The parent copies a frame into a free
+slot (`put`) and sends the worker a tiny picklable :class:`FrameTicket`
+instead of the frame bytes; the worker maps the same segment once and
+reads the frame back as a zero-copy numpy view (:func:`attach_frame`).
+Frames larger than a slot — or puts that arrive while every slot is in
+flight — fall back to a dedicated one-shot segment per frame, so the
+ring never blocks and never drops, it only loses the amortisation.
+
+The ring is transport, not synchronisation: a slot is reserved by
+``put`` and recycled only when the parent calls ``release`` after the
+worker's reply arrives, so the worker's view is stable for the lifetime
+of its task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["FrameRing", "FrameTicket", "attach_frame"]
+
+_DEFAULT_SLOTS = 32
+_DEFAULT_SLOT_BYTES = 1 << 20  # 1 MiB: a 256x341 float32 CHW frame per slot
+
+
+@dataclass(frozen=True)
+class FrameTicket:
+    """Picklable handle to one frame parked in shared memory.
+
+    ``slot`` is the ring slot index, or ``-1`` when the frame travels in
+    a dedicated one-shot segment (oversized frame or ring exhaustion).
+    Workers must treat dedicated segments as single-use: attach, read,
+    close (see :func:`attach_frame`).
+    """
+
+    segment: str
+    offset: int
+    shape: tuple
+    dtype: str
+    slot: int
+
+    @property
+    def dedicated(self) -> bool:
+        return self.slot < 0
+
+
+def attach_frame(ticket: FrameTicket, cache: dict) -> np.ndarray:
+    """Map ``ticket`` into this process and return a read-only view.
+
+    ``cache`` is a caller-owned dict mapping segment name ->
+    ``SharedMemory``; the ring segment is attached once and kept for the
+    worker's lifetime.  Dedicated one-shot segments are *not* cached —
+    the caller closes them after the task via :func:`detach_frame` so a
+    long-lived worker cannot accumulate mappings.
+    """
+    handle = cache.get(ticket.segment)
+    if handle is None:
+        handle = shared_memory.SharedMemory(name=ticket.segment)
+        if not ticket.dedicated:
+            cache[ticket.segment] = handle
+    view = np.ndarray(
+        ticket.shape,
+        dtype=np.dtype(ticket.dtype),
+        buffer=handle.buf,
+        offset=ticket.offset,
+    )
+    view.flags.writeable = False
+    if ticket.dedicated:
+        # Hand the one-shot handle back through the cache under a
+        # reserved key so detach_frame can close it; the view keeps the
+        # mapping alive in the meantime.
+        cache["__dedicated__"] = handle
+    return view
+
+
+def detach_frame(ticket: FrameTicket, cache: dict) -> None:
+    """Close the one-shot mapping created by :func:`attach_frame`.
+
+    No-op for ring slots (the cached ring mapping stays open).  Must be
+    called only after every view derived from the ticket is dead.
+    """
+    if not ticket.dedicated:
+        return
+    handle = cache.pop("__dedicated__", None)
+    if handle is not None:
+        handle.close()
+
+
+class FrameRing:
+    """Parent-side allocator of shared-memory frame slots.
+
+    Owns one segment of ``slots`` fixed-size slots plus any dedicated
+    overflow segments.  ``put`` copies a frame in and returns a
+    :class:`FrameTicket`; ``release`` recycles the slot (or unlinks the
+    overflow segment) once the worker's reply has been consumed.
+    ``close`` unlinks everything; the ring is also a context manager.
+    """
+
+    def __init__(self, slots: int = _DEFAULT_SLOTS, slot_bytes: int = _DEFAULT_SLOT_BYTES):
+        if slots < 1:
+            raise ValueError(f"FrameRing needs at least one slot, got {slots}")
+        if slot_bytes < 1:
+            raise ValueError(f"FrameRing slot_bytes must be positive, got {slot_bytes}")
+        self.slots = int(slots)
+        self.slot_bytes = int(slot_bytes)
+        self._shm = shared_memory.SharedMemory(create=True, size=self.slots * self.slot_bytes)
+        self._free = list(range(self.slots))
+        self._dedicated: dict[str, shared_memory.SharedMemory] = {}
+        self._overflow_puts = 0
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    @property
+    def segment(self) -> shared_memory.SharedMemory:
+        """The ring's backing segment (forked children inherit its mapping)."""
+        return self._shm
+
+    @property
+    def in_flight(self) -> int:
+        """Tickets issued and not yet released."""
+        return (self.slots - len(self._free)) + len(self._dedicated)
+
+    @property
+    def overflow_puts(self) -> int:
+        """Puts that had to fall back to a dedicated segment."""
+        return self._overflow_puts
+
+    def put(self, frame: np.ndarray) -> FrameTicket:
+        """Copy ``frame`` into shared memory and return its ticket."""
+        if self._closed:
+            raise RuntimeError("FrameRing is closed")
+        frame = np.ascontiguousarray(frame)
+        if frame.nbytes <= self.slot_bytes and self._free:
+            slot = self._free.pop()
+            offset = slot * self.slot_bytes
+            dst = np.ndarray(frame.shape, dtype=frame.dtype, buffer=self._shm.buf, offset=offset)
+            np.copyto(dst, frame)
+            return FrameTicket(
+                segment=self._shm.name,
+                offset=offset,
+                shape=tuple(int(s) for s in frame.shape),
+                dtype=frame.dtype.str,
+                slot=slot,
+            )
+        # Oversized frame or every slot in flight: dedicated segment.
+        self._overflow_puts += 1
+        seg = shared_memory.SharedMemory(create=True, size=frame.nbytes)
+        dst = np.ndarray(frame.shape, dtype=frame.dtype, buffer=seg.buf)
+        np.copyto(dst, frame)
+        self._dedicated[seg.name] = seg
+        return FrameTicket(
+            segment=seg.name,
+            offset=0,
+            shape=tuple(int(s) for s in frame.shape),
+            dtype=frame.dtype.str,
+            slot=-1,
+        )
+
+    def release(self, ticket: FrameTicket) -> None:
+        """Recycle ``ticket``'s slot (or unlink its one-shot segment)."""
+        if ticket.dedicated:
+            seg = self._dedicated.pop(ticket.segment, None)
+            if seg is not None:
+                seg.close()
+                seg.unlink()
+            return
+        if ticket.slot in self._free:
+            raise RuntimeError(f"FrameRing slot {ticket.slot} released twice")
+        self._free.append(ticket.slot)
+
+    def close(self) -> None:
+        """Unlink the ring segment and any outstanding overflow segments."""
+        if self._closed:
+            return
+        self._closed = True
+        for seg in self._dedicated.values():
+            seg.close()
+            seg.unlink()
+        self._dedicated.clear()
+        self._shm.close()
+        self._shm.unlink()
+
+    def __enter__(self) -> "FrameRing":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -138,13 +138,20 @@ class TestExactMode:
 
 
 class TestWorkerSharding:
-    def test_workers_bit_for_bit(self, tiny_system):
+    # The persistent pool (repro.serve.pool) behind workers=N keeps
+    # the original contract: any worker count bit-for-bit identical to
+    # the sequential loop.  Lifecycle/leak/stats regressions live in
+    # tests/serve/test_pool.py.
+
+    @pytest.mark.parametrize("workers", [2, 3])
+    def test_workers_bit_for_bit(self, tiny_system, workers):
         episodes = _episodes(tiny_system)
         config = tiny_system.pipeline_config()
         reference = _sequential(tiny_system, config, episodes)
-        out = EpisodeScheduler(
-            tiny_system.model, config,
-            engine=EngineConfig(workers=2)).run(episodes)
+        with EpisodeScheduler(
+                tiny_system.model, config,
+                engine=EngineConfig(workers=workers)) as scheduler:
+            out = scheduler.run(episodes)
         for engine_ep, ref_ep in zip(out, reference):
             assert len(engine_ep.results) == len(ref_ep)
             for a, b in zip(engine_ep.results, ref_ep):
