@@ -64,12 +64,15 @@ REPRO_MONITOR_ADAPTIVE=1 python -m pytest \
     tests/core tests/integration -q -x
 
 echo
-echo "== serving self-check (repro.serve doctor) =="
+echo "== serving self-check + fault drill (repro.serve doctor) =="
 # The doctor exercises the serving stack end to end on the tiny
 # trained system: fork availability, shared-memory frame round trip,
-# broker admission/drain, and typed overload shedding.  It exits 1 on
-# any failed check, so a broken serving path dies here before the
-# bench pass.
+# broker admission/drain, typed overload shedding, and the fault
+# drill — a worker is SIGKILLed mid-wave (supervision must respawn it
+# and recover bit-for-bit) and a respawn-exhausted pool must degrade
+# onto the inline path through the circuit breaker with the ledger
+# balanced.  It exits 1 on any failed check, so a broken serving or
+# recovery path dies here before the bench pass.
 python -m repro.serve.doctor --system tiny
 
 echo

@@ -167,6 +167,23 @@ class EngineConfig:
         does not exist the scheduler warns and runs inline —
         :attr:`EpisodeScheduler.effective_workers` reports the real
         degree.
+    deadline_ms:
+        Per-task deadline (milliseconds, monotonic clock) for the
+        sharded path, measured from pool submission.  ``None``
+        (default) waits forever.  When a task exceeds it, the pool
+        kills the worker holding it (a hung task cannot be cancelled),
+        respawns a replacement and the wave raises a typed
+        :class:`repro.serve.faults.CheckTimedOut` — a timed-out safety
+        check fails safe, never open.  The serving layer threads
+        ``ServeConfig.deadline_ms`` down into this knob.
+    max_respawns:
+        Supervision budget of the persistent pool: how many worker
+        respawns (after crashes or deadline kills) a pool will perform
+        before giving up with :class:`repro.serve.faults.
+        WorkerPoolError`.  Default 3.  Respawns back off exponentially
+        (capped), and each resubmitted task replays bit-for-bit from
+        its shipped RNG state, so a survived crash never changes
+        results.  ``0`` disables respawning entirely.
     speculative_k:
         Overrides ``DecisionConfig.speculative_k`` when set (ranked
         candidates monitored per joint pass; see
@@ -210,6 +227,8 @@ class EngineConfig:
     joint_max_batch: int = 32
     seg_max_batch: int | None = None
     workers: int = 1
+    deadline_ms: float | None = None
+    max_respawns: int = 3
     speculative_k: int | None = None
     overlap_budget: float | None = None
     temporal_reuse: bool = True
@@ -224,6 +243,11 @@ class EngineConfig:
         if self.seg_max_batch is not None:
             check_positive("seg_max_batch", self.seg_max_batch)
         check_positive("workers", self.workers)
+        if self.deadline_ms is not None:
+            check_positive("deadline_ms", self.deadline_ms)
+        if self.max_respawns < 0:
+            raise ValueError(
+                f"max_respawns must be >= 0, got {self.max_respawns}")
         if self.monitor_batching not in _MONITOR_BATCHING:
             raise ValueError(
                 f"monitor_batching must be one of {_MONITOR_BATCHING}, "
@@ -423,6 +447,14 @@ class EpisodeScheduler:
         self._pool = None
         self._pool_finalizer = None
         self._fork_warned = False
+        # Chaos plans are armed by repro.serve.chaos.arm (tests and
+        # benches only) and ride into the next pool fork; deliberately
+        # not an EngineConfig knob.
+        self._fault_plan = None
+        # Supervision counters of every pool this scheduler has closed
+        # (a broken pool is torn down and replaced, but its deaths and
+        # respawns must stay on the ledger).
+        self.pool_stats_total: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def run(self, episodes) -> list[EpisodeResult]:
@@ -443,12 +475,22 @@ class EpisodeScheduler:
             # never pre-segments.  Frames of one episode still
             # advance one wave at a time: frame t+1's monitor
             # stream continues frame t's returned RNG state.
+            from repro.serve.faults import WorkerPoolError
+
             rngs = [ensure_rng(ep.seed) for ep in episodes]
-            for t in range(horizon):
-                ready = [(i, episodes[i].frames[t])
-                         for i in range(len(episodes))
-                         if t < len(episodes[i].frames)]
-                self._wave_workers(pool, ready, rngs, results)
+            try:
+                for t in range(horizon):
+                    ready = [(i, episodes[i].frames[t])
+                             for i in range(len(episodes))
+                             if t < len(episodes[i].frames)]
+                    self._wave_workers(pool, ready, rngs, results)
+            except WorkerPoolError:
+                # The pool is broken past its respawn budget: tear it
+                # down now so the next sharded run forks a fresh one
+                # (callers like the serve broker retry this wave on
+                # the bit-identical inline path meanwhile).
+                self.close()
+                raise
             return self._collect(episodes, results)
 
         labels, seg_s = self._segment_all(episodes)
@@ -616,7 +658,9 @@ class EpisodeScheduler:
         from repro.serve.pool import PersistentWorkerPool
 
         self._pool = PersistentWorkerPool(
-            self.model, self.config, self.engine, self.engine.workers)
+            self.model, self.config, self.engine, self.engine.workers,
+            max_respawns=self.engine.max_respawns,
+            fault_plan=self._fault_plan)
         # Backstop for abandoned schedulers; close() is the real API.
         self._pool_finalizer = weakref.finalize(
             self, PersistentWorkerPool.close, self._pool)
@@ -635,6 +679,9 @@ class EpisodeScheduler:
             self._pool_finalizer.detach()
             self._pool_finalizer = None
         if self._pool is not None:
+            for key, value in self._pool.stats.items():
+                self.pool_stats_total[key] = \
+                    self.pool_stats_total.get(key, 0) + value
             self._pool.close()
             self._pool = None
 
@@ -654,9 +701,12 @@ class EpisodeScheduler:
         :attr:`last_adaptive_stats` — the sums are order-independent,
         so the sharded totals equal the inline totals.
         """
+        deadline_s = (None if self.engine.deadline_ms is None
+                      else self.engine.deadline_ms / 1000.0)
         for i, image in ready:
             pool.submit(i, image, rngs[i].bit_generator.state)
-        for i, result, state, stats in pool.collect(len(ready)):
+        for i, result, state, stats in pool.collect(len(ready),
+                                                    deadline_s=deadline_s):
             rngs[i].bit_generator.state = state
             results[i].append(result)
             self._merge_adaptive_stats(self.last_adaptive_stats, stats)

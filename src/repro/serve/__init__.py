@@ -23,8 +23,16 @@ ROADMAP's "millions of users" north star asks for:
   inline execution.
 * :func:`run_doctor` — a doctor-style operational self-check (platform
   facts, fork availability, requested vs *effective* worker count,
-  shared-memory round-trip, live broker end-to-end probe), runnable as
+  shared-memory round-trip, live broker end-to-end probe, and a fault
+  drill that kills a live worker mid-wave), runnable as
   ``python -m repro.serve.doctor``.
+* **Fault tolerance** — the pool supervises its workers (liveness
+  watch, capped respawns, ticket reclamation), requests carry
+  monotonic-clock deadlines resolved with a typed fail-safe
+  :class:`CheckTimedOut`, and a :class:`~repro.serve.breaker.
+  CircuitBreaker` degrades persistent pool faults onto the
+  bit-identical inline path.  :mod:`repro.serve.chaos` injects every
+  one of those faults deterministically so the claims stay tested.
 """
 
 from repro.serve.broker import (
@@ -33,17 +41,27 @@ from repro.serve.broker import (
     ServeConfig,
     serve_workers_default,
 )
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.faults import (
+    CheckTimedOut,
+    WorkerPoolError,
+    conservative_reject,
+)
 from repro.serve.pool import PersistentWorkerPool, fork_available
 from repro.serve.shm import FrameRing, FrameTicket, attach_frame
 
 __all__ = [
     "AdmissionRejected",
+    "CheckTimedOut",
+    "CircuitBreaker",
     "FrameRing",
     "FrameTicket",
     "PersistentWorkerPool",
     "ServeBroker",
     "ServeConfig",
+    "WorkerPoolError",
     "attach_frame",
+    "conservative_reject",
     "fork_available",
     "format_doctor_report",
     "run_doctor",

@@ -1,0 +1,116 @@
+"""Circuit breaker gating the broker's worker-pool path.
+
+The broker's episode waves normally run on the persistent fork-worker
+pool.  When the pool faults (worker deaths past the respawn budget,
+collect deadlines), each faulted wave is already retried on the
+bit-identical inline path — but paying fork + fault-detection latency
+on *every* wave of a persistently broken pool would be absurd.  The
+:class:`CircuitBreaker` is the standard answer:
+
+* **closed** — pool path in use; consecutive faults are counted and
+  any success resets the count.
+* **open** — after ``threshold`` consecutive faults the breaker trips:
+  every wave routes straight to the inline fallback (degraded mode)
+  until ``cooldown_s`` has elapsed.
+* **half-open** — the first wave after the cooldown is a *probe* sent
+  back through the pool: success closes the breaker, failure re-opens
+  it and restarts the cooldown.
+
+The clock is injectable (``clock=time.monotonic`` by default) so the
+state machine is testable as a pure unit with a fake clock — no
+sleeping, no processes (``tests/serve/test_breaker.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.utils.validation import check_non_negative, check_positive
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Consecutive-fault breaker with a cooldown and recovery probes.
+
+    Single-threaded by design: the broker's admission loop is the only
+    caller, so state transitions need no locking.  ``allow()`` answers
+    "may this wave use the pool?" and performs the open -> half-open
+    transition when the cooldown has elapsed; ``record_success`` /
+    ``record_failure`` feed the outcome back.
+    """
+
+    def __init__(self, threshold: int, cooldown_s: float, clock=None):
+        check_positive("threshold", threshold)
+        check_non_negative("cooldown_s", cooldown_s)
+        self.threshold = int(threshold)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock if clock is not None else time.monotonic
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_in_flight = False
+        self.stats: dict[str, int] = {
+            "failures": 0,
+            "opens": 0,
+            "probes": 0,
+        }
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"`` (probing)."""
+        return self._state
+
+    def allow(self) -> bool:
+        """True when the next wave may use the pool path.
+
+        In the open state this is where the cooldown is checked: once
+        ``cooldown_s`` has elapsed the breaker moves to half-open and
+        admits exactly one probe; further calls return False until the
+        probe's outcome is recorded.
+        """
+        if self._state == CLOSED:
+            return True
+        if self._state == OPEN:
+            if self._clock() - self._opened_at < self.cooldown_s:
+                return False
+            self._state = HALF_OPEN
+            self._probe_in_flight = False
+        if self._probe_in_flight:
+            return False
+        self._probe_in_flight = True
+        self.stats["probes"] += 1
+        return True
+
+    def record_success(self) -> None:
+        """A pool wave completed: reset the streak, close if probing."""
+        self._consecutive_failures = 0
+        self._probe_in_flight = False
+        self._state = CLOSED
+
+    def record_failure(self) -> None:
+        """A pool fault: trip after ``threshold`` consecutive ones.
+
+        A half-open probe failure re-opens immediately (the cooldown
+        restarts from now) — a recovering pool gets one chance per
+        cooldown, not ``threshold`` of them.
+        """
+        self.stats["failures"] += 1
+        self._probe_in_flight = False
+        if self._state == HALF_OPEN:
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if self._state == CLOSED and \
+                self._consecutive_failures >= self.threshold:
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self.stats["opens"] += 1

@@ -25,12 +25,35 @@ stays responsive for admission while numpy crunches; multi-core scaling
 comes from the scheduler's persistent worker pool
 (``ServeConfig.workers`` / ``REPRO_SERVE_WORKERS``), not from thread
 fan-out.
+
+**Fault tolerance.**  Execution-time faults get the same
+no-silent-drop treatment as admission (see :mod:`repro.serve.faults`):
+
+* ``deadline_ms`` arms per-request deadlines on the monotonic clock —
+  a request that misses its deadline resolves with a typed
+  :class:`~repro.serve.faults.CheckTimedOut` whose ``verdict`` is a
+  conservative *reject* for zone checks (fail safe, never open).
+* A wave that dies in the worker pool (:class:`~repro.serve.faults.
+  WorkerPoolError`, i.e. worker deaths past the respawn budget) is
+  re-run on the **bit-identical inline path** — the engine's sharding
+  contract guarantees ``workers=N`` equals ``workers=1``, so degraded
+  answers are the same answers, just slower.
+* A :class:`~repro.serve.breaker.CircuitBreaker` counts consecutive
+  pool faults: after ``breaker_threshold`` of them the pool path is
+  bypassed entirely (every episode wave runs degraded) until
+  ``breaker_cooldown_s`` elapses, then a half-open probe re-forks the
+  pool and closes the breaker on success.
+
+``broker.stats`` extends the ledger accordingly: ``timed_out``,
+``pool_faults``, ``degraded_waves``, ``breaker_opens``, ``respawns``,
+``worker_deaths`` and ``tasks_resubmitted``.
 """
 
 from __future__ import annotations
 
 import asyncio
 import os
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
@@ -40,7 +63,13 @@ from repro.core.engine import (
     EpisodeRequest,
     EpisodeScheduler,
 )
-from repro.utils.validation import check_positive
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.faults import (
+    CheckTimedOut,
+    WorkerPoolError,
+    conservative_reject,
+)
+from repro.utils.validation import check_non_negative, check_positive
 
 __all__ = [
     "AdmissionRejected",
@@ -129,6 +158,23 @@ class ServeConfig:
         ``1``; an explicit value always wins.  See
         :attr:`ServeBroker.effective_workers` for the degree actually
         achieved on this platform.
+    deadline_ms:
+        Per-request deadline in milliseconds on the monotonic clock,
+        measured from admission.  ``None`` (default) disables
+        deadlines.  A request that cannot be answered in time resolves
+        with a typed :class:`~repro.serve.faults.CheckTimedOut` —
+        carrying a conservative *reject* verdict for zone checks — so
+        a timed-out safety check fails safe, never open and never
+        silently.  The deadline is threaded down into
+        ``EngineConfig.deadline_ms`` so the pool can kill and replace
+        a worker hung on a task.
+    breaker_threshold:
+        Consecutive pool faults (worker-pool failures or pool-path
+        timeouts) that trip the circuit breaker into degraded mode.
+        Default 3.
+    breaker_cooldown_s:
+        Seconds the breaker stays open before a half-open recovery
+        probe is allowed back onto the pool path.  Default 30.
     """
 
     admission_window_ms: float = 2.0
@@ -136,6 +182,9 @@ class ServeConfig:
     max_wave: int = 32
     monitor_batching: str = "joint"
     workers: int | None = None
+    deadline_ms: float | None = None
+    breaker_threshold: int = 3
+    breaker_cooldown_s: float = 30.0
 
     def __post_init__(self):
         if self.admission_window_ms < 0:
@@ -150,6 +199,11 @@ class ServeConfig:
                 f"got {self.monitor_batching!r}")
         if self.workers is not None:
             check_positive("workers", self.workers)
+        if self.deadline_ms is not None:
+            check_positive("deadline_ms", self.deadline_ms)
+        check_positive("breaker_threshold", self.breaker_threshold)
+        check_non_negative("breaker_cooldown_s",
+                           self.breaker_cooldown_s)
 
     def resolved_workers(self) -> int:
         """The worker count after the environment fallback."""
@@ -168,6 +222,10 @@ class ServeConfig:
         from dataclasses import replace
 
         base = base if base is not None else EngineConfig()
+        if self.deadline_ms is not None:
+            # The pool enforces the same bound per task, so a worker
+            # hung on a request is killed instead of outliving it.
+            base = replace(base, deadline_ms=self.deadline_ms)
         workers = self.resolved_workers()
         if workers > 1:
             return replace(base, workers=workers,
@@ -183,6 +241,7 @@ class _Pending:
     kind: str  # "zone" | "episode"
     payload: object
     future: asyncio.Future = field(repr=False)
+    admitted_at: float = 0.0  # monotonic clock; deadline anchor
 
 
 class ServeBroker:
@@ -216,11 +275,28 @@ class ServeBroker:
             "zone_checks": 0,
             "episode_steps": 0,
             "wave_errors": 0,
+            "timed_out": 0,
+            "pool_faults": 0,
+            "degraded_waves": 0,
+            "breaker_opens": 0,
+            "respawns": 0,
+            "worker_deaths": 0,
+            "tasks_resubmitted": 0,
         }
+        self._model = model
+        self._config = config
+        self._breaker = CircuitBreaker(self.serve.breaker_threshold,
+                                       self.serve.breaker_cooldown_s)
+        self._fallback: EpisodeScheduler | None = None
         self._queue: asyncio.Queue | None = None
         self._runner: asyncio.Task | None = None
         self._executor: ThreadPoolExecutor | None = None
         self._accepting = False
+
+    @property
+    def breaker_state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half_open"``."""
+        return self._breaker.state
 
     # -- lifecycle -----------------------------------------------------
     @property
@@ -260,7 +336,10 @@ class ServeBroker:
                 self._runner = None
                 self._executor.shutdown(wait=True)
                 self._executor = None
+        if self._fallback is not None:
+            self._fallback.close()
         self.scheduler.close()
+        self._sync_pool_stats()
 
     async def __aenter__(self) -> "ServeBroker":
         return await self.start()
@@ -293,7 +372,8 @@ class ServeBroker:
             self.stats["rejected_shutdown"] += 1
             raise AdmissionRejected("shutdown", self.serve.queue_depth)
         item = _Pending(kind, payload,
-                        asyncio.get_running_loop().create_future())
+                        asyncio.get_running_loop().create_future(),
+                        admitted_at=time.monotonic())
         try:
             self._queue.put_nowait(item)
         except asyncio.QueueFull:
@@ -350,41 +430,176 @@ class ServeBroker:
         steps second (one ``scheduler.run``) — a fixed order, so a
         fixed request trace replays the scheduler's joint RNG stream
         identically.  Waves execute on the broker's dedicated worker
-        thread; every member future resolves here, with the result or
-        with the wave's exception.
+        thread; every member future resolves here, with the result, a
+        typed timeout, or the wave's exception.
         """
         self.stats["waves"] += 1
         self.stats["max_wave"] = max(self.stats["max_wave"], len(wave))
-        loop = asyncio.get_running_loop()
-        zones = [p for p in wave if p.kind == "zone"]
-        episodes = [p for p in wave if p.kind == "episode"]
+        deadline_s = (None if self.serve.deadline_ms is None
+                      else self.serve.deadline_ms / 1000.0)
+        live = wave
+        if deadline_s is not None:
+            now = time.monotonic()
+            live = []
+            for p in wave:
+                if now - p.admitted_at > deadline_s:
+                    # Expired while queued: fail safe before spending
+                    # any compute on an answer nobody is waiting for.
+                    self._timeout(p, scope="admission")
+                else:
+                    live.append(p)
+        zones = [p for p in live if p.kind == "zone"]
+        episodes = [p for p in live if p.kind == "episode"]
         if zones:
-            items = [p.payload for p in zones]
-            try:
-                verdicts = await loop.run_in_executor(
-                    self._executor, self.scheduler.check_zones_wave,
-                    items)
-            except Exception as exc:  # noqa: BLE001 - resolves futures
-                self.stats["wave_errors"] += 1
-                self._fail(zones, exc)
-            else:
-                self.stats["zone_checks"] += len(zones)
-                for p, verdict in zip(zones, verdicts):
-                    if not p.future.done():
-                        p.future.set_result(verdict)
+            await self._zone_wave(zones, deadline_s)
         if episodes:
-            requests = [p.payload for p in episodes]
+            await self._episode_wave(episodes, deadline_s)
+        self._sync_pool_stats()
+
+    async def _call(self, fn, arg, timeout_s: float | None):
+        """Run ``fn(arg)`` on the wave thread, deadline-bounded."""
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._executor, fn, arg)
+        if timeout_s is None:
+            return await future
+        return await asyncio.wait_for(future, timeout_s)
+
+    def _wave_timeout(self, pending: list,
+                      deadline_s: float | None) -> float | None:
+        """Seconds until the *last* member's deadline (or None).
+
+        The wave keeps running while any member can still be answered
+        in time; on completion, late-but-computed results are
+        delivered (an answer in hand beats a fabricated reject), so
+        the per-request deadline is enforced at wave granularity.
+        """
+        if deadline_s is None:
+            return None
+        now = time.monotonic()
+        remaining = max(p.admitted_at + deadline_s - now
+                        for p in pending)
+        return max(remaining, 0.005)
+
+    async def _zone_wave(self, zones: list,
+                         deadline_s: float | None) -> None:
+        items = [p.payload for p in zones]
+        try:
+            verdicts = await self._call(
+                self.scheduler.check_zones_wave, items,
+                self._wave_timeout(zones, deadline_s))
+        except asyncio.TimeoutError:
+            # Inline compute cannot be killed; the wave thread will
+            # finish (and its late results are discarded by the done()
+            # guards) while the clients fail safe now.
+            for p in zones:
+                self._timeout(p, scope="wave")
+        except Exception as exc:  # noqa: BLE001 - resolves futures
+            self.stats["wave_errors"] += 1
+            self._fail(zones, exc)
+        else:
+            self.stats["zone_checks"] += len(zones)
+            for p, verdict in zip(zones, verdicts):
+                if not p.future.done():
+                    p.future.set_result(verdict)
+
+    async def _episode_wave(self, episodes: list,
+                            deadline_s: float | None) -> None:
+        requests = [p.payload for p in episodes]
+        timeout_s = self._wave_timeout(episodes, deadline_s)
+        use_pool = self.effective_workers > 1
+        degraded = use_pool and not self._breaker.allow()
+        if degraded:
+            self.stats["degraded_waves"] += 1
+        runner = self._fallback_run if degraded else self.scheduler.run
+        try:
+            out = await self._call(runner, requests, timeout_s)
+        except asyncio.TimeoutError:
+            if use_pool and not degraded:
+                self._pool_fault()
+            for p in episodes:
+                self._timeout(p, scope="wave")
+        except CheckTimedOut as exc:
+            # The pool's collect deadline fired: the hung worker was
+            # killed and respawned; the wave's requests fail safe.
+            if use_pool and not degraded:
+                self._pool_fault()
+            for p in episodes:
+                self._timeout(p, scope=exc.scope)
+        except WorkerPoolError:
+            # Pool broken past its respawn budget (the scheduler has
+            # already torn it down): count the fault, then serve this
+            # same wave on the bit-identical inline path — degraded,
+            # not dropped.
+            self._pool_fault()
+            self.stats["degraded_waves"] += 1
             try:
-                out = await loop.run_in_executor(
-                    self._executor, self.scheduler.run, requests)
+                out = await self._call(self._fallback_run, requests,
+                                       timeout_s)
+            except asyncio.TimeoutError:
+                for p in episodes:
+                    self._timeout(p, scope="wave")
             except Exception as exc:  # noqa: BLE001 - resolves futures
                 self.stats["wave_errors"] += 1
                 self._fail(episodes, exc)
             else:
-                self.stats["episode_steps"] += len(episodes)
-                for p, result in zip(episodes, out):
-                    if not p.future.done():
-                        p.future.set_result(result)
+                self._resolve_episodes(episodes, out)
+        except Exception as exc:  # noqa: BLE001 - resolves futures
+            self.stats["wave_errors"] += 1
+            self._fail(episodes, exc)
+        else:
+            if use_pool and not degraded:
+                self._breaker.record_success()
+            self._resolve_episodes(episodes, out)
+
+    def _resolve_episodes(self, episodes: list, out: list) -> None:
+        self.stats["episode_steps"] += len(episodes)
+        for p, result in zip(episodes, out):
+            if not p.future.done():
+                p.future.set_result(result)
+
+    def _fallback_run(self, requests):
+        """Run one episode wave on the inline (workers=1) path.
+
+        The fallback scheduler shares the model and pipeline config
+        and keeps ``monitor_batching="exact"``, so by the engine's
+        sharding contract its results are bit-for-bit those the pool
+        path would have produced.  Built lazily on first degradation;
+        runs on the wave thread.
+        """
+        if self._fallback is None:
+            from dataclasses import replace
+
+            self._fallback = EpisodeScheduler(
+                self._model, config=self._config,
+                engine=replace(self.scheduler.engine, workers=1))
+        return self._fallback.run(requests)
+
+    def _pool_fault(self) -> None:
+        self.stats["pool_faults"] += 1
+        self._breaker.record_failure()
+        self.stats["breaker_opens"] = self._breaker.stats["opens"]
+
+    def _timeout(self, p, scope: str) -> None:
+        """Resolve one request as a typed, fail-safe timeout."""
+        self.stats["timed_out"] += 1
+        verdict = None
+        if p.kind == "zone":
+            _, box = p.payload
+            verdict = conservative_reject(box)
+        if not p.future.done():
+            p.future.set_exception(CheckTimedOut(
+                self.serve.deadline_ms or 0.0, scope, verdict))
+
+    def _sync_pool_stats(self) -> None:
+        """Mirror pool supervision counters into the broker ledger."""
+        totals = dict(self.scheduler.pool_stats_total)
+        pool = self.scheduler._pool
+        if pool is not None:
+            for key, value in pool.stats.items():
+                totals[key] = totals.get(key, 0) + value
+        self.stats["respawns"] = totals.get("respawns", 0)
+        self.stats["worker_deaths"] = totals.get("worker_deaths", 0)
+        self.stats["tasks_resubmitted"] = totals.get("resubmitted", 0)
 
     @staticmethod
     def _fail(pending: list, exc: BaseException) -> None:

@@ -1,0 +1,236 @@
+"""Deterministic fault injection for the serving layer.
+
+Fault tolerance that is not exercised is fiction, so this module makes
+every failure mode the supervision layer claims to handle injectable
+*on purpose and on schedule*:
+
+* ``kill_worker`` — the worker SIGKILLs itself at the start of its
+  N-th task, exactly the signature of an OOM-killed or crashed
+  process.  Supervision must detect the death, respawn the worker and
+  resubmit the lost task — and because every task carries its episode
+  RNG state, the recovered run stays **bit-for-bit identical** to the
+  fault-free one.
+* ``hang_task`` — the worker sleeps before executing, modelling a
+  wedged dependency.  The pool's collect deadline must identify the
+  stuck worker (via its shared current-task slot), kill it and fail
+  the task with a typed :class:`~repro.serve.faults.CheckTimedOut`.
+  ``uninterruptible=True`` additionally ignores SIGTERM so the
+  ``close()`` escalation path (terminate -> kill) is forced all the
+  way to SIGKILL.
+* ``corrupt_ticket`` — the parent mangles the N-th submitted
+  :class:`~repro.serve.shm.FrameTicket` before it crosses the process
+  boundary, modelling a torn shared-memory handoff.  The worker's
+  attach fails, the task fails *typed*, and the (real) ticket is still
+  reclaimed — no ring leak.
+* :func:`fork_unavailable` — a context manager under which
+  ``repro.serve.pool.fork_available()`` reports False, so the
+  engine-level degrade-to-inline path is testable on platforms that do
+  have fork.
+
+A :class:`FaultPlan` is immutable and picklable; it rides into the
+forked workers at pool construction, and worker-side triggering is
+keyed on ``(worker id, incarnation, per-incarnation task ordinal)`` —
+all deterministic counters — so a plan replays exactly.  Respawned
+workers run at ``incarnation >= 1`` and a spec targets one incarnation
+(default 0), which is what lets "kill the worker once" converge
+instead of re-killing every replacement.  :meth:`FaultPlan.storm`
+derives a multi-kill plan from a seed for the fault-storm bench.
+
+Chaos plans are armed via :func:`arm` (stored on the scheduler as a
+private attribute, never an engine knob): production configs cannot
+express a fault plan, only tests and benches can.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import signal
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.serve.shm import FrameTicket
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "ChaosError",
+    "FaultPlan",
+    "FaultSpec",
+    "apply_fault",
+    "arm",
+    "corrupt_ticket",
+    "fork_unavailable",
+]
+
+KILL_WORKER = "kill_worker"
+HANG_TASK = "hang_task"
+RAISE_ERROR = "raise_error"
+_KINDS = (KILL_WORKER, HANG_TASK, RAISE_ERROR)
+
+
+class ChaosError(RuntimeError):
+    """The deliberate task failure injected by ``raise_error`` specs."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled worker-side fault.
+
+    Fires in worker ``worker`` (its ``incarnation``-th process — 0 is
+    the original fork, respawns count up) at the start of the
+    ``at_task``-th task that incarnation picks up.
+    """
+
+    kind: str
+    worker: int = 0
+    at_task: int = 0
+    incarnation: int = 0
+    hang_s: float = 30.0
+    uninterruptible: bool = False
+
+    def __post_init__(self):
+        if self.kind not in _KINDS:
+            raise ValueError(
+                f"FaultSpec.kind must be one of {_KINDS}, "
+                f"got {self.kind!r}")
+        if self.at_task < 0 or self.worker < 0 or self.incarnation < 0:
+            raise ValueError(
+                "FaultSpec worker/at_task/incarnation must be >= 0")
+        if self.hang_s <= 0:
+            raise ValueError(
+                f"FaultSpec.hang_s must be positive, got {self.hang_s}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, picklable schedule of injected faults.
+
+    ``specs`` are worker-side (matched by :meth:`fault_for` inside the
+    worker loop); ``corrupt_submits`` are parent-side submit ordinals
+    whose tickets :meth:`PersistentWorkerPool.submit` mangles with
+    :func:`corrupt_ticket` before enqueueing.
+    """
+
+    specs: tuple = ()
+    corrupt_submits: frozenset = frozenset()
+
+    def fault_for(self, worker: int, incarnation: int,
+                  task_ordinal: int):
+        """The spec firing now, or None (worker-side trigger point)."""
+        for spec in self.specs:
+            if (spec.worker == worker
+                    and spec.incarnation == incarnation
+                    and spec.at_task == task_ordinal):
+                return spec
+        return None
+
+    def corrupts_submit(self, ordinal: int) -> bool:
+        """True when the parent must mangle this submit's ticket."""
+        return ordinal in self.corrupt_submits
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def kill_worker(cls, worker: int = 0, at_task: int = 0,
+                    incarnation: int = 0) -> "FaultPlan":
+        """SIGKILL ``worker`` at the start of its ``at_task``-th task."""
+        return cls(specs=(FaultSpec(KILL_WORKER, worker=worker,
+                                    at_task=at_task,
+                                    incarnation=incarnation),))
+
+    @classmethod
+    def hang_task(cls, worker: int = 0, at_task: int = 0,
+                  hang_s: float = 30.0,
+                  uninterruptible: bool = False) -> "FaultPlan":
+        """Sleep ``hang_s`` before the task (a wedged worker)."""
+        return cls(specs=(FaultSpec(HANG_TASK, worker=worker,
+                                    at_task=at_task, hang_s=hang_s,
+                                    uninterruptible=uninterruptible),))
+
+    @classmethod
+    def corrupt_ticket(cls, at_submit: int = 0) -> "FaultPlan":
+        """Mangle the ``at_submit``-th submitted frame ticket."""
+        return cls(corrupt_submits=frozenset((at_submit,)))
+
+    @classmethod
+    def storm(cls, seed: int, workers: int, kills: int,
+              tasks_per_worker: int = 4) -> "FaultPlan":
+        """A seeded multi-kill plan for sustained-load fault storms.
+
+        Draws ``kills`` (worker, at_task) pairs — one per incarnation,
+        so each kill lands on a live process — from the shared seeded
+        RNG discipline (:func:`repro.utils.rng.ensure_rng`).
+        """
+        rng = ensure_rng(seed)
+        specs = []
+        for incarnation in range(kills):
+            worker = int(rng.integers(workers))
+            at_task = int(rng.integers(tasks_per_worker))
+            specs.append(FaultSpec(KILL_WORKER, worker=worker,
+                                   at_task=at_task,
+                                   incarnation=incarnation))
+        return cls(specs=tuple(specs))
+
+
+def apply_fault(spec: FaultSpec) -> None:
+    """Execute one spec in the worker (may not return).
+
+    Runs inside the forked worker with the task already registered in
+    the worker's shared current-task slot, so the parent can attribute
+    the fallout to the right task.
+    """
+    if spec.kind == KILL_WORKER:
+        os.kill(os.getpid(), signal.SIGKILL)
+    elif spec.kind == HANG_TASK:
+        if spec.uninterruptible:
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        time.sleep(spec.hang_s)
+    elif spec.kind == RAISE_ERROR:
+        raise ChaosError(
+            f"injected failure (worker {spec.worker}, "
+            f"task {spec.at_task})")
+
+
+def corrupt_ticket(ticket: FrameTicket) -> FrameTicket:
+    """A torn copy of ``ticket``: its segment name resolves nowhere.
+
+    The worker's ``attach_frame`` fails with ``FileNotFoundError`` —
+    the defined behavior for a torn shared-memory handoff is a typed
+    task failure, never a hang and never a leaked slot (the parent
+    keeps the *real* ticket for reclamation).
+    """
+    return dataclasses.replace(
+        ticket, segment=f"repro-chaos-torn-{ticket.slot}")
+
+
+@contextmanager
+def fork_unavailable():
+    """Pretend the platform has no ``fork`` start method.
+
+    Patches :func:`repro.serve.pool.fork_available` for the duration;
+    the engine resolves that symbol at call time, so sharded schedulers
+    built inside the context degrade to inline exactly as they would
+    on a fork-less platform.
+    """
+    from repro.serve import pool as pool_module
+
+    original = pool_module.fork_available
+    pool_module.fork_available = lambda: False
+    try:
+        yield
+    finally:
+        pool_module.fork_available = original
+
+
+def arm(target, plan: FaultPlan | None):
+    """Attach ``plan`` to a scheduler or broker (next pool fork uses it).
+
+    Accepts an :class:`~repro.core.engine.EpisodeScheduler` or a
+    :class:`~repro.serve.broker.ServeBroker` (whose backing scheduler
+    is armed).  Pass ``None`` to disarm.  The plan is picked up when
+    the pool is (re)forked — arm before the first sharded run, or
+    ``close()`` the scheduler first.
+    """
+    scheduler = getattr(target, "scheduler", target)
+    scheduler._fault_plan = plan
+    return target

@@ -8,6 +8,10 @@ the **requested vs effective** worker count — the degraded-to-inline
 case the engine only warns about once — and, given a system, live-fires
 a broker: a zone check, an episode step, and an overload burst that
 must produce *typed* rejections with every request accounted for.
+With fork available it then runs a **fault drill**: a chaos plan
+SIGKILLs a live worker mid-wave and the drill asserts respawn,
+ring-ledger balance, bit-for-bit recovery, and a degraded-mode round
+trip through the circuit breaker (see :mod:`repro.serve.chaos`).
 
 Exit code 0 when every check passes, 1 otherwise; ``--json`` emits the
 raw report for machine consumption.  ``scripts/check.sh`` runs the
@@ -25,6 +29,11 @@ import sys
 
 import numpy as np
 
+from repro.core.engine import (
+    EngineConfig,
+    EpisodeRequest,
+    EpisodeScheduler,
+)
 from repro.serve.broker import AdmissionRejected, ServeBroker, ServeConfig
 from repro.serve.pool import fork_available
 from repro.serve.shm import FrameRing, attach_frame, detach_frame
@@ -105,6 +114,93 @@ async def _probe_broker(system, serve: ServeConfig, rng) -> dict:
     return probe
 
 
+def _episodes_match(got, expected) -> bool:
+    """Decisions + labels of two episode-result lists, bit compared."""
+    if len(got) != len(expected):
+        return False
+    for ep_a, ep_b in zip(got, expected):
+        if len(ep_a.results) != len(ep_b.results):
+            return False
+        for ra, rb in zip(ep_a.results, ep_b.results):
+            if ra.decision.action is not rb.decision.action:
+                return False
+            if not np.array_equal(ra.predicted_labels,
+                                  rb.predicted_labels):
+                return False
+    return True
+
+
+def _fault_drill(system) -> dict:
+    """Kill a live worker mid-wave; verify recovery and degradation.
+
+    Stage 1 (supervision): a ``workers=2`` scheduler runs a small
+    episode fleet while a chaos plan SIGKILLs worker 0 at its first
+    task.  The pool must respawn the worker, resubmit the lost task,
+    return results **bit-for-bit equal** to the inline reference, and
+    leave zero frame-ring tickets in flight (the ledger balances).
+
+    Stage 2 (degraded round trip): a broker with ``max_respawns=0``
+    and ``breaker_threshold=1`` takes a pool fault on its first
+    episode wave — which must still be served (re-run inline), trip
+    the breaker, and leave the next wave serving in degraded mode.
+    """
+    from repro.serve.chaos import FaultPlan, arm
+
+    config = system.pipeline_config()
+    frame = system.test_samples[0].image
+    episodes = [EpisodeRequest(frames=(frame, frame), seed=seed,
+                               name=f"drill{seed}")
+                for seed in (0, 1)]
+    expected = EpisodeScheduler(system.model, config).run(episodes)
+
+    drill: dict = {}
+    with EpisodeScheduler(
+            system.model, config,
+            engine=EngineConfig(workers=2)) as sched:
+        arm(sched, FaultPlan.kill_worker(worker=0, at_task=0))
+        got = sched.run(episodes)
+        pool = sched._pool
+        drill["respawns"] = pool.stats["respawns"]
+        drill["worker_deaths"] = pool.stats["worker_deaths"]
+        drill["ring_balanced"] = pool._ring.in_flight == 0
+    drill["bit_for_bit"] = _episodes_match(got, expected)
+    drill["supervision_ok"] = bool(
+        drill["respawns"] >= 1 and drill["ring_balanced"]
+        and drill["bit_for_bit"])
+
+    async def degraded_round_trip() -> dict:
+        serve = ServeConfig(workers=2, breaker_threshold=1,
+                            admission_window_ms=0.0)
+        broker = ServeBroker(system.model, config=config,
+                             engine=EngineConfig(max_respawns=0),
+                             serve=serve)
+        arm(broker, FaultPlan.kill_worker(worker=0, at_task=0))
+        async with broker:
+            first = await broker.run_episode([frame, frame], seed=0)
+            second = await broker.run_episode([frame, frame], seed=1)
+        stats = broker.stats
+        return {
+            "faulted_wave_served": _episodes_match(
+                [first], [expected[0]]),
+            "degraded_wave_served": _episodes_match(
+                [second], [expected[1]]),
+            "pool_faults": stats["pool_faults"],
+            "degraded_waves": stats["degraded_waves"],
+            "ledger_balanced": (stats["admitted"]
+                                == stats["episode_steps"]),
+        }
+
+    degraded = asyncio.run(degraded_round_trip())
+    drill.update(degraded)
+    drill["degraded_ok"] = bool(
+        degraded["faulted_wave_served"]
+        and degraded["degraded_wave_served"]
+        and degraded["pool_faults"] >= 1
+        and degraded["degraded_waves"] >= 1
+        and degraded["ledger_balanced"])
+    return drill
+
+
 def run_doctor(system=None, serve: ServeConfig | None = None,
                rng=0) -> dict:
     """Run every self-check; returns ``{"ok", "checks", "info"}``.
@@ -163,6 +259,23 @@ def run_doctor(system=None, serve: ServeConfig | None = None,
                   f"burst of 8 vs queue_depth=1: {probe['overload_served']} "
                   f"served + {probe['overload_rejected']} typed rejections "
                   "(no silent drops)")
+
+    if system is not None and fork_available():
+        try:
+            drill = _fault_drill(system)
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            check("fault-drill", False, f"raised {exc!r}")
+        else:
+            info["fault_drill"] = drill
+            check("fault-drill-supervision", drill["supervision_ok"],
+                  f"worker killed mid-wave: {drill['respawns']} "
+                  f"respawn(s), ring balanced {drill['ring_balanced']}, "
+                  f"bit-for-bit {drill['bit_for_bit']}")
+            check("fault-drill-degraded", drill["degraded_ok"],
+                  f"{drill['pool_faults']} pool fault(s) -> "
+                  f"{drill['degraded_waves']} degraded wave(s), every "
+                  "admitted step served inline (ledger balanced "
+                  f"{drill['ledger_balanced']})")
 
     return {"ok": all(c["ok"] for c in checks), "checks": checks,
             "info": info}

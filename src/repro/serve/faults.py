@@ -1,0 +1,95 @@
+"""Typed fault outcomes of the serving layer.
+
+The backpressure contract of :mod:`repro.serve` says a safety check is
+*served or shed, never silently dropped*.  This module supplies the
+vocabulary that extends the contract past admission to execution-time
+faults:
+
+* :class:`CheckTimedOut` — a per-request deadline expired.  A timed-out
+  safety check must **fail safe, never fail open**: when the request
+  was a zone check, the exception carries a conservative *reject*
+  verdict (:func:`conservative_reject`) so even a caller that only
+  looks at ``exc.verdict.accepted`` sees "do not land here".
+* :class:`WorkerPoolError` — the persistent worker pool itself failed
+  (a worker died and the respawn budget was exhausted, or the pool was
+  closed underneath an in-flight wave).  The broker treats this as a
+  *pool fault*: the wave is re-run on the bit-identical inline path and
+  the circuit breaker counts the fault.
+
+Both are ``RuntimeError`` subclasses, so pre-existing callers that
+catch broad execution failures keep working; new callers can match on
+the type to branch on the failure mode.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.monitor import ZoneVerdict
+from repro.segmentation.bayesian import PixelDistribution
+from repro.utils.geometry import Box
+
+__all__ = ["CheckTimedOut", "WorkerPoolError", "conservative_reject"]
+
+
+def conservative_reject(box: Box) -> ZoneVerdict:
+    """The fail-safe verdict for a zone check that produced no answer.
+
+    Every pixel is flagged unsafe (``unsafe_fraction=1.0``,
+    ``accepted=False``) and ``num_samples=0`` marks that no Monte-Carlo
+    sampling actually happened — the verdict is a *refusal to certify*,
+    not a measurement.  The attached distribution is an empty
+    placeholder of the right shape so downstream shape-based code does
+    not crash on it.
+    """
+    height, width = box.height, box.width
+    zeros = np.zeros((1, height, width), dtype=np.float32)
+    return ZoneVerdict(
+        accepted=False,
+        unsafe_fraction=1.0,
+        unsafe_mask=np.ones((height, width), dtype=bool),
+        box=box,
+        num_samples=0,
+        distribution=PixelDistribution(mean=zeros, std=zeros,
+                                       num_samples=0),
+    )
+
+
+class CheckTimedOut(RuntimeError):
+    """A safety check missed its deadline — resolved fail-safe.
+
+    ``scope`` says which layer enforced the deadline: ``"admission"``
+    (the request expired before its wave was even assembled),
+    ``"wave"`` (the broker's monotonic-clock wrapper around wave
+    execution fired) or ``"task"`` (the pool's collect deadline killed
+    a hung worker).  ``verdict`` is the conservative reject for zone
+    checks (see :func:`conservative_reject`) and ``None`` for episode
+    steps, whose callers get no partial results by design.
+    """
+
+    def __init__(self, deadline_ms: float, scope: str,
+                 verdict: ZoneVerdict | None = None):
+        super().__init__(
+            f"safety check missed its {deadline_ms:g} ms deadline "
+            f"({scope}); failing safe with a conservative reject")
+        self.deadline_ms = float(deadline_ms)
+        self.scope = scope
+        self.verdict = verdict
+
+
+class WorkerPoolError(RuntimeError):
+    """The persistent worker pool can no longer serve tasks.
+
+    ``reason`` is ``"respawn_budget_exhausted"`` (workers kept dying
+    past ``EngineConfig.max_respawns``) or ``"closed"`` (the pool was
+    shut down while a wave was in flight).  Whatever the reason, the
+    pool reclaims every in-flight :class:`~repro.serve.shm.FrameRing`
+    ticket before raising, so the ring's ledger stays balanced.
+    """
+
+    def __init__(self, reason: str, detail: str = ""):
+        message = f"persistent worker pool failed ({reason})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.reason = reason

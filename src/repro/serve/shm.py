@@ -176,6 +176,28 @@ class FrameRing:
             raise RuntimeError(f"FrameRing slot {ticket.slot} released twice")
         self._free.append(ticket.slot)
 
+    def reclaim(self, ticket: FrameTicket) -> bool:
+        """Idempotent :meth:`release` for supervision sweeps.
+
+        When a worker dies (or a task times out) the parent reclaims
+        the ticket it issued for the in-flight task; unlike
+        :meth:`release` — which treats a double release as the
+        protocol bug it is on the happy path — ``reclaim`` tolerates
+        tickets that were already recycled and reports whether this
+        call actually freed anything.
+        """
+        if ticket.dedicated:
+            seg = self._dedicated.pop(ticket.segment, None)
+            if seg is None:
+                return False
+            seg.close()
+            seg.unlink()
+            return True
+        if ticket.slot in self._free:
+            return False
+        self._free.append(ticket.slot)
+        return True
+
     def close(self) -> None:
         """Unlink the ring segment and any outstanding overflow segments."""
         if self._closed:
